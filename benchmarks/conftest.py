@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md's index
+(E1..E13) and prints the series/rows EXPERIMENTS.md records.  Universes
+are explored once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.protocols.broadcast import BroadcastProtocol, line_topology
+from repro.protocols.pingpong import PingPongProtocol
+from repro.protocols.toggle import ToggleProtocol
+from repro.protocols.token_bus import TokenBusProtocol
+from repro.universe.explorer import Universe
+
+
+@pytest.fixture(scope="session")
+def pingpong_universe() -> Universe:
+    return Universe(PingPongProtocol(rounds=2))
+
+
+@pytest.fixture(scope="session")
+def pingpong_evaluator(pingpong_universe) -> KnowledgeEvaluator:
+    return KnowledgeEvaluator(pingpong_universe)
+
+
+@pytest.fixture(scope="session")
+def broadcast_universe() -> Universe:
+    return Universe(BroadcastProtocol(line_topology(("a", "b", "c")), root="a"))
+
+
+@pytest.fixture(scope="session")
+def broadcast_evaluator(broadcast_universe) -> KnowledgeEvaluator:
+    return KnowledgeEvaluator(broadcast_universe)
+
+
+@pytest.fixture(scope="session")
+def token_bus_universe() -> Universe:
+    return Universe(TokenBusProtocol(max_hops=4))
+
+
+@pytest.fixture(scope="session")
+def toggle_universe() -> Universe:
+    return Universe(ToggleProtocol(max_flips=2))

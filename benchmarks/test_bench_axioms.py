@@ -1,0 +1,69 @@
+"""E6 — the twelve knowledge facts of §4.1 (including Lemma 2).
+
+Verifies all facts over two universes and several predicates; prints the
+verdict table; benchmarks the full fact sweep.
+"""
+
+from repro.knowledge.axioms import check_all_facts
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.predicates import did_internal, has_received, has_sent
+
+
+def test_bench_knowledge_facts(benchmark, pingpong_universe, pingpong_evaluator):
+    results = check_all_facts(
+        pingpong_universe,
+        has_received("q", "ping"),
+        has_sent("p", "ping"),
+        frozenset({"p"}),
+        frozenset({"q"}),
+        evaluator=pingpong_evaluator,
+    )
+    assert all(results.values()), results
+
+    print("\n[E6] knowledge facts 1-12 over ping-pong:")
+    for name in sorted(results, key=lambda n: int(n.split("-")[0])):
+        print(f"  fact {name:28} {'holds' if results[name] else 'FAILS'}")
+
+    def sweep():
+        evaluator = KnowledgeEvaluator(pingpong_universe)
+        return check_all_facts(
+            pingpong_universe,
+            has_received("q", "ping"),
+            has_sent("p", "ping"),
+            frozenset({"p"}),
+            frozenset({"q"}),
+            evaluator=evaluator,
+        )
+
+    benchmark(sweep)
+
+
+def test_bench_knowledge_facts_broadcast(
+    benchmark, broadcast_universe, broadcast_evaluator
+):
+    results = check_all_facts(
+        broadcast_universe,
+        did_internal("a", "learn"),
+        has_received("c", "fact"),
+        frozenset({"b"}),
+        frozenset({"a", "c"}),
+        evaluator=broadcast_evaluator,
+    )
+    assert all(results.values()), results
+    print(
+        "\n[E6] knowledge facts over broadcast "
+        f"({len(broadcast_universe)} computations): all 12 hold"
+    )
+
+    def sweep():
+        evaluator = KnowledgeEvaluator(broadcast_universe)
+        return check_all_facts(
+            broadcast_universe,
+            did_internal("a", "learn"),
+            has_received("c", "fact"),
+            frozenset({"b"}),
+            frozenset({"a", "c"}),
+            evaluator=evaluator,
+        )
+
+    benchmark(sweep)

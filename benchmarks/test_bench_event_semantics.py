@@ -1,0 +1,54 @@
+"""E5 — Theorem 3: receives shrink, sends grow, internal events preserve
+the ``[P P̄]``-related set.
+
+Prints the average related-set size before/after each event kind — the
+quantitative shape behind the theorem — and benchmarks the exhaustive
+check.
+"""
+
+from repro.isomorphism.extension import (
+    check_extension_principle_part1,
+    check_extension_principle_part2,
+    check_theorem_3,
+    extension_event,
+    related_set,
+)
+
+
+def size_deltas(universe):
+    deltas = {"receive": [], "send": [], "internal": []}
+    for x in universe:
+        for extended in universe.successors(x):
+            event = extension_event(x, extended)
+            if event is None:
+                continue
+            p_set = frozenset((event.process,))
+            before = len(related_set(universe, x, p_set))
+            after = len(related_set(universe, extended, p_set))
+            deltas[event.kind.value].append((before, after))
+    return deltas
+
+
+def test_bench_event_semantics(benchmark, broadcast_universe):
+    counts = check_theorem_3(broadcast_universe)
+    assert counts["receive"] > 0 and counts["send"] > 0 and counts["internal"] > 0
+    assert check_extension_principle_part1(broadcast_universe) > 0
+    assert check_extension_principle_part2(broadcast_universe) > 0
+
+    deltas = size_deltas(broadcast_universe)
+    print("\n[E5] Theorem 3 over broadcast — |{z : x [P P̄] z}| before -> after:")
+    for kind, pairs in deltas.items():
+        if not pairs:
+            continue
+        avg_before = sum(before for before, _ in pairs) / len(pairs)
+        avg_after = sum(after for _, after in pairs) / len(pairs)
+        print(
+            f"  {kind:>8}: n={len(pairs):>3}  avg {avg_before:6.2f} -> "
+            f"{avg_after:6.2f}"
+        )
+    receive_pairs = deltas["receive"]
+    assert all(after <= before for before, after in receive_pairs)
+    assert all(before <= after for before, after in deltas["send"])
+    assert all(before == after for before, after in deltas["internal"])
+
+    benchmark(check_theorem_3, broadcast_universe)

@@ -1,0 +1,41 @@
+"""E11 — §5(b): failure detection impossible without timeouts.
+
+Prints the async/sync comparison table across heartbeat/round budgets
+and benchmarks the asynchronous impossibility analysis.
+"""
+
+from repro.applications.failure_detection import analyse_async, analyse_sync
+from repro.protocols.failure_monitor import (
+    AsyncFailureMonitorProtocol,
+    SyncFailureMonitorProtocol,
+)
+from repro.universe.explorer import Universe
+
+
+def test_bench_failure_detection(benchmark):
+    print("\n[E11] failure detection with and without timeouts:")
+    print(f"{'model':>6} {'budget':>6} {'universe':>9} {'crashes':>8} "
+          f"{'detectable':>10}")
+    for heartbeats in (1, 2, 3):
+        universe = Universe(AsyncFailureMonitorProtocol(heartbeats=heartbeats))
+        report = analyse_async(universe)
+        assert report.impossibility_holds
+        print(
+            f"{'async':>6} {heartbeats:>6} {report.universe_size:>9} "
+            f"{report.crash_configurations:>8} {'never':>10}"
+        )
+    for rounds in (1, 2):
+        universe = Universe(SyncFailureMonitorProtocol(rounds=rounds))
+        report = analyse_sync(universe)
+        assert report.detection_possible and report.detection_sound
+        print(
+            f"{'sync':>6} {rounds:>6} {report.universe_size:>9} "
+            f"{report.crash_configurations:>8} "
+            f"{report.detection_configurations:>10}"
+        )
+
+    def impossibility():
+        universe = Universe(AsyncFailureMonitorProtocol(heartbeats=2))
+        return analyse_async(universe)
+
+    benchmark(impossibility)

@@ -1,0 +1,41 @@
+"""E1 — Figure 3-1: the paper's isomorphism diagram, regenerated.
+
+Asserts every relation the paper reads off the diagram, prints the full
+edge list, and benchmarks diagram construction.
+"""
+
+from repro.isomorphism.diagram import IsomorphismDiagram
+from repro.isomorphism.relation import isomorphic
+from repro.universe.builder import figure_3_1_computations
+
+
+def build_diagram() -> IsomorphismDiagram:
+    comps = figure_3_1_computations()
+    return IsomorphismDiagram(
+        comps.values(), {"p", "q"}, names={k: v for k, v in comps.items()}
+    )
+
+
+def test_bench_figure_3_1(benchmark):
+    comps = figure_3_1_computations()
+
+    # --- reproduction assertions (the relations stated in Example 1) ---
+    assert isomorphic(comps["x"], comps["y"], "p")
+    assert not isomorphic(comps["x"], comps["y"], "q")
+    assert comps["x"].is_permutation_of(comps["z"])
+    assert isomorphic(comps["z"], comps["w"], "q")
+    assert not isomorphic(comps["y"], comps["w"], "p")
+    assert not isomorphic(comps["y"], comps["w"], "q")
+
+    diagram = build_diagram()
+    assert diagram.label(comps["x"], comps["y"]) == {"p"}
+    assert diagram.label(comps["x"], comps["z"]) == {"p", "q"}
+    assert diagram.label(comps["z"], comps["w"]) == {"q"}
+    assert diagram.label(comps["y"], comps["w"]) is None
+    assert diagram.has_labelled_path(comps["y"], ["p", "q"], comps["w"])
+
+    print("\n[E1] Figure 3-1 isomorphism diagram:")
+    print(diagram.render())
+
+    # --- timing: diagram construction ---
+    benchmark(build_diagram)

@@ -1,0 +1,104 @@
+"""E14 — the §6 generalisations, measured.
+
+The paper's closing section names two generalisations: isomorphism over
+*states* (most results survive) and *belief* (they do not).  This bench
+quantifies both, plus the epistemic mutual-exclusion corollary:
+
+* the state-knowledge gap (knowledge retained vs forgotten) for
+  abstractions of decreasing fidelity;
+* the false-belief census under optimistic plausibility;
+* safety-as-knowledge on the token-ring mutex.
+"""
+
+from repro.isomorphism.state_based import (
+    StateAbstraction,
+    check_state_knowledge_facts,
+    counting_abstraction,
+    knowledge_gap,
+    length_abstraction,
+)
+from repro.knowledge.belief import false_belief_census
+from repro.knowledge.formula import Not
+from repro.protocols.commit import TwoPhaseCommitProtocol
+from repro.protocols.failure_monitor import AsyncFailureMonitorProtocol
+from repro.protocols.mutex import TokenRingMutexProtocol, check_mutual_exclusion
+from repro.universe.explorer import Universe
+
+
+def test_bench_state_knowledge_gap(benchmark):
+    protocol = TwoPhaseCommitProtocol(("p1", "p2"))
+    universe = Universe(protocol)
+    unanimous = protocol.all_voted_yes()
+    abstractions = [
+        ("identity (= computations)", StateAbstraction()),
+        ("per-tag counters", StateAbstraction(default=counting_abstraction())),
+        ("history length only", StateAbstraction(default=length_abstraction())),
+    ]
+    print(
+        "\n[E14] state-based isomorphism: p1's knowledge of 'all voted "
+        f"yes' over 2PC ({len(universe)} computations):"
+    )
+    print(f"{'abstraction':>26} {'retained':>9} {'forgotten':>10} {'invalid':>8}")
+    previous_retained = None
+    for label, abstraction in abstractions:
+        gap = knowledge_gap(universe, abstraction, {"p1"}, unanimous)
+        assert gap["impossible"] == 0  # state knowledge is never stronger
+        print(
+            f"{label:>26} {gap['retained']:>9} {gap['forgotten']:>10} "
+            f"{gap['impossible']:>8}"
+        )
+        if previous_retained is not None:
+            assert gap["retained"] <= previous_retained
+        previous_retained = gap["retained"]
+        facts = check_state_knowledge_facts(
+            universe, abstraction, unanimous, {"p1"}
+        )
+        assert all(facts.values()), facts
+    print("  (surviving §4.1 facts verified for every abstraction)")
+
+    benchmark(
+        knowledge_gap,
+        universe,
+        StateAbstraction(default=length_abstraction()),
+        {"p1"},
+        unanimous,
+    )
+
+
+def test_bench_belief_non_veridicality(benchmark):
+    protocol = AsyncFailureMonitorProtocol(heartbeats=2)
+    universe = Universe(protocol)
+    crashed = protocol.crashed_atom()
+
+    def census():
+        return false_belief_census(
+            universe, lambda c: not crashed.fn(c), {"m"}, Not(crashed)
+        )
+
+    result = census()
+    assert result["false_beliefs"] > 0
+    print(
+        "\n[E14] belief under 'no crash' plausibility "
+        f"({result['plausible']}/{result['universe']} plausible):"
+    )
+    print(
+        f"  monitor believes 'worker alive' at {result['believes']} "
+        f"computations, falsely at {result['false_beliefs']} — belief is "
+        "not veridical (knowledge is)"
+    )
+
+    benchmark(census)
+
+
+def test_bench_epistemic_mutex(benchmark):
+    universe = Universe(TokenRingMutexProtocol(max_hops=3, max_sessions=1))
+    result = check_mutual_exclusion(universe)
+    assert result["safe"] and result["epistemic"]
+    print(
+        "\n[E14] token-ring mutex over "
+        f"{len(universe)} computations: safe={result['safe']}, "
+        f"epistemic (CS-holder KNOWS it is alone)={result['epistemic']}, "
+        f"{result['sessions']} critical-section configurations"
+    )
+
+    benchmark(check_mutual_exclusion, universe)

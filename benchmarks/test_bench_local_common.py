@@ -1,0 +1,71 @@
+"""E8 — §4.2: local-predicate facts 1-8, Lemma 3, and the common-knowledge
+constancy corollaries.
+
+Prints the verdicts and the key quantitative fact — the number of
+computations at which "everyone knows" holds versus common knowledge
+(always zero for contingent predicates) — and benchmarks the sweep.
+"""
+
+from repro.knowledge.common import check_common_knowledge
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import CommonKnowledge, Knows
+from repro.knowledge.predicates import check_all_local_facts, has_received
+
+
+def test_bench_local_facts(benchmark, pingpong_universe, pingpong_evaluator):
+    results = check_all_local_facts(
+        pingpong_universe,
+        has_received("q", "ping"),
+        frozenset({"q"}),
+        frozenset({"p"}),
+        evaluator=pingpong_evaluator,
+    )
+    assert all(results.values()), results
+
+    print("\n[E8] local-predicate facts over ping-pong:")
+    for name, verdict in results.items():
+        print(f"  {name:24} {'holds' if verdict else 'FAILS'}")
+
+    def sweep():
+        evaluator = KnowledgeEvaluator(pingpong_universe)
+        return check_all_local_facts(
+            pingpong_universe,
+            has_received("q", "ping"),
+            frozenset({"q"}),
+            frozenset({"p"}),
+            evaluator=evaluator,
+        )
+
+    benchmark(sweep)
+
+
+def test_bench_common_knowledge(benchmark, broadcast_universe, broadcast_evaluator):
+    from repro.protocols.broadcast import fact_established_atom
+
+    fact = fact_established_atom(broadcast_universe.protocol)
+    results = check_common_knowledge(
+        broadcast_universe, fact, evaluator=broadcast_evaluator
+    )
+    assert all(results.values()), results
+
+    everyone = (
+        Knows("a", fact) & Knows("b", fact) & Knows("c", fact)
+    )
+    everyone_count = len(broadcast_evaluator.extension(everyone))
+    ck_count = len(
+        broadcast_evaluator.extension(CommonKnowledge({"a", "b", "c"}, fact))
+    )
+    print(
+        "\n[E8] common knowledge over broadcast "
+        f"({len(broadcast_universe)} computations):"
+    )
+    print(f"  'everyone knows fact' holds at {everyone_count} computations")
+    print(f"  'fact is common knowledge' holds at {ck_count} (constant: 0)")
+    assert everyone_count > 0
+    assert ck_count == 0
+
+    def sweep():
+        evaluator = KnowledgeEvaluator(broadcast_universe)
+        return check_common_knowledge(broadcast_universe, fact, evaluator=evaluator)
+
+    benchmark(sweep)

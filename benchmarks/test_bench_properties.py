@@ -1,0 +1,30 @@
+"""E2 — the ten algebraic properties of isomorphism (§3), exhaustively.
+
+Verifies all properties over two complete universes and prints the
+verdict table; benchmarks the full property sweep on the ping-pong
+universe.
+"""
+
+from repro.isomorphism.algebra import check_all_properties
+
+
+def test_bench_properties_pingpong(benchmark, pingpong_universe):
+    results = check_all_properties(pingpong_universe)
+    assert all(results.values()), results
+
+    print("\n[E2] isomorphism properties over the ping-pong universe "
+          f"({len(pingpong_universe)} computations):")
+    for name in sorted(results):
+        print(f"  property {name:22} {'holds' if results[name] else 'FAILS'}")
+
+    benchmark(check_all_properties, pingpong_universe)
+
+
+def test_bench_properties_broadcast(benchmark, broadcast_universe):
+    results = check_all_properties(broadcast_universe, max_sets=6)
+    assert all(results.values()), results
+
+    print("\n[E2] isomorphism properties over the broadcast universe "
+          f"({len(broadcast_universe)} computations): all hold")
+
+    benchmark(check_all_properties, broadcast_universe, max_sets=4)

@@ -1,0 +1,125 @@
+"""E13 — scalability and ablations of the machinery itself.
+
+* configuration-canonical exploration vs linearization counting (the
+  state-space reduction DESIGN.md's §5 calls out);
+* layered chain detection vs the naive oracle;
+* simulator throughput on leader-election rings.
+"""
+
+from repro.causality.chains import has_process_chain, has_process_chain_naive
+from repro.causality.order import CausalOrder
+from repro.core.computation import Computation
+from repro.core.configuration import Configuration
+from repro.protocols.leader_election import ChangRobertsProtocol
+from repro.protocols.pingpong import PingPongProtocol
+from repro.protocols.token_bus import TokenBusProtocol
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.universe.explorer import Universe
+
+
+def count_linearizations(universe) -> int:
+    """Number of linear computations the universe's configurations stand
+    for (the size a linearization-based explorer would have to visit).
+
+    Counted exactly per configuration by dynamic programming over
+    consistent cuts is expensive; we use the standard upper-bound-free
+    measure: sum over maximal configurations of multinomial interleavings
+    is loose, so instead count linear *prefixes* reachable by DFS over
+    enabled events, capped for tractability.
+    """
+    seen = 0
+    stack = [tuple()]
+    protocol = universe.protocol
+    visited: set[tuple] = set()
+    while stack:
+        sequence = stack.pop()
+        if sequence in visited:
+            continue
+        visited.add(sequence)
+        seen += 1
+        configuration = Configuration.from_computation(Computation(sequence))
+        for event in protocol.enabled_events(configuration):
+            stack.append(sequence + (event,))
+    return seen
+
+
+def test_bench_configuration_canonicalisation(benchmark):
+    """Concurrency is what canonicalisation collapses: sequential
+    protocols (ping-pong) have ratio 1, concurrent fan-outs grow the gap
+    exponentially."""
+    from repro.protocols.broadcast import BroadcastProtocol, star_topology
+
+    cases = [
+        ("pingpong r=2 (seq.)", PingPongProtocol(rounds=2)),
+        (
+            "star broadcast n=3",
+            BroadcastProtocol(star_topology("hub", ("x", "y")), "hub"),
+        ),
+        (
+            "star broadcast n=4",
+            BroadcastProtocol(star_topology("hub", ("x", "y", "z")), "hub"),
+        ),
+        (
+            "star broadcast n=5",
+            BroadcastProtocol(star_topology("hub", ("w", "x", "y", "z")), "hub"),
+        ),
+    ]
+    print("\n[E13] configurations vs linear computations (state-space ablation):")
+    print(f"{'protocol':>22} {'configs':>8} {'linear prefixes':>15} {'ratio':>7}")
+    ratios = []
+    for label, protocol in cases:
+        universe = Universe(protocol)
+        linear = count_linearizations(universe)
+        ratio = linear / len(universe)
+        ratios.append(ratio)
+        print(f"{label:>22} {len(universe):>8} {linear:>15} {ratio:>7.2f}")
+    assert ratios[0] == 1.0  # sequential: nothing to collapse
+    assert ratios[1] < ratios[2] < ratios[3]  # concurrency widens the gap
+
+    benchmark(lambda: Universe(TokenBusProtocol(max_hops=4)))
+
+
+def test_bench_chain_detection_ablation(benchmark):
+    ring = tuple(f"n{i}" for i in range(8))
+    trace = simulate(ChangRobertsProtocol(ring), RandomScheduler(0))
+    order = CausalOrder(trace.computation)
+    chain = [frozenset({name}) for name in ring[:4]]
+    assert has_process_chain(order, chain) == has_process_chain_naive(order, chain)
+
+    print(
+        f"\n[E13] chain detection on a {len(trace.computation)}-event "
+        "leader-election trace: layered DP vs naive oracle agree"
+    )
+
+    benchmark(has_process_chain, order, chain)
+
+
+def test_bench_chain_detection_naive(benchmark):
+    ring = tuple(f"n{i}" for i in range(6))
+    trace = simulate(ChangRobertsProtocol(ring), RandomScheduler(0))
+    order = CausalOrder(trace.computation)
+    chain = [frozenset({name}) for name in ring[:3]]
+    benchmark(has_process_chain_naive, order, chain)
+
+
+def test_bench_simulator_throughput(benchmark):
+    ring = tuple(f"n{i}" for i in range(24))
+    # Descending ranks: worst-case O(n^2) messages.
+    ranks = {name: len(ring) - index for index, name in enumerate(ring)}
+
+    def run():
+        protocol = ChangRobertsProtocol(ring, ranks=ranks)
+        return simulate(protocol, RandomScheduler(1), max_steps=500_000)
+
+    trace = run()
+    expected = len(ring) * (len(ring) + 1) // 2
+    protocol = ChangRobertsProtocol(ring, ranks=ranks)
+    assert protocol.message_count(trace.final_configuration) == expected
+    print(
+        f"\n[E13] simulator throughput: {len(trace.computation)} events for "
+        f"the O(n^2) election on n={len(ring)} "
+        f"({expected} candidate messages)"
+    )
+
+    benchmark(run)

@@ -1,0 +1,55 @@
+"""E3 — Theorem 1 (Fundamental Theorem of Process Chains).
+
+Exhaustively checks the disjunction on every prefix pair of two
+universes, reports instance counts and how often each disjunct fires,
+and benchmarks the check.
+"""
+
+from repro.causality.chains import chain_in_suffix
+from repro.isomorphism.fundamental import check_theorem_1
+from repro.isomorphism.relation import composed_isomorphic
+
+P = frozenset("p")
+Q = frozenset("q")
+A = frozenset("a")
+B = frozenset("b")
+C = frozenset("c")
+
+
+def breakdown(universe, sets):
+    chain_only = iso_only = both = 0
+    for x, z in universe.sub_configuration_pairs():
+        has_chain = chain_in_suffix(z, x, sets) is not None
+        has_iso = composed_isomorphic(universe, x, sets, z)
+        assert has_chain or has_iso  # the theorem
+        if has_chain and has_iso:
+            both += 1
+        elif has_chain:
+            chain_only += 1
+        else:
+            iso_only += 1
+    return chain_only, iso_only, both
+
+
+def test_bench_theorem_1_pingpong(benchmark, pingpong_universe):
+    sequences = [[P], [Q], [P, Q], [Q, P], [P, Q, P]]
+    checked = check_theorem_1(pingpong_universe, sequences)
+    assert checked > 0
+
+    print(f"\n[E3] Theorem 1 over ping-pong: {checked} instances verified")
+    print(f"{'sequence':>16} {'chain-only':>10} {'iso-only':>9} {'both':>6}")
+    for sets in sequences:
+        chain_only, iso_only, both = breakdown(pingpong_universe, sets)
+        label = " ".join(sorted("".join(sorted(s)) for s in sets))
+        print(f"{label:>16} {chain_only:>10} {iso_only:>9} {both:>6}")
+
+    benchmark(check_theorem_1, pingpong_universe, sequences)
+
+
+def test_bench_theorem_1_broadcast(benchmark, broadcast_universe):
+    sequences = [[A, B], [B, A], [A, B, C], [C, B, A]]
+    checked = check_theorem_1(broadcast_universe, sequences)
+    assert checked > 0
+    print(f"\n[E3] Theorem 1 over broadcast: {checked} instances verified")
+
+    benchmark(check_theorem_1, broadcast_universe, sequences)

@@ -1,0 +1,34 @@
+"""E7 — §4.1 token-bus nested knowledge.
+
+Model-checks the paper's two-level knowledge formula over token-bus
+universes of growing depth, prints the series (universe size, number of
+r-holding configurations, verdict), and benchmarks the model-check.
+"""
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.protocols.token_bus import TokenBusProtocol, check_paper_example
+from repro.universe.explorer import Universe
+
+
+def test_bench_token_bus_nested_knowledge(benchmark, token_bus_universe):
+    result = check_paper_example(token_bus_universe)
+    assert result["valid"]
+    assert result["r_holds_count"] > 0
+
+    print("\n[E7] token-bus nested knowledge (r holds =>")
+    print("      r knows (q knows ¬p-holds ∧ s knows ¬t-holds)):")
+    print(f"{'max_hops':>8} {'universe':>9} {'r holds':>8} {'valid':>6}")
+    for hops in (2, 3, 4):
+        universe = Universe(TokenBusProtocol(max_hops=hops))
+        row = check_paper_example(universe)
+        print(
+            f"{hops:>8} {row['universe_size']:>9} {row['r_holds_count']:>8} "
+            f"{str(row['valid']):>6}"
+        )
+        assert row["valid"]
+
+    def check():
+        evaluator = KnowledgeEvaluator(token_bus_universe)
+        return check_paper_example(token_bus_universe, evaluator=evaluator)
+
+    benchmark(check)

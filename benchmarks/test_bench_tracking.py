@@ -1,0 +1,35 @@
+"""E10 — §5(a): tracking a remote local predicate is impossible.
+
+Prints the sureness window (fraction of configurations where the
+observer is sure, by configuration size) and the flip-point analysis;
+benchmarks the analysis.
+"""
+
+from repro.applications.tracking import analyse_tracking, tracking_error_window
+from repro.knowledge.evaluator import KnowledgeEvaluator
+
+
+def test_bench_tracking(benchmark, toggle_universe):
+    evaluator = KnowledgeEvaluator(toggle_universe)
+    report = analyse_tracking(toggle_universe, evaluator=evaluator)
+    assert report.flip_transitions > 0
+    assert report.observer_unsure_at_every_flip
+    assert report.owner_knows_observer_unsure
+    assert report.tracking_impossible
+
+    print("\n[E10] tracking impossibility over the toggle universe:")
+    print(f"  flip transitions:                  {report.flip_transitions}")
+    print(f"  observer unsure at every flip:     {report.observer_unsure_at_every_flip}")
+    print(f"  owner knows observer unsure:       {report.owner_knows_observer_unsure}")
+    print(f"  observer always sure (tracking):   {report.observer_always_sure}")
+
+    window = tracking_error_window(toggle_universe, evaluator=evaluator)
+    print("  sureness by configuration size (sure/total):")
+    for size, (sure, total) in window.items():
+        print(f"    size {size}: {sure}/{total}")
+
+    def analyse():
+        fresh = KnowledgeEvaluator(toggle_universe)
+        return analyse_tracking(toggle_universe, evaluator=fresh)
+
+    benchmark(analyse)

@@ -1,0 +1,63 @@
+"""E9 — Theorems 4, 5, 6: knowledge transfer needs process chains.
+
+Exhaustive side: instance counts for gain/loss over complete universes.
+Scale side: knowledge-latency series on simulated line broadcasts — the
+far end learns linearly later, the operational shadow of sequential
+transfer.  Benchmarks the exhaustive gain check.
+"""
+
+from repro.applications.knowledge_flow import latency_series
+from repro.knowledge.formula import Not
+from repro.knowledge.predicates import did_internal, has_received, has_sent
+from repro.knowledge.transfer import (
+    check_theorem_4,
+    check_theorem_5_gain,
+    check_theorem_6_loss,
+)
+
+P = frozenset("p")
+Q = frozenset("q")
+A = frozenset("a")
+B = frozenset("b")
+C = frozenset("c")
+
+
+def test_bench_transfer_theorems(benchmark, pingpong_evaluator):
+    b = has_received("q", "ping")
+    t4 = check_theorem_4(pingpong_evaluator, [P, Q], b)
+    t5 = check_theorem_5_gain(pingpong_evaluator, [P], b)
+    t6 = check_theorem_6_loss(pingpong_evaluator, [P, Q], Not(has_sent("q", "pong")))
+    assert t4.holds and t5.holds and t6.holds
+    assert t4.checked > 0 and t5.checked > 0
+
+    print("\n[E9] knowledge transfer over ping-pong:")
+    print(f"  Theorem 4 (propagation): {t4.checked} instances, holds")
+    print(f"  Theorem 5 (gain needs chain <Pn..P1>): {t5.checked} instances, holds")
+    print(f"  Theorem 6 (loss needs chain <P1..Pn>): {t6.checked} instances, holds")
+
+    benchmark(check_theorem_5_gain, pingpong_evaluator, [P], b)
+
+
+def test_bench_transfer_broadcast(benchmark, broadcast_evaluator):
+    fact = did_internal("a", "learn")
+    t5 = check_theorem_5_gain(broadcast_evaluator, [C, B], fact)
+    assert t5.holds and t5.checked > 0
+    print(
+        f"\n[E9] gain of 'c knows b knows fact' over broadcast: "
+        f"{t5.checked} instances, chain <b c>... <B C> reversed required — holds"
+    )
+
+    benchmark(check_theorem_5_gain, broadcast_evaluator, [C, B], fact)
+
+
+def test_bench_knowledge_latency_series(benchmark):
+    series = latency_series(line_lengths=(4, 8, 16, 32), seed=0)
+    steps = [step for _, step in series]
+    assert steps == sorted(steps)
+
+    print("\n[E9] knowledge latency at scale (line broadcast, far end):")
+    print(f"{'line length':>11} {'learning step':>13}")
+    for length, step in series:
+        print(f"{length:>11} {step:>13}")
+
+    benchmark(latency_series, (4, 8, 16), 0)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Knowledge preconditions for action: two-phase commit, analysed.
+
+The paper's programme says actions require knowledge.  2PC is the
+canonical case: a participant may apply *commit* only when it knows every
+participant voted yes, and the coordinator's decision message is exactly
+the communication that creates that knowledge.  This example explores the
+complete computation space of a two-participant 2PC and verifies:
+
+1. the knowledge precondition (commit ⇒ knows unanimity);
+2. the nesting (commit ⇒ knows the coordinator knew);
+3. the isolation of votes (no participant learns a peer's vote except
+   through the coordinator);
+4. the famous negative: the outcome never becomes common knowledge —
+   the epistemic root of 2PC's blocking window.
+
+Run:  python examples/commit_knowledge.py
+"""
+
+from repro import CommonKnowledge, Knows, KnowledgeEvaluator, Universe
+from repro.knowledge.formula import Implies, Sure
+from repro.knowledge.hierarchy import hierarchy_profile
+from repro.protocols.commit import TwoPhaseCommitProtocol
+
+
+def main() -> None:
+    protocol = TwoPhaseCommitProtocol(("p1", "p2"))
+    universe = Universe(protocol)
+    evaluator = KnowledgeEvaluator(universe)
+    print(
+        f"2PC with participants {protocol.participants} and coordinator "
+        f"{protocol.coordinator!r}: {len(universe)} computations\n"
+    )
+
+    unanimous = protocol.all_voted_yes()
+    committed = protocol.committed_atom("p1")
+
+    # 1. The knowledge precondition.
+    precondition = Implies(committed, Knows("p1", unanimous))
+    print(f"commit ⇒ K_p1(all voted yes):            "
+          f"{evaluator.is_valid(precondition)}")
+
+    # 2. Nested knowledge through the coordinator.
+    nested = Implies(
+        committed, Knows("p1", Knows(protocol.coordinator, unanimous))
+    )
+    print(f"commit ⇒ K_p1 K_coord(all voted yes):    "
+          f"{evaluator.is_valid(nested)}")
+
+    # 3. Vote isolation before the decision.
+    p2_yes = protocol.voted_atom("p2", True)
+    sure = evaluator.extension(Sure("p1", p2_yes))
+    leaky = [
+        configuration
+        for configuration in sure
+        if protocol.decision_received(configuration.history("p1")) is None
+    ]
+    print(f"p1 sure of p2's vote before any decision: {len(leaky)} configs")
+
+    # 4. Common knowledge is never attained.
+    ck = CommonKnowledge(set(protocol.participants), unanimous)
+    print(f"'all voted yes' is common knowledge at:   "
+          f"{len(evaluator.extension(ck))} configs")
+
+    profile = hierarchy_profile(
+        evaluator, set(protocol.participants), unanimous, max_depth=5
+    )
+    print(f"\n|E^k(all voted yes)| hierarchy profile:  {profile}")
+    print(
+        "The extension shrinks with every 'everybody knows' level and"
+        " hits the empty fixed point — each participant can know, and"
+        " know that the other knows, but the tower never completes."
+        " That is the knowledge-theoretic reason 2PC has a blocking"
+        " window: no amount of messaging makes the outcome common"
+        " knowledge (the paper's §4.2 corollary)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""§5(b): failure detection is impossible without timeouts — and works
+with them.
+
+Explores two complete universes:
+
+* an asynchronous worker/monitor pair where the worker may crash
+  silently — the monitor is provably *never sure* whether the worker
+  crashed (every crash computation is isomorphic, with respect to the
+  monitor, to a slow-but-alive one);
+* the same system under a synchrony assumption (a timer whose ticks are
+  delivery-bounded): receiving a tick without the matching heartbeat is
+  a sound timeout, and the monitor reaches genuine knowledge.
+
+Run:  python examples/failure_detection.py
+"""
+
+from repro import Knows, KnowledgeEvaluator, Not, Sure, Universe
+from repro.applications.failure_detection import analyse_async, analyse_sync
+from repro.protocols.failure_monitor import (
+    AsyncFailureMonitorProtocol,
+    SyncFailureMonitorProtocol,
+)
+from repro.viz import knowledge_timeline
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Asynchronous: impossibility.
+    # ------------------------------------------------------------------
+    async_protocol = AsyncFailureMonitorProtocol(heartbeats=2)
+    async_universe = Universe(async_protocol)
+    report = analyse_async(async_universe)
+    print("Asynchronous system (no timeouts):")
+    print(f"  computations:            {report.universe_size}")
+    print(f"  ... with a crash:        {report.crash_configurations}")
+    print(f"  crash local to worker:   {report.crash_local_to_worker}")
+    print(f"  monitor ever sure?       {not report.monitor_never_sure}")
+    print(f"  => impossibility holds:  {report.impossibility_holds}")
+    print()
+
+    # Exhibit one indistinguishable pair.
+    evaluator = KnowledgeEvaluator(async_universe)
+    crashed = async_protocol.crashed_atom()
+    for configuration in evaluator.extension(crashed):
+        for twin in async_universe.iso_class(configuration, {"m"}):
+            if not crashed.fn(twin):
+                print("A crash computation and a live twin the monitor")
+                print("cannot tell apart (same monitor history):")
+                print(f"  crashed: {configuration!r}")
+                print(f"  alive:   {twin!r}")
+                break
+        else:
+            continue
+        break
+    print()
+
+    # ------------------------------------------------------------------
+    # Synchronous: timeouts make it possible.
+    # ------------------------------------------------------------------
+    sync_protocol = SyncFailureMonitorProtocol(rounds=2)
+    sync_universe = Universe(sync_protocol)
+    sync_report = analyse_sync(sync_universe)
+    print("Synchronous system (timer with bounded delivery):")
+    print(f"  computations:            {sync_report.universe_size}")
+    print(f"  detection configurations:{sync_report.detection_configurations:>5}")
+    print(f"  detection sound:         {sync_report.detection_sound}")
+    print(f"  => detection possible:   {sync_report.detection_possible}")
+    print()
+
+    # Show one detecting computation as a timeline.
+    sync_evaluator = KnowledgeEvaluator(sync_universe)
+    knows_crashed = Knows("m", sync_protocol.crashed_atom())
+    detection = min(sync_evaluator.extension(knows_crashed), key=len)
+    computation = detection.linearize()
+    flags = {len(computation) - 1: "monitor knows the worker crashed"}
+    print("A minimal detecting computation:")
+    print(knowledge_timeline(computation, flags))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim for legacy editable installs (offline environments
+without the ``wheel`` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""repro — an executable reproduction of *How Processes Learn*
+(K. Mani Chandy & Jayadev Misra, PODC 1985).
+
+The library makes every definition and theorem of the paper executable:
+
+* :mod:`repro.core` — events, computations, configurations (§2);
+* :mod:`repro.causality` — happened-before, process chains, clocks (§3.1);
+* :mod:`repro.isomorphism` — ``[P]`` relations, the isomorphism diagram,
+  Theorem 1, fusion, event semantics (§3);
+* :mod:`repro.knowledge` — ``P knows b``, local predicates, common
+  knowledge, the transfer theorems (§4);
+* :mod:`repro.universe` — protocols and exhaustive exploration (the
+  quantification domain of every "for all computations");
+* :mod:`repro.simulation` — a deterministic simulator for scale;
+* :mod:`repro.protocols` — token bus, broadcast, termination detection,
+  failure monitoring, snapshots, leader election;
+* :mod:`repro.applications` — the §5 impossibility and lower-bound
+  results, measured.
+
+Quickstart::
+
+    from repro import Universe, KnowledgeEvaluator, Knows
+    from repro.protocols import PingPongProtocol
+    from repro.knowledge import has_received
+
+    universe = Universe(PingPongProtocol(rounds=1))
+    evaluator = KnowledgeEvaluator(universe)
+    b = has_received("q", "ping")
+    # p learns that q got the ping only when the pong returns:
+    print(evaluator.extension(Knows("p", b)))
+"""
+
+from repro.core import (
+    NULL,
+    Computation,
+    Configuration,
+    Event,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    ReproError,
+    SendEvent,
+    as_process_set,
+    complement,
+    computation_of,
+    internal,
+    message_pair,
+    receive,
+    send,
+)
+from repro.causality import (
+    CausalOrder,
+    VectorClock,
+    find_process_chain,
+    happened_before,
+    has_process_chain,
+    vector_timestamps,
+)
+from repro.isomorphism import (
+    IsomorphismDiagram,
+    agreement_set,
+    composed_isomorphic,
+    fuse,
+    isomorphic,
+    normalise_sequence,
+    theorem_1_holds,
+)
+from repro.knowledge import (
+    Atom,
+    CommonKnowledge,
+    Knows,
+    KnowledgeEvaluator,
+    Not,
+    Sure,
+    knows,
+    unsure,
+)
+from repro.simulation import RandomScheduler, Simulator, simulate
+from repro.universe import Protocol, Universe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NULL",
+    "Atom",
+    "CausalOrder",
+    "CommonKnowledge",
+    "Computation",
+    "Configuration",
+    "Event",
+    "InternalEvent",
+    "IsomorphismDiagram",
+    "Knows",
+    "KnowledgeEvaluator",
+    "Message",
+    "Not",
+    "Protocol",
+    "RandomScheduler",
+    "ReceiveEvent",
+    "ReproError",
+    "SendEvent",
+    "Simulator",
+    "Sure",
+    "Universe",
+    "VectorClock",
+    "agreement_set",
+    "as_process_set",
+    "complement",
+    "composed_isomorphic",
+    "computation_of",
+    "find_process_chain",
+    "fuse",
+    "happened_before",
+    "has_process_chain",
+    "internal",
+    "isomorphic",
+    "knows",
+    "message_pair",
+    "normalise_sequence",
+    "receive",
+    "send",
+    "simulate",
+    "theorem_1_holds",
+    "unsure",
+    "vector_timestamps",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Applications of the theory (paper, section 5)."""
+
+from repro.applications.failure_detection import (
+    AsyncFailureReport,
+    SyncFailureReport,
+    analyse_async,
+    analyse_sync,
+)
+from repro.applications.knowledge_flow import (
+    LatencyRow,
+    broadcast_knowledge_latency,
+    latency_series,
+    verify_chain_gating,
+)
+from repro.applications.termination_bounds import (
+    DetectionRun,
+    OverheadRow,
+    detector_ambiguity,
+    overhead_table,
+    run_dijkstra_scholten,
+    run_polling_detector,
+    spontaneous_overhead_after_termination,
+)
+from repro.applications.tracking import (
+    TrackingReport,
+    analyse_tracking,
+    tracking_error_window,
+)
+
+__all__ = [
+    "AsyncFailureReport",
+    "DetectionRun",
+    "LatencyRow",
+    "OverheadRow",
+    "SyncFailureReport",
+    "TrackingReport",
+    "analyse_async",
+    "analyse_sync",
+    "analyse_tracking",
+    "broadcast_knowledge_latency",
+    "detector_ambiguity",
+    "latency_series",
+    "overhead_table",
+    "run_dijkstra_scholten",
+    "run_polling_detector",
+    "spontaneous_overhead_after_termination",
+    "tracking_error_window",
+    "verify_chain_gating",
+]

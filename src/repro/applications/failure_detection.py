@@ -1,0 +1,100 @@
+"""§5(b): failure detection is impossible without timeouts.
+
+The paper's argument: a process failure is a predicate local to the
+failed process, and a failed process sends no messages afterwards; by the
+knowledge-gain machinery other processes remain *unsure* of the failure
+forever.  Timeouts escape the argument by shrinking the computation set —
+synchrony assumptions make certain slow computations non-existent, so the
+monitor's isomorphism class no longer contains them.
+
+Both halves are verified here:
+
+* :func:`analyse_async` — over the asynchronous monitor universe the
+  predicate ``monitor sure (worker crashed)`` is *everywhere false*;
+* :func:`analyse_sync` — over the timeout universe the monitor does reach
+  configurations where it *knows* the crash, and its knowledge is sound
+  (never claims a crash that did not happen — automatic by veridicality,
+  re-checked explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import Implies, Knows, Not, Sure
+from repro.knowledge.predicates import is_local_to
+from repro.protocols.failure_monitor import (
+    AsyncFailureMonitorProtocol,
+    SyncFailureMonitorProtocol,
+)
+from repro.universe.explorer import Universe
+
+
+@dataclass(frozen=True)
+class AsyncFailureReport:
+    """Impossibility verdicts over the asynchronous universe."""
+
+    universe_size: int
+    crash_configurations: int
+    monitor_never_sure: bool
+    crash_local_to_worker: bool
+
+    @property
+    def impossibility_holds(self) -> bool:
+        return self.monitor_never_sure and self.crash_configurations > 0
+
+
+def analyse_async(
+    universe: Universe,
+    evaluator: KnowledgeEvaluator | None = None,
+) -> AsyncFailureReport:
+    """Verify the impossibility over an async failure-monitor universe."""
+    protocol = universe.protocol
+    if not isinstance(protocol, AsyncFailureMonitorProtocol):
+        raise TypeError("analyse_async needs an AsyncFailureMonitorProtocol")
+    if evaluator is None:
+        evaluator = KnowledgeEvaluator(universe)
+    crashed = protocol.crashed_atom()
+    monitor = frozenset((protocol.monitor,))
+    worker = frozenset((protocol.worker,))
+    return AsyncFailureReport(
+        universe_size=len(universe),
+        crash_configurations=len(evaluator.extension(crashed)),
+        monitor_never_sure=evaluator.is_valid(Not(Sure(monitor, crashed))),
+        crash_local_to_worker=is_local_to(evaluator, crashed, worker),
+    )
+
+
+@dataclass(frozen=True)
+class SyncFailureReport:
+    """Timeout-detector verdicts over the synchronous universe."""
+
+    universe_size: int
+    crash_configurations: int
+    detection_configurations: int
+    detection_sound: bool
+    detection_possible: bool
+
+
+def analyse_sync(
+    universe: Universe,
+    evaluator: KnowledgeEvaluator | None = None,
+) -> SyncFailureReport:
+    """Verify that timeouts enable sound failure detection."""
+    protocol = universe.protocol
+    if not isinstance(protocol, SyncFailureMonitorProtocol):
+        raise TypeError("analyse_sync needs a SyncFailureMonitorProtocol")
+    if evaluator is None:
+        evaluator = KnowledgeEvaluator(universe)
+    crashed = protocol.crashed_atom()
+    monitor = frozenset((protocol.monitor,))
+    knows_crashed = Knows(monitor, crashed)
+    detections = evaluator.extension(knows_crashed)
+    return SyncFailureReport(
+        universe_size=len(universe),
+        crash_configurations=len(evaluator.extension(crashed)),
+        detection_configurations=len(detections),
+        detection_sound=evaluator.is_valid(Implies(knows_crashed, crashed)),
+        detection_possible=len(detections) > 0,
+    )

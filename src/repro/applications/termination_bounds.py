@@ -1,0 +1,254 @@
+"""§5(c): the termination-detection message lower bound.
+
+The paper's argument has three steps, each made executable here:
+
+1. *Detection is knowledge gain*: to announce termination, some process
+   must send an overhead message **after** the underlying computation has
+   terminated, **without first receiving** a message after that point —
+   :func:`spontaneous_overhead_after_termination` finds such a message in
+   every run of every detector.
+2. *Overhead before termination*: a process is sometimes required to send
+   overhead even though the underlying computation has not terminated,
+   because its view is isomorphic to a terminated computation —
+   :func:`detector_ambiguity` counts, over a small exhaustively explored
+   detector universe, non-terminated configurations indistinguishable (to
+   the detector) from terminated ones.
+3. *The bound*: combining these, a computation exists with at least as
+   many overhead as underlying messages.  Dijkstra–Scholten *meets* the
+   bound with exactly one ack per work message; the polling detector
+   exceeds it — :func:`overhead_table` produces the series for
+   experiment E12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.events import ReceiveEvent, SendEvent
+from repro.isomorphism.relation import isomorphic
+from repro.protocols.dijkstra_scholten import ACK_TAG, DijkstraScholtenProtocol
+from repro.protocols.polling_detector import (
+    PROBE_TAG,
+    REPORT_TAG,
+    PollingDetectorProtocol,
+)
+from repro.protocols.termination import (
+    WORK_TAG,
+    Activation,
+    TerminationWorkload,
+    generate_workload,
+)
+from repro.simulation.scheduler import RandomScheduler, Scheduler
+from repro.simulation.simulator import simulate
+from repro.simulation.trace import SimulationTrace
+from repro.universe.explorer import Universe
+
+OVERHEAD_TAGS = frozenset((ACK_TAG, PROBE_TAG, REPORT_TAG))
+
+
+@dataclass(frozen=True)
+class DetectionRun:
+    """Measurements of one detector run."""
+
+    underlying_messages: int
+    overhead_messages: int
+    detected: bool
+    termination_index: int | None  # first prefix length with termination
+    detection_index: int | None  # first prefix length with detection
+
+    @property
+    def meets_lower_bound(self) -> bool:
+        """Paper's §5(c): overhead >= underlying messages."""
+        return self.overhead_messages >= self.underlying_messages
+
+
+def _first_prefix_index(trace: SimulationTrace, predicate) -> int | None:
+    for index, prefix in enumerate(trace.computation.prefixes()):
+        if predicate(Configuration.from_computation(prefix)):
+            return index
+    return None
+
+
+def run_dijkstra_scholten(
+    workload: TerminationWorkload, scheduler: Scheduler | None = None
+) -> tuple[DetectionRun, SimulationTrace]:
+    """Run Dijkstra–Scholten to quiescence and measure it."""
+    protocol = DijkstraScholtenProtocol(workload)
+    trace = simulate(protocol, scheduler or RandomScheduler(0))
+    final = trace.final_configuration
+    run = DetectionRun(
+        underlying_messages=trace.count_messages(WORK_TAG),
+        overhead_messages=protocol.overhead_messages(final),
+        detected=protocol.has_detected(final),
+        termination_index=_first_prefix_index(trace, protocol.is_terminated),
+        detection_index=_first_prefix_index(trace, protocol.has_detected),
+    )
+    return run, trace
+
+
+def run_polling_detector(
+    workload: TerminationWorkload,
+    scheduler: Scheduler | None = None,
+    max_waves: int = 128,
+) -> tuple[DetectionRun, SimulationTrace]:
+    """Run the polling detector to quiescence and measure it."""
+    protocol = PollingDetectorProtocol(workload, max_waves=max_waves)
+    trace = simulate(protocol, scheduler or RandomScheduler(0), max_steps=1_000_000)
+    final = trace.final_configuration
+    run = DetectionRun(
+        underlying_messages=trace.count_messages(WORK_TAG),
+        overhead_messages=protocol.overhead_messages(final),
+        detected=protocol.has_detected(final),
+        termination_index=_first_prefix_index(trace, protocol.is_terminated),
+        detection_index=_first_prefix_index(trace, protocol.has_detected),
+    )
+    return run, trace
+
+
+def spontaneous_overhead_after_termination(
+    trace: SimulationTrace, termination_index: int
+) -> int:
+    """Count overhead sends after termination not caused by a receive.
+
+    The paper's step 1: detection needs at least one overhead message,
+    after the underlying computation terminates, sent by a process that
+    did not first receive a message after that point.  Returns the number
+    of such *spontaneous* overhead sends (>= 1 in every detecting run).
+    """
+    events = trace.computation.events
+    received_since: set[str] = set()
+    spontaneous = 0
+    for event in events[termination_index:]:
+        if isinstance(event, ReceiveEvent):
+            received_since.add(event.process)
+        elif isinstance(event, SendEvent) and event.message.tag in OVERHEAD_TAGS:
+            if event.process not in received_since:
+                spontaneous += 1
+    return spontaneous
+
+
+def detector_receives_before_detection(
+    trace: SimulationTrace,
+    detector: str,
+    termination_index: int,
+    detection_index: int,
+) -> bool:
+    """Theorem 5's receive corollary, on one run.
+
+    An *external* detector (no underlying events of its own) gains the
+    knowledge "terminated" — a predicate local to its complement — so it
+    must have a receive event between the point where termination became
+    true and the point where it announced.
+    """
+    events = trace.computation.events
+    return any(
+        isinstance(event, ReceiveEvent) and event.process == detector
+        for event in events[termination_index:detection_index + 1]
+    )
+
+
+def spontaneous_ds_workload() -> TerminationWorkload:
+    """A workload realising the paper's step-1 scenario for DS.
+
+    The root sends one work message and immediately falls idle; the
+    worker idles after receiving it — at which instant the underlying
+    computation has terminated with *no overhead message in flight*.  The
+    worker's parent acknowledgement is then necessarily sent after
+    termination, spontaneously (its last receive predates termination).
+    """
+    return TerminationWorkload(
+        processes=("root", "worker"),
+        root="root",
+        plans={"root": (Activation(("worker",)),)},
+    )
+
+
+def detector_ambiguity(universe: Universe) -> dict[str, int]:
+    """The paper's step 2, over an exhaustively explored detector universe.
+
+    Counts non-terminated configurations that are isomorphic, with respect
+    to the detector process, to some terminated configuration — exactly
+    the situations in which the detector must probe although the
+    computation is still running.
+    """
+    protocol = universe.protocol
+    if not isinstance(protocol, PollingDetectorProtocol):
+        raise TypeError("detector_ambiguity needs a PollingDetectorProtocol")
+    detector = frozenset((protocol.detector,))
+    terminated = [
+        configuration
+        for configuration in universe
+        if protocol.is_terminated(configuration)
+    ]
+    ambiguous = 0
+    not_terminated = 0
+    for configuration in universe:
+        if protocol.is_terminated(configuration):
+            continue
+        not_terminated += 1
+        if any(
+            isomorphic(configuration, other, detector) for other in terminated
+        ):
+            ambiguous += 1
+    return {
+        "universe": len(universe),
+        "not_terminated": not_terminated,
+        "ambiguous": ambiguous,
+        "terminated": len(terminated),
+    }
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One row of the E12 series."""
+
+    processes: int
+    seed: int
+    underlying: int
+    ds_overhead: int
+    polling_overhead: int
+    ds_meets_bound: bool
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.processes,
+            self.seed,
+            self.underlying,
+            self.ds_overhead,
+            self.polling_overhead,
+            self.ds_meets_bound,
+        )
+
+
+def overhead_table(
+    process_counts: Sequence[int] = (3, 4, 5, 6),
+    seeds: Sequence[int] = (0, 1, 2),
+    activations_per_process: int = 3,
+    max_fanout: int = 2,
+) -> list[OverheadRow]:
+    """The E12 table: underlying vs overhead messages per detector."""
+    rows: list[OverheadRow] = []
+    for count in process_counts:
+        names = tuple(f"w{i}" for i in range(count))
+        for seed in seeds:
+            workload = generate_workload(
+                names,
+                seed=seed,
+                activations_per_process=activations_per_process,
+                max_fanout=max_fanout,
+            )
+            ds_run, _ = run_dijkstra_scholten(workload, RandomScheduler(seed))
+            polling_run, _ = run_polling_detector(workload, RandomScheduler(seed))
+            rows.append(
+                OverheadRow(
+                    processes=count,
+                    seed=seed,
+                    underlying=workload.total_work_messages(),
+                    ds_overhead=ds_run.overhead_messages,
+                    polling_overhead=polling_run.overhead_messages,
+                    ds_meets_bound=ds_run.meets_lower_bound,
+                )
+            )
+    return rows

@@ -1,0 +1,53 @@
+"""Causality substrate: happened-before, process chains, logical clocks."""
+
+from repro.causality.chains import (
+    ChainSpec,
+    chain_in_suffix,
+    find_process_chain,
+    has_process_chain,
+    has_process_chain_naive,
+)
+from repro.causality.cuts import (
+    consistent_cuts,
+    count_consistent_cuts,
+    cut_join,
+    cut_meet,
+    cut_of_vector,
+    cut_vector,
+    cuts_of_computation,
+    is_consistent_cut,
+    is_lattice_closed,
+)
+from repro.causality.clocks import (
+    MatrixClock,
+    VectorClock,
+    lamport_timestamps,
+    vector_timestamps,
+    verify_vector_characterisation,
+)
+from repro.causality.order import CausalOrder, happened_before, segment_of
+
+__all__ = [
+    "consistent_cuts",
+    "count_consistent_cuts",
+    "cut_join",
+    "cut_meet",
+    "cut_of_vector",
+    "cut_vector",
+    "cuts_of_computation",
+    "is_consistent_cut",
+    "is_lattice_closed",
+    "CausalOrder",
+    "ChainSpec",
+    "MatrixClock",
+    "VectorClock",
+    "chain_in_suffix",
+    "find_process_chain",
+    "happened_before",
+    "has_process_chain",
+    "has_process_chain_naive",
+    "lamport_timestamps",
+    "segment_of",
+    "vector_timestamps",
+    "verify_vector_characterisation",
+]

@@ -1,0 +1,217 @@
+"""Logical clocks: Lamport, vector and matrix clocks.
+
+The paper builds on Lamport's happened-before relation [5]; logical clocks
+are the standard mechanism by which *running* processes track that
+relation, and they are the substrate used by our simulator-based protocols
+(e.g. the knowledge-flow measurements of experiment E9).
+
+* Lamport clocks characterise ``->`` one way: ``e -> d`` implies
+  ``L(e) < L(d)``.
+* Vector clocks characterise it exactly: ``e -> d`` iff ``V(e) <= V(d)``.
+* Matrix clocks additionally track what each process knows about every
+  other process's vector clock — the clock-level shadow of the paper's
+  nested knowledge ``p knows q knows b``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.causality.order import CausalOrder
+from repro.core.computation import Computation
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Message, ReceiveEvent, SendEvent
+from repro.core.process import ProcessId
+
+
+class VectorClock(Mapping[ProcessId, int]):
+    """An immutable vector timestamp over a fixed process set.
+
+    Components default to zero; comparisons implement the usual pointwise
+    partial order.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[ProcessId, int] | None = None) -> None:
+        self._counts: dict[ProcessId, int] = {
+            process: count
+            for process, count in dict(counts or {}).items()
+            if count != 0
+        }
+
+    def __getitem__(self, process: ProcessId) -> int:
+        return self._counts.get(process, 0)
+
+    def __iter__(self):
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._counts.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{process}:{count}" for process, count in sorted(self._counts.items())
+        )
+        return f"VectorClock({{{inner}}})"
+
+    def tick(self, process: ProcessId) -> "VectorClock":
+        """Increment one component (a local step of ``process``)."""
+        counts = dict(self._counts)
+        counts[process] = counts.get(process, 0) + 1
+        return VectorClock(counts)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise maximum (applied on message receipt)."""
+        counts = dict(self._counts)
+        for process, count in other._counts.items():
+            if count > counts.get(process, 0):
+                counts[process] = count
+        return VectorClock(counts)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff ``self >= other`` pointwise."""
+        return all(self[process] >= count for process, count in other._counts.items())
+
+    def strictly_dominates(self, other: "VectorClock") -> bool:
+        """True iff ``self >= other`` pointwise and they differ."""
+        return self.dominates(other) and self._counts != other._counts
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+
+class MatrixClock:
+    """An immutable matrix clock: one vector clock per observed process.
+
+    ``clock.view(q)`` is what the owner believes ``q``'s vector clock to
+    be; ``clock.view(owner)`` is the owner's own vector clock.  The
+    componentwise minimum over all views lower-bounds what is *common*
+    between the owner's estimates, the standard garbage-collection bound.
+    """
+
+    __slots__ = ("_owner", "_views")
+
+    def __init__(
+        self, owner: ProcessId, views: Mapping[ProcessId, VectorClock] | None = None
+    ) -> None:
+        self._owner = owner
+        self._views: dict[ProcessId, VectorClock] = dict(views or {})
+
+    @property
+    def owner(self) -> ProcessId:
+        return self._owner
+
+    def view(self, process: ProcessId) -> VectorClock:
+        """The owner's current estimate of ``process``'s vector clock."""
+        return self._views.get(process, VectorClock())
+
+    def tick(self) -> "MatrixClock":
+        """A local step: advance the owner's own view of itself."""
+        views = dict(self._views)
+        views[self._owner] = self.view(self._owner).tick(self._owner)
+        return MatrixClock(self._owner, views)
+
+    def merge(self, other: "MatrixClock") -> "MatrixClock":
+        """Receive ``other`` (piggybacked on a message): merge all views,
+        then fold the sender's self-view into the owner's own view."""
+        views = dict(self._views)
+        for process, incoming in other._views.items():
+            views[process] = views.get(process, VectorClock()).merge(incoming)
+        views[self._owner] = self.view(self._owner).merge(
+            other.view(other._owner)
+        )
+        return MatrixClock(self._owner, views)
+
+    def known_floor(self, processes: Iterable[ProcessId]) -> VectorClock:
+        """Componentwise minimum of the views of ``processes``."""
+        floor: dict[ProcessId, int] = {}
+        process_list = list(processes)
+        if not process_list:
+            return VectorClock()
+        keys: set[ProcessId] = set()
+        for process in process_list:
+            keys.update(self.view(process))
+        for key in keys:
+            floor[key] = min(self.view(process)[key] for process in process_list)
+        return VectorClock(floor)
+
+
+def lamport_timestamps(
+    computation: Computation,
+) -> dict[Event, int]:
+    """Assign Lamport timestamps to every event of a computation.
+
+    Guarantees ``e -> d`` implies ``timestamp[e] < timestamp[d]`` for
+    distinct events.
+    """
+    clocks: dict[ProcessId, int] = {}
+    pending: dict[Message, int] = {}
+    stamps: dict[Event, int] = {}
+    for event in computation:
+        current = clocks.get(event.process, 0)
+        if isinstance(event, ReceiveEvent):
+            current = max(current, pending.get(event.message, 0))
+        current += 1
+        clocks[event.process] = current
+        stamps[event] = current
+        if isinstance(event, SendEvent):
+            pending[event.message] = current
+    return stamps
+
+
+def vector_timestamps(
+    source: Computation | Configuration,
+) -> dict[Event, VectorClock]:
+    """Assign vector timestamps to every event.
+
+    Guarantees the exact characterisation: for events ``e, d`` of the
+    source, ``e -> d`` iff ``stamps[e] <= stamps[d]`` (pointwise), with
+    equality only for ``e == d``.
+    """
+    if isinstance(source, Configuration):
+        computation = source.linearize()
+    else:
+        computation = source
+    clocks: dict[ProcessId, VectorClock] = {}
+    pending: dict[Message, VectorClock] = {}
+    stamps: dict[Event, VectorClock] = {}
+    for event in computation:
+        current = clocks.get(event.process, VectorClock())
+        if isinstance(event, ReceiveEvent):
+            current = current.merge(pending.get(event.message, VectorClock()))
+        current = current.tick(event.process)
+        clocks[event.process] = current
+        stamps[event] = current
+        if isinstance(event, SendEvent):
+            pending[event.message] = current
+    return stamps
+
+
+def verify_vector_characterisation(
+    source: Computation | Configuration,
+) -> bool:
+    """Check ``e -> d  iff  V(e) <= V(d)`` on every event pair.
+
+    Quadratic; used in tests and the causality self-check benchmark.
+    """
+    stamps = vector_timestamps(source)
+    order = CausalOrder(source)
+    for first in order.events:
+        for second in order.events:
+            causal = order.happened_before(first, second)
+            dominated = stamps[second].dominates(stamps[first])
+            if first == second:
+                continue
+            if causal != (dominated and stamps[first] != stamps[second]):
+                return False
+    return True

@@ -1,0 +1,215 @@
+"""Command-line interface: explore, check and demonstrate from a shell.
+
+Four subcommands, each wrapping the corresponding library layer:
+
+* ``repro explore <protocol>`` — explore a named protocol's universe and
+  print its size and isomorphism diagram (small universes only);
+* ``repro check <protocol>`` — run the paper's theorem checkers over the
+  universe (properties 1–10, Theorem 1, knowledge facts) and report;
+* ``repro simulate <protocol>`` — one seeded simulator run with a
+  space-time diagram;
+* ``repro experiments`` — list the experiment index (E1–E14) with the
+  bench target regenerating each;
+* ``repro report`` — run every theorem checker and print a markdown
+  verification report (exit status 1 on any failure).
+
+Usage::
+
+    python -m repro.cli explore pingpong --rounds 2
+    python -m repro.cli check tokenbus
+    python -m repro.cli simulate election --seed 7
+    python -m repro.cli experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.isomorphism.algebra import check_all_properties
+from repro.isomorphism.diagram import IsomorphismDiagram
+from repro.isomorphism.fundamental import check_theorem_1
+from repro.knowledge.axioms import check_all_facts
+from repro.knowledge.predicates import event_count_at_least, has_received
+from repro.protocols.broadcast import BroadcastProtocol, line_topology
+from repro.protocols.leader_election import ChangRobertsProtocol
+from repro.protocols.pingpong import PingPongProtocol
+from repro.protocols.snapshot import SnapshotTokenRingProtocol
+from repro.protocols.toggle import ToggleProtocol
+from repro.protocols.token_bus import TokenBusProtocol
+from repro.simulation.network import FifoProtocol
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.universe.explorer import Universe
+from repro.universe.protocol import Protocol
+from repro.viz.render import space_time_diagram
+
+EXPERIMENTS = [
+    ("E1", "Figure 3-1 isomorphism diagram", "benchmarks/test_bench_fig31.py"),
+    ("E2", "isomorphism properties 1-10", "benchmarks/test_bench_properties.py"),
+    ("E3", "Theorem 1 (process chains)", "benchmarks/test_bench_theorem1.py"),
+    ("E4", "fusion (Lemma 1 / Theorem 2)", "benchmarks/test_bench_fusion.py"),
+    ("E5", "Theorem 3 (event semantics)", "benchmarks/test_bench_event_semantics.py"),
+    ("E6", "knowledge facts 1-12", "benchmarks/test_bench_axioms.py"),
+    ("E7", "token-bus nested knowledge", "benchmarks/test_bench_token_bus.py"),
+    ("E8", "local predicates / common knowledge", "benchmarks/test_bench_local_common.py"),
+    ("E9", "knowledge transfer theorems", "benchmarks/test_bench_transfer.py"),
+    ("E10", "tracking impossibility (5a)", "benchmarks/test_bench_tracking.py"),
+    ("E11", "failure detection (5b)", "benchmarks/test_bench_failure.py"),
+    ("E12", "termination lower bound (5c)", "benchmarks/test_bench_termination.py"),
+    ("E13", "machinery ablations", "benchmarks/test_bench_scaling.py"),
+    ("E14", "§6 generalisations (state / belief)", "benchmarks/test_bench_generalisations.py"),
+]
+
+
+def build_protocol(name: str, args: argparse.Namespace) -> Protocol:
+    """Instantiate one of the named example protocols."""
+    if name == "pingpong":
+        return PingPongProtocol(rounds=args.rounds)
+    if name == "tokenbus":
+        return TokenBusProtocol(max_hops=args.hops)
+    if name == "broadcast":
+        names = tuple(f"n{i}" for i in range(args.size))
+        return BroadcastProtocol(line_topology(names), root=names[0])
+    if name == "toggle":
+        return ToggleProtocol(max_flips=args.flips)
+    if name == "election":
+        ring = tuple(f"n{i}" for i in range(args.size))
+        return ChangRobertsProtocol(ring)
+    if name == "snapshot":
+        ring = tuple(f"n{i}" for i in range(min(args.size, 5)))
+        return FifoProtocol(SnapshotTokenRingProtocol(ring, max_hops=args.hops))
+    raise SystemExit(f"unknown protocol {name!r}")
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    protocol = build_protocol(args.protocol, args)
+    universe = Universe(protocol, max_configurations=args.limit)
+    print(f"{args.protocol}: {len(universe)} configurations "
+          f"(complete: {universe.is_complete})")
+    if len(universe) <= args.diagram_limit:
+        diagram = IsomorphismDiagram.of_universe(universe)
+        print(diagram.render())
+    else:
+        print(f"(diagram suppressed: more than {args.diagram_limit} vertices)")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    protocol = build_protocol(args.protocol, args)
+    universe = Universe(protocol, max_configurations=args.limit)
+    print(f"universe: {len(universe)} configurations")
+
+    properties = check_all_properties(universe, max_sets=args.max_sets)
+    failed = [name for name, verdict in properties.items() if not verdict]
+    print(f"isomorphism properties 1-10: "
+          f"{'all hold' if not failed else 'FAILED: ' + ', '.join(failed)}")
+
+    processes = sorted(universe.processes)
+    sequences = [[frozenset({p})] for p in processes[:2]]
+    if len(processes) >= 2:
+        sequences.append([frozenset({processes[0]}), frozenset({processes[1]})])
+    checked = check_theorem_1(universe, sequences)
+    print(f"Theorem 1: {checked} instances verified")
+
+    first, second = processes[0], processes[-1]
+    facts = check_all_facts(
+        universe,
+        event_count_at_least({second}, 1),
+        has_received(second, "ping") if args.protocol == "pingpong"
+        else event_count_at_least({first}, 1),
+        frozenset({first}),
+        frozenset({second}),
+    )
+    bad = [name for name, verdict in facts.items() if not verdict]
+    print(f"knowledge facts 1-12: "
+          f"{'all hold' if not bad else 'FAILED: ' + ', '.join(bad)}")
+    return 1 if failed or bad else 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    protocol = build_protocol(args.protocol, args)
+    trace = simulate(protocol, RandomScheduler(args.seed), max_steps=args.max_steps)
+    summary = trace.summary()
+    print(
+        f"{args.protocol} (seed {args.seed}): {summary['events']} events, "
+        f"{summary['sends']} sends, {summary['receives']} receives, "
+        f"{summary['undelivered']} undelivered"
+    )
+    print(space_time_diagram(trace.computation, max_columns=args.columns))
+    return 0
+
+
+def cmd_report(_args: argparse.Namespace) -> int:
+    from repro.report import verification_report
+
+    report = verification_report()
+    print(report.to_markdown())
+    return 0 if report.all_hold else 1
+
+
+def cmd_experiments(_args: argparse.Namespace) -> int:
+    print(f"{'id':>4}  {'artefact':40}  bench target")
+    for exp_id, description, target in EXPERIMENTS:
+        print(f"{exp_id:>4}  {description:40}  {target}")
+    print("\nRegenerate everything:  pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="How Processes Learn (Chandy & Misra 1985), executable.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_protocol_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "protocol",
+            choices=["pingpong", "tokenbus", "broadcast", "toggle",
+                     "election", "snapshot"],
+        )
+        sub.add_argument("--rounds", type=int, default=2)
+        sub.add_argument("--hops", type=int, default=3)
+        sub.add_argument("--size", type=int, default=4)
+        sub.add_argument("--flips", type=int, default=2)
+        sub.add_argument("--limit", type=int, default=100_000)
+
+    explore = subparsers.add_parser("explore", help="explore a universe")
+    add_protocol_options(explore)
+    explore.add_argument("--diagram-limit", type=int, default=30)
+    explore.set_defaults(handler=cmd_explore)
+
+    check = subparsers.add_parser("check", help="run theorem checkers")
+    add_protocol_options(check)
+    check.add_argument("--max-sets", type=int, default=6)
+    check.set_defaults(handler=cmd_check)
+
+    sim = subparsers.add_parser("simulate", help="one simulator run")
+    add_protocol_options(sim)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-steps", type=int, default=100_000)
+    sim.add_argument("--columns", type=int, default=100)
+    sim.set_defaults(handler=cmd_simulate)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="list the experiment index"
+    )
+    experiments.set_defaults(handler=cmd_experiments)
+
+    report = subparsers.add_parser(
+        "report", help="run every checker and print a verification report"
+    )
+    report.set_defaults(handler=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

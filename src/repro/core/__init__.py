@@ -1,0 +1,84 @@
+"""Core model of the Chandy–Misra distributed system (paper, section 2).
+
+Events, messages, computations (linear event sequences), configurations
+(canonical ``[D]``-class representatives) and their validity checks.
+"""
+
+from repro.core.computation import NULL, Computation, computation_of
+from repro.core.configuration import EMPTY_CONFIGURATION, Configuration
+from repro.core.errors import (
+    FormulaError,
+    FusionError,
+    InvalidComputationError,
+    InvalidConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    UniverseError,
+)
+from repro.core.events import (
+    Event,
+    EventKind,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+    corresponds,
+    internal,
+    message_pair,
+    receive,
+    send,
+)
+from repro.core.process import (
+    ProcessId,
+    ProcessSetLike,
+    as_process_set,
+    complement,
+    format_process_set,
+)
+from repro.core.validation import (
+    check_configuration,
+    check_system_computation,
+    find_computation_defect,
+    find_configuration_defect,
+    is_system_computation,
+    is_valid_configuration,
+)
+
+__all__ = [
+    "NULL",
+    "EMPTY_CONFIGURATION",
+    "Computation",
+    "Configuration",
+    "Event",
+    "EventKind",
+    "InternalEvent",
+    "Message",
+    "ReceiveEvent",
+    "SendEvent",
+    "ProcessId",
+    "ProcessSetLike",
+    "ReproError",
+    "InvalidComputationError",
+    "InvalidConfigurationError",
+    "FusionError",
+    "ProtocolError",
+    "UniverseError",
+    "FormulaError",
+    "SimulationError",
+    "as_process_set",
+    "complement",
+    "format_process_set",
+    "computation_of",
+    "corresponds",
+    "internal",
+    "message_pair",
+    "receive",
+    "send",
+    "check_configuration",
+    "check_system_computation",
+    "find_computation_defect",
+    "find_configuration_defect",
+    "is_system_computation",
+    "is_valid_configuration",
+]

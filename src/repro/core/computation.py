@@ -1,0 +1,204 @@
+"""System computations: finite event sequences (paper, section 2).
+
+A :class:`Computation` is a finite sequence of events.  It is a *system
+computation* when (1) each per-process projection is a process computation
+of that process — a protocol-relative condition checked by
+:mod:`repro.universe.protocol` — and (2) every receive event is preceded by
+its corresponding send.  Condition (2) is intrinsic and enforced here (see
+:func:`repro.core.validation.check_system_computation`).
+
+The paper's notational toolkit is implemented directly:
+
+* ``zp`` — :meth:`Computation.projection`;
+* ``y < z`` (prefix) — :meth:`Computation.is_prefix_of`;
+* ``(y; z)`` (concatenation) — :meth:`Computation.concat`;
+* ``(x, z)`` (suffix after a prefix) — :meth:`Computation.suffix_after`;
+* ``null`` — :data:`NULL`;
+* ``x [D] y`` with ``x != y`` implies ``y`` is a permutation of ``x`` —
+  :meth:`Computation.is_permutation_of`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from functools import cached_property
+from typing import Optional
+
+from repro.core.errors import InvalidComputationError
+from repro.core.events import Event, Message, ReceiveEvent, SendEvent
+from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+
+
+class Computation(Sequence[Event]):
+    """An immutable finite sequence of events.
+
+    Computations are hashable value objects: two computations are equal iff
+    their event sequences are equal.  All derived views (projections, sent
+    messages, ...) are cached; instances must therefore never be mutated.
+    """
+
+    __slots__ = ("_events", "_hash", "__dict__")
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._events: tuple[Event, ...] = tuple(events)
+        for item in self._events:
+            if not isinstance(item, Event):
+                raise InvalidComputationError(
+                    f"computation items must be events, got {item!r}"
+                )
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return Computation(self._events[index])
+        return self._events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Computation):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._events)
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(event) for event in self._events)
+        return f"Computation([{inner}])"
+
+    # ------------------------------------------------------------------
+    # Paper notation
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """The underlying event tuple."""
+        return self._events
+
+    def projection(self, processes: ProcessSetLike) -> tuple[Event, ...]:
+        """``zP``: the subsequence of events on any process in ``processes``."""
+        p_set = as_process_set(processes)
+        if len(p_set) == 1:
+            (process,) = p_set
+            return self._projection_single(process)
+        return tuple(event for event in self._events if event.process in p_set)
+
+    def _projection_single(self, process: ProcessId) -> tuple[Event, ...]:
+        return self._projection_cache.get(process, ())
+
+    @cached_property
+    def _projection_cache(self) -> dict[ProcessId, tuple[Event, ...]]:
+        buckets: dict[ProcessId, list[Event]] = {}
+        for event in self._events:
+            buckets.setdefault(event.process, []).append(event)
+        return {process: tuple(events) for process, events in buckets.items()}
+
+    @cached_property
+    def processes(self) -> frozenset[ProcessId]:
+        """The processes that have at least one event in this computation."""
+        return frozenset(self._projection_cache)
+
+    def events_on(self, processes: ProcessSetLike) -> tuple[Event, ...]:
+        """Alias of :meth:`projection`, reads better in chain arguments."""
+        return self.projection(processes)
+
+    def is_prefix_of(self, other: "Computation") -> bool:
+        """``self <= other`` in the paper's prefix order on sequences."""
+        if len(self) > len(other):
+            return False
+        return other._events[: len(self._events)] == self._events
+
+    def is_proper_prefix_of(self, other: "Computation") -> bool:
+        """``self < other``: prefix and strictly shorter."""
+        return len(self) < len(other) and self.is_prefix_of(other)
+
+    def suffix_after(self, prefix: "Computation") -> tuple[Event, ...]:
+        """``(x, z)``: the suffix of ``self`` obtained by removing ``prefix``.
+
+        Raises :class:`InvalidComputationError` when ``prefix`` is not a
+        prefix of ``self`` — the paper's ``(x, z)`` is only defined for
+        ``x <= z``.
+        """
+        if not prefix.is_prefix_of(self):
+            raise InvalidComputationError(
+                "suffix_after requires the argument to be a prefix"
+            )
+        return self._events[len(prefix) :]
+
+    def concat(self, extra: Iterable[Event]) -> "Computation":
+        """``(y; z)``: this computation followed by the events ``extra``."""
+        return Computation(self._events + tuple(extra))
+
+    def then(self, *extra: Event) -> "Computation":
+        """Variadic :meth:`concat`, convenient for building examples."""
+        return Computation(self._events + extra)
+
+    def without_event(self, event: Event) -> "Computation":
+        """``(y - e)``: delete the (unique) occurrence of ``event``.
+
+        Used by part 2 of the Principle of Computation Extension.  Raises
+        :class:`InvalidComputationError` if the event does not occur.
+        """
+        try:
+            index = self._events.index(event)
+        except ValueError as exc:
+            raise InvalidComputationError(
+                f"event {event} does not occur in this computation"
+            ) from exc
+        return Computation(self._events[:index] + self._events[index + 1 :])
+
+    def prefixes(self) -> Iterator["Computation"]:
+        """All prefixes, shortest first (system computations are prefix
+        closed, so these are all system computations whenever ``self`` is)."""
+        for length in range(len(self._events) + 1):
+            yield Computation(self._events[:length])
+
+    def is_permutation_of(self, other: "Computation") -> bool:
+        """True iff the two computations have equal projections on every
+        process — the paper's observation that ``x [D] y`` with ``x != y``
+        means ``y`` is a permutation of ``x``."""
+        return self._projection_cache == other._projection_cache
+
+    # ------------------------------------------------------------------
+    # Message bookkeeping
+    # ------------------------------------------------------------------
+    @cached_property
+    def sent_messages(self) -> frozenset[Message]:
+        """All messages with a send event in this computation."""
+        return frozenset(
+            event.message for event in self._events if isinstance(event, SendEvent)
+        )
+
+    @cached_property
+    def received_messages(self) -> frozenset[Message]:
+        """All messages with a receive event in this computation."""
+        return frozenset(
+            event.message for event in self._events if isinstance(event, ReceiveEvent)
+        )
+
+    @cached_property
+    def in_flight_messages(self) -> frozenset[Message]:
+        """Messages sent but not yet received (the channel contents)."""
+        return self.sent_messages - self.received_messages
+
+    def count_on(self, processes: ProcessSetLike) -> int:
+        """Number of events on the given process set."""
+        return len(self.projection(processes))
+
+
+NULL = Computation(())
+"""The empty computation, the paper's ``null``."""
+
+
+def computation_of(*events: Event) -> Computation:
+    """Build a computation from events given as positional arguments."""
+    return Computation(events)

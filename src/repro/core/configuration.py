@@ -1,0 +1,237 @@
+"""Canonical ``[D]``-class representatives of system computations.
+
+The paper observes that ``x [D] y`` (with ``D`` the set of all processes)
+holds exactly when ``y`` is a permutation of ``x``, and restricts attention
+to predicates whose value is invariant under such permutation.  The entire
+theory therefore only ever depends on the *tuple of per-process
+projections* of a computation.  A :class:`Configuration` stores exactly
+that tuple, giving one canonical object per ``[D]``-equivalence class.
+
+Working with configurations instead of linear computations shrinks
+exhaustively explored universes by the number of interleavings per class
+(often exponential) without changing any answer — this is the design
+decision ablated by experiment E13 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from functools import cached_property
+from typing import Optional
+
+from repro.core.computation import Computation
+from repro.core.errors import InvalidConfigurationError
+from repro.core.events import Event, Message, ReceiveEvent, SendEvent
+from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+
+
+class Configuration:
+    """Immutable map from process to its local event sequence.
+
+    Processes with empty histories are normalised away, so two
+    configurations are equal iff every process has the same projection in
+    both — the definition of ``x [D] y``.
+    """
+
+    __slots__ = ("_histories", "_hash", "__dict__")
+
+    def __init__(self, histories: Mapping[ProcessId, Iterable[Event]] = ()) -> None:
+        items: dict[ProcessId, tuple[Event, ...]] = {}
+        mapping = dict(histories)
+        for process in sorted(mapping):
+            history = tuple(mapping[process])
+            for event in history:
+                if event.process != process:
+                    raise InvalidConfigurationError(
+                        f"event {event} filed under process {process!r}"
+                    )
+            if history:
+                items[process] = history
+        self._histories = items
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._histories == other._histories
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(sorted(self._histories.items())))
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for process in sorted(self._histories):
+            events = " ".join(str(event) for event in self._histories[process])
+            parts.append(f"{process}: {events}")
+        return "Configuration(" + "; ".join(parts) + ")"
+
+    def __len__(self) -> int:
+        return sum(len(history) for history in self._histories.values())
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def histories(self) -> Mapping[ProcessId, tuple[Event, ...]]:
+        """Read-only view of the nonempty per-process histories."""
+        return dict(self._histories)
+
+    @property
+    def processes(self) -> frozenset[ProcessId]:
+        """Processes with at least one event."""
+        return frozenset(self._histories)
+
+    def history(self, process: ProcessId) -> tuple[Event, ...]:
+        """The projection of this configuration on one process."""
+        return self._histories.get(process, ())
+
+    def projection(self, processes: ProcessSetLike) -> tuple[
+        tuple[ProcessId, tuple[Event, ...]], ...
+    ]:
+        """Canonical key for the ``[P]``-class of this configuration.
+
+        Two configurations ``x, y`` satisfy ``x [P] y`` iff their
+        projections on ``P`` are equal; empty histories are omitted so the
+        key does not depend on which processes exist elsewhere.
+        """
+        p_set = as_process_set(processes)
+        return tuple(
+            (process, self._histories[process])
+            for process in sorted(p_set & self._histories.keys())
+        )
+
+    def events(self) -> Iterator[Event]:
+        """All events, grouped by process (process order within groups)."""
+        for process in sorted(self._histories):
+            yield from self._histories[process]
+
+    @cached_property
+    def event_set(self) -> frozenset[Event]:
+        return frozenset(self.events())
+
+    @cached_property
+    def sent_messages(self) -> frozenset[Message]:
+        """Messages with a send event somewhere in the configuration."""
+        return frozenset(
+            event.message for event in self.events() if isinstance(event, SendEvent)
+        )
+
+    @cached_property
+    def received_messages(self) -> frozenset[Message]:
+        """Messages with a receive event somewhere in the configuration."""
+        return frozenset(
+            event.message for event in self.events() if isinstance(event, ReceiveEvent)
+        )
+
+    @cached_property
+    def in_flight_messages(self) -> frozenset[Message]:
+        """Messages sent but not yet received (the channel contents)."""
+        return self.sent_messages - self.received_messages
+
+    def count_on(self, processes: ProcessSetLike) -> int:
+        """Number of events on the given process set."""
+        p_set = as_process_set(processes)
+        return sum(
+            len(history)
+            for process, history in self._histories.items()
+            if process in p_set
+        )
+
+    # ------------------------------------------------------------------
+    # Order and extension
+    # ------------------------------------------------------------------
+    def is_sub_configuration_of(self, other: "Configuration") -> bool:
+        """True iff each history here is a prefix of the matching history
+        in ``other``.
+
+        For valid configurations this is the configuration-level analogue
+        of the paper's prefix order: ``x <= z`` on computations implies the
+        corresponding configurations are so related, and every
+        sub-configuration is realised by a prefix of some linearization of
+        ``other`` (it is a consistent cut).
+        """
+        for process, history in self._histories.items():
+            other_history = other.history(process)
+            if other_history[: len(history)] != history:
+                return False
+        return True
+
+    def extend(self, event: Event) -> "Configuration":
+        """The configuration with ``event`` appended to its process."""
+        histories = dict(self._histories)
+        histories[event.process] = self.history(event.process) + (event,)
+        return Configuration(histories)
+
+    def suffix_after(
+        self, prefix: "Configuration"
+    ) -> dict[ProcessId, tuple[Event, ...]]:
+        """Per-process suffixes ``(x, z)`` after removing ``prefix``.
+
+        Raises :class:`InvalidConfigurationError` if ``prefix`` is not a
+        sub-configuration.
+        """
+        if not prefix.is_sub_configuration_of(self):
+            raise InvalidConfigurationError(
+                "suffix_after requires a sub-configuration"
+            )
+        suffixes: dict[ProcessId, tuple[Event, ...]] = {}
+        for process, history in self._histories.items():
+            cut = len(prefix.history(process))
+            if len(history) > cut:
+                suffixes[process] = history[cut:]
+        return suffixes
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_computation(computation: Computation) -> "Configuration":
+        """The ``[D]``-class of a linear computation."""
+        histories = {
+            process: computation.projection(process)
+            for process in computation.processes
+        }
+        return Configuration(histories)
+
+    def linearize(self) -> Computation:
+        """A deterministic linearization of this configuration.
+
+        Uses Kahn's algorithm over process order plus send-before-receive
+        edges, breaking ties by process name, so the result is reproducible.
+        Raises :class:`InvalidConfigurationError` when no linearization
+        exists (cyclic causality or a receive without its send).
+        """
+        cursors = {process: 0 for process in self._histories}
+        sent: set[Message] = set()
+        output: list[Event] = []
+        total = len(self)
+        while len(output) < total:
+            progressed = False
+            for process in sorted(cursors):
+                index = cursors[process]
+                history = self._histories[process]
+                if index >= len(history):
+                    continue
+                event = history[index]
+                if isinstance(event, ReceiveEvent) and event.message not in sent:
+                    continue
+                if isinstance(event, SendEvent):
+                    sent.add(event.message)
+                output.append(event)
+                cursors[process] += 1
+                progressed = True
+            if not progressed:
+                raise InvalidConfigurationError(
+                    "configuration has no linearization (cyclic causality or "
+                    "receive without corresponding send)"
+                )
+        return Computation(output)
+
+
+EMPTY_CONFIGURATION = Configuration({})
+"""The configuration of the empty computation."""

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base type.  Each subclass corresponds to a distinct failure mode
+of the Chandy–Misra model: malformed computations, invalid fusions,
+protocol misuse, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidComputationError(ReproError):
+    """A sequence of events is not a valid system computation.
+
+    Raised when a receive event has no earlier corresponding send, when an
+    event appears more than once, or when a projection is not a process
+    computation of the protocol under consideration (paper, section 2).
+    """
+
+
+class InvalidConfigurationError(ReproError):
+    """Per-process histories are not mutually consistent.
+
+    A configuration is the canonical representative of a ``[D]``-class of
+    computations.  It is invalid when some received message was never sent,
+    when a message is received more than once, or when the induced causal
+    order is cyclic (no linearization exists).
+    """
+
+
+class FusionError(ReproError):
+    """The side conditions of the fusion theorem (Theorem 2) do not hold."""
+
+
+class ProtocolError(ReproError):
+    """A protocol definition or protocol step is ill-formed."""
+
+
+class UniverseError(ReproError):
+    """An operation needs a computation that is not part of the universe."""
+
+
+class FormulaError(ReproError):
+    """A knowledge formula is ill-formed or refers to unknown processes."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,62 @@
+"""Process identifiers and process-set utilities.
+
+The paper (section 2) ranges over processes ``p, q`` and process *sets*
+``P, Q``; the set of all processes is ``D`` and the complement of ``P`` is
+written ``P̄ = D - P``.  This module provides the small amount of
+machinery needed to manipulate those sets: normalisation of user input
+(a single name, an iterable, or a frozenset) and complementation with
+respect to an explicit ``D``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Union
+
+ProcessId = str
+"""Processes are identified by plain strings, e.g. ``"p"`` or ``"worker-3"``."""
+
+ProcessSet = frozenset
+"""A set of processes; always stored as ``frozenset[ProcessId]``."""
+
+ProcessSetLike = Union[ProcessId, Iterable[ProcessId]]
+"""Anything accepted where a process set is expected."""
+
+
+def as_process_set(processes: ProcessSetLike) -> frozenset[ProcessId]:
+    """Normalise ``processes`` to a ``frozenset`` of process ids.
+
+    Accepts a single process name or any iterable of names::
+
+        >>> sorted(as_process_set("p"))
+        ['p']
+        >>> sorted(as_process_set(["p", "q"]))
+        ['p', 'q']
+    """
+    if isinstance(processes, str):
+        return frozenset((processes,))
+    return frozenset(processes)
+
+
+def complement(
+    processes: ProcessSetLike, all_processes: ProcessSetLike
+) -> frozenset[ProcessId]:
+    """Return ``P̄ = D - P`` for ``P = processes`` and ``D = all_processes``.
+
+    Raises :class:`ValueError` if ``P`` is not a subset of ``D`` — that is
+    always a caller bug and silently ignoring it would make complement
+    computations (and hence every theorem check built on them) wrong.
+    """
+    p_set = as_process_set(processes)
+    d_set = as_process_set(all_processes)
+    if not p_set <= d_set:
+        raise ValueError(
+            f"process set {sorted(p_set)} is not contained in D = {sorted(d_set)}"
+        )
+    return d_set - p_set
+
+
+def format_process_set(processes: ProcessSetLike) -> str:
+    """Human-readable rendering, e.g. ``{p,q}`` — used in diagram labels."""
+    p_set = as_process_set(processes)
+    return "{" + ",".join(sorted(p_set)) + "}"

@@ -1,0 +1,114 @@
+"""Validity checks for computations and configurations (paper, section 2).
+
+A finite sequence of events ``z`` is a *system computation* when
+
+1. for all processes ``p``, ``zp`` is a process computation of ``p`` —
+   this half is protocol-relative and checked by
+   :meth:`repro.universe.protocol.Protocol.is_process_computation`;
+2. every receive event in ``z`` is preceded by its corresponding send.
+
+This module checks condition (2) together with the paper's standing
+assumption that all events and all messages are distinguished (no event
+occurs twice, no message is sent or received twice).
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import Computation
+from repro.core.configuration import Configuration
+from repro.core.errors import InvalidComputationError, InvalidConfigurationError
+from repro.core.events import Event, Message, ReceiveEvent, SendEvent
+
+
+def find_computation_defect(computation: Computation) -> str | None:
+    """Return a description of the first defect, or ``None`` if valid.
+
+    Checked defects: duplicated events, duplicated sends/receives of one
+    message, and receives not preceded by their corresponding send.
+    """
+    seen_events: set[Event] = set()
+    sent: set[Message] = set()
+    received: set[Message] = set()
+    for event in computation:
+        if event in seen_events:
+            return f"event {event} occurs more than once"
+        seen_events.add(event)
+        if isinstance(event, SendEvent):
+            if event.message in sent:
+                return f"message {event.message} is sent more than once"
+            sent.add(event.message)
+        elif isinstance(event, ReceiveEvent):
+            if event.message in received:
+                return f"message {event.message} is received more than once"
+            if event.message not in sent:
+                return (
+                    f"receive of {event.message} has no earlier corresponding send"
+                )
+            received.add(event.message)
+    return None
+
+
+def is_system_computation(computation: Computation) -> bool:
+    """True iff the sequence satisfies the intrinsic validity conditions."""
+    return find_computation_defect(computation) is None
+
+
+def check_system_computation(computation: Computation) -> Computation:
+    """Validate and return ``computation``.
+
+    Raises :class:`InvalidComputationError` describing the first defect.
+    """
+    defect = find_computation_defect(computation)
+    if defect is not None:
+        raise InvalidComputationError(defect)
+    return computation
+
+
+def find_configuration_defect(configuration: Configuration) -> str | None:
+    """Return a description of the first defect, or ``None`` if valid.
+
+    A configuration is valid when its events are distinct, no message is
+    sent or received twice, every received message is sent somewhere, and
+    a linearization exists (equivalently: some system computation has these
+    per-process projections).
+    """
+    seen_events: set[Event] = set()
+    sent: set[Message] = set()
+    received: set[Message] = set()
+    for event in configuration.events():
+        if event in seen_events:
+            return f"event {event} occurs more than once"
+        seen_events.add(event)
+        if isinstance(event, SendEvent):
+            if event.message in sent:
+                return f"message {event.message} is sent more than once"
+            sent.add(event.message)
+        elif isinstance(event, ReceiveEvent):
+            if event.message in received:
+                return f"message {event.message} is received more than once"
+            received.add(event.message)
+    missing = received - sent
+    if missing:
+        message = sorted(missing)[0]
+        return f"message {message} is received but never sent"
+    try:
+        configuration.linearize()
+    except InvalidConfigurationError:
+        return "configuration has no linearization (cyclic causality)"
+    return None
+
+
+def is_valid_configuration(configuration: Configuration) -> bool:
+    """True iff some system computation has these projections."""
+    return find_configuration_defect(configuration) is None
+
+
+def check_configuration(configuration: Configuration) -> Configuration:
+    """Validate and return ``configuration``.
+
+    Raises :class:`InvalidConfigurationError` describing the first defect.
+    """
+    defect = find_configuration_defect(configuration)
+    if defect is not None:
+        raise InvalidConfigurationError(defect)
+    return configuration

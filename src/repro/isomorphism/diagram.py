@@ -1,0 +1,187 @@
+"""Isomorphism diagrams (paper, §3 and Figure 3-1).
+
+An isomorphism diagram is an undirected labelled graph whose vertices are
+computations, with an edge labelled ``[P]`` between ``x`` and ``y`` when
+``P`` is the *largest* set of processes for which ``x [P] y``.  Every
+vertex carries a self-loop labelled ``[D]``; distinct vertices related by
+``[D]`` are permutations of one another.
+
+Vertices may be linear :class:`~repro.core.computation.Computation` objects
+(as in the paper's Figure 3-1, where the permutations ``x`` and ``z`` are
+distinct vertices joined by a ``[D]`` edge) or canonical
+:class:`~repro.core.configuration.Configuration` objects (one vertex per
+``[D]``-class).  The diagram is backed by :mod:`networkx`, so standard
+graph algorithms (paths, components) apply directly; composed relations
+``x [P1 … Pn] z`` correspond to labelled paths, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Union
+
+import networkx as nx
+
+from repro.core.computation import Computation
+from repro.core.configuration import Configuration
+from repro.core.process import (
+    ProcessId,
+    ProcessSetLike,
+    as_process_set,
+    format_process_set,
+)
+from repro.isomorphism.relation import SetSequence, isomorphic
+from repro.universe.explorer import Universe
+
+Vertex = Union[Computation, Configuration]
+"""Diagram vertices: linear computations or canonical configurations."""
+
+
+def _history(vertex: Vertex, process: ProcessId) -> tuple:
+    if isinstance(vertex, Configuration):
+        return vertex.history(process)
+    return vertex.projection(process)
+
+
+class IsomorphismDiagram:
+    """The isomorphism diagram of a finite set of computations.
+
+    ``names`` optionally assigns display names (``x``, ``y``…) to
+    vertices; unnamed vertices are numbered in insertion order.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        all_processes: ProcessSetLike,
+        names: Mapping[str, Vertex] | None = None,
+    ) -> None:
+        self._all_processes = as_process_set(all_processes)
+        self._vertices: list[Vertex] = []
+        seen: set[Vertex] = set()
+        for vertex in vertices:
+            if vertex not in seen:
+                seen.add(vertex)
+                self._vertices.append(vertex)
+        self._names: dict[Vertex, str] = {}
+        if names:
+            for name, vertex in names.items():
+                self._names[vertex] = name
+        for index, vertex in enumerate(self._vertices):
+            self._names.setdefault(vertex, f"c{index}")
+        self._graph = nx.Graph()
+        self._build()
+
+    @staticmethod
+    def of_universe(universe: Universe) -> "IsomorphismDiagram":
+        """Diagram over every configuration of a universe."""
+        return IsomorphismDiagram(universe, universe.processes)
+
+    def _build(self) -> None:
+        for vertex in self._vertices:
+            self._graph.add_node(vertex)
+            # Self loop labelled [D], as the paper observes.
+            self._graph.add_edge(vertex, vertex, label=self._all_processes)
+        for index, first in enumerate(self._vertices):
+            for second in self._vertices[index + 1 :]:
+                label = self.largest_label(first, second)
+                if label:
+                    self._graph.add_edge(first, second, label=label)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (labels in edge data ``label``)."""
+        return self._graph
+
+    @property
+    def vertices(self) -> Sequence[Vertex]:
+        return tuple(self._vertices)
+
+    def name_of(self, vertex: Vertex) -> str:
+        return self._names[vertex]
+
+    def largest_label(self, first: Vertex, second: Vertex) -> frozenset[ProcessId]:
+        """The largest ``P ⊆ D`` with ``first [P] second``.
+
+        Processes having no event in either computation agree vacuously
+        and are included, matching the ``[D]`` self-loop convention.
+        """
+        return frozenset(
+            process
+            for process in self._all_processes
+            if _history(first, process) == _history(second, process)
+        )
+
+    def label(self, first: Vertex, second: Vertex) -> frozenset[ProcessId] | None:
+        """The edge label between two vertices, or ``None`` if no edge."""
+        if not self._graph.has_edge(first, second):
+            return None
+        return self._graph.edges[first, second]["label"]
+
+    def related(
+        self, first: Vertex, second: Vertex, processes: ProcessSetLike
+    ) -> bool:
+        """``first [P] second`` read off the diagram."""
+        label = self.largest_label(first, second)
+        return as_process_set(processes) <= label
+
+    def has_labelled_path(
+        self, start: Vertex, sets: SetSequence, end: Vertex
+    ) -> bool:
+        """Is there a path ``start —[Q1]— … —[Qn]— end`` with ``Qi ⊇ Pi``?
+
+        This is the diagram reading of ``start [P1 … Pn] end`` *restricted
+        to the diagram's vertex set* (the universe-based
+        :func:`repro.isomorphism.relation.composed_isomorphic` quantifies
+        over all computations instead).
+        """
+        frontier: set[Vertex] = {start}
+        for entry in sets:
+            p_set = as_process_set(entry)
+            frontier = {
+                other
+                for vertex in frontier
+                for other in self._vertices
+                if isomorphic(vertex, other, p_set)
+            }
+        return end in frontier
+
+    def edge_list(self) -> list[tuple[str, str, frozenset[ProcessId]]]:
+        """All edges as ``(name, name, label)`` triples, self-loops
+        included, deterministically ordered."""
+        edges = []
+        for first, second, data in self._graph.edges(data=True):
+            name_a, name_b = sorted((self.name_of(first), self.name_of(second)))
+            edges.append((name_a, name_b, data["label"]))
+        edges.sort(key=lambda item: (item[0], item[1]))
+        return edges
+
+    def render(self) -> str:
+        """ASCII rendering: one line per edge, e.g. ``x --[{p}]-- y``."""
+        lines = []
+        for first, second, label in self.edge_list():
+            rendered = format_process_set(label)
+            if first == second:
+                lines.append(f"{first} --[{rendered}]-- {first}  (self loop)")
+            else:
+                lines.append(f"{first} --[{rendered}]-- {second}")
+        return "\n".join(lines)
+
+    def to_dot(self, include_self_loops: bool = False) -> str:
+        """Graphviz DOT source for the diagram.
+
+        Renders with e.g. ``dot -Tsvg diagram.dot -o diagram.svg``.  Self
+        loops (all labelled ``[D]``) are omitted by default, matching how
+        the paper draws Figure 3-1.
+        """
+        lines = ["graph isomorphism {", "  node [shape=circle];"]
+        for first, second, label in self.edge_list():
+            if first == second and not include_self_loops:
+                continue
+            rendered = format_process_set(label)
+            lines.append(f'  "{first}" -- "{second}" [label="{rendered}"];')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Event semantics: the Principle of Computation Extension and Theorem 3.
+
+The Principle of Computation Extension (paper, §3.4) relates what a
+process may do in isomorphic computations:
+
+1. if ``e`` is an internal or send event on ``P``, ``x [P] y`` and
+   ``(x;e)`` is a computation, then ``(y;e)`` is a computation, and
+   ``(x;e) [P] (y;e)``;
+2. if ``e`` is an internal or receive event on ``P`` and ``(x;e) [P] y``,
+   then ``(y - e)`` is a computation, and ``x [P] (y - e)``.
+
+Theorem 3 casts the three event types in terms of the composed relation
+``[P P̄]``: a receive can only *shrink*, a send can only *grow*, and an
+internal event preserves, the set of computations related to the current
+one by ``[P P̄]`` — the formal version of "reception rules out
+computations that do not include the corresponding send".
+
+All statements here are checked exhaustively over explored universes;
+the checkers return the number of instances verified so callers can
+assert non-vacuity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.isomorphism.relation import composed_class, isomorphic
+from repro.universe.explorer import Universe
+
+
+def extension_event(
+    smaller: Configuration, larger: Configuration
+) -> Event | None:
+    """The single event ``e`` with ``larger = (smaller; e)``, if any."""
+    if len(larger) != len(smaller) + 1:
+        return None
+    if not smaller.is_sub_configuration_of(larger):
+        return None
+    for process, history in larger.histories.items():
+        if len(history) == len(smaller.history(process)) + 1:
+            return history[-1]
+    return None
+
+
+def check_extension_principle_part1(universe: Universe) -> int:
+    """Verify part 1 on every applicable instance; return the count.
+
+    Instances: configurations ``x``, events ``e`` (internal or send, on
+    process ``p``) with ``(x;e)`` in the universe, and every ``y`` with
+    ``x [p] y`` — then ``(y;e)`` must be in the universe, and
+    ``(x;e) [p] (y;e)``.
+
+    Raises :class:`AssertionError` with a counterexample on failure.
+    """
+    checked = 0
+    for x in universe:
+        for extended in universe.successors(x):
+            event = extension_event(x, extended)
+            if event is None or event.is_receive:
+                continue
+            process = event.process
+            for y in universe.iso_class(x, {process}):
+                y_extended = y.extend(event)
+                if y_extended not in universe:
+                    raise AssertionError(
+                        "extension principle part 1 fails: "
+                        f"(y;e) missing for x={x!r}, y={y!r}, e={event}"
+                    )
+                if not isomorphic(extended, y_extended, {process}):
+                    raise AssertionError(
+                        "extension principle part 1 fails: (x;e) not [P] (y;e)"
+                    )
+                checked += 1
+    return checked
+
+
+def check_extension_principle_part2(universe: Universe) -> int:
+    """Verify part 2 on every applicable instance; return the count.
+
+    Instances: ``(x;e)`` in the universe with ``e`` internal or receive on
+    ``p``, and every ``y`` with ``(x;e) [p] y`` — then ``y`` with ``e``
+    deleted must be in the universe, and ``x [p] (y - e)``.
+    """
+    checked = 0
+    for x in universe:
+        for extended in universe.successors(x):
+            event = extension_event(x, extended)
+            if event is None or event.is_send:
+                continue
+            process = event.process
+            for y in universe.iso_class(extended, {process}):
+                reduced = _delete_last_event(y, event)
+                if reduced not in universe:
+                    raise AssertionError(
+                        "extension principle part 2 fails: "
+                        f"(y - e) missing for y={y!r}, e={event}"
+                    )
+                if not isomorphic(x, reduced, {process}):
+                    raise AssertionError(
+                        "extension principle part 2 fails: x not [P] (y - e)"
+                    )
+                checked += 1
+    return checked
+
+
+def _delete_last_event(configuration: Configuration, event: Event) -> Configuration:
+    """``(y - e)`` where ``e`` is the last event of its process in ``y``."""
+    histories = dict(configuration.histories)
+    history = histories[event.process]
+    if history[-1] != event:
+        raise ValueError(f"{event} is not the last event of its process")
+    histories[event.process] = history[:-1]
+    return Configuration(histories)
+
+
+def check_extension_corollary(universe: Universe) -> int:
+    """Corollary: for a receive ``e`` on ``P`` whose send is on ``Q``,
+    ``x [P ∪ Q] y`` and ``(x;e)`` a computation imply ``(y;e)`` is too.
+
+    Uses singleton ``P`` and ``Q`` (receiver and sender); returns the
+    number of instances checked.
+    """
+    checked = 0
+    for x in universe:
+        for extended in universe.successors(x):
+            event = extension_event(x, extended)
+            if event is None or not event.is_receive:
+                continue
+            receiver = event.process
+            sender = event.message.sender  # type: ignore[attr-defined]
+            both = frozenset((receiver, sender))
+            for y in universe.iso_class(x, both):
+                y_extended = y.extend(event)
+                if y_extended not in universe:
+                    raise AssertionError(
+                        "extension corollary fails: (y;e) missing for "
+                        f"y={y!r}, e={event}"
+                    )
+                checked += 1
+    return checked
+
+
+def related_set(
+    universe: Universe, configuration: Configuration, processes: ProcessSetLike
+) -> frozenset[Configuration]:
+    """The set ``{z : configuration [P P̄] z}`` of Theorem 3's statement."""
+    p_set = as_process_set(processes)
+    complement = universe.complement(p_set)
+    return frozenset(composed_class(universe, configuration, [p_set, complement]))
+
+
+def check_theorem_3(
+    universe: Universe, process_sets: Iterable[ProcessSetLike] | None = None
+) -> dict[str, int]:
+    """Exhaustively verify Theorem 3's three cases over a universe.
+
+    For each transition ``x -> (x;e)`` and each candidate set ``P``
+    containing the event's process:
+
+    * receive: ``{z : (x;e) [P P̄] z}  ⊆  {z : x [P P̄] z}`` (shrinks);
+    * send:    ``{z : x [P P̄] z}  ⊆  {z : (x;e) [P P̄] z}`` (grows);
+    * internal: the two sets are equal.
+
+    Returns counts per case.  Raises :class:`AssertionError` with a
+    counterexample on failure.
+    """
+    if process_sets is None:
+        candidate_sets = [frozenset((process,)) for process in sorted(universe.processes)]
+    else:
+        candidate_sets = [as_process_set(entry) for entry in process_sets]
+    counts = {"receive": 0, "send": 0, "internal": 0}
+    for x in universe:
+        for extended in universe.successors(x):
+            event = extension_event(x, extended)
+            if event is None:
+                continue
+            for p_set in candidate_sets:
+                if event.process not in p_set:
+                    continue
+                before = related_set(universe, x, p_set)
+                after = related_set(universe, extended, p_set)
+                if event.is_receive:
+                    if not after <= before:
+                        raise AssertionError(
+                            f"Theorem 3 (receive) fails at x={x!r}, e={event}"
+                        )
+                    counts["receive"] += 1
+                elif event.is_send:
+                    if not before <= after:
+                        raise AssertionError(
+                            f"Theorem 3 (send) fails at x={x!r}, e={event}"
+                        )
+                    counts["send"] += 1
+                else:
+                    if before != after:
+                        raise AssertionError(
+                            f"Theorem 3 (internal) fails at x={x!r}, e={event}"
+                        )
+                    counts["internal"] += 1
+    return counts

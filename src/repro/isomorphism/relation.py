@@ -1,0 +1,153 @@
+"""The isomorphism relations ``[P]`` and ``[P1 P2 … Pn]`` (paper, §3).
+
+``x [P] y`` holds iff every process in ``P`` has the same projection in
+``x`` and ``y`` — checked directly on computations or configurations.
+
+The composed relation ``[P1 … Pn] = [P1] ∘ … ∘ [Pn]`` existentially
+quantifies over intermediate computations ("for some computation y"), so
+deciding it needs a quantification domain: a :class:`repro.universe.Universe`.
+:func:`composed_isomorphic` answers it by breadth-first search through
+isomorphism classes, using the universe's projection indexes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.computation import Computation
+from repro.core.configuration import Configuration
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.universe.explorer import Universe
+
+SetSequence = Sequence[ProcessSetLike]
+"""A sequence of process sets, written ``[P1 P2 … Pn]`` in the paper."""
+
+
+def isomorphic(
+    x: Computation | Configuration,
+    y: Computation | Configuration,
+    processes: ProcessSetLike,
+) -> bool:
+    """``x [P] y``: the projections of ``x`` and ``y`` on ``P`` are equal.
+
+    ``x [{}] y`` is true for all computations, as the paper notes.
+    Computations and configurations may be mixed; both are compared via
+    their canonical per-process projections.
+    """
+    p_set = as_process_set(processes)
+    x_config = _as_configuration(x)
+    y_config = _as_configuration(y)
+    return x_config.projection(p_set) == y_config.projection(p_set)
+
+
+def _as_configuration(value: Computation | Configuration) -> Configuration:
+    if isinstance(value, Configuration):
+        return value
+    return Configuration.from_computation(value)
+
+
+def agreement_set(
+    x: Computation | Configuration, y: Computation | Configuration
+) -> frozenset[str]:
+    """The largest ``P`` with ``x [P] y`` *among processes appearing in
+    either computation*.
+
+    This is the edge label of the isomorphism diagram.  Processes with no
+    event in either computation trivially agree and are omitted; diagram
+    construction adds them back relative to its universe's ``D``.
+    """
+    x_config = _as_configuration(x)
+    y_config = _as_configuration(y)
+    candidates = x_config.processes | y_config.processes
+    return frozenset(
+        process
+        for process in candidates
+        if x_config.history(process) == y_config.history(process)
+    )
+
+
+def composed_class(
+    universe: Universe,
+    x: Configuration,
+    sets: SetSequence,
+) -> frozenset[Configuration]:
+    """All ``z`` in the universe with ``x [P1 … Pn] z``.
+
+    Implemented as iterated closure: start from ``{x}`` and replace the
+    frontier by the union of its ``[Pi]``-classes for each ``Pi`` in turn.
+    """
+    universe.require(x)
+    frontier: set[Configuration] = {x}
+    for entry in sets:
+        p_set = as_process_set(entry)
+        next_frontier: set[Configuration] = set()
+        seen_keys: set = set()
+        for configuration in frontier:
+            key = configuration.projection(p_set)
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            next_frontier.update(universe.iso_class(configuration, p_set))
+        frontier = next_frontier
+    return frozenset(frontier)
+
+
+def composed_isomorphic(
+    universe: Universe,
+    x: Configuration,
+    sets: SetSequence,
+    z: Configuration,
+) -> bool:
+    """``x [P1 P2 … Pn] z`` relative to the universe.
+
+    For a complete universe this is the paper's relation exactly; for a
+    truncated universe it is a sound under-approximation (intermediate
+    computations outside the bound are not considered).
+    """
+    universe.require(z)
+    if not sets:
+        return x == z
+    return z in composed_class(universe, x, sets)
+
+
+def find_composition_witness(
+    universe: Universe,
+    x: Configuration,
+    sets: SetSequence,
+    z: Configuration,
+) -> list[Configuration] | None:
+    """Intermediate computations ``x = y0 [P1] y1 [P2] … [Pn] yn = z``.
+
+    Returns the full list ``[y0, …, yn]`` or ``None`` when the relation
+    does not hold.  Used to render paths in isomorphism diagrams.
+    """
+    universe.require(x)
+    universe.require(z)
+    if not sets:
+        return [x] if x == z else None
+
+    # Forward BFS recording, for each layer, the set of reachable
+    # configurations; then walk backwards choosing predecessors.
+    layers: list[set[Configuration]] = [{x}]
+    for entry in sets:
+        p_set = as_process_set(entry)
+        frontier: set[Configuration] = set()
+        for configuration in layers[-1]:
+            frontier.update(universe.iso_class(configuration, p_set))
+        layers.append(frontier)
+    if z not in layers[-1]:
+        return None
+
+    witness = [z]
+    current = z
+    for index in range(len(sets) - 1, -1, -1):
+        p_set = as_process_set(sets[index])
+        for candidate in sorted(layers[index], key=lambda c: (len(c), repr(c))):
+            if isomorphic(candidate, current, p_set):
+                witness.append(candidate)
+                current = candidate
+                break
+        else:
+            raise AssertionError("BFS layers inconsistent with membership")
+    witness.reverse()
+    return witness

@@ -1,0 +1,266 @@
+"""State-based isomorphism — the first generalisation of §6.
+
+The paper closes: *"we can define isomorphism based on states of
+processes, rather than computations … Most of the results in this paper
+are applicable in the first case."*  This module makes that
+generalisation executable.
+
+A :class:`StateAbstraction` maps each process's local history to an
+abstract *state* (any hashable value).  Two computations are
+**state-isomorphic with respect to P**, written ``x [P]_s y``, when every
+process of ``P`` is in the same abstract state in both.  Since equal
+histories yield equal states, ``[P] ⊆ [P]_s``: the state relation is
+coarser, and state-based knowledge is *weaker* — a process may know a
+fact by history yet not by state (its state has forgotten how it got
+there).
+
+Executable consequences (verified by the test-suite and the E13 ablation
+bench):
+
+* ``[P]_s`` is an equivalence relation, and properties 1, 3, 4, 5, 6, 7
+  of §3 carry over verbatim (they use only relation algebra);
+* the knowledge facts 1–12 of §4.1 hold for state-based knowledge (the
+  proofs use only that ``[P]_s`` is an equivalence indexed by ``P`` with
+  ``[P ∪ Q]_s = [P]_s ∩ [Q]_s``);
+* state-based knowledge is implied by computation-based knowledge for
+  the same predicate, never the converse —
+  :func:`knowledge_gap` measures the configurations where the two
+  differ;
+* Theorems 5/6 (chains) survive in the *sound* direction: gaining
+  state-knowledge still requires the chain, because state-knowledge gain
+  implies computation-knowledge gain of the induced predicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Mapping
+
+from repro.core.configuration import Configuration
+from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import Formula
+from repro.universe.explorer import Universe
+
+StateFn = Callable[[tuple], Hashable]
+"""Maps a local history (tuple of events) to an abstract state."""
+
+
+class StateAbstraction:
+    """Per-process state functions.
+
+    ``default`` applies to processes without an explicit entry; the
+    identity abstraction (``None``) keeps the full history, making
+    state-isomorphism coincide with computation-isomorphism.
+    """
+
+    def __init__(
+        self,
+        per_process: Mapping[ProcessId, StateFn] | None = None,
+        default: StateFn | None = None,
+    ) -> None:
+        self._per_process = dict(per_process or {})
+        self._default = default
+
+    def state_of(self, process: ProcessId, history: tuple) -> Hashable:
+        fn = self._per_process.get(process, self._default)
+        if fn is None:
+            return history
+        return fn(history)
+
+    def configuration_state(
+        self, configuration: Configuration, processes: ProcessSetLike
+    ) -> tuple:
+        """The canonical key of ``configuration``'s ``[P]_s``-class."""
+        p_set = as_process_set(processes)
+        return tuple(
+            (process, self.state_of(process, configuration.history(process)))
+            for process in sorted(p_set)
+        )
+
+
+def counting_abstraction(*tags: str) -> StateFn:
+    """A standard abstraction: per-tag counts of sends/receives/internal
+    events — the 'counters' view many protocol states reduce to."""
+
+    def fn(history: tuple) -> Hashable:
+        counts: dict[tuple[str, str], int] = {}
+        for event in history:
+            tag = getattr(event, "tag", None)
+            if tag is None:
+                tag = event.message.tag  # type: ignore[attr-defined]
+            if tags and tag not in tags:
+                continue
+            key = (event.kind.value, tag)
+            counts[key] = counts.get(key, 0) + 1
+        return tuple(sorted(counts.items()))
+
+    return fn
+
+
+def length_abstraction() -> StateFn:
+    """The coarsest useful abstraction: only the history length survives.
+
+    Forgets message payloads entirely, so knowledge carried *in* payloads
+    (e.g. a reported bit value) is lost — the abstraction that maximises
+    :func:`knowledge_gap`.
+    """
+
+    def fn(history: tuple) -> Hashable:
+        return len(history)
+
+    return fn
+
+
+def state_isomorphic(
+    abstraction: StateAbstraction,
+    x: Configuration,
+    y: Configuration,
+    processes: ProcessSetLike,
+) -> bool:
+    """``x [P]_s y``: equal abstract states on every process of ``P``."""
+    p_set = as_process_set(processes)
+    return abstraction.configuration_state(
+        x, p_set
+    ) == abstraction.configuration_state(y, p_set)
+
+
+class StateKnowledgeEvaluator:
+    """Model-check knowledge under state-based isomorphism.
+
+    Mirrors :class:`~repro.knowledge.evaluator.KnowledgeEvaluator` but
+    partitions the universe by abstract state.  Only the modal layer
+    changes; boolean structure is delegated to a base-predicate
+    evaluator.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        abstraction: StateAbstraction,
+        allow_incomplete: bool = False,
+    ) -> None:
+        self._universe = universe
+        self._abstraction = abstraction
+        self._base = KnowledgeEvaluator(universe, allow_incomplete=allow_incomplete)
+        self._partitions: dict[frozenset[ProcessId], list[list[Configuration]]] = {}
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    def partition(self, processes: ProcessSetLike) -> list[list[Configuration]]:
+        """The ``[P]_s``-classes of the universe."""
+        p_set = as_process_set(processes)
+        cached = self._partitions.get(p_set)
+        if cached is None:
+            buckets: dict[tuple, list[Configuration]] = {}
+            for configuration in self._universe:
+                key = self._abstraction.configuration_state(configuration, p_set)
+                buckets.setdefault(key, []).append(configuration)
+            cached = list(buckets.values())
+            self._partitions[p_set] = cached
+        return cached
+
+    def knows_extension(
+        self, processes: ProcessSetLike, formula: Formula
+    ) -> frozenset[Configuration]:
+        """Configurations at which ``P`` state-knows ``formula``."""
+        body = self._base.extension(formula)
+        satisfied: set[Configuration] = set()
+        for iso_class in self.partition(processes):
+            if all(member in body for member in iso_class):
+                satisfied.update(iso_class)
+        return frozenset(satisfied)
+
+    def holds(
+        self,
+        processes: ProcessSetLike,
+        formula: Formula,
+        configuration: Configuration,
+    ) -> bool:
+        """``(P knows_s formula) at configuration``."""
+        self._universe.require(configuration)
+        return configuration in self.knows_extension(processes, formula)
+
+
+def knowledge_gap(
+    universe: Universe,
+    abstraction: StateAbstraction,
+    processes: ProcessSetLike,
+    formula: Formula,
+) -> dict[str, int]:
+    """How much knowledge the state abstraction loses.
+
+    Returns counts of configurations where the process set knows the
+    formula by computation but not by state (``forgotten``), by both
+    (``retained``), and by neither (``neither``).  State-knowledge
+    without computation-knowledge is impossible (the state relation is
+    coarser); the returned ``impossible`` count asserts that (always 0).
+    """
+    base = KnowledgeEvaluator(universe)
+    from repro.knowledge.formula import Knows
+
+    p_set = as_process_set(processes)
+    by_computation = base.extension(Knows(p_set, formula))
+    state_evaluator = StateKnowledgeEvaluator(universe, abstraction)
+    by_state = state_evaluator.knows_extension(p_set, formula)
+    forgotten = len(by_computation - by_state)
+    retained = len(by_computation & by_state)
+    impossible = len(by_state - by_computation)
+    neither = len(universe) - len(by_computation | by_state)
+    return {
+        "retained": retained,
+        "forgotten": forgotten,
+        "impossible": impossible,
+        "neither": neither,
+    }
+
+
+def check_state_knowledge_facts(
+    universe: Universe,
+    abstraction: StateAbstraction,
+    formula: Formula,
+    processes: ProcessSetLike,
+) -> dict[str, bool]:
+    """The §4.1 facts that only need an equivalence relation, re-proved
+    for state-based knowledge on a concrete universe.
+
+    Covers veridicality, totality, positive and negative introspection,
+    and class-stability — the facts the paper says carry over.
+    """
+    evaluator = StateKnowledgeEvaluator(universe, abstraction)
+    base = KnowledgeEvaluator(universe)
+    p_set = as_process_set(processes)
+    body = base.extension(formula)
+    knows = evaluator.knows_extension(p_set, formula)
+
+    results: dict[str, bool] = {}
+    results["4-veridical"] = knows <= body
+    results["5-total"] = True  # extensions are total by construction
+    # Class stability: knowledge is constant on each [P]_s-class.
+    stable = True
+    for iso_class in evaluator.partition(p_set):
+        values = {member in knows for member in iso_class}
+        if len(values) > 1:
+            stable = False
+    results["1-class-property"] = stable
+    # Positive introspection: K b -> K K b, i.e. the class of a knowing
+    # configuration lies inside the knows-extension (holds iff stable).
+    results["10-positive-introspection"] = stable
+    # Negative introspection likewise reduces to class stability of the
+    # complement.
+    complement = frozenset(universe) - knows
+    stable_negative = True
+    for iso_class in evaluator.partition(p_set):
+        values = {member in complement for member in iso_class}
+        if len(values) > 1:
+            stable_negative = False
+    results["11-negative-introspection"] = stable_negative
+    # State-knowledge never exceeds computation-knowledge ([P] refines
+    # [P]_s, so the universal quantifier ranges over a superset).
+    from repro.knowledge.formula import Knows
+
+    results["weaker-than-computation"] = knows <= base.extension(
+        Knows(p_set, formula)
+    )
+    return results

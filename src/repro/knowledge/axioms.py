@@ -1,0 +1,195 @@
+"""The twelve knowledge facts of §4.1, as executable checks.
+
+Each ``check_fact_N`` verifies one numbered fact exhaustively over a
+universe, for given predicates ``b, b'`` and process sets ``P, Q``.  All
+facts are universally quantified over computations, so the checks compare
+extensions.  Fact 11 — ``P knows ¬P knows b  ≡  ¬P knows b`` — is the
+paper's Lemma 2, "whose validity in other domains has been questioned on
+philosophical grounds"; here it is a theorem of the isomorphism semantics
+and the checker demonstrates it on every instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import (
+    And,
+    Constant,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+)
+from repro.universe.explorer import Universe
+
+
+def check_fact_1(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """Fact 1: ``P knows b at x  ≡  ∀y: x[P]y: P knows b at y``.
+
+    (Knowledge is a property of the ``[P]``-class.)
+    """
+    extension = evaluator.extension(Knows(processes, formula))
+    for iso_class in evaluator.partition(processes):
+        values = {member in extension for member in iso_class}
+        if len(values) > 1:
+            return False
+    return True
+
+
+def check_fact_2(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """Fact 2: ``x [P] y`` implies ``P knows b at x ≡ P knows b at y``.
+
+    Same content as fact 1, checked via pairwise class membership.
+    """
+    return check_fact_1(evaluator, formula, processes)
+
+
+def check_fact_3(
+    evaluator: KnowledgeEvaluator,
+    formula: Formula,
+    smaller: ProcessSetLike,
+    larger_extra: ProcessSetLike,
+) -> bool:
+    """Fact 3: ``(P knows b)`` implies ``(P ∪ Q) knows b``."""
+    p_set = as_process_set(smaller)
+    union = p_set | as_process_set(larger_extra)
+    return evaluator.is_valid(
+        Implies(Knows(p_set, formula), Knows(union, formula))
+    )
+
+
+def check_fact_4(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """Fact 4 (veridicality): ``(P knows b)`` implies ``b``."""
+    return evaluator.is_valid(Implies(Knows(processes, formula), formula))
+
+
+def check_fact_5(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """Fact 5 (totality): ``(P knows b) or ¬(P knows b)``."""
+    knows_b = Knows(processes, formula)
+    return evaluator.is_valid(Or(knows_b, Not(knows_b)))
+
+
+def check_fact_6(
+    evaluator: KnowledgeEvaluator,
+    formula: Formula,
+    other: Formula,
+    processes: ProcessSetLike,
+) -> bool:
+    """Fact 6: ``(P knows b) and (P knows b')  ≡  P knows (b and b')``."""
+    return evaluator.is_valid(
+        Iff(
+            And(Knows(processes, formula), Knows(processes, other)),
+            Knows(processes, And(formula, other)),
+        )
+    )
+
+
+def check_fact_7(
+    evaluator: KnowledgeEvaluator,
+    formula: Formula,
+    other: Formula,
+    processes: ProcessSetLike,
+) -> bool:
+    """Fact 7: ``(P knows b) or (P knows b')`` implies ``P knows (b or b')``."""
+    return evaluator.is_valid(
+        Implies(
+            Or(Knows(processes, formula), Knows(processes, other)),
+            Knows(processes, Or(formula, other)),
+        )
+    )
+
+
+def check_fact_8(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """Fact 8 (consistency): ``(P knows ¬b)`` implies ``¬(P knows b)``."""
+    return evaluator.is_valid(
+        Implies(Knows(processes, Not(formula)), Not(Knows(processes, formula)))
+    )
+
+
+def check_fact_9(
+    evaluator: KnowledgeEvaluator,
+    formula: Formula,
+    other: Formula,
+    processes: ProcessSetLike,
+) -> bool:
+    """Fact 9 (closure under valid implication): ``(P knows b) and
+    (b implies b')`` — the implication holding at all computations —
+    implies ``(P knows b')``."""
+    if not evaluator.is_valid(Implies(formula, other)):
+        return True
+    return evaluator.is_valid(
+        Implies(Knows(processes, formula), Knows(processes, other))
+    )
+
+
+def check_fact_10(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """Fact 10 (positive introspection): ``P knows P knows b ≡ P knows b``."""
+    knows_b = Knows(processes, formula)
+    return evaluator.is_valid(Iff(Knows(processes, knows_b), knows_b))
+
+
+def check_fact_11(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """Fact 11 / Lemma 2 (negative introspection):
+    ``P knows ¬P knows b  ≡  ¬P knows b``."""
+    knows_b = Knows(processes, formula)
+    return evaluator.is_valid(
+        Iff(Knows(processes, Not(knows_b)), Not(knows_b))
+    )
+
+
+def check_fact_12(
+    evaluator: KnowledgeEvaluator, value: bool, processes: ProcessSetLike
+) -> bool:
+    """Fact 12: ``P knows c`` for any constant ``c`` that is true.
+
+    (For a false constant, ``P knows c`` is everywhere false by fact 4.)
+    """
+    constant = Constant(value)
+    if value:
+        return evaluator.is_valid(Knows(processes, constant))
+    return len(evaluator.extension(Knows(processes, constant))) == 0
+
+
+def check_all_facts(
+    universe: Universe,
+    formula: Formula,
+    other: Formula,
+    first: ProcessSetLike,
+    second: ProcessSetLike,
+    evaluator: KnowledgeEvaluator | None = None,
+) -> dict[str, bool]:
+    """Run all twelve facts for a pair of predicates and process sets."""
+    if evaluator is None:
+        evaluator = KnowledgeEvaluator(universe)
+    return {
+        "1-class-property": check_fact_1(evaluator, formula, first),
+        "2-iso-stable": check_fact_2(evaluator, formula, first),
+        "3-monotone-in-P": check_fact_3(evaluator, formula, first, second),
+        "4-veridical": check_fact_4(evaluator, formula, first),
+        "5-total": check_fact_5(evaluator, formula, first),
+        "6-conjunction": check_fact_6(evaluator, formula, other, first),
+        "7-disjunction": check_fact_7(evaluator, formula, other, first),
+        "8-consistent": check_fact_8(evaluator, formula, first),
+        "9-consequence": check_fact_9(evaluator, formula, other, first),
+        "10-positive-introspection": check_fact_10(evaluator, formula, first),
+        "11-negative-introspection": check_fact_11(evaluator, formula, first),
+        "12-constants": check_fact_12(evaluator, True, first)
+        and check_fact_12(evaluator, False, first),
+    }

@@ -1,0 +1,95 @@
+"""Common knowledge and its impossibility corollaries (paper, §4.2).
+
+``b is common knowledge`` is the greatest fixpoint of
+
+    ``C  ≡  b ∧ (p knows C)   for every process p``.
+
+The paper's corollary to Lemma 3 sharpens Halpern–Moses: in a distributed
+system (more than one process, no simultaneous events), common knowledge
+is a *constant* predicate — it can be neither gained nor lost.  The proof
+observes that ``C = p knows C`` makes ``C`` local to every single
+process, and predicates local to two disjoint sets are constant.
+
+The checkers here verify both the fixpoint characterisation and the
+constancy corollary over concrete universes.
+"""
+
+from __future__ import annotations
+
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import And, CommonKnowledge, Formula, Iff, Knows
+from repro.universe.explorer import Universe
+
+
+def common_knowledge(processes: ProcessSetLike, formula: Formula) -> CommonKnowledge:
+    """``formula is common knowledge`` among ``processes``."""
+    return CommonKnowledge(processes, formula)
+
+
+def check_fixpoint_characterisation(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """``C ≡ b ∧ (p knows C)`` for every ``p`` — the defining equation."""
+    p_set = as_process_set(processes)
+    ck = CommonKnowledge(p_set, formula)
+    body: Formula = formula
+    for process in sorted(p_set):
+        body = And(body, Knows({process}, ck))
+    return evaluator.is_valid(Iff(ck, body))
+
+
+def check_constancy_corollary(
+    evaluator: KnowledgeEvaluator, formula: Formula, processes: ProcessSetLike
+) -> bool:
+    """In a system with more than one process, ``b is common knowledge`` is
+    constant.  Returns ``True`` vacuously for single-process systems."""
+    p_set = as_process_set(processes)
+    if len(p_set) < 2:
+        return True
+    return evaluator.is_constant(CommonKnowledge(p_set, formula))
+
+
+def check_everyone_knows_hierarchy(
+    evaluator: KnowledgeEvaluator,
+    formula: Formula,
+    processes: ProcessSetLike,
+    depth: int,
+) -> bool:
+    """``C`` implies the whole ``everyone knows^k b`` hierarchy up to
+    ``depth`` — the intuitive reading the paper gives for the fixpoint."""
+    p_set = as_process_set(processes)
+    ck_extension = evaluator.extension(CommonKnowledge(p_set, formula))
+    layer: Formula = formula
+    for _ in range(depth):
+        everyone: Formula | None = None
+        for process in sorted(p_set):
+            clause = Knows({process}, layer)
+            everyone = clause if everyone is None else And(everyone, clause)
+        assert everyone is not None
+        layer = everyone
+        if not ck_extension <= evaluator.extension(layer):
+            return False
+    return True
+
+
+def check_common_knowledge(
+    universe: Universe,
+    formula: Formula,
+    processes: ProcessSetLike | None = None,
+    depth: int = 3,
+    evaluator: KnowledgeEvaluator | None = None,
+) -> dict[str, bool]:
+    """All common-knowledge checks for one predicate; verdicts by name."""
+    if evaluator is None:
+        evaluator = KnowledgeEvaluator(universe)
+    p_set = (
+        as_process_set(processes) if processes is not None else universe.processes
+    )
+    return {
+        "fixpoint": check_fixpoint_characterisation(evaluator, formula, p_set),
+        "constant": check_constancy_corollary(evaluator, formula, p_set),
+        "hierarchy": check_everyone_knows_hierarchy(
+            evaluator, formula, p_set, depth
+        ),
+    }

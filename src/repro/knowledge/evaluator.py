@@ -1,0 +1,187 @@
+"""Model checking knowledge formulas over a computation universe.
+
+``(P knows b) at x`` universally quantifies over the ``[P]``-class of
+``x`` within the set of all system computations.  With a complete finite
+universe that quantifier is exact, and every formula has a well-defined
+*extension*: the set of configurations at which it holds.
+
+:class:`KnowledgeEvaluator` computes extensions bottom-up and memoises
+them per formula, so repeated queries (and nested ``knows``) cost one
+pass each.  ``Knows`` is evaluated per isomorphism class: a class
+satisfies ``P knows b`` iff the class is contained in the extension of
+``b`` — this is where the projection index of the universe pays off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.configuration import Configuration
+from repro.core.errors import FormulaError
+from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+from repro.knowledge.formula import (
+    And,
+    Atom,
+    CommonKnowledge,
+    Constant,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Sure,
+)
+from repro.universe.explorer import Universe
+
+
+class KnowledgeEvaluator:
+    """Evaluate knowledge formulas over one universe.
+
+    The evaluator refuses incomplete universes by default: with a
+    truncated computation space, ``knows`` could report knowledge the
+    process does not have (missing indistinguishable computations).
+    Pass ``allow_incomplete=True`` to accept the approximation knowingly.
+    """
+
+    def __init__(self, universe: Universe, allow_incomplete: bool = False) -> None:
+        if not universe.is_complete and not allow_incomplete:
+            raise FormulaError(
+                "refusing to evaluate knowledge over an incomplete universe; "
+                "pass allow_incomplete=True to accept the approximation"
+            )
+        self._universe = universe
+        self._extensions: dict[Formula, frozenset[Configuration]] = {}
+        self._partitions: dict[
+            frozenset[ProcessId], list[list[Configuration]]
+        ] = {}
+
+    @property
+    def universe(self) -> Universe:
+        return self._universe
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def holds(self, formula: Formula, configuration: Configuration) -> bool:
+        """``formula at configuration``."""
+        self._universe.require(configuration)
+        return configuration in self.extension(formula)
+
+    def extension(self, formula: Formula) -> frozenset[Configuration]:
+        """All configurations of the universe at which ``formula`` holds."""
+        cached = self._extensions.get(formula)
+        if cached is None:
+            cached = self._compute_extension(formula)
+            self._extensions[formula] = cached
+        return cached
+
+    def is_valid(self, formula: Formula) -> bool:
+        """True iff ``formula`` holds at every computation of the universe."""
+        return len(self.extension(formula)) == len(self._universe)
+
+    def is_constant(self, formula: Formula) -> bool:
+        """The paper's *constant* predicates: same value at every
+        computation."""
+        size = len(self.extension(formula))
+        return size == 0 or size == len(self._universe)
+
+    def counterexamples(
+        self, formula: Formula, limit: int = 3
+    ) -> list[Configuration]:
+        """Up to ``limit`` configurations at which ``formula`` fails."""
+        extension = self.extension(formula)
+        found = []
+        for configuration in self._universe:
+            if configuration not in extension:
+                found.append(configuration)
+                if len(found) >= limit:
+                    break
+        return found
+
+    # ------------------------------------------------------------------
+    # Partition machinery
+    # ------------------------------------------------------------------
+    def partition(
+        self, processes: ProcessSetLike
+    ) -> list[list[Configuration]]:
+        """The ``[P]``-classes of the universe."""
+        p_set = as_process_set(processes)
+        cached = self._partitions.get(p_set)
+        if cached is None:
+            buckets: dict[tuple, list[Configuration]] = {}
+            for configuration in self._universe:
+                buckets.setdefault(
+                    configuration.projection(p_set), []
+                ).append(configuration)
+            cached = list(buckets.values())
+            self._partitions[p_set] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Extension computation
+    # ------------------------------------------------------------------
+    def _compute_extension(self, formula: Formula) -> frozenset[Configuration]:
+        everything = frozenset(self._universe)
+        if isinstance(formula, Constant):
+            return everything if formula.value else frozenset()
+        if isinstance(formula, Atom):
+            return frozenset(
+                configuration
+                for configuration in self._universe
+                if formula.fn(configuration)
+            )
+        if isinstance(formula, Not):
+            return everything - self.extension(formula.operand)
+        if isinstance(formula, And):
+            return self.extension(formula.left) & self.extension(formula.right)
+        if isinstance(formula, Or):
+            return self.extension(formula.left) | self.extension(formula.right)
+        if isinstance(formula, Implies):
+            return (everything - self.extension(formula.left)) | self.extension(
+                formula.right
+            )
+        if isinstance(formula, Iff):
+            left = self.extension(formula.left)
+            right = self.extension(formula.right)
+            return (left & right) | (everything - left - right)
+        if isinstance(formula, Knows):
+            return self._knows_extension(formula.processes, formula.operand)
+        if isinstance(formula, Sure):
+            return self._knows_extension(
+                formula.processes, formula.operand
+            ) | self._knows_extension(formula.processes, Not(formula.operand))
+        if isinstance(formula, CommonKnowledge):
+            return self._common_knowledge_extension(
+                formula.processes, formula.operand
+            )
+        raise FormulaError(f"unknown formula type: {formula!r}")
+
+    def _knows_extension(
+        self, processes: frozenset[ProcessId], operand: Formula
+    ) -> frozenset[Configuration]:
+        body = self.extension(operand)
+        satisfied: set[Configuration] = set()
+        for iso_class in self.partition(processes):
+            if all(member in body for member in iso_class):
+                satisfied.update(iso_class)
+        return frozenset(satisfied)
+
+    def _common_knowledge_extension(
+        self, processes: Iterable[ProcessId], operand: Formula
+    ) -> frozenset[Configuration]:
+        """Greatest fixpoint: start from the extension of ``operand`` and
+        delete configurations whose ``[p]``-class leaks out, until stable."""
+        current = set(self.extension(operand))
+        process_list = sorted(as_process_set(processes))
+        changed = True
+        while changed:
+            changed = False
+            for process in process_list:
+                for iso_class in self.partition({process}):
+                    members_in = [member for member in iso_class if member in current]
+                    if members_in and len(members_in) != len(iso_class):
+                        for member in members_in:
+                            current.discard(member)
+                        changed = True
+        return frozenset(current)

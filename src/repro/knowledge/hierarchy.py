@@ -1,0 +1,129 @@
+"""The everyone-knows hierarchy ``E^k`` and knowledge depth.
+
+Common knowledge is the limit of the hierarchy
+
+    ``E^0 b = b``,  ``E^(k+1) b = ∧_p (p knows E^k b)``.
+
+The paper proves the limit is constant in asynchronous systems; this
+module measures *how* the hierarchy dies: the extension of ``E^k b``
+shrinks as ``k`` grows and — for contingent ``b`` — reaches the
+fixed point ``∅`` (or the constant set) after finitely many steps on a
+finite universe.  The number of strictly-shrinking steps is the
+*knowledge depth* of ``b`` in the universe: how many nested levels of
+"everybody knows" are ever simultaneously achievable.
+
+These measurements quantify the gap between ``E^k`` and ``C`` that the
+common-knowledge corollary (E8) establishes qualitatively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import And, CommonKnowledge, Formula, Knows
+
+
+def everyone_knows(processes: ProcessSetLike, formula: Formula) -> Formula:
+    """``E b``: every process of the set knows ``formula``."""
+    p_set = as_process_set(processes)
+    result: Formula | None = None
+    for process in sorted(p_set):
+        clause = Knows({process}, formula)
+        result = clause if result is None else And(result, clause)
+    if result is None:
+        raise ValueError("everyone_knows needs at least one process")
+    return result
+
+
+def hierarchy_extensions(
+    evaluator: KnowledgeEvaluator,
+    processes: ProcessSetLike,
+    formula: Formula,
+    max_depth: int = 10,
+) -> list[frozenset[Configuration]]:
+    """Extensions of ``E^0 b, E^1 b, …`` until a fixed point or the bound.
+
+    The returned list always ends at the first repeated extension (the
+    fixed point), or has ``max_depth + 1`` entries if no fixed point was
+    reached within the bound.
+    """
+    p_set = as_process_set(processes)
+    layers = [evaluator.extension(formula)]
+    current = formula
+    for _ in range(max_depth):
+        current = everyone_knows(p_set, current)
+        extension = evaluator.extension(current)
+        layers.append(extension)
+        if extension == layers[-2]:
+            break
+    return layers
+
+
+def knowledge_depth(
+    evaluator: KnowledgeEvaluator,
+    processes: ProcessSetLike,
+    formula: Formula,
+    max_depth: int = 10,
+) -> int:
+    """Number of strictly-shrinking hierarchy steps before the fixed
+    point (``-1`` when the bound was hit first)."""
+    layers = hierarchy_extensions(evaluator, processes, formula, max_depth)
+    if len(layers) >= 2 and layers[-1] == layers[-2]:
+        shrinking = 0
+        for previous, current in zip(layers, layers[1:]):
+            if current < previous:
+                shrinking += 1
+        return shrinking
+    return -1
+
+
+def hierarchy_profile(
+    evaluator: KnowledgeEvaluator,
+    processes: ProcessSetLike,
+    formula: Formula,
+    max_depth: int = 10,
+) -> list[int]:
+    """``|E^k b|`` for k = 0, 1, … — the shrinking profile."""
+    return [
+        len(layer)
+        for layer in hierarchy_extensions(evaluator, processes, formula, max_depth)
+    ]
+
+
+def check_hierarchy_converges_to_common_knowledge(
+    evaluator: KnowledgeEvaluator,
+    processes: ProcessSetLike,
+    formula: Formula,
+    max_depth: int = 10,
+) -> bool:
+    """On a finite universe the hierarchy's fixed point *is* the greatest
+    fixpoint, i.e. the extension of ``CommonKnowledge``.
+
+    (On infinite models the limit can overshoot the gfp; finiteness makes
+    them coincide, which this check confirms instance by instance.)
+    """
+    p_set = as_process_set(processes)
+    layers = hierarchy_extensions(evaluator, processes, formula, max_depth)
+    if len(layers) < 2 or layers[-1] != layers[-2]:
+        return False
+    fixed_point = layers[-1]
+    ck = evaluator.extension(CommonKnowledge(p_set, formula))
+    return fixed_point == ck
+
+
+def depth_table(
+    evaluator: KnowledgeEvaluator,
+    processes: ProcessSetLike,
+    formulas: Sequence[tuple[str, Formula]],
+    max_depth: int = 10,
+) -> list[tuple[str, list[int], int]]:
+    """``(name, |E^k| profile, depth)`` rows for a family of predicates."""
+    rows = []
+    for name, formula in formulas:
+        profile = hierarchy_profile(evaluator, processes, formula, max_depth)
+        depth = knowledge_depth(evaluator, processes, formula, max_depth)
+        rows.append((name, profile, depth))
+    return rows

@@ -1,0 +1,293 @@
+"""How knowledge is transferred (paper, §4.3): Theorems 4, 5, 6.
+
+* **Theorem 4**: ``(P1 knows … Pn knows b) at x`` and ``x [P1 … Pn] y``
+  imply ``(Pn knows b) at y`` — knowledge propagates along composed
+  isomorphisms.
+* **Lemma 4**: for ``b`` local to ``P̄``, a receive on ``P`` cannot lose
+  and a send on ``P`` cannot gain ``P``'s knowledge of ``b``; internal
+  events change nothing.
+* **Theorem 5 (gain)**: ``x <= y``, ``¬(Pn knows b) at x`` and
+  ``(P1 knows … Pn knows b) at y`` imply a process chain
+  ``<Pn Pn-1 … P1>`` in ``(x, y)`` — knowledge is *gained* sequentially,
+  flowing from ``Pn`` back to ``P1``; if ``b`` is local to ``P̄n``, then
+  ``Pn`` has a receive event in ``(x, y)``.
+* **Theorem 6 (loss)**: ``x <= y``, ``(P1 knows … Pn knows b) at x`` and
+  ``¬(Pn knows b) at y`` imply a chain ``<P1 P2 … Pn>`` in ``(x, y)``;
+  if ``b`` is local to ``P̄n``, then ``Pn`` has a send event in ``(x, y)``.
+
+Each theorem gets an exhaustive checker returning the number of
+*non-vacuous* instances verified (instances whose antecedent held), so
+tests can assert the theorems were actually exercised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.causality.chains import chain_in_suffix
+from repro.core.configuration import Configuration
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.isomorphism.extension import extension_event
+from repro.isomorphism.relation import composed_class
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import Formula, Knows, Not, Sure, knows
+from repro.knowledge.predicates import is_local_to
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Result of an exhaustive theorem check.
+
+    ``checked`` counts non-vacuous instances; ``holds`` is False only if a
+    counterexample was found (recorded in ``counterexample``).
+    """
+
+    checked: int
+    holds: bool
+    counterexample: tuple[Configuration, Configuration] | None = None
+
+
+def nested_knowledge(
+    sets: Sequence[ProcessSetLike], formula: Formula, sure: bool = False
+) -> Formula:
+    """``P1 knows P2 knows … Pn knows b`` (or with ``sure`` in place of
+    ``knows``)."""
+    result = formula
+    for entry in reversed([as_process_set(s) for s in sets]):
+        result = Sure(entry, result) if sure else Knows(entry, result)
+    return result
+
+
+def check_theorem_4(
+    evaluator: KnowledgeEvaluator,
+    sets: Sequence[ProcessSetLike],
+    formula: Formula,
+    sure: bool = False,
+) -> TransferReport:
+    """Theorem 4 (and its ``sure`` variant, per the paper's corollary)."""
+    universe = evaluator.universe
+    normalised = [as_process_set(entry) for entry in sets]
+    nested = nested_knowledge(normalised, formula, sure=sure)
+    target = (
+        Sure(normalised[-1], formula) if sure else Knows(normalised[-1], formula)
+    )
+    nested_extension = evaluator.extension(nested)
+    target_extension = evaluator.extension(target)
+    checked = 0
+    for x in nested_extension:
+        for y in composed_class(universe, x, normalised):
+            checked += 1
+            if y not in target_extension:
+                return TransferReport(checked, False, (x, y))
+    return TransferReport(checked, True)
+
+
+def check_theorem_4_negative_corollary(
+    evaluator: KnowledgeEvaluator,
+    sets: Sequence[ProcessSetLike],
+    formula: Formula,
+) -> TransferReport:
+    """Corollary: ``(P1 knows … Pn-1 knows ¬Pn knows b) at x`` and
+    ``x [P1 … Pn] y`` imply ``¬(Pn knows b) at y``.
+
+    For ``n = 1`` the antecedent is just ``¬(Pn knows b) at x``.
+    """
+    universe = evaluator.universe
+    normalised = [as_process_set(entry) for entry in sets]
+    not_knows = Not(Knows(normalised[-1], formula))
+    if len(normalised) == 1:
+        antecedent: Formula = not_knows
+    else:
+        antecedent = nested_knowledge(normalised[:-1], not_knows)
+    antecedent_extension = evaluator.extension(antecedent)
+    target_extension = evaluator.extension(not_knows)
+    checked = 0
+    for x in antecedent_extension:
+        for y in composed_class(universe, x, normalised):
+            checked += 1
+            if y not in target_extension:
+                return TransferReport(checked, False, (x, y))
+    return TransferReport(checked, True)
+
+
+def check_lemma_4(
+    evaluator: KnowledgeEvaluator,
+    formula: Formula,
+    processes: ProcessSetLike,
+) -> dict[str, TransferReport]:
+    """Lemma 4: how events at ``P`` change its knowledge of a predicate
+    local to ``P̄``.
+
+    Returns one report per event kind.  The receive/send/internal cases
+    are checked on every one-event transition of the universe whose event
+    is on ``P``; the lemma is vacuous (0 instances) unless ``formula`` is
+    local to ``P̄`` in this universe.
+    """
+    universe = evaluator.universe
+    p_set = as_process_set(processes)
+    complement = universe.complement(p_set)
+    reports = {
+        "receive": TransferReport(0, True),
+        "send": TransferReport(0, True),
+        "internal": TransferReport(0, True),
+    }
+    if not is_local_to(evaluator, formula, complement):
+        return reports
+    knows_extension = evaluator.extension(Knows(p_set, formula))
+    counts = {"receive": 0, "send": 0, "internal": 0}
+    for x in universe:
+        for extended in universe.successors(x):
+            event = extension_event(x, extended)
+            if event is None or event.process not in p_set:
+                continue
+            before = x in knows_extension
+            after = extended in knows_extension
+            if event.is_receive:
+                counts["receive"] += 1
+                if before and not after:
+                    reports["receive"] = TransferReport(
+                        counts["receive"], False, (x, extended)
+                    )
+            elif event.is_send:
+                counts["send"] += 1
+                if after and not before:
+                    reports["send"] = TransferReport(
+                        counts["send"], False, (x, extended)
+                    )
+            else:
+                counts["internal"] += 1
+                if before != after:
+                    reports["internal"] = TransferReport(
+                        counts["internal"], False, (x, extended)
+                    )
+    for kind in reports:
+        if reports[kind].holds:
+            reports[kind] = TransferReport(counts[kind], True)
+    return reports
+
+
+def check_theorem_5_gain(
+    evaluator: KnowledgeEvaluator,
+    sets: Sequence[ProcessSetLike],
+    formula: Formula,
+    check_receive: bool = True,
+) -> TransferReport:
+    """Theorem 5: knowledge gain requires a chain ``<Pn … P1>``.
+
+    For every sub-configuration pair ``x <= y`` with ``¬(Pn knows b)`` at
+    ``x`` and the nested knowledge at ``y``, assert the chain exists; when
+    ``b`` is local to ``P̄n`` (and ``check_receive``), additionally assert
+    ``Pn`` has a receive event in the suffix.
+    """
+    universe = evaluator.universe
+    normalised = [as_process_set(entry) for entry in sets]
+    last = normalised[-1]
+    nested_extension = evaluator.extension(nested_knowledge(normalised, formula))
+    not_knows_extension = evaluator.extension(Not(Knows(last, formula)))
+    local = is_local_to(
+        evaluator, formula, universe.complement(last)
+    )
+    reversed_chain = list(reversed(normalised))
+    checked = 0
+    for x, y in universe.sub_configuration_pairs():
+        if x not in not_knows_extension or y not in nested_extension:
+            continue
+        checked += 1
+        if chain_in_suffix(y, x, reversed_chain) is None:
+            return TransferReport(checked, False, (x, y))
+        if check_receive and local:
+            suffix = y.suffix_after(x)
+            has_receive = any(
+                event.is_receive
+                for process, history in suffix.items()
+                if process in last
+                for event in history
+            )
+            if not has_receive:
+                return TransferReport(checked, False, (x, y))
+    return TransferReport(checked, True)
+
+
+def check_theorem_6_loss(
+    evaluator: KnowledgeEvaluator,
+    sets: Sequence[ProcessSetLike],
+    formula: Formula,
+    check_send: bool = True,
+) -> TransferReport:
+    """Theorem 6: knowledge loss requires a chain ``<P1 … Pn>``.
+
+    For every ``x <= y`` with the nested knowledge at ``x`` and
+    ``¬(Pn knows b)`` at ``y``, assert the chain exists; when ``b`` is
+    local to ``P̄n`` (and ``check_send``), additionally assert ``Pn`` has a
+    send event in the suffix.
+    """
+    universe = evaluator.universe
+    normalised = [as_process_set(entry) for entry in sets]
+    last = normalised[-1]
+    nested_extension = evaluator.extension(nested_knowledge(normalised, formula))
+    not_knows_extension = evaluator.extension(Not(Knows(last, formula)))
+    local = is_local_to(evaluator, formula, universe.complement(last))
+    checked = 0
+    for x, y in universe.sub_configuration_pairs():
+        if x not in nested_extension or y not in not_knows_extension:
+            continue
+        checked += 1
+        if chain_in_suffix(y, x, normalised) is None:
+            return TransferReport(checked, False, (x, y))
+        if check_send and local:
+            suffix = y.suffix_after(x)
+            has_send = any(
+                event.is_send
+                for process, history in suffix.items()
+                if process in last
+                for event in history
+            )
+            if not has_send:
+                return TransferReport(checked, False, (x, y))
+    return TransferReport(checked, True)
+
+
+def check_lemma_4_corollaries(
+    evaluator: KnowledgeEvaluator,
+    formula: Formula,
+    processes: ProcessSetLike,
+) -> dict[str, TransferReport]:
+    """Lemma 4's corollaries: for ``b`` local to ``P̄``,
+
+    * gaining ``P knows b`` across ``x <= y`` forces a receive by ``P``;
+    * losing it forces a send by ``P``.
+    """
+    universe = evaluator.universe
+    p_set = as_process_set(processes)
+    complement = universe.complement(p_set)
+    gain = TransferReport(0, True)
+    loss = TransferReport(0, True)
+    if not is_local_to(evaluator, formula, complement):
+        return {"gain-receive": gain, "loss-send": loss}
+    knows_extension = evaluator.extension(Knows(p_set, formula))
+    gain_checked = 0
+    loss_checked = 0
+    for x, y in universe.sub_configuration_pairs():
+        x_knows = x in knows_extension
+        y_knows = y in knows_extension
+        suffix = y.suffix_after(x)
+        p_events = [
+            event
+            for process, history in suffix.items()
+            if process in p_set
+            for event in history
+        ]
+        if not x_knows and y_knows:
+            gain_checked += 1
+            if not any(event.is_receive for event in p_events):
+                gain = TransferReport(gain_checked, False, (x, y))
+        if x_knows and not y_knows:
+            loss_checked += 1
+            if not any(event.is_send for event in p_events):
+                loss = TransferReport(loss_checked, False, (x, y))
+    if gain.holds:
+        gain = TransferReport(gain_checked, True)
+    if loss.holds:
+        loss = TransferReport(loss_checked, True)
+    return {"gain-receive": gain, "loss-send": loss}

@@ -1,0 +1,71 @@
+"""Protocol library: workloads exercising the paper's theory."""
+
+from repro.protocols.broadcast import (
+    BroadcastProtocol,
+    fact_established_atom,
+    fact_known_atom,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.protocols.commit import TwoPhaseCommitProtocol
+from repro.protocols.dijkstra_scholten import DijkstraScholtenProtocol
+from repro.protocols.failure_monitor import (
+    AsyncFailureMonitorProtocol,
+    SyncFailureMonitorProtocol,
+)
+from repro.protocols.leader_election import ChangRobertsProtocol
+from repro.protocols.mutex import TokenRingMutexProtocol, check_mutual_exclusion
+from repro.protocols.pingpong import PingPongProtocol
+from repro.protocols.polling_detector import PollingDetectorProtocol
+from repro.protocols.snapshot import (
+    GlobalSnapshot,
+    SnapshotTokenRingProtocol,
+    recorded_snapshot,
+    snapshot_is_consistent,
+)
+from repro.protocols.termination import (
+    Activation,
+    DiffusingComputationProtocol,
+    TerminationWorkload,
+    generate_workload,
+)
+from repro.protocols.toggle import ToggleProtocol, bit_atom
+from repro.protocols.token_bus import (
+    TokenBusProtocol,
+    check_paper_example,
+    holds_token_atom,
+    paper_example_formula,
+)
+
+__all__ = [
+    "TokenRingMutexProtocol",
+    "check_mutual_exclusion",
+    "TwoPhaseCommitProtocol",
+    "Activation",
+    "AsyncFailureMonitorProtocol",
+    "BroadcastProtocol",
+    "ChangRobertsProtocol",
+    "DiffusingComputationProtocol",
+    "DijkstraScholtenProtocol",
+    "GlobalSnapshot",
+    "PingPongProtocol",
+    "PollingDetectorProtocol",
+    "SnapshotTokenRingProtocol",
+    "SyncFailureMonitorProtocol",
+    "TerminationWorkload",
+    "ToggleProtocol",
+    "TokenBusProtocol",
+    "bit_atom",
+    "check_paper_example",
+    "fact_established_atom",
+    "fact_known_atom",
+    "generate_workload",
+    "holds_token_atom",
+    "line_topology",
+    "paper_example_formula",
+    "recorded_snapshot",
+    "ring_topology",
+    "snapshot_is_consistent",
+    "star_topology",
+]

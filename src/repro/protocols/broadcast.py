@@ -1,0 +1,133 @@
+"""Flooding broadcast: knowledge dissemination along a topology.
+
+A ``root`` process performs an internal ``learn`` event (establishing a
+fact local to the root) and then floods a ``fact`` message through an
+arbitrary topology; every process forwards the message to every
+neighbour it has not already sent to, once it has learnt the fact.
+
+This is the canonical *knowledge gain* workload: process ``v`` knows the
+fact exactly when a process chain ``<root … v>`` has carried it there, so
+Theorems 1 and 5 have dense non-vacuous instances (experiments E3, E9).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, InternalEvent, ReceiveEvent, SendEvent
+from repro.core.process import ProcessId
+from repro.knowledge.formula import Atom
+from repro.universe.protocol import History, Protocol
+
+FACT_TAG = "fact"
+LEARN_TAG = "learn"
+
+
+def line_topology(names: Sequence[ProcessId]) -> dict[ProcessId, tuple[ProcessId, ...]]:
+    """A line ``n0 - n1 - … - nk`` as an adjacency map."""
+    adjacency: dict[ProcessId, tuple[ProcessId, ...]] = {}
+    for index, name in enumerate(names):
+        neighbours = []
+        if index > 0:
+            neighbours.append(names[index - 1])
+        if index < len(names) - 1:
+            neighbours.append(names[index + 1])
+        adjacency[name] = tuple(neighbours)
+    return adjacency
+
+
+def star_topology(
+    centre: ProcessId, leaves: Sequence[ProcessId]
+) -> dict[ProcessId, tuple[ProcessId, ...]]:
+    """A star with ``centre`` connected to every leaf."""
+    adjacency: dict[ProcessId, tuple[ProcessId, ...]] = {
+        centre: tuple(leaves)
+    }
+    for leaf in leaves:
+        adjacency[leaf] = (centre,)
+    return adjacency
+
+
+def ring_topology(names: Sequence[ProcessId]) -> dict[ProcessId, tuple[ProcessId, ...]]:
+    """A ring over the given names."""
+    count = len(names)
+    return {
+        name: (names[(index - 1) % count], names[(index + 1) % count])
+        for index, name in enumerate(names)
+    }
+
+
+class BroadcastProtocol(Protocol):
+    """Flooding of one fact from ``root`` over ``topology``."""
+
+    def __init__(
+        self,
+        topology: Mapping[ProcessId, Sequence[ProcessId]],
+        root: ProcessId,
+    ) -> None:
+        super().__init__(topology.keys())
+        if root not in topology:
+            raise ValueError(f"root {root!r} is not in the topology")
+        self.topology = {
+            process: tuple(neighbours) for process, neighbours in topology.items()
+        }
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Local state
+    # ------------------------------------------------------------------
+    def knows_fact(self, process: ProcessId, history: History) -> bool:
+        """Has this process learnt the fact (locally or by message)?"""
+        for event in history:
+            if isinstance(event, InternalEvent) and event.tag == LEARN_TAG:
+                return True
+            if isinstance(event, ReceiveEvent) and event.message.tag == FACT_TAG:
+                return True
+        return False
+
+    def _already_sent_to(self, history: History) -> frozenset[ProcessId]:
+        return frozenset(
+            event.message.receiver
+            for event in history
+            if isinstance(event, SendEvent) and event.message.tag == FACT_TAG
+        )
+
+    def _heard_from(self, history: History) -> frozenset[ProcessId]:
+        """Neighbours this process has already received the fact from —
+        no need to echo it back to them."""
+        return frozenset(
+            event.message.sender
+            for event in history
+            if isinstance(event, ReceiveEvent) and event.message.tag == FACT_TAG
+        )
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def local_steps(self, process: ProcessId, history: History) -> Iterable[Event]:
+        if process == self.root and not self.knows_fact(process, history):
+            yield self.next_internal(history, process, LEARN_TAG)
+            return
+        if not self.knows_fact(process, history):
+            return
+        skip = self._already_sent_to(history) | self._heard_from(history)
+        for neighbour in self.topology[process]:
+            if neighbour not in skip:
+                message = self.next_message(history, process, neighbour, FACT_TAG)
+                yield self.send_of(message)
+
+
+def fact_known_atom(protocol: BroadcastProtocol, process: ProcessId) -> Atom:
+    """``process has learnt the fact`` as a knowledge atom (local to the
+    process)."""
+
+    def fn(configuration: Configuration) -> bool:
+        return protocol.knows_fact(process, configuration.history(process))
+
+    return Atom(f"{process} knows fact", fn)
+
+
+def fact_established_atom(protocol: BroadcastProtocol) -> Atom:
+    """``the root has performed its learn event`` — local to the root."""
+    return fact_known_atom(protocol, protocol.root)

@@ -1,0 +1,162 @@
+"""Dijkstra–Scholten termination detection for diffusing computations.
+
+The classic signalling algorithm: every work message is eventually
+acknowledged; a process is *engaged* from the first work message that
+finds it disengaged (its *parent edge*) and acknowledges that parent only
+once it is passive, has no unacknowledged work messages of its own
+(deficit zero), and has answered every other work message immediately.
+The root detects termination when it is passive with deficit zero.
+
+The overhead is exactly one ``ack`` per ``work`` message — the algorithm
+*meets* the paper's §5(c) lower bound (overhead >= underlying messages),
+which is what experiment E12 measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.events import (
+    Event,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+)
+from repro.core.process import ProcessId
+from repro.protocols.termination import (
+    WORK_TAG,
+    DiffusingComputationProtocol,
+    TerminationWorkload,
+)
+from repro.universe.protocol import History
+
+ACK_TAG = "ack"
+DETECT_TAG = "detect"
+
+
+@dataclass(frozen=True)
+class DsState:
+    """Derived Dijkstra–Scholten state of one process."""
+
+    engaged: bool
+    parent: Message | None  # the work message that engaged this process
+    deficit: int  # own work messages not yet acknowledged
+    pending: tuple[Message, ...]  # work messages owed an immediate ack
+    detected: bool  # root only
+
+
+def _acked_work_message(ack: Message) -> Message:
+    """The work message an ack message acknowledges.
+
+    Acks carry ``(work_sender, work_seq)``; together with the ack's sender
+    (the work receiver) this identifies the work message uniquely.
+    """
+    work_sender, work_seq = ack.payload
+    return Message(
+        sender=work_sender,
+        receiver=ack.sender,
+        tag=WORK_TAG,
+        seq=work_seq,
+    )
+
+
+class DijkstraScholtenProtocol(DiffusingComputationProtocol):
+    """A diffusing computation overlaid with Dijkstra–Scholten detection."""
+
+    def __init__(self, workload: TerminationWorkload) -> None:
+        super().__init__(workload)
+        self.root = workload.root
+
+    # ------------------------------------------------------------------
+    # State replay
+    # ------------------------------------------------------------------
+    def ds_state(self, process: ProcessId, history: History) -> DsState:
+        engaged = process == self.root
+        parent: Message | None = None
+        deficit = 0
+        pending: list[Message] = []
+        detected = False
+        for event in history:
+            if isinstance(event, ReceiveEvent):
+                if event.message.tag == WORK_TAG:
+                    if engaged:
+                        pending.append(event.message)
+                    else:
+                        engaged = True
+                        parent = event.message
+                elif event.message.tag == ACK_TAG:
+                    deficit -= 1
+            elif isinstance(event, SendEvent):
+                if event.message.tag == WORK_TAG:
+                    deficit += 1
+                elif event.message.tag == ACK_TAG:
+                    acked = _acked_work_message(event.message)
+                    if parent is not None and acked == parent:
+                        engaged = False
+                        parent = None
+                    else:
+                        pending.remove(acked)
+            elif isinstance(event, InternalEvent) and event.tag == DETECT_TAG:
+                detected = True
+        return DsState(
+            engaged=engaged,
+            parent=parent,
+            deficit=deficit,
+            pending=tuple(pending),
+            detected=detected,
+        )
+
+    def _ack_for(self, history: History, work: Message) -> Event:
+        message = self.next_message(
+            history,
+            sender=work.receiver,
+            receiver=work.sender,
+            tag=ACK_TAG,
+            payload=(work.sender, work.seq),
+        )
+        return self.send_of(message)
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def local_steps(self, process: ProcessId, history: History) -> Iterable[Event]:
+        state = self.ds_state(process, history)
+        underlying = self.underlying_state(process, history)
+
+        if state.pending:
+            yield self._ack_for(history, state.pending[0])
+
+        step = self.underlying_step(process, history)
+        if step is not None:
+            yield step
+
+        quiet = (
+            not underlying.active and state.deficit == 0 and not state.pending
+        )
+        if quiet and process == self.root:
+            if state.engaged and not state.detected:
+                yield self.next_internal(history, process, DETECT_TAG)
+        elif quiet and state.engaged and state.parent is not None:
+            yield self._ack_for(history, state.parent)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def has_detected(self, configuration: Configuration) -> bool:
+        """Has the root announced termination?"""
+        return any(
+            isinstance(event, InternalEvent) and event.tag == DETECT_TAG
+            for event in configuration.history(self.root)
+        )
+
+    @staticmethod
+    def overhead_messages(configuration: Configuration) -> int:
+        """Number of ack messages sent (the algorithm's total overhead)."""
+        return sum(
+            1
+            for event in configuration.events()
+            if isinstance(event, SendEvent) and event.message.tag == ACK_TAG
+        )

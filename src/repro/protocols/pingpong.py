@@ -1,0 +1,56 @@
+"""Ping-pong: the smallest non-trivial knowledge-transfer workload.
+
+Process ``left`` sends ``ping #k`` to ``right``; ``right`` answers with
+``pong #k``; ``left`` must receive ``pong #k`` before sending ``ping
+#(k+1)``.  With ``rounds`` bounded the computation space is finite and
+complete, which makes this the work-horse universe for exhaustively
+checking the paper's theorems (experiments E2, E3, E5, E6, E9).
+
+The round trip is exactly a process chain ``<left right left>``, so every
+knowledge-gain theorem has non-vacuous instances here: ``left`` learns
+that ``right`` received the ping precisely when the pong arrives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.events import Event, ReceiveEvent, SendEvent
+from repro.core.process import ProcessId
+from repro.universe.protocol import History, Protocol
+
+
+class PingPongProtocol(Protocol):
+    """Two processes exchanging ``rounds`` ping/pong round trips."""
+
+    def __init__(
+        self, rounds: int = 1, left: ProcessId = "p", right: ProcessId = "q"
+    ) -> None:
+        super().__init__((left, right))
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.rounds = rounds
+        self.left = left
+        self.right = right
+
+    @staticmethod
+    def _count(history: History, kind: type, tag: str) -> int:
+        return sum(
+            1
+            for event in history
+            if isinstance(event, kind) and event.message.tag == tag
+        )
+
+    def local_steps(self, process: ProcessId, history: History) -> Iterable[Event]:
+        if process == self.left:
+            pings_sent = self._count(history, SendEvent, "ping")
+            pongs_received = self._count(history, ReceiveEvent, "pong")
+            if pings_sent < self.rounds and pings_sent == pongs_received:
+                message = self.next_message(history, self.left, self.right, "ping")
+                yield self.send_of(message)
+        else:
+            pings_received = self._count(history, ReceiveEvent, "ping")
+            pongs_sent = self._count(history, SendEvent, "pong")
+            if pongs_sent < pings_received:
+                message = self.next_message(history, self.right, self.left, "pong")
+                yield self.send_of(message)

@@ -1,0 +1,229 @@
+"""A wave-based (four-counter) polling termination detector.
+
+A dedicated detector process repeatedly *probes* every underlying
+process; each answers with a *report* carrying its work-message send
+count, receive count, and passivity at reply time.  The detector
+announces termination after two consecutive waves whose aggregated
+reports are identical, balanced (sends == receives) and all-passive —
+Mattern's four-counter condition.
+
+The detector's overhead is ``2 * N`` messages per wave, which generally
+*exceeds* the Dijkstra–Scholten overhead and illustrates the other side
+of §5(c): probes must be sent even when the underlying computation has
+not terminated, because the detector's view is isomorphic to one in which
+it has (experiment E12's second series).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.events import (
+    Event,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+)
+from repro.core.process import ProcessId
+from repro.protocols.termination import (
+    WORK_TAG,
+    DiffusingComputationProtocol,
+    TerminationWorkload,
+)
+from repro.universe.protocol import History
+
+PROBE_TAG = "probe"
+REPORT_TAG = "report"
+DETECT_TAG = "detect"
+
+
+@dataclass(frozen=True)
+class WaveSummary:
+    """Aggregated reports of one completed wave."""
+
+    sent: int
+    received: int
+    all_passive: bool
+
+
+class PollingDetectorProtocol(DiffusingComputationProtocol):
+    """A diffusing computation plus a polling detector process."""
+
+    def __init__(
+        self,
+        workload: TerminationWorkload,
+        detector: ProcessId = "detector",
+        max_waves: int = 64,
+    ) -> None:
+        if detector in workload.processes:
+            raise ValueError("the detector must not be an underlying process")
+        self.detector = detector
+        self.workers = tuple(workload.processes)
+        self.max_waves = max_waves
+        self._workload_only = workload
+        # The detector participates as a process of the distributed system.
+        super(DiffusingComputationProtocol, self).__init__(
+            tuple(workload.processes) + (detector,)
+        )
+        self.workload = workload
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _work_counts(self, history: History) -> tuple[int, int]:
+        sent = sum(
+            1
+            for event in history
+            if isinstance(event, SendEvent) and event.message.tag == WORK_TAG
+        )
+        received = sum(
+            1
+            for event in history
+            if isinstance(event, ReceiveEvent) and event.message.tag == WORK_TAG
+        )
+        return sent, received
+
+    def _unanswered_probes(self, history: History) -> list[Message]:
+        probes = [
+            event.message
+            for event in history
+            if isinstance(event, ReceiveEvent) and event.message.tag == PROBE_TAG
+        ]
+        replies = sum(
+            1
+            for event in history
+            if isinstance(event, SendEvent) and event.message.tag == REPORT_TAG
+        )
+        return probes[replies:]
+
+    def _worker_steps(
+        self, process: ProcessId, history: History
+    ) -> Iterable[Event]:
+        unanswered = self._unanswered_probes(history)
+        if unanswered:
+            probe = unanswered[0]
+            wave = probe.payload
+            sent, received = self._work_counts(history)
+            passive = not self.underlying_state(process, history).active
+            message = self.next_message(
+                history,
+                sender=process,
+                receiver=self.detector,
+                tag=REPORT_TAG,
+                payload=(wave, sent, received, passive),
+            )
+            yield self.send_of(message)
+        step = self.underlying_step(process, history)
+        if step is not None:
+            yield step
+
+    # ------------------------------------------------------------------
+    # Detector side
+    # ------------------------------------------------------------------
+    def wave_summaries(self, history: History) -> list[WaveSummary]:
+        """Summaries of every *completed* wave, in wave order."""
+        reports: dict[int, list[tuple[int, int, bool]]] = {}
+        for event in history:
+            if isinstance(event, ReceiveEvent) and event.message.tag == REPORT_TAG:
+                wave, sent, received, passive = event.message.payload
+                reports.setdefault(wave, []).append((sent, received, passive))
+        summaries = []
+        wave = 0
+        while wave in reports and len(reports[wave]) == len(self.workers):
+            entries = reports[wave]
+            summaries.append(
+                WaveSummary(
+                    sent=sum(entry[0] for entry in entries),
+                    received=sum(entry[1] for entry in entries),
+                    all_passive=all(entry[2] for entry in entries),
+                )
+            )
+            wave += 1
+        return summaries
+
+    @staticmethod
+    def detection_condition(summaries: list[WaveSummary]) -> bool:
+        """Two consecutive identical, balanced, all-passive waves."""
+        if len(summaries) < 2:
+            return False
+        previous, latest = summaries[-2], summaries[-1]
+        return (
+            previous.all_passive
+            and latest.all_passive
+            and previous.sent == latest.sent
+            and previous.received == latest.received
+            and latest.sent == latest.received
+        )
+
+    def _detector_steps(self, history: History) -> Iterable[Event]:
+        if any(
+            isinstance(event, InternalEvent) and event.tag == DETECT_TAG
+            for event in history
+        ):
+            return
+        probes_sent = sum(
+            1
+            for event in history
+            if isinstance(event, SendEvent) and event.message.tag == PROBE_TAG
+        )
+        summaries = self.wave_summaries(history)
+        if self.detection_condition(summaries):
+            yield self.next_internal(history, self.detector, DETECT_TAG)
+            return
+        count = len(self.workers)
+        current_wave, position = divmod(probes_sent, count)
+        if position == 0 and len(summaries) < current_wave:
+            return  # wait for the previous wave's reports
+        if current_wave >= self.max_waves:
+            return
+        target = self.workers[position]
+        message = self.next_message(
+            history,
+            sender=self.detector,
+            receiver=target,
+            tag=PROBE_TAG,
+            payload=current_wave,
+        )
+        yield self.send_of(message)
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def local_steps(self, process: ProcessId, history: History) -> Iterable[Event]:
+        if process == self.detector:
+            yield from self._detector_steps(history)
+        else:
+            yield from self._worker_steps(process, history)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def has_detected(self, configuration: Configuration) -> bool:
+        """Has the detector announced termination?"""
+        return any(
+            isinstance(event, InternalEvent) and event.tag == DETECT_TAG
+            for event in configuration.history(self.detector)
+        )
+
+    @staticmethod
+    def overhead_messages(configuration: Configuration) -> int:
+        """Probe plus report messages sent."""
+        return sum(
+            1
+            for event in configuration.events()
+            if isinstance(event, SendEvent)
+            and event.message.tag in (PROBE_TAG, REPORT_TAG)
+        )
+
+    def is_terminated(self, configuration: Configuration) -> bool:
+        """Underlying termination (ignores detector traffic)."""
+        for message in configuration.in_flight_messages:
+            if message.tag == WORK_TAG:
+                return False
+        for process in self.workers:
+            if self.underlying_state(process, configuration.history(process)).active:
+                return False
+        return True

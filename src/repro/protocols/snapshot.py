@@ -1,0 +1,252 @@
+"""Chandy–Lamport global snapshots: processes learning a global state.
+
+The snapshot algorithm is the constructive counterpart of the paper's
+theme — a process assembles knowledge of a *consistent* global state from
+purely local observations.  We implement it over a unidirectional token
+ring (the only channels are each process's edge to its successor), with
+FIFO channels (wrap the protocol in
+:class:`repro.simulation.network.FifoProtocol`).
+
+* The initiator records its state spontaneously (internal ``record``
+  event) and sends a ``marker`` on its outgoing channel.
+* On first ``marker`` receipt a process records its state and forwards a
+  marker; the state of an incoming channel is the sequence of application
+  messages received after recording and before that channel's marker.
+
+:func:`recorded_snapshot` extracts the recorded global state from a
+computation, and :func:`snapshot_is_consistent` checks the algorithm's
+guarantee: the recorded cut is a *valid configuration* whose in-flight
+application messages are exactly the recorded channel states.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ProtocolError
+from repro.core.events import (
+    Event,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+)
+from repro.core.process import ProcessId
+from repro.core.validation import is_valid_configuration
+from repro.universe.protocol import History, Protocol
+
+TOKEN_TAG = "app-token"
+MARKER_TAG = "marker"
+RECORD_TAG = "record"
+
+
+class SnapshotTokenRingProtocol(Protocol):
+    """A token ring overlaid with the Chandy–Lamport snapshot algorithm."""
+
+    def __init__(
+        self,
+        ring: Sequence[ProcessId] = ("p", "q", "r"),
+        max_hops: int = 3,
+        initiator: ProcessId | None = None,
+    ) -> None:
+        if len(ring) < 2:
+            raise ProtocolError("a ring needs at least two processes")
+        super().__init__(ring)
+        self.ring = tuple(ring)
+        self.max_hops = max_hops
+        self.initiator = initiator if initiator is not None else self.ring[0]
+        if self.initiator not in self.ring:
+            raise ProtocolError("the initiator must be on the ring")
+
+    def successor(self, process: ProcessId) -> ProcessId:
+        index = self.ring.index(process)
+        return self.ring[(index + 1) % len(self.ring)]
+
+    # ------------------------------------------------------------------
+    # Local state helpers
+    # ------------------------------------------------------------------
+    def holds_token(self, process: ProcessId, history: History) -> bool:
+        received = sum(
+            1
+            for event in history
+            if isinstance(event, ReceiveEvent) and event.message.tag == TOKEN_TAG
+        )
+        sent = sum(
+            1
+            for event in history
+            if isinstance(event, SendEvent) and event.message.tag == TOKEN_TAG
+        )
+        if process == self.ring[0]:
+            return received == sent
+        return received == sent + 1
+
+    def _token_hop(self, history: History) -> int:
+        for event in reversed(history):
+            if isinstance(event, ReceiveEvent) and event.message.tag == TOKEN_TAG:
+                return int(event.message.payload)
+        return 0
+
+    def has_recorded(self, history: History) -> bool:
+        """Has this process recorded its snapshot state?"""
+        return any(
+            (isinstance(event, InternalEvent) and event.tag == RECORD_TAG)
+            for event in history
+        )
+
+    def _marker_sent(self, history: History) -> bool:
+        return any(
+            isinstance(event, SendEvent) and event.message.tag == MARKER_TAG
+            for event in history
+        )
+
+    def _marker_received(self, history: History) -> bool:
+        return any(
+            isinstance(event, ReceiveEvent) and event.message.tag == MARKER_TAG
+            for event in history
+        )
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def local_steps(self, process: ProcessId, history: History) -> Iterable[Event]:
+        recorded = self.has_recorded(history)
+        # The marker must be the first message sent after recording —
+        # otherwise a post-record application message could overtake it
+        # (even on a FIFO channel) and land inside the receiver's cut.
+        if recorded and not self._marker_sent(history):
+            message = self.next_message(
+                history, process, self.successor(process), MARKER_TAG
+            )
+            yield self.send_of(message)
+            return
+        # Application: forward the token around the ring.
+        if self.holds_token(process, history):
+            hop = self._token_hop(history)
+            if hop < self.max_hops:
+                message = self.next_message(
+                    history,
+                    process,
+                    self.successor(process),
+                    TOKEN_TAG,
+                    payload=hop + 1,
+                )
+                yield self.send_of(message)
+        # Snapshot: spontaneous recording at the initiator, and recording
+        # forced by a received marker at everyone.
+        if not recorded and (
+            process == self.initiator or self._marker_received(history)
+        ):
+            yield self.next_internal(history, process, RECORD_TAG)
+
+    def can_receive(self, process: ProcessId, history: History, message) -> bool:
+        # Recording is atomic with the marker receipt in Chandy–Lamport:
+        # once a marker has arrived, nothing else may be received until the
+        # state is recorded, or a message sent outside the sender's cut
+        # could slip into this process's recorded prefix.
+        if self._marker_received(history) and not self.has_recorded(history):
+            return False
+        return True
+
+    def snapshot_complete(self, configuration: Configuration) -> bool:
+        """All processes recorded and all markers delivered."""
+        for process in self.ring:
+            history = configuration.history(process)
+            if not self.has_recorded(history):
+                return False
+            if not self._marker_received(history):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class GlobalSnapshot:
+    """The recorded global state: per-process history prefixes and
+    per-channel message sequences."""
+
+    states: dict[ProcessId, tuple[Event, ...]]
+    channels: dict[tuple[ProcessId, ProcessId], tuple[Message, ...]]
+
+    def cut(self) -> Configuration:
+        """The recorded cut as a configuration."""
+        return Configuration(self.states)
+
+    def channel_messages(self) -> frozenset[Message]:
+        return frozenset(
+            message
+            for messages in self.channels.values()
+            for message in messages
+        )
+
+
+def recorded_snapshot(
+    protocol: SnapshotTokenRingProtocol, configuration: Configuration
+) -> GlobalSnapshot:
+    """Extract the algorithm's recorded snapshot from a computation.
+
+    Requires a completed snapshot (:meth:`SnapshotTokenRingProtocol.
+    snapshot_complete`).
+    """
+    if not protocol.snapshot_complete(configuration):
+        raise ProtocolError("snapshot has not completed in this computation")
+    states: dict[ProcessId, tuple[Event, ...]] = {}
+    channels: dict[tuple[ProcessId, ProcessId], tuple[Message, ...]] = {}
+    for process in protocol.ring:
+        history = configuration.history(process)
+        record_index = next(
+            index
+            for index, event in enumerate(history)
+            if isinstance(event, InternalEvent) and event.tag == RECORD_TAG
+        )
+        # The recorded state is the *application* prefix: marker traffic
+        # and the record event itself are snapshot machinery, not part of
+        # the state being photographed.
+        states[process] = tuple(
+            event
+            for event in history[:record_index]
+            if (isinstance(event, (SendEvent, ReceiveEvent)))
+            and event.message.tag == TOKEN_TAG
+        )
+        # Incoming channel state: app messages received after recording
+        # and before the channel's marker.  When the marker itself caused
+        # the recording (marker receive precedes the record event) the
+        # channel state is empty.
+        predecessor = protocol.ring[
+            (protocol.ring.index(process) - 1) % len(protocol.ring)
+        ]
+        marker_index = next(
+            index
+            for index, event in enumerate(history)
+            if isinstance(event, ReceiveEvent)
+            and event.message.tag == MARKER_TAG
+        )
+        collected = tuple(
+            event.message
+            for event in history[record_index:marker_index]
+            if isinstance(event, ReceiveEvent) and event.message.tag == TOKEN_TAG
+        )
+        channels[(predecessor, process)] = collected
+    return GlobalSnapshot(states=states, channels=channels)
+
+
+def snapshot_is_consistent(
+    protocol: SnapshotTokenRingProtocol, configuration: Configuration
+) -> bool:
+    """The Chandy–Lamport guarantee, checked mechanically.
+
+    The recorded per-process states must form a *valid* configuration
+    (a consistent cut: every message received in the cut was sent in it),
+    and the recorded channel states must be exactly the application
+    messages in flight across that cut.
+    """
+    snapshot = recorded_snapshot(protocol, configuration)
+    cut = snapshot.cut()
+    if not is_valid_configuration(cut):
+        return False
+    in_flight_app = frozenset(
+        message
+        for message in cut.in_flight_messages
+        if message.tag == TOKEN_TAG
+    )
+    return in_flight_app == snapshot.channel_messages()

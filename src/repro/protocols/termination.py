@@ -1,0 +1,216 @@
+"""Diffusing computations: the "underlying computation" of §5(c).
+
+The paper's termination-detection lower bound speaks of an *underlying
+computation* whose processes send messages and fall idle, overlaid by a
+detection algorithm whose *overhead messages* must, in the worst case, be
+at least as numerous as the underlying ones.
+
+A :class:`TerminationWorkload` is a finite script: for each process, a
+list of *activations*; the ``j``-th activation of a process runs when its
+``j``-th work message arrives (the root's first activation runs at start).
+An activation sends work messages to its targets, one by one, and then
+the process falls idle (an internal ``idle`` event).  Because every work
+message is eventually delivered and each delivery triggers exactly one
+activation, the total number of work messages is a deterministic property
+of the script, independent of scheduling —
+:meth:`TerminationWorkload.total_work_messages`.
+
+:class:`DiffusingComputationProtocol` executes a workload with no
+detection overlay; the detectors in
+:mod:`repro.protocols.dijkstra_scholten` and
+:mod:`repro.protocols.polling_detector` build on the same state machine.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, InternalEvent, ReceiveEvent, SendEvent
+from repro.core.process import ProcessId
+from repro.knowledge.formula import Atom
+from repro.universe.protocol import History, Protocol
+
+WORK_TAG = "work"
+IDLE_TAG = "idle"
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One activation: send work to ``targets`` in order, then fall idle."""
+
+    targets: tuple[ProcessId, ...] = ()
+
+
+EMPTY_ACTIVATION = Activation(())
+
+
+@dataclass(frozen=True)
+class TerminationWorkload:
+    """A finite script for a diffusing computation."""
+
+    processes: tuple[ProcessId, ...]
+    root: ProcessId
+    plans: Mapping[ProcessId, tuple[Activation, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.root not in self.processes:
+            raise ValueError(f"root {self.root!r} is not among the processes")
+        for process, plan in self.plans.items():
+            if process not in self.processes:
+                raise ValueError(f"plan given for unknown process {process!r}")
+            for activation in plan:
+                for target in activation.targets:
+                    if target not in self.processes:
+                        raise ValueError(
+                            f"activation of {process!r} targets unknown "
+                            f"process {target!r}"
+                        )
+
+    def plan_of(self, process: ProcessId) -> tuple[Activation, ...]:
+        return tuple(self.plans.get(process, ()))
+
+    def activation(self, process: ProcessId, index: int) -> Activation:
+        """The ``index``-th activation (empty beyond the scripted ones)."""
+        plan = self.plan_of(process)
+        if index < len(plan):
+            return plan[index]
+        return EMPTY_ACTIVATION
+
+    def total_work_messages(self) -> int:
+        """Work messages sent in any complete run (schedule-independent).
+
+        Computed by abstract replay: deliver pending messages in any
+        order; each delivery triggers the receiver's next activation.
+        """
+        triggered = {process: 0 for process in self.processes}
+        pending: deque[ProcessId] = deque([self.root])
+        total = 0
+        while pending:
+            receiver = pending.popleft()
+            activation = self.activation(receiver, triggered[receiver])
+            triggered[receiver] += 1
+            for target in activation.targets:
+                total += 1
+                pending.append(target)
+        return total
+
+
+def generate_workload(
+    processes: Sequence[ProcessId],
+    seed: int = 0,
+    activations_per_process: int = 2,
+    max_fanout: int = 2,
+    root: ProcessId | None = None,
+) -> TerminationWorkload:
+    """A random but reproducible workload.
+
+    Later activations have geometrically smaller fanout so the diffusing
+    computation always dies out (total messages finite).
+    """
+    names = tuple(processes)
+    chosen_root = root if root is not None else names[0]
+    rng = random.Random(seed)
+    plans: dict[ProcessId, tuple[Activation, ...]] = {}
+    for process in names:
+        plan = []
+        for index in range(activations_per_process):
+            ceiling = max(0, max_fanout - index)
+            floor = 1 if process == chosen_root and index == 0 else 0
+            fanout = rng.randint(floor, max(floor, ceiling))
+            targets = tuple(
+                rng.choice([name for name in names if name != process])
+                for _ in range(fanout)
+            )
+            plan.append(Activation(targets))
+        plans[process] = tuple(plan)
+    return TerminationWorkload(processes=names, root=chosen_root, plans=plans)
+
+
+@dataclass(frozen=True)
+class UnderlyingState:
+    """Derived underlying-computation state of one process."""
+
+    triggered: int  # activations queued (work receipts, +1 for the root)
+    completed: int  # activations finished (idle events)
+    sends_in_current: int  # work sends already done in the running activation
+
+    @property
+    def active(self) -> bool:
+        return self.completed < self.triggered
+
+
+class DiffusingComputationProtocol(Protocol):
+    """Executes a :class:`TerminationWorkload` with no detection overlay."""
+
+    def __init__(self, workload: TerminationWorkload) -> None:
+        super().__init__(workload.processes)
+        self.workload = workload
+
+    # ------------------------------------------------------------------
+    # State replay
+    # ------------------------------------------------------------------
+    def underlying_state(
+        self, process: ProcessId, history: History
+    ) -> UnderlyingState:
+        triggered = 1 if process == self.workload.root else 0
+        completed = 0
+        work_sends = 0
+        for event in history:
+            if isinstance(event, ReceiveEvent) and event.message.tag == WORK_TAG:
+                triggered += 1
+            elif isinstance(event, InternalEvent) and event.tag == IDLE_TAG:
+                completed += 1
+            elif isinstance(event, SendEvent) and event.message.tag == WORK_TAG:
+                work_sends += 1
+        consumed = sum(
+            len(self.workload.activation(process, index).targets)
+            for index in range(completed)
+        )
+        return UnderlyingState(
+            triggered=triggered,
+            completed=completed,
+            sends_in_current=work_sends - consumed,
+        )
+
+    def underlying_step(
+        self, process: ProcessId, history: History
+    ) -> Event | None:
+        """The next underlying event of ``process``, if it is active."""
+        state = self.underlying_state(process, history)
+        if not state.active:
+            return None
+        activation = self.workload.activation(process, state.completed)
+        if state.sends_in_current < len(activation.targets):
+            target = activation.targets[state.sends_in_current]
+            message = self.next_message(history, process, target, WORK_TAG)
+            return self.send_of(message)
+        return self.next_internal(history, process, IDLE_TAG)
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def local_steps(self, process: ProcessId, history: History) -> Iterable[Event]:
+        step = self.underlying_step(process, history)
+        if step is not None:
+            yield step
+
+    # ------------------------------------------------------------------
+    # Global predicates
+    # ------------------------------------------------------------------
+    def is_terminated(self, configuration: Configuration) -> bool:
+        """All processes passive and no work message in flight."""
+        for message in configuration.in_flight_messages:
+            if message.tag == WORK_TAG:
+                return False
+        for process in self.processes:
+            if self.underlying_state(process, configuration.history(process)).active:
+                return False
+        return True
+
+    def terminated_atom(self) -> Atom:
+        """Underlying termination as a knowledge atom."""
+        return Atom("underlying terminated", self.is_terminated)

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate: run protocols at scale."""
+
+from repro.simulation.failures import (
+    CRASH_TAG,
+    CrashableProtocol,
+    crash_event,
+    crashed_atom,
+    has_crashed,
+)
+from repro.simulation.network import FifoProtocol, fifo_frontier
+from repro.simulation.scheduler import (
+    BiasedScheduler,
+    EagerReceiveScheduler,
+    FifoScheduler,
+    LazyReceiveScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+from repro.simulation.simulator import Simulator, simulate
+from repro.simulation.trace import SimulationTrace
+
+__all__ = [
+    "CRASH_TAG",
+    "BiasedScheduler",
+    "CrashableProtocol",
+    "EagerReceiveScheduler",
+    "FifoProtocol",
+    "FifoScheduler",
+    "LazyReceiveScheduler",
+    "RandomScheduler",
+    "Scheduler",
+    "SimulationTrace",
+    "Simulator",
+    "crash_event",
+    "crashed_atom",
+    "fifo_frontier",
+    "has_crashed",
+    "simulate",
+]

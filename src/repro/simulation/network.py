@@ -1,0 +1,60 @@
+"""Channel-ordering disciplines.
+
+The base model's channels are unordered: any in-flight message may be
+received.  Some substrate algorithms (notably the Chandy–Lamport snapshot,
+whose markers separate pre- and post-snapshot messages) require FIFO
+channels.  :class:`FifoProtocol` restricts enabling so that, per
+(sender, receiver) pair, only the *oldest* undelivered message is
+receivable — a strict subset of the base computation set, so every
+theorem proven over the unordered model still applies.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Message, ReceiveEvent, SendEvent
+from repro.universe.protocol import Protocol
+
+
+def fifo_frontier(configuration: Configuration) -> frozenset[Message]:
+    """The in-flight messages deliverable under FIFO ordering.
+
+    For each (sender, receiver) pair, the earliest message — in the
+    sender's send order — that has not yet been received.
+    """
+    received = configuration.received_messages
+    frontier: dict[tuple[str, str], Message] = {}
+    for process in sorted(configuration.processes):
+        for event in configuration.history(process):
+            if not isinstance(event, SendEvent):
+                continue
+            message = event.message
+            key = (message.sender, message.receiver)
+            if key in frontier:
+                continue
+            if message not in received:
+                frontier[key] = message
+    return frozenset(frontier.values())
+
+
+class FifoProtocol(Protocol):
+    """Wrap ``base`` with FIFO channel semantics."""
+
+    def __init__(self, base: Protocol) -> None:
+        super().__init__(base.processes)
+        self.base = base
+
+    def local_steps(self, process, history):
+        return self.base.local_steps(process, history)
+
+    def can_receive(self, process, history, message) -> bool:
+        return self.base.can_receive(process, history, message)
+
+    def enabled_events(self, configuration: Configuration) -> list[Event]:
+        allowed = fifo_frontier(configuration)
+        events = []
+        for event in super().enabled_events(configuration):
+            if isinstance(event, ReceiveEvent) and event.message not in allowed:
+                continue
+            events.append(event)
+        return events

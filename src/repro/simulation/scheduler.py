@@ -1,0 +1,122 @@
+"""Scheduling policies for the discrete-event simulator.
+
+A scheduler picks the next event among those enabled in the current
+configuration.  Different policies realise different *computations* of the
+same protocol — the nondeterminism the paper's isomorphism quantifies
+over.  All schedulers are deterministic given their construction
+arguments (seeded), so simulation runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections.abc import Callable, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event
+
+
+class Scheduler(abc.ABC):
+    """Strategy for resolving scheduling nondeterminism."""
+
+    @abc.abstractmethod
+    def choose(
+        self, configuration: Configuration, enabled: Sequence[Event]
+    ) -> Event:
+        """Pick one of the enabled events (``enabled`` is non-empty)."""
+
+    def reset(self) -> None:
+        """Restore initial state (called by ``Simulator.reset``)."""
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice with a fixed seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(
+        self, configuration: Configuration, enabled: Sequence[Event]
+    ) -> Event:
+        return enabled[self._rng.randrange(len(enabled))]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class FifoScheduler(Scheduler):
+    """Always pick the first enabled event (deterministic round-robin by
+    the protocol's enumeration order: local steps before receives, process
+    name order)."""
+
+    def choose(
+        self, configuration: Configuration, enabled: Sequence[Event]
+    ) -> Event:
+        return enabled[0]
+
+
+class EagerReceiveScheduler(Scheduler):
+    """Deliver messages as soon as possible; fall back to local steps.
+
+    Minimises in-flight time, producing "fast network" computations.
+    """
+
+    def choose(
+        self, configuration: Configuration, enabled: Sequence[Event]
+    ) -> Event:
+        for event in enabled:
+            if event.is_receive:
+                return event
+        return enabled[0]
+
+
+class LazyReceiveScheduler(Scheduler):
+    """Defer deliveries as long as possible ("slow network").
+
+    Maximises concurrency windows, useful for adversarial schedules in the
+    termination-detection lower-bound experiment.
+    """
+
+    def choose(
+        self, configuration: Configuration, enabled: Sequence[Event]
+    ) -> Event:
+        for event in enabled:
+            if not event.is_receive:
+                return event
+        return enabled[0]
+
+
+class BiasedScheduler(Scheduler):
+    """Random scheduler that prefers events accepted by ``predicate`` with
+    the given ``bias`` probability (when any candidate matches).
+
+    A cheap way to steer simulations into rare interleavings without
+    losing reproducibility.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[Event], bool],
+        bias: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must lie in [0, 1]")
+        self._predicate = predicate
+        self._bias = bias
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(
+        self, configuration: Configuration, enabled: Sequence[Event]
+    ) -> Event:
+        preferred = [event for event in enabled if self._predicate(event)]
+        pool: Sequence[Event] = enabled
+        if preferred and self._rng.random() < self._bias:
+            pool = preferred
+        return pool[self._rng.randrange(len(pool))]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,19 @@
+"""Computation universes: protocols and exhaustive exploration."""
+
+from repro.universe.builder import (
+    configuration_from_events,
+    figure_3_1_computations,
+    figure_3_1_universe,
+)
+from repro.universe.explorer import EnumeratedUniverse, Universe
+from repro.universe.protocol import History, Protocol
+
+__all__ = [
+    "EnumeratedUniverse",
+    "History",
+    "Protocol",
+    "Universe",
+    "configuration_from_events",
+    "figure_3_1_computations",
+    "figure_3_1_universe",
+]

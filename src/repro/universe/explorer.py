@@ -1,0 +1,269 @@
+"""Exhaustive enumeration of a protocol's system computations.
+
+A :class:`Universe` is the set of all reachable configurations (canonical
+``[D]``-classes of system computations) of a protocol, up to optional
+bounds.  It is *the* quantification domain for everything in the theory:
+
+* ``x [P] y`` quantifies over projections — answered by an index from
+  P-projections to configurations;
+* composed relations ``x [P1 … Pn] z`` existentially quantify over
+  intermediate computations — answered by breadth-first search through
+  isomorphism classes;
+* ``(P knows b) at x`` universally quantifies over the ``[P]``-class of
+  ``x`` — answered by scanning the indexed class.
+
+When exploration terminates without hitting a bound the universe is
+*complete* and every quantifier is exact (the protocols shipped in
+:mod:`repro.protocols` are designed to have finite computation spaces).
+When a bound is hit the universe is a sound under-approximation and
+:attr:`Universe.is_complete` is ``False``; theorem checkers refuse
+incomplete universes unless explicitly told otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.configuration import EMPTY_CONFIGURATION, Configuration
+from repro.core.errors import UniverseError
+from repro.core.events import Event
+from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+from repro.universe.protocol import Protocol
+
+ProjectionKey = tuple
+"""Canonical key identifying a ``[P]``-class (see Configuration.projection)."""
+
+
+class Universe:
+    """All reachable configurations of a protocol, with isomorphism indexes.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to explore.
+    max_events:
+        Stop extending configurations that already have this many events
+        (``None`` = unbounded; the protocol must then be finite).
+    max_configurations:
+        Abort exploration after this many configurations (safety valve).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        max_events: int | None = None,
+        max_configurations: int | None = 1_000_000,
+    ) -> None:
+        self._protocol = protocol
+        self._max_events = max_events
+        self._configurations: list[Configuration] = []
+        self._successors: dict[Configuration, list[Configuration]] = {}
+        self._complete = True
+        self._projection_indexes: dict[
+            frozenset[ProcessId], dict[ProjectionKey, list[Configuration]]
+        ] = {}
+        self._explore(max_configurations)
+
+    def _explore(self, max_configurations: int | None) -> None:
+        seen: set[Configuration] = {EMPTY_CONFIGURATION}
+        queue: deque[Configuration] = deque([EMPTY_CONFIGURATION])
+        self._configurations.append(EMPTY_CONFIGURATION)
+        while queue:
+            current = queue.popleft()
+            if self._max_events is not None and len(current) >= self._max_events:
+                if self._protocol.enabled_events(current):
+                    self._complete = False
+                self._successors[current] = []
+                continue
+            successors: list[Configuration] = []
+            for event in self._protocol.enabled_events(current):
+                extended = current.extend(event)
+                successors.append(extended)
+                if extended not in seen:
+                    seen.add(extended)
+                    self._configurations.append(extended)
+                    queue.append(extended)
+                    if (
+                        max_configurations is not None
+                        and len(self._configurations) > max_configurations
+                    ):
+                        raise UniverseError(
+                            f"exploration exceeded {max_configurations} "
+                            "configurations; raise the bound or shrink the protocol"
+                        )
+            self._successors[current] = successors
+
+    # ------------------------------------------------------------------
+    # Basic views
+    # ------------------------------------------------------------------
+    @property
+    def protocol(self) -> Protocol:
+        return self._protocol
+
+    @property
+    def processes(self) -> frozenset[ProcessId]:
+        """The paper's ``D``."""
+        return self._protocol.processes
+
+    @property
+    def is_complete(self) -> bool:
+        """True iff no exploration bound truncated the computation space."""
+        return self._complete
+
+    @property
+    def configurations(self) -> Sequence[Configuration]:
+        """All reachable configurations, in BFS order (shortest first)."""
+        return tuple(self._configurations)
+
+    def __len__(self) -> int:
+        return len(self._configurations)
+
+    def __contains__(self, configuration: Configuration) -> bool:
+        return configuration in self._successors
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self._configurations)
+
+    def require(self, configuration: Configuration) -> Configuration:
+        """Return ``configuration`` if it belongs to the universe, else raise."""
+        if configuration not in self:
+            raise UniverseError(
+                f"{configuration!r} is not a computation of this universe"
+            )
+        return configuration
+
+    def successors(self, configuration: Configuration) -> Sequence[Configuration]:
+        """One-event extensions of ``configuration`` within the universe."""
+        self.require(configuration)
+        return tuple(self._successors[configuration])
+
+    def complement(self, processes: ProcessSetLike) -> frozenset[ProcessId]:
+        """``P̄ = D - P``."""
+        return self._protocol.complement(processes)
+
+    # ------------------------------------------------------------------
+    # Isomorphism machinery
+    # ------------------------------------------------------------------
+    def _index_for(
+        self, processes: frozenset[ProcessId]
+    ) -> dict[ProjectionKey, list[Configuration]]:
+        index = self._projection_indexes.get(processes)
+        if index is None:
+            index = {}
+            for configuration in self._configurations:
+                key = configuration.projection(processes)
+                index.setdefault(key, []).append(configuration)
+            self._projection_indexes[processes] = index
+        return index
+
+    def iso_class(
+        self, configuration: Configuration, processes: ProcessSetLike
+    ) -> Sequence[Configuration]:
+        """All universe configurations ``y`` with ``configuration [P] y``."""
+        self.require(configuration)
+        p_set = as_process_set(processes)
+        index = self._index_for(p_set)
+        return tuple(index[configuration.projection(p_set)])
+
+    def iso_class_size(
+        self, configuration: Configuration, processes: ProcessSetLike
+    ) -> int:
+        """Size of the ``[P]``-class of ``configuration``."""
+        return len(self.iso_class(configuration, processes))
+
+    def sub_configuration_pairs(
+        self,
+    ) -> Iterator[tuple[Configuration, Configuration]]:
+        """All ordered pairs ``(x, z)`` with ``x`` a sub-configuration of
+        ``z`` — the configuration-level analogue of the paper's ``x <= z``.
+
+        Quadratic in the universe size; intended for exhaustive theorem
+        checking on small universes.
+        """
+        for smaller in self._configurations:
+            for larger in self._configurations:
+                if len(smaller) <= len(larger) and smaller.is_sub_configuration_of(
+                    larger
+                ):
+                    yield smaller, larger
+
+    def events(self) -> frozenset[Event]:
+        """Every event occurring anywhere in the universe."""
+        found: set[Event] = set()
+        for configuration in self._configurations:
+            found.update(configuration.events())
+        return frozenset(found)
+
+
+def _consistent_cuts(configuration: Configuration) -> Iterator[Configuration]:
+    """All message-consistent combinations of per-process history prefixes.
+
+    System computations are prefix closed and closed under removing
+    causally-maximal events, so every consistent cut of a computation is
+    itself a computation of the same system.
+    """
+    import itertools
+
+    processes = sorted(configuration.processes)
+    ranges = [range(len(configuration.history(process)) + 1) for process in processes]
+    for cut_lengths in itertools.product(*ranges):
+        histories = {
+            process: configuration.history(process)[:length]
+            for process, length in zip(processes, cut_lengths)
+        }
+        candidate = Configuration(histories)
+        if candidate.received_messages <= candidate.sent_messages:
+            yield candidate
+
+
+class EnumeratedUniverse(Universe):
+    """A universe given by an explicit set of computations.
+
+    Used for hand-built examples (e.g. Figure 3-1) where no protocol
+    exists: the given configurations are prefix-closed along the supplied
+    linearizations and indexed exactly like an explored universe.
+    """
+
+    def __init__(self, configurations: Iterable[Configuration]) -> None:
+        # Deliberately does not call super().__init__: there is no protocol.
+        closure: list[Configuration] = []
+        seen: set[Configuration] = set()
+        processes: set[ProcessId] = set()
+        for configuration in configurations:
+            for cut in _consistent_cuts(configuration):
+                if cut not in seen:
+                    seen.add(cut)
+                    closure.append(cut)
+            processes.update(configuration.processes)
+        closure.sort(key=len)
+        self._protocol = None  # type: ignore[assignment]
+        self._max_events = None
+        self._configurations = closure
+        self._complete = True
+        self._projection_indexes = {}
+        self._processes = frozenset(processes)
+        self._successors = {}
+        for configuration in closure:
+            self._successors[configuration] = [
+                other
+                for other in closure
+                if len(other) == len(configuration) + 1
+                and configuration.is_sub_configuration_of(other)
+            ]
+
+    @property
+    def protocol(self) -> Protocol:  # type: ignore[override]
+        raise UniverseError("an enumerated universe has no protocol")
+
+    @property
+    def processes(self) -> frozenset[ProcessId]:  # type: ignore[override]
+        return self._processes
+
+    def complement(self, processes: ProcessSetLike) -> frozenset[ProcessId]:
+        p_set = as_process_set(processes)
+        if not p_set <= self._processes:
+            raise UniverseError(
+                f"{sorted(p_set)} is not a subset of D = {sorted(self._processes)}"
+            )
+        return self._processes - p_set

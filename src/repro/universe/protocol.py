@@ -1,0 +1,193 @@
+"""Protocols: finite descriptions of the paper's process-computation sets.
+
+Section 2 characterises a process by a prefix-closed set of finite event
+sequences.  A :class:`Protocol` is the finite, executable presentation of
+such a family: for every process and local history it lists the *local
+steps* (send and internal events) the process may take next, and says
+which in-flight messages it is willing to receive.  The set of process
+computations of ``p`` is then exactly the set of histories reachable by
+those rules, and the system computations are the interleavings in which
+every receive follows its send — enumerated by
+:class:`repro.universe.explorer.Universe`.
+
+Protocol authors produce *value-object* events: the same logical step must
+yield an equal event in every computation in which it occurs, since
+isomorphism compares projections by equality.  The helpers
+:meth:`Protocol.next_message` and :meth:`Protocol.next_internal` implement
+the paper's sequence-number convention for distinguishing repeated
+messages and steps.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ProtocolError
+from repro.core.events import (
+    Event,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+    internal,
+    receive,
+    send,
+)
+from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+
+History = tuple[Event, ...]
+"""A local history: one process's event sequence."""
+
+
+class Protocol(abc.ABC):
+    """Finite description of a distributed system's behaviours.
+
+    Subclasses implement :meth:`local_steps` and optionally override
+    :meth:`can_receive` (default: always willing).  ``processes`` is the
+    paper's ``D``; the model rules out processes with no event in any
+    computation, but we accept them for convenience (they simply never
+    contribute events).
+    """
+
+    def __init__(self, processes: ProcessSetLike) -> None:
+        self._processes = as_process_set(processes)
+        if not self._processes:
+            raise ProtocolError("a protocol needs at least one process")
+
+    @property
+    def processes(self) -> frozenset[ProcessId]:
+        """The set of all processes, the paper's ``D``."""
+        return self._processes
+
+    def complement(self, processes: ProcessSetLike) -> frozenset[ProcessId]:
+        """``P̄ = D - P``."""
+        p_set = as_process_set(processes)
+        if not p_set <= self._processes:
+            raise ProtocolError(
+                f"{sorted(p_set)} is not a subset of D = {sorted(self._processes)}"
+            )
+        return self._processes - p_set
+
+    # ------------------------------------------------------------------
+    # Behaviour definition
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def local_steps(self, process: ProcessId, history: History) -> Iterable[Event]:
+        """Send and internal events enabled after ``history``.
+
+        Must not yield receive events — receive enabling depends on the
+        rest of the system and is handled by :meth:`enabled_events`.
+        """
+
+    def can_receive(
+        self, process: ProcessId, history: History, message: Message
+    ) -> bool:
+        """Whether ``process`` may receive ``message`` after ``history``.
+
+        Default: always.  Override to model selective reception.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # System-level enabling
+    # ------------------------------------------------------------------
+    def enabled_events(self, configuration: Configuration) -> list[Event]:
+        """All events that may extend ``configuration`` by one step.
+
+        Local steps come from :meth:`local_steps`; receive events are
+        offered for every in-flight message whose receiver is willing.
+        The result is deterministically ordered so exploration is
+        reproducible.
+        """
+        enabled: list[Event] = []
+        in_flight = configuration.in_flight_messages
+        for process in sorted(self._processes):
+            history = configuration.history(process)
+            for event in self.local_steps(process, history):
+                if event.is_receive:
+                    raise ProtocolError(
+                        f"local_steps of {process!r} yielded a receive event"
+                    )
+                if event.process != process:
+                    raise ProtocolError(
+                        f"local_steps of {process!r} yielded an event on "
+                        f"{event.process!r}"
+                    )
+                enabled.append(event)
+        for message in sorted(in_flight):
+            history = configuration.history(message.receiver)
+            if message.receiver not in self._processes:
+                continue
+            if self.can_receive(message.receiver, history, message):
+                enabled.append(receive(message))
+        return enabled
+
+    # ------------------------------------------------------------------
+    # Membership checks (the paper's "zp is a process computation of p")
+    # ------------------------------------------------------------------
+    def is_process_computation(self, process: ProcessId, history: History) -> bool:
+        """True iff ``history`` is reachable by this process's rules.
+
+        Receives are accepted whenever :meth:`can_receive` allows them —
+        whether the message was ever sent is a system-level question.
+        """
+        prefix: History = ()
+        for event in history:
+            if event.process != process:
+                return False
+            if event.is_receive:
+                assert isinstance(event, ReceiveEvent)
+                if not self.can_receive(process, prefix, event.message):
+                    return False
+            else:
+                if event not in set(self.local_steps(process, prefix)):
+                    return False
+            prefix = prefix + (event,)
+        return True
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def next_message(
+        history: History,
+        sender: ProcessId,
+        receiver: ProcessId,
+        tag: str,
+        payload=None,
+    ) -> Message:
+        """A message whose ``seq`` counts equal-tagged prior sends.
+
+        Guarantees the paper's all-messages-distinguished convention while
+        keeping events equal across computations that reach the same local
+        history.
+        """
+        seq = sum(
+            1
+            for event in history
+            if isinstance(event, SendEvent)
+            and event.message.tag == tag
+            and event.message.receiver == receiver
+        )
+        return Message(
+            sender=sender, receiver=receiver, tag=tag, seq=seq, payload=payload
+        )
+
+    @staticmethod
+    def next_internal(
+        history: History, process: ProcessId, tag: str, payload=None
+    ) -> InternalEvent:
+        """An internal event whose ``seq`` counts equal-tagged prior steps."""
+        seq = sum(
+            1
+            for event in history
+            if isinstance(event, InternalEvent) and event.tag == tag
+        )
+        return internal(process, tag=tag, seq=seq, payload=payload)
+
+    @staticmethod
+    def send_of(message: Message) -> SendEvent:
+        """The send event of ``message`` (re-exported for protocol code)."""
+        return send(message)

@@ -1,0 +1,5 @@
+"""Terminal visualisations of computations and diagrams."""
+
+from repro.viz.render import knowledge_timeline, space_time_diagram
+
+__all__ = ["knowledge_timeline", "space_time_diagram"]

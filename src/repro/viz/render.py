@@ -1,0 +1,66 @@
+"""ASCII renderings: space-time diagrams and knowledge timelines.
+
+Purely textual (terminal-friendly, no plotting dependency).  The
+space-time diagram is the classic Lamport picture: one row per process,
+one column per global step, with ``●`` internal events, ``▲`` sends,
+``▼`` receives, and message identity resolvable from the legend.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import Computation
+from repro.core.events import InternalEvent, ReceiveEvent, SendEvent
+
+
+def space_time_diagram(
+    computation: Computation, max_columns: int = 120
+) -> str:
+    """Render a computation as a space-time diagram.
+
+    Events beyond ``max_columns`` are elided with a trailing ``…``.
+    """
+    processes = sorted(computation.processes)
+    width = min(len(computation), max_columns)
+    rows = {process: ["-"] * width for process in processes}
+    legend: list[str] = []
+    for index, event in enumerate(computation):
+        if index >= max_columns:
+            break
+        if isinstance(event, SendEvent):
+            symbol = "▲"
+            legend.append(f"{index:>4}  {event.process}: send {event.message}")
+        elif isinstance(event, ReceiveEvent):
+            symbol = "▼"
+            legend.append(f"{index:>4}  {event.process}: recv {event.message}")
+        else:
+            assert isinstance(event, InternalEvent)
+            symbol = "●"
+            legend.append(
+                f"{index:>4}  {event.process}: {event.tag}#{event.seq}"
+            )
+        rows[event.process][index] = symbol
+    name_width = max((len(process) for process in processes), default=0)
+    lines = []
+    for process in processes:
+        body = "".join(rows[process])
+        suffix = "…" if len(computation) > max_columns else ""
+        lines.append(f"{process:>{name_width}} |{body}{suffix}")
+    lines.append("")
+    lines.extend(legend[:max_columns])
+    return "\n".join(lines)
+
+
+def knowledge_timeline(
+    computation: Computation,
+    flags: dict[int, str],
+) -> str:
+    """Annotate step indices with knowledge milestones.
+
+    ``flags`` maps an event index to a short description (e.g. ``"m knows
+    crash"``); the renderer interleaves them with the event stream.
+    """
+    lines = []
+    for index, event in enumerate(computation):
+        marker = f"  <-- {flags[index]}" if index in flags else ""
+        lines.append(f"{index:>4}  {event}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""§5(a) tracking impossibility (experiment E10)."""
+
+import pytest
+
+from repro.applications.tracking import analyse_tracking, tracking_error_window
+from repro.protocols.toggle import ToggleProtocol
+from repro.universe.explorer import Universe
+
+
+class TestTrackingImpossibility:
+    def test_observer_unsure_at_every_flip(self, toggle_universe, toggle_evaluator):
+        report = analyse_tracking(toggle_universe, evaluator=toggle_evaluator)
+        assert report.flip_transitions > 0
+        assert report.observer_unsure_at_every_flip
+
+    def test_owner_knows_observer_unsure(self, toggle_universe, toggle_evaluator):
+        """The paper's necessary condition for changing a local predicate:
+        the owner knows the observer is unsure at the point of change."""
+        report = analyse_tracking(toggle_universe, evaluator=toggle_evaluator)
+        assert report.owner_knows_observer_unsure
+
+    def test_tracking_is_impossible(self, toggle_universe, toggle_evaluator):
+        report = analyse_tracking(toggle_universe, evaluator=toggle_evaluator)
+        assert report.tracking_impossible
+        # ... although the observer IS sure somewhere (e.g. after the last
+        # possible flip was reported), so the claim is not vacuous:
+        assert report.observer_ever_sure
+
+    def test_reportless_owner_keeps_observer_forever_unsure(self):
+        universe = Universe(ToggleProtocol(max_flips=2, report=False))
+        report = analyse_tracking(universe)
+        assert report.observer_unsure_at_every_flip
+        assert not report.observer_ever_sure
+
+    def test_window_shape(self, toggle_universe, toggle_evaluator):
+        """Early configurations: unsure; the fraction recovers only once
+        all flips are over and reported."""
+        window = tracking_error_window(toggle_universe, evaluator=toggle_evaluator)
+        sizes = sorted(window)
+        # Somewhere the observer is unsure:
+        assert any(sure < total for sure, total in window.values())
+        # At the maximal configurations everything has been reported:
+        final_sure, final_total = window[sizes[-1]]
+        assert final_sure == final_total
+
+    def test_wrong_universe_rejected(self, pingpong_universe):
+        with pytest.raises(TypeError):
+            analyse_tracking(pingpong_universe)
+        with pytest.raises(TypeError):
+            tracking_error_window(pingpong_universe)

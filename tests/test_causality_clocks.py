@@ -1,0 +1,92 @@
+"""Unit tests for logical clocks (Lamport, vector, matrix)."""
+
+from repro.causality.clocks import (
+    MatrixClock,
+    VectorClock,
+    lamport_timestamps,
+    vector_timestamps,
+    verify_vector_characterisation,
+)
+from repro.causality.order import CausalOrder
+from repro.core.computation import computation_of
+from repro.core.events import internal, message_pair
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.protocols.leader_election import ChangRobertsProtocol
+
+
+def relay():
+    pq_s, pq_r = message_pair("p", "q", "m1")
+    qr_s, qr_r = message_pair("q", "r", "m2")
+    return computation_of(pq_s, pq_r, qr_s, qr_r)
+
+
+class TestVectorClock:
+    def test_zero_components_are_implicit(self):
+        assert VectorClock()["p"] == 0
+        assert VectorClock({"p": 0}) == VectorClock()
+
+    def test_tick_and_merge(self):
+        clock = VectorClock().tick("p").tick("p").tick("q")
+        assert clock["p"] == 2 and clock["q"] == 1
+        merged = clock.merge(VectorClock({"p": 1, "r": 5}))
+        assert merged["p"] == 2 and merged["r"] == 5
+
+    def test_partial_order(self):
+        small = VectorClock({"p": 1})
+        large = VectorClock({"p": 2, "q": 1})
+        assert large.dominates(small)
+        assert large.strictly_dominates(small)
+        assert not small.dominates(large)
+        incomparable = VectorClock({"q": 3})
+        assert small.concurrent_with(incomparable)
+
+    def test_hashable_value_object(self):
+        assert len({VectorClock({"p": 1}), VectorClock({"p": 1})}) == 1
+
+
+class TestTimestamps:
+    def test_lamport_respects_causality(self):
+        z = relay()
+        stamps = lamport_timestamps(z)
+        order = CausalOrder(z)
+        for first in z:
+            for second in z:
+                if first != second and order.happened_before(first, second):
+                    assert stamps[first] < stamps[second]
+
+    def test_vector_characterises_causality_exactly(self):
+        assert verify_vector_characterisation(relay())
+
+    def test_vector_characterisation_on_simulated_run(self):
+        protocol = ChangRobertsProtocol(tuple(f"n{i}" for i in range(4)))
+        trace = simulate(protocol, RandomScheduler(3))
+        assert verify_vector_characterisation(trace.computation)
+
+    def test_concurrent_events_get_concurrent_stamps(self):
+        a = internal("p", tag="a")
+        b = internal("q", tag="b")
+        stamps = vector_timestamps(computation_of(a, b))
+        assert stamps[a].concurrent_with(stamps[b])
+
+
+class TestMatrixClock:
+    def test_self_view_advances_on_tick(self):
+        clock = MatrixClock("p").tick().tick()
+        assert clock.view("p")["p"] == 2
+
+    def test_merge_learns_the_senders_view(self):
+        p_clock = MatrixClock("p").tick()
+        q_clock = MatrixClock("q").tick().merge(p_clock)
+        assert q_clock.view("p")["p"] == 1  # q now knows p reached 1
+        assert q_clock.view("q")["p"] == 1  # and q's own view absorbed it
+
+    def test_known_floor(self):
+        p_clock = MatrixClock("p").tick()
+        q_clock = MatrixClock("q").tick().merge(p_clock)
+        floor = q_clock.known_floor(["p", "q"])
+        assert floor["p"] == 1
+        assert floor["q"] == 0  # p has not seen q's tick
+
+    def test_empty_floor(self):
+        assert MatrixClock("p").known_floor([]) == VectorClock()

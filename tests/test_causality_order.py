@@ -1,0 +1,102 @@
+"""Unit tests for the happened-before relation (§3.1 / Lamport)."""
+
+from repro.causality.order import CausalOrder, happened_before, segment_of
+from repro.core.computation import computation_of
+from repro.core.configuration import Configuration
+from repro.core.events import internal, message_pair
+
+
+def diamond():
+    """p sends to q and r; q and r each send to s."""
+    pq_s, pq_r = message_pair("p", "q", "m1")
+    pr_s, pr_r = message_pair("p", "r", "m2")
+    qs_s, qs_r = message_pair("q", "s", "m3")
+    rs_s, rs_r = message_pair("r", "s", "m4")
+    z = computation_of(pq_s, pr_s, pq_r, pr_r, qs_s, rs_s, qs_r, rs_r)
+    return z, (pq_s, pq_r, pr_s, pr_r, qs_s, qs_r, rs_s, rs_r)
+
+
+class TestHappenedBefore:
+    def test_reflexive(self):
+        z, events = diamond()
+        order = CausalOrder(z)
+        for event in events:
+            assert order.happened_before(event, event)
+
+    def test_process_order(self):
+        z, (pq_s, pq_r, pr_s, *_rest) = diamond()
+        order = CausalOrder(z)
+        assert order.happened_before(pq_s, pr_s)
+        assert not order.happened_before(pr_s, pq_s)
+
+    def test_message_order(self):
+        z, (pq_s, pq_r, *_rest) = diamond()
+        order = CausalOrder(z)
+        assert order.happened_before(pq_s, pq_r)
+        assert order.strictly_before(pq_s, pq_r)
+
+    def test_transitivity_across_processes(self):
+        z, (pq_s, pq_r, pr_s, pr_r, qs_s, qs_r, rs_s, rs_r) = diamond()
+        order = CausalOrder(z)
+        assert order.happened_before(pq_s, qs_r)  # p -> q -> s
+
+    def test_concurrency(self):
+        z, (pq_s, pq_r, pr_s, pr_r, qs_s, qs_r, rs_s, rs_r) = diamond()
+        order = CausalOrder(z)
+        assert order.concurrent(pq_r, pr_r)
+        assert not order.concurrent(pq_s, pq_s)
+
+    def test_unknown_events_are_unrelated(self):
+        z, _ = diamond()
+        order = CausalOrder(z)
+        stranger = internal("x", tag="elsewhere")
+        assert not order.happened_before(stranger, stranger)
+
+    def test_wrapper_function(self):
+        z, (pq_s, pq_r, *_rest) = diamond()
+        assert happened_before(z, pq_s, pq_r)
+
+
+class TestClosures:
+    def test_causal_past_and_future(self):
+        z, (pq_s, pq_r, pr_s, pr_r, qs_s, qs_r, rs_s, rs_r) = diamond()
+        order = CausalOrder(z)
+        assert pq_s in order.causal_past(qs_r)
+        assert qs_r in order.causal_future(pq_s)
+        assert rs_s not in order.causal_future(pq_r)
+
+    def test_forward_closure_is_reflexive(self):
+        z, (pq_s, *_rest) = diamond()
+        order = CausalOrder(z)
+        assert pq_s in order.forward_closure([pq_s])
+
+
+class TestSegments:
+    def test_segment_of_configuration(self):
+        z, _ = diamond()
+        configuration = Configuration.from_computation(z)
+        assert segment_of(configuration) == segment_of(z)
+
+    def test_suffix_segment_restriction(self):
+        """Message edges with the send outside the segment are dropped."""
+        snd, rcv = message_pair("p", "q", "m")
+        a = internal("q", tag="later")
+        segment = {"q": (rcv, a)}  # the send is not part of the segment
+        order = CausalOrder(segment)
+        assert order.happened_before(rcv, a)
+        assert snd not in order
+
+    def test_topological_order_is_complete_and_sorted(self):
+        z, events = diamond()
+        order = CausalOrder(z)
+        topo = order.topological_order
+        assert len(topo) == len(events)
+        position = {event: index for index, event in enumerate(topo)}
+        for first in events:
+            for second in events:
+                if first != second and order.happened_before(first, second):
+                    assert position[first] < position[second]
+
+    def test_acyclicity(self):
+        z, _ = diamond()
+        assert CausalOrder(z).is_acyclic()

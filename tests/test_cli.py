@@ -1,0 +1,68 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_protocol, main, make_parser
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["explore", "nonsense"])
+
+
+class TestCommands:
+    def test_experiments_lists_all_ids(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        for exp_id, _, _ in EXPERIMENTS:
+            assert exp_id in output
+        assert len(EXPERIMENTS) == 14
+
+    def test_explore_pingpong(self, capsys):
+        assert main(["explore", "pingpong", "--rounds", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "5 configurations" in output
+        assert "self loop" in output
+
+    def test_explore_suppresses_large_diagrams(self, capsys):
+        assert main(
+            ["explore", "tokenbus", "--hops", "4", "--diagram-limit", "3"]
+        ) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_check_broadcast(self, capsys):
+        assert main(["check", "broadcast", "--size", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "all hold" in output
+        assert "Theorem 1" in output
+
+    def test_check_pingpong(self, capsys):
+        assert main(["check", "pingpong", "--rounds", "1"]) == 0
+        assert "knowledge facts 1-12: all hold" in capsys.readouterr().out
+
+    def test_simulate_election(self, capsys):
+        assert main(["simulate", "election", "--size", "4", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "undelivered" in output
+        assert "n0 |" in output
+
+    def test_simulate_snapshot(self, capsys):
+        assert main(["simulate", "snapshot", "--size", "3"]) == 0
+        assert "0 undelivered" in capsys.readouterr().out
+
+    def test_simulate_toggle(self, capsys):
+        assert main(["simulate", "toggle", "--flips", "2"]) == 0
+
+
+class TestBuildProtocol:
+    def test_every_choice_builds(self):
+        parser = make_parser()
+        for name in ("pingpong", "tokenbus", "broadcast", "toggle",
+                     "election", "snapshot"):
+            args = parser.parse_args(["explore", name])
+            assert build_protocol(name, args) is not None

@@ -1,0 +1,134 @@
+"""Unit tests for Computation: the paper's sequence notation (§2)."""
+
+import pytest
+
+from repro.core.computation import NULL, Computation, computation_of
+from repro.core.errors import InvalidComputationError
+from repro.core.events import internal, message_pair
+
+
+def sample():
+    snd, rcv = message_pair("p", "q", "m")
+    a = internal("p", tag="a")
+    b = internal("q", tag="b")
+    return snd, rcv, a, b
+
+
+class TestBasics:
+    def test_null_is_empty(self):
+        assert len(NULL) == 0
+        assert list(NULL) == []
+
+    def test_equality_and_hash(self):
+        snd, rcv, a, b = sample()
+        assert computation_of(a, b) == computation_of(a, b)
+        assert hash(computation_of(a, b)) == hash(computation_of(a, b))
+        assert computation_of(a, b) != computation_of(b, a)
+
+    def test_indexing_and_slicing(self):
+        snd, rcv, a, b = sample()
+        z = computation_of(snd, rcv, a)
+        assert z[0] == snd
+        assert isinstance(z[:2], Computation)
+        assert list(z[:2]) == [snd, rcv]
+
+    def test_rejects_non_events(self):
+        with pytest.raises(InvalidComputationError):
+            Computation(["not-an-event"])  # type: ignore[list-item]
+
+
+class TestProjection:
+    def test_projection_on_single_process(self):
+        snd, rcv, a, b = sample()
+        z = computation_of(snd, rcv, a, b)
+        assert z.projection("p") == (snd, a)
+        assert z.projection("q") == (rcv, b)
+
+    def test_projection_on_set(self):
+        snd, rcv, a, b = sample()
+        z = computation_of(snd, rcv, a, b)
+        assert z.projection({"p", "q"}) == (snd, rcv, a, b)
+
+    def test_projection_on_absent_process_is_empty(self):
+        snd, rcv, a, b = sample()
+        assert computation_of(a).projection("q") == ()
+
+    def test_processes_property(self):
+        snd, rcv, a, b = sample()
+        assert computation_of(snd, rcv).processes == {"p", "q"}
+
+
+class TestPrefixOrder:
+    def test_prefix_detection(self):
+        snd, rcv, a, b = sample()
+        x = computation_of(snd)
+        z = computation_of(snd, rcv, a)
+        assert x.is_prefix_of(z)
+        assert not z.is_prefix_of(x)
+        assert x.is_proper_prefix_of(z)
+        assert not z.is_proper_prefix_of(z)
+        assert z.is_prefix_of(z)
+
+    def test_prefix_requires_equal_front(self):
+        snd, rcv, a, b = sample()
+        assert not computation_of(a).is_prefix_of(computation_of(snd, a))
+
+    def test_suffix_after(self):
+        snd, rcv, a, b = sample()
+        x = computation_of(snd)
+        z = computation_of(snd, rcv, a)
+        assert z.suffix_after(x) == (rcv, a)
+
+    def test_suffix_after_requires_prefix(self):
+        snd, rcv, a, b = sample()
+        with pytest.raises(InvalidComputationError):
+            computation_of(a).suffix_after(computation_of(b))
+
+    def test_prefixes_enumeration(self):
+        snd, rcv, a, b = sample()
+        z = computation_of(snd, rcv)
+        assert list(z.prefixes()) == [NULL, computation_of(snd), z]
+
+
+class TestConcatenationAndDeletion:
+    def test_concat(self):
+        snd, rcv, a, b = sample()
+        assert computation_of(snd).concat([rcv]) == computation_of(snd, rcv)
+
+    def test_then(self):
+        snd, rcv, a, b = sample()
+        assert NULL.then(a, b) == computation_of(a, b)
+
+    def test_without_event(self):
+        snd, rcv, a, b = sample()
+        z = computation_of(snd, a, rcv)
+        assert z.without_event(a) == computation_of(snd, rcv)
+
+    def test_without_missing_event_raises(self):
+        snd, rcv, a, b = sample()
+        with pytest.raises(InvalidComputationError):
+            computation_of(snd).without_event(b)
+
+
+class TestPermutationAndMessages:
+    def test_permutation_detection(self):
+        snd, rcv, a, b = sample()
+        first = computation_of(a, b)
+        second = computation_of(b, a)
+        assert first.is_permutation_of(second)
+        assert not first.is_permutation_of(computation_of(a))
+
+    def test_message_bookkeeping(self):
+        snd, rcv, a, b = sample()
+        partial = computation_of(snd, a)
+        assert partial.sent_messages == {snd.message}
+        assert partial.received_messages == frozenset()
+        assert partial.in_flight_messages == {snd.message}
+        complete = computation_of(snd, rcv)
+        assert complete.in_flight_messages == frozenset()
+
+    def test_count_on(self):
+        snd, rcv, a, b = sample()
+        z = computation_of(snd, rcv, a, b)
+        assert z.count_on("p") == 2
+        assert z.count_on({"p", "q"}) == 4

@@ -1,0 +1,130 @@
+"""Unit tests for Configuration: canonical [D]-class representatives."""
+
+import pytest
+
+from repro.core.computation import computation_of
+from repro.core.configuration import EMPTY_CONFIGURATION, Configuration
+from repro.core.errors import InvalidConfigurationError
+from repro.core.events import internal, message_pair
+
+
+def sample():
+    snd, rcv = message_pair("p", "q", "m")
+    a = internal("p", tag="a")
+    b = internal("q", tag="b")
+    return snd, rcv, a, b
+
+
+class TestValueSemantics:
+    def test_permutations_share_a_configuration(self):
+        snd, rcv, a, b = sample()
+        first = Configuration.from_computation(computation_of(a, b))
+        second = Configuration.from_computation(computation_of(b, a))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_empty_histories_are_normalised(self):
+        a = internal("p", tag="a")
+        explicit = Configuration({"p": (a,), "q": ()})
+        implicit = Configuration({"p": (a,)})
+        assert explicit == implicit
+        assert explicit.processes == {"p"}
+
+    def test_misfiled_event_rejected(self):
+        a = internal("p", tag="a")
+        with pytest.raises(InvalidConfigurationError):
+            Configuration({"q": (a,)})
+
+    def test_len_counts_all_events(self):
+        snd, rcv, a, b = sample()
+        configuration = Configuration.from_computation(computation_of(snd, rcv, a))
+        assert len(configuration) == 3
+
+
+class TestProjection:
+    def test_projection_key_ignores_other_processes(self):
+        snd, rcv, a, b = sample()
+        one = Configuration({"p": (a,)})
+        two = Configuration({"p": (a,), "q": (b,)})
+        assert one.projection({"p"}) == two.projection({"p"})
+        assert one.projection({"p", "q"}) != two.projection({"p", "q"})
+
+    def test_history_defaults_to_empty(self):
+        assert EMPTY_CONFIGURATION.history("anyone") == ()
+
+
+class TestOrderAndExtension:
+    def test_sub_configuration(self):
+        snd, rcv, a, b = sample()
+        small = Configuration({"p": (snd,)})
+        large = Configuration({"p": (snd, a), "q": (rcv,)})
+        assert small.is_sub_configuration_of(large)
+        assert not large.is_sub_configuration_of(small)
+        assert EMPTY_CONFIGURATION.is_sub_configuration_of(small)
+
+    def test_sub_configuration_requires_prefix_not_subset(self):
+        a0 = internal("p", tag="a", seq=0)
+        a1 = internal("p", tag="a", seq=1)
+        first = Configuration({"p": (a1,)})
+        second = Configuration({"p": (a0, a1)})
+        assert not first.is_sub_configuration_of(second)
+
+    def test_extend(self):
+        snd, rcv, a, b = sample()
+        extended = EMPTY_CONFIGURATION.extend(snd).extend(rcv)
+        assert extended.history("p") == (snd,)
+        assert extended.history("q") == (rcv,)
+
+    def test_suffix_after(self):
+        snd, rcv, a, b = sample()
+        small = Configuration({"p": (snd,)})
+        large = Configuration({"p": (snd, a), "q": (rcv,)})
+        assert large.suffix_after(small) == {"p": (a,), "q": (rcv,)}
+
+    def test_suffix_after_requires_sub_configuration(self):
+        snd, rcv, a, b = sample()
+        with pytest.raises(InvalidConfigurationError):
+            Configuration({"p": (a,)}).suffix_after(Configuration({"p": (snd,)}))
+
+
+class TestLinearization:
+    def test_linearize_round_trip(self):
+        snd, rcv, a, b = sample()
+        original = computation_of(snd, a, rcv, b)
+        configuration = Configuration.from_computation(original)
+        linearized = configuration.linearize()
+        assert Configuration.from_computation(linearized) == configuration
+
+    def test_linearize_respects_send_before_receive(self):
+        snd, rcv, a, b = sample()
+        configuration = Configuration({"p": (snd,), "q": (rcv,)})
+        linearized = configuration.linearize()
+        assert list(linearized).index(snd) < list(linearized).index(rcv)
+
+    def test_linearize_detects_cycles(self):
+        snd1, rcv1 = message_pair("p", "q", "m1")
+        snd2, rcv2 = message_pair("q", "p", "m2")
+        # p receives m2 before sending m1; q receives m1 before sending m2.
+        cyclic = Configuration({"p": (rcv2, snd1), "q": (rcv1, snd2)})
+        with pytest.raises(InvalidConfigurationError):
+            cyclic.linearize()
+
+    def test_linearize_is_deterministic(self):
+        snd, rcv, a, b = sample()
+        configuration = Configuration.from_computation(computation_of(snd, a, rcv, b))
+        assert configuration.linearize() == configuration.linearize()
+
+
+class TestMessageBookkeeping:
+    def test_in_flight(self):
+        snd, rcv, a, b = sample()
+        halfway = Configuration({"p": (snd,)})
+        assert halfway.in_flight_messages == {snd.message}
+        done = Configuration({"p": (snd,), "q": (rcv,)})
+        assert done.in_flight_messages == frozenset()
+
+    def test_count_on(self):
+        snd, rcv, a, b = sample()
+        configuration = Configuration.from_computation(computation_of(snd, rcv, a, b))
+        assert configuration.count_on("p") == 2
+        assert configuration.count_on({"p", "q"}) == 4

@@ -1,0 +1,102 @@
+"""Unit tests for events and messages (§2 conventions)."""
+
+import pytest
+
+from repro.core.events import (
+    EventKind,
+    InternalEvent,
+    Message,
+    ReceiveEvent,
+    SendEvent,
+    corresponds,
+    internal,
+    message_pair,
+    receive,
+    send,
+)
+
+
+class TestMessage:
+    def test_messages_are_value_objects(self):
+        first = Message("p", "q", "ping", 0)
+        second = Message("p", "q", "ping", 0)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_sequence_numbers_distinguish_occurrences(self):
+        first = Message("p", "q", "ping", 0)
+        second = Message("p", "q", "ping", 1)
+        assert first != second
+
+    def test_payload_participates_in_identity(self):
+        assert Message("p", "q", "t", 0, payload=1) != Message(
+            "p", "q", "t", 0, payload=2
+        )
+
+    def test_str_rendering(self):
+        assert str(Message("p", "q", "ping", 3)) == "ping#3(p->q)"
+
+
+class TestEvents:
+    def test_send_is_on_the_sender(self):
+        event = send(Message("p", "q", "ping"))
+        assert event.process == "p"
+        assert event.kind is EventKind.SEND
+        assert event.is_send and not event.is_receive and not event.is_internal
+
+    def test_receive_is_on_the_receiver(self):
+        event = receive(Message("p", "q", "ping"))
+        assert event.process == "q"
+        assert event.kind is EventKind.RECEIVE
+
+    def test_internal_event_kind(self):
+        event = internal("p", tag="step", seq=2)
+        assert event.kind is EventKind.INTERNAL
+        assert event.is_internal
+
+    def test_send_event_rejects_wrong_process(self):
+        with pytest.raises(ValueError):
+            SendEvent(process="q", message=Message("p", "q", "ping"))
+
+    def test_receive_event_rejects_wrong_process(self):
+        with pytest.raises(ValueError):
+            ReceiveEvent(process="p", message=Message("p", "q", "ping"))
+
+    def test_send_event_requires_message(self):
+        with pytest.raises(ValueError):
+            SendEvent(process="p")
+
+    def test_receive_event_requires_message(self):
+        with pytest.raises(ValueError):
+            ReceiveEvent(process="q")
+
+    def test_events_are_hashable_value_objects(self):
+        first = internal("p", tag="a", seq=0)
+        second = internal("p", tag="a", seq=0)
+        assert first == second
+        assert len({first, second}) == 1
+
+    def test_distinct_internal_events_by_seq(self):
+        assert internal("p", tag="a", seq=0) != internal("p", tag="a", seq=1)
+
+
+class TestCorrespondence:
+    def test_message_pair_shares_the_message(self):
+        snd, rcv = message_pair("p", "q", "hello")
+        assert snd.message is rcv.message
+        assert corresponds(snd, rcv)
+
+    def test_correspondence_requires_same_message(self):
+        snd, _ = message_pair("p", "q", "hello", seq=0)
+        _, other_rcv = message_pair("p", "q", "hello", seq=1)
+        assert not corresponds(snd, other_rcv)
+
+    def test_correspondence_requires_send_then_receive(self):
+        snd, rcv = message_pair("p", "q", "hello")
+        assert not corresponds(rcv, snd)
+        assert not corresponds(snd, snd)
+
+    def test_internal_never_corresponds(self):
+        snd, rcv = message_pair("p", "q", "hello")
+        assert not corresponds(internal("p"), rcv)
+        assert not corresponds(snd, internal("q"))

@@ -1,0 +1,89 @@
+"""Unit tests for system-computation validity (§2, condition 2)."""
+
+import pytest
+
+from repro.core.computation import NULL, computation_of
+from repro.core.configuration import Configuration
+from repro.core.errors import InvalidComputationError, InvalidConfigurationError
+from repro.core.events import internal, message_pair, receive, send
+from repro.core.validation import (
+    check_configuration,
+    check_system_computation,
+    find_computation_defect,
+    find_configuration_defect,
+    is_system_computation,
+    is_valid_configuration,
+)
+
+
+class TestComputationValidity:
+    def test_null_is_valid(self):
+        assert is_system_computation(NULL)
+
+    def test_send_then_receive_is_valid(self):
+        snd, rcv = message_pair("p", "q", "m")
+        assert is_system_computation(computation_of(snd, rcv))
+
+    def test_receive_before_send_is_invalid(self):
+        snd, rcv = message_pair("p", "q", "m")
+        defect = find_computation_defect(computation_of(rcv, snd))
+        assert defect is not None and "no earlier corresponding send" in defect
+
+    def test_receive_without_send_is_invalid(self):
+        _, rcv = message_pair("p", "q", "m")
+        assert not is_system_computation(computation_of(rcv))
+
+    def test_duplicate_event_is_invalid(self):
+        a = internal("p")
+        defect = find_computation_defect(computation_of(a, a))
+        assert defect is not None and "more than once" in defect
+
+    def test_duplicate_send_is_invalid(self):
+        snd, _ = message_pair("p", "q", "m")
+        # Two sends of the same message cannot even be built as distinct
+        # events, so the duplicate is caught as a repeated event.
+        assert not is_system_computation(computation_of(snd, snd))
+
+    def test_check_raises_with_description(self):
+        _, rcv = message_pair("p", "q", "m")
+        with pytest.raises(InvalidComputationError):
+            check_system_computation(computation_of(rcv))
+
+    def test_check_returns_valid_computation(self):
+        snd, rcv = message_pair("p", "q", "m")
+        z = computation_of(snd, rcv)
+        assert check_system_computation(z) is z
+
+    def test_prefix_closure(self):
+        """The paper asks the reader to show prefix closure; we test it."""
+        snd, rcv = message_pair("p", "q", "m")
+        a = internal("q", tag="a")
+        z = computation_of(snd, rcv, a)
+        for prefix in z.prefixes():
+            assert is_system_computation(prefix)
+
+
+class TestConfigurationValidity:
+    def test_valid_configuration(self):
+        snd, rcv = message_pair("p", "q", "m")
+        configuration = Configuration({"p": (snd,), "q": (rcv,)})
+        assert is_valid_configuration(configuration)
+        assert check_configuration(configuration) is configuration
+
+    def test_receive_without_send(self):
+        _, rcv = message_pair("p", "q", "m")
+        defect = find_configuration_defect(Configuration({"q": (rcv,)}))
+        assert defect is not None and "never sent" in defect
+
+    def test_cyclic_configuration(self):
+        snd1, rcv1 = message_pair("p", "q", "m1")
+        snd2, rcv2 = message_pair("q", "p", "m2")
+        cyclic = Configuration({"p": (rcv2, snd1), "q": (rcv1, snd2)})
+        defect = find_configuration_defect(cyclic)
+        assert defect is not None and "linearization" in defect
+        with pytest.raises(InvalidConfigurationError):
+            check_configuration(cyclic)
+
+    def test_every_explored_configuration_is_valid(self, pingpong_universe):
+        for configuration in pingpong_universe:
+            assert is_valid_configuration(configuration)

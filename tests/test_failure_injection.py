@@ -1,0 +1,132 @@
+"""Failure injection across the protocol corpus.
+
+Crashes are composed with real protocols to verify both liveness
+*failures* (crashes genuinely break detection/dissemination — silence is
+not success) and the safety properties that must survive them.
+"""
+
+import pytest
+
+from repro.protocols.broadcast import BroadcastProtocol, line_topology
+from repro.protocols.dijkstra_scholten import DijkstraScholtenProtocol
+from repro.protocols.termination import generate_workload
+from repro.simulation.failures import CrashableProtocol, has_crashed
+from repro.simulation.scheduler import BiasedScheduler, RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.universe.explorer import Universe
+
+
+class TestCrashedBroadcast:
+    def test_crash_can_cut_the_line(self):
+        """If the middle of a line crashes before forwarding, the far end
+        never learns — across seeds, at least one run shows it."""
+        names = ("a", "b", "c")
+        base = BroadcastProtocol(line_topology(names), root="a")
+        protocol = CrashableProtocol(base, crashable={"b"})
+        cut_observed = False
+        for seed in range(30):
+            scheduler = BiasedScheduler(
+                lambda event: getattr(event, "tag", None) == "crash",
+                bias=0.5,
+                seed=seed,
+            )
+            trace = simulate(protocol, scheduler)
+            final = trace.final_configuration
+            b_crashed = has_crashed(final.history("b"))
+            c_knows = base.knows_fact("c", final.history("c"))
+            if b_crashed and not c_knows:
+                cut_observed = True
+        assert cut_observed
+
+    def test_crash_free_runs_still_disseminate(self):
+        names = ("a", "b", "c")
+        base = BroadcastProtocol(line_topology(names), root="a")
+        protocol = CrashableProtocol(base, crashable={"b"})
+        scheduler = BiasedScheduler(
+            lambda event: getattr(event, "tag", None) != "crash",
+            bias=1.0,
+            seed=1,
+        )
+        trace = simulate(protocol, scheduler)
+        final = trace.final_configuration
+        if not has_crashed(final.history("b")):
+            assert base.knows_fact("c", final.history("c"))
+
+
+class TestCrashedTerminationDetection:
+    def test_crash_can_prevent_detection(self):
+        """Dijkstra–Scholten relies on every ack: a crashed worker can
+        block the root's announcement forever."""
+        workload = generate_workload(("a", "b", "c"), seed=1)
+        base = DijkstraScholtenProtocol(workload)
+        protocol = CrashableProtocol(base, crashable={"b", "c"})
+        missed = False
+        for seed in range(20):
+            trace = simulate(protocol, RandomScheduler(seed))
+            final = trace.final_configuration
+            crashed = any(
+                has_crashed(final.history(process)) for process in ("b", "c")
+            )
+            if crashed and not base.has_detected(final):
+                missed = True
+        assert missed, "crashes never prevented detection (suspicious)"
+
+        # Crash-averse schedules still detect (and soundly).
+        detected = False
+        for seed in range(10):
+            scheduler = BiasedScheduler(
+                lambda event: getattr(event, "tag", None) != "crash",
+                bias=1.0,
+                seed=seed,
+            )
+            trace = simulate(protocol, scheduler)
+            final = trace.final_configuration
+            if base.has_detected(final):
+                detected = True
+                root_state = base.ds_state(
+                    workload.root, final.history(workload.root)
+                )
+                assert root_state.deficit == 0
+        assert detected, "no crash-averse run detected at all"
+
+    def test_no_false_detection_under_crashes(self):
+        """Crashes may block detection but never cause a false one."""
+        workload = generate_workload(("a", "b", "c"), seed=3)
+        base = DijkstraScholtenProtocol(workload)
+        protocol = CrashableProtocol(base)
+        for seed in range(10):
+            trace = simulate(protocol, RandomScheduler(seed))
+            from repro.core.configuration import Configuration
+
+            for prefix in trace.computation.prefixes():
+                configuration = Configuration.from_computation(prefix)
+                if base.has_detected(configuration):
+                    # At detection, every *sent* work message was acked;
+                    # under crashes this still implies the workers were
+                    # quiet at their last events.
+                    state = base.ds_state(
+                        workload.root, configuration.history(workload.root)
+                    )
+                    assert state.deficit == 0
+                    break
+
+
+class TestCrashUniverses:
+    def test_crash_events_are_terminal_everywhere(self):
+        base = BroadcastProtocol(line_topology(("a", "b")), root="a")
+        universe = Universe(CrashableProtocol(base))
+        for configuration in universe:
+            for process in configuration.processes:
+                history = configuration.history(process)
+                for index, event in enumerate(history):
+                    if getattr(event, "tag", None) == "crash":
+                        assert index == len(history) - 1
+
+    def test_crashable_universe_contains_the_crash_free_one(self):
+        base = BroadcastProtocol(line_topology(("a", "b")), root="a")
+        plain = Universe(base)
+        crashable = Universe(CrashableProtocol(base))
+        plain_set = set(plain)
+        crashable_set = set(crashable)
+        assert plain_set <= crashable_set
+        assert len(crashable_set) > len(plain_set)

@@ -1,0 +1,91 @@
+"""The ten algebraic properties of §3, checked over real universes."""
+
+import pytest
+
+from repro.isomorphism.algebra import (
+    check_absorption,
+    check_all_properties,
+    check_concatenation,
+    check_containment,
+    check_equivalence,
+    check_idempotence,
+    check_inversion,
+    check_reflexivity,
+    check_substitution,
+    check_union,
+    normalise_sequence,
+    sequences_equal,
+)
+
+P = frozenset("p")
+Q = frozenset("q")
+PQ = frozenset({"p", "q"})
+EMPTY = frozenset()
+
+
+class TestNormalisation:
+    def test_idempotence_collapses(self):
+        assert normalise_sequence([P, P]) == (P,)
+
+    def test_absorption_collapses_to_smaller(self):
+        assert normalise_sequence([PQ, P]) == (P,)
+        assert normalise_sequence([P, PQ]) == (P,)
+
+    def test_longer_sequences(self):
+        assert normalise_sequence([P, P, Q, PQ, Q]) == (P, Q)
+
+    def test_incomparable_sets_untouched(self):
+        assert normalise_sequence([P, Q, P]) == (P, Q, P)
+
+    def test_normalised_sequences_denote_the_same_relation(
+        self, pingpong_universe
+    ):
+        for sequence in ([P, P], [PQ, P], [P, PQ, Q], [Q, P, P, Q]):
+            assert sequences_equal(
+                pingpong_universe, sequence, normalise_sequence(sequence)
+            )
+
+
+class TestProperties:
+    def test_property_1_equivalence(self, pingpong_universe):
+        for subset in (EMPTY, P, Q, PQ):
+            assert check_equivalence(pingpong_universe, subset)
+
+    def test_property_2_substitution(self, pingpong_universe):
+        assert check_substitution(pingpong_universe, [P, P], [P], [Q], [Q])
+
+    def test_property_3_idempotence(self, pingpong_universe):
+        for subset in (P, Q, PQ):
+            assert check_idempotence(pingpong_universe, subset)
+
+    def test_property_4_reflexivity(self, pingpong_universe):
+        assert check_reflexivity(pingpong_universe, [P, Q, P])
+
+    def test_property_5_inversion(self, pingpong_universe):
+        assert check_inversion(pingpong_universe, [P, Q])
+        assert check_inversion(pingpong_universe, [P, Q, PQ])
+
+    def test_property_6_concatenation(self, pingpong_universe):
+        assert check_concatenation(pingpong_universe, [P], [Q])
+        assert check_concatenation(pingpong_universe, [P, Q], [Q, P])
+
+    def test_property_7_union(self, pingpong_universe):
+        assert check_union(pingpong_universe, P, Q)
+        assert check_union(pingpong_universe, P, PQ)
+
+    def test_property_8_containment(self, pingpong_universe):
+        assert check_containment(pingpong_universe, PQ, P)
+        assert check_containment(pingpong_universe, P, Q)
+
+    def test_property_10_absorption(self, pingpong_universe):
+        assert check_absorption(pingpong_universe, PQ, P)
+        assert check_absorption(pingpong_universe, P, P)
+
+    @pytest.mark.slow
+    def test_all_properties_pingpong(self, pingpong_universe):
+        results = check_all_properties(pingpong_universe)
+        assert all(results.values()), results
+
+    def test_all_properties_broadcast(self, broadcast_universe):
+        results = check_all_properties(broadcast_universe, max_sets=6)
+        assert all(results.values()), results

@@ -1,0 +1,87 @@
+"""Unit tests for the isomorphism diagram (Figure 3-1)."""
+
+from repro.core.configuration import Configuration
+from repro.isomorphism.diagram import IsomorphismDiagram
+from repro.universe.builder import figure_3_1_computations, figure_3_1_universe
+
+
+def figure_diagram() -> tuple[IsomorphismDiagram, dict]:
+    comps = figure_3_1_computations()
+    diagram = IsomorphismDiagram(
+        comps.values(), {"p", "q"}, names={k: v for k, v in comps.items()}
+    )
+    return diagram, comps
+
+
+class TestFigure31:
+    def test_vertices(self):
+        diagram, comps = figure_diagram()
+        assert len(diagram.vertices) == 4
+
+    def test_self_loops_carry_d(self):
+        diagram, comps = figure_diagram()
+        assert diagram.label(comps["x"], comps["x"]) == {"p", "q"}
+
+    def test_permutations_joined_by_d_edge(self):
+        diagram, comps = figure_diagram()
+        assert diagram.label(comps["x"], comps["z"]) == {"p", "q"}
+
+    def test_x_y_edge_is_p(self):
+        diagram, comps = figure_diagram()
+        assert diagram.label(comps["x"], comps["y"]) == {"p"}
+
+    def test_z_w_edge_is_q(self):
+        diagram, comps = figure_diagram()
+        assert diagram.label(comps["z"], comps["w"]) == {"q"}
+
+    def test_y_w_have_no_edge(self):
+        diagram, comps = figure_diagram()
+        assert diagram.label(comps["y"], comps["w"]) is None
+
+    def test_related_reads_labels(self):
+        diagram, comps = figure_diagram()
+        assert diagram.related(comps["x"], comps["y"], "p")
+        assert not diagram.related(comps["x"], comps["y"], "q")
+
+    def test_indirect_path_y_to_w(self):
+        """The paper's indirect relationship: y [p q] w via z (or x)."""
+        diagram, comps = figure_diagram()
+        assert diagram.has_labelled_path(comps["y"], ["p", "q"], comps["w"])
+        assert not diagram.has_labelled_path(comps["y"], ["q"], comps["w"])
+
+    def test_render_contains_all_edges(self):
+        diagram, comps = figure_diagram()
+        text = diagram.render()
+        assert "x --[{p}]-- y" in text
+        assert "x --[{p,q}]-- z" in text
+        assert "(self loop)" in text
+
+    def test_name_assignment(self):
+        diagram, comps = figure_diagram()
+        assert diagram.name_of(comps["x"]) == "x"
+
+
+class TestUniverseDiagram:
+    def test_of_universe(self, pingpong_universe):
+        diagram = IsomorphismDiagram.of_universe(pingpong_universe)
+        assert len(diagram.vertices) == len(pingpong_universe)
+
+    def test_labels_agree_with_iso_classes(self, pingpong_universe):
+        diagram = IsomorphismDiagram.of_universe(pingpong_universe)
+        for x in pingpong_universe:
+            for y in pingpong_universe.iso_class(x, {"p"}):
+                assert diagram.related(x, y, {"p"})
+
+    def test_configuration_vertices_collapse_permutations(self):
+        comps = figure_3_1_computations()
+        configs = [Configuration.from_computation(c) for c in comps.values()]
+        diagram = IsomorphismDiagram(configs, {"p", "q"})
+        # x and z are the same configuration: only 3 vertices remain.
+        assert len(diagram.vertices) == 3
+
+    def test_enumerated_universe_is_prefix_closed(self):
+        universe = figure_3_1_universe()
+        for configuration in universe:
+            assert len(configuration) <= 2
+        # null + four one-event cuts + three distinct [D]-classes (x == z).
+        assert len(universe) == 8

@@ -1,0 +1,79 @@
+"""The Principle of Computation Extension and Theorem 3 (§3.4)."""
+
+from repro.isomorphism.extension import (
+    check_extension_corollary,
+    check_extension_principle_part1,
+    check_extension_principle_part2,
+    check_theorem_3,
+    extension_event,
+    related_set,
+)
+
+
+class TestExtensionEvent:
+    def test_identifies_the_added_event(self, pingpong_universe):
+        for x in pingpong_universe:
+            for extended in pingpong_universe.successors(x):
+                event = extension_event(x, extended)
+                assert event is not None
+                assert x.extend(event) == extended
+
+    def test_none_for_unrelated_configurations(self, pingpong_universe):
+        configs = list(pingpong_universe)
+        same_size = [c for c in configs if len(c) == 2]
+        if len(same_size) >= 2:
+            assert extension_event(same_size[0], same_size[1]) is None
+
+
+class TestExtensionPrinciple:
+    def test_part1_on_pingpong(self, pingpong_universe):
+        assert check_extension_principle_part1(pingpong_universe) > 0
+
+    def test_part2_on_pingpong(self, pingpong_universe):
+        assert check_extension_principle_part2(pingpong_universe) > 0
+
+    def test_corollary_on_pingpong(self, pingpong_universe):
+        assert check_extension_corollary(pingpong_universe) > 0
+
+    def test_part1_on_broadcast(self, broadcast_universe):
+        assert check_extension_principle_part1(broadcast_universe) > 0
+
+    def test_part2_on_broadcast(self, broadcast_universe):
+        assert check_extension_principle_part2(broadcast_universe) > 0
+
+
+class TestTheorem3:
+    def test_pingpong_semantics(self, pingpong_universe):
+        counts = check_theorem_3(pingpong_universe)
+        assert counts["receive"] > 0
+        assert counts["send"] > 0
+
+    def test_broadcast_semantics_includes_internal(self, broadcast_universe):
+        counts = check_theorem_3(broadcast_universe)
+        assert counts["internal"] > 0
+        assert counts["receive"] > 0
+        assert counts["send"] > 0
+
+    def test_receive_strictly_shrinks_somewhere(self, pingpong_universe):
+        """Theorem 3's intuition: receives rule out computations that lack
+        the corresponding send.  At least one receive must *strictly*
+        shrink the related set."""
+        from repro.isomorphism.extension import extension_event
+
+        shrank = False
+        for x in pingpong_universe:
+            for extended in pingpong_universe.successors(x):
+                event = extension_event(x, extended)
+                if event is None or not event.is_receive:
+                    continue
+                before = related_set(pingpong_universe, x, {event.process})
+                after = related_set(pingpong_universe, extended, {event.process})
+                if len(after) < len(before):
+                    shrank = True
+        assert shrank
+
+    def test_larger_sets_also_respect_theorem_3(self, pingpong_universe):
+        counts = check_theorem_3(
+            pingpong_universe, process_sets=[{"p"}, {"q"}, {"p", "q"}]
+        )
+        assert sum(counts.values()) > 0

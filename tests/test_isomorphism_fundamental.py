@@ -1,0 +1,94 @@
+"""Theorem 1 — the Fundamental Theorem of Process Chains (§3.2)."""
+
+import pytest
+
+from repro.causality.chains import chain_in_suffix
+from repro.causality.order import CausalOrder
+from repro.isomorphism.fundamental import (
+    chain_ranks,
+    check_theorem_1,
+    composition_witness_by_chains,
+    theorem_1_holds,
+)
+from repro.isomorphism.relation import isomorphic
+
+P = frozenset("p")
+Q = frozenset("q")
+A = frozenset("a")
+B = frozenset("b")
+C = frozenset("c")
+
+
+class TestChainRanks:
+    def test_ranks_detect_chains(self, broadcast_universe):
+        sets = [A, B, C]
+        for x, z in broadcast_universe.sub_configuration_pairs():
+            suffix = z.suffix_after(x)
+            order = CausalOrder(suffix)
+            ranks = chain_ranks(order, sets)
+            has_chain = chain_in_suffix(z, x, sets) is not None
+            assert has_chain == any(rank >= 3 for rank in ranks.values())
+
+    def test_ranks_are_monotone_along_causality(self, broadcast_universe):
+        final = max(broadcast_universe, key=len)
+        order = CausalOrder(final)
+        ranks = chain_ranks(order, [A, B, C])
+        for event in order.events:
+            for successor in order.immediate_successors(event):
+                assert ranks[successor] >= ranks[event]
+
+
+class TestTheorem1:
+    def test_exhaustive_on_pingpong(self, pingpong_universe):
+        sequences = [[P], [Q], [P, Q], [Q, P], [P, Q, P], [frozenset({"p", "q"})]]
+        assert check_theorem_1(pingpong_universe, sequences) > 0
+
+    def test_exhaustive_on_broadcast(self, broadcast_universe):
+        sequences = [[A], [B], [A, B], [B, A], [A, B, C], [C, B, A]]
+        assert check_theorem_1(broadcast_universe, sequences) > 0
+
+    def test_exhaustive_on_token_bus(self, token_bus_universe):
+        stations = sorted(token_bus_universe.processes)
+        p, q, r = stations[0], stations[1], stations[2]
+        sequences = [
+            [frozenset({p})],
+            [frozenset({p}), frozenset({q})],
+            [frozenset({p}), frozenset({q}), frozenset({r})],
+            [frozenset({r}), frozenset({q}), frozenset({p})],
+        ]
+        assert check_theorem_1(token_bus_universe, sequences) > 0
+
+    def test_single_instance(self, pingpong_universe):
+        configs = sorted(pingpong_universe, key=len)
+        empty = configs[0]
+        full = max(pingpong_universe, key=len)
+        assert theorem_1_holds(pingpong_universe, empty, full, [P, Q])
+
+
+class TestConstructiveWitness:
+    def test_witnesses_are_valid_and_linked(self, broadcast_universe):
+        sets = [A, B]
+        seen = 0
+        for x, z in broadcast_universe.sub_configuration_pairs():
+            witness = composition_witness_by_chains(x, z, sets)
+            if witness is None:
+                # Theorem 1 promises nothing; the chain must exist.
+                assert chain_in_suffix(z, x, sets) is not None
+                continue
+            seen += 1
+            assert witness[0] == x and witness[-1] == z
+            assert len(witness) == len(sets) + 1
+            for index, p_set in enumerate(sets):
+                assert isomorphic(witness[index], witness[index + 1], p_set)
+            for intermediate in witness:
+                assert intermediate in broadcast_universe
+        assert seen > 0
+
+    def test_three_set_witnesses(self, broadcast_universe):
+        sets = [B, A, C]
+        for x, z in broadcast_universe.sub_configuration_pairs():
+            witness = composition_witness_by_chains(x, z, sets)
+            if witness is None:
+                continue
+            for index, p_set in enumerate(sets):
+                assert isomorphic(witness[index], witness[index + 1], p_set)

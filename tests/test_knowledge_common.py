@@ -1,0 +1,76 @@
+"""Common knowledge: fixpoint semantics and the constancy corollary."""
+
+from repro.knowledge.common import (
+    check_common_knowledge,
+    check_constancy_corollary,
+    check_fixpoint_characterisation,
+    common_knowledge,
+)
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import TRUE, CommonKnowledge, Knows
+from repro.knowledge.predicates import has_received, has_sent
+
+
+class TestFixpoint:
+    def test_fixpoint_characterisation(self, pingpong_evaluator):
+        assert check_fixpoint_characterisation(
+            pingpong_evaluator, has_received("q", "ping"), {"p", "q"}
+        )
+
+    def test_hierarchy_and_constancy(self, pingpong_universe, pingpong_evaluator):
+        results = check_common_knowledge(
+            pingpong_universe,
+            has_received("q", "ping"),
+            evaluator=pingpong_evaluator,
+        )
+        assert all(results.values()), results
+
+    def test_constant_true_is_common_knowledge_everywhere(
+        self, pingpong_universe, pingpong_evaluator
+    ):
+        ck = common_knowledge({"p", "q"}, TRUE)
+        assert pingpong_evaluator.is_valid(ck)
+
+    def test_contingent_predicate_is_never_common_knowledge(
+        self, pingpong_universe, pingpong_evaluator
+    ):
+        """The paper's corollary: common knowledge is constant, so a
+        predicate that is false somewhere is common knowledge nowhere."""
+        b = has_received("q", "ping")
+        assert not pingpong_evaluator.is_constant(b)
+        ck = common_knowledge({"p", "q"}, b)
+        assert len(pingpong_evaluator.extension(ck)) == 0
+
+    def test_common_knowledge_cannot_be_gained(self, pingpong_evaluator):
+        assert check_constancy_corollary(
+            pingpong_evaluator, has_received("q", "ping"), {"p", "q"}
+        )
+        assert check_constancy_corollary(
+            pingpong_evaluator, has_sent("p", "ping"), {"p", "q"}
+        )
+
+    def test_broadcast_common_knowledge_constancy(
+        self, broadcast_universe, broadcast_evaluator
+    ):
+        from repro.protocols.broadcast import fact_established_atom
+
+        fact = fact_established_atom(broadcast_universe.protocol)
+        results = check_common_knowledge(
+            broadcast_universe, fact, evaluator=broadcast_evaluator
+        )
+        assert all(results.values()), results
+        # The fact does become *everyone knows*, yet never common knowledge:
+        everyone = Knows("a", fact) & Knows("b", fact) & Knows("c", fact)
+        assert len(broadcast_evaluator.extension(everyone)) > 0
+        ck = CommonKnowledge({"a", "b", "c"}, fact)
+        assert len(broadcast_evaluator.extension(ck)) == 0
+
+    def test_single_process_common_knowledge_is_its_knowledge(
+        self, pingpong_evaluator
+    ):
+        b = has_sent("p", "ping")
+        ck = CommonKnowledge({"p"}, b)
+        knows = Knows("p", b)
+        assert set(pingpong_evaluator.extension(ck)) == set(
+            pingpong_evaluator.extension(knows)
+        )

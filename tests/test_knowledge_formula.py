@@ -1,0 +1,107 @@
+"""Unit tests for the knowledge formula AST."""
+
+import pytest
+
+from repro.core.errors import FormulaError
+from repro.knowledge.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    CommonKnowledge,
+    Constant,
+    Iff,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    Sure,
+    knows,
+    unsure,
+)
+
+
+def b_atom() -> Atom:
+    return Atom("b", lambda configuration: True)
+
+
+class TestConstruction:
+    def test_operator_overloads(self):
+        b = b_atom()
+        assert isinstance(~b, Not)
+        assert isinstance(b & b, And)
+        assert isinstance(b | b, Or)
+        assert isinstance(b >> b, Implies)
+
+    def test_bool_coercion(self):
+        b = b_atom()
+        assert (b & True).right is TRUE
+        assert (b | False).right is FALSE
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(FormulaError):
+            b_atom() & "not a formula"  # type: ignore[operator]
+
+    def test_knows_normalises_processes(self):
+        b = b_atom()
+        assert Knows("p", b).processes == frozenset({"p"})
+        assert Knows(["p", "q"], b).processes == frozenset({"p", "q"})
+
+    def test_knows_builder_nests_left_to_right(self):
+        b = b_atom()
+        nested = knows("p", "q", b)
+        assert isinstance(nested, Knows)
+        assert nested.processes == frozenset({"p"})
+        inner = nested.operand
+        assert isinstance(inner, Knows)
+        assert inner.processes == frozenset({"q"})
+        assert inner.operand is b
+
+    def test_knows_builder_requires_a_set(self):
+        with pytest.raises(FormulaError):
+            knows(b_atom())
+
+    def test_unsure_is_negated_sure(self):
+        b = b_atom()
+        formula = unsure("p", b)
+        assert isinstance(formula, Not)
+        assert isinstance(formula.operand, Sure)
+
+    def test_sure_expansion(self):
+        b = b_atom()
+        expansion = Sure("p", b).expand()
+        assert isinstance(expansion, Or)
+        assert isinstance(expansion.left, Knows)
+        assert isinstance(expansion.right.operand, Not)
+
+
+class TestValueSemantics:
+    def test_formulas_are_hashable_values(self):
+        b = b_atom()
+        assert Knows("p", b) == Knows("p", b)
+        assert len({Knows("p", b), Knows("p", b)}) == 1
+        assert Knows("p", b) != Knows("q", b)
+
+    def test_atoms_compare_by_name_and_function(self):
+        fn = lambda configuration: True  # noqa: E731
+        assert Atom("b", fn) == Atom("b", fn)
+        assert Atom("b", fn) != Atom("c", fn)
+
+    def test_constants(self):
+        assert TRUE == Constant(True)
+        assert TRUE != FALSE
+
+    def test_rendering(self):
+        b = b_atom()
+        assert str(Knows("p", b)) == "K{p}(b)"
+        assert str(Sure("p", b)) == "Sure{p}(b)"
+        assert str(CommonKnowledge({"p", "q"}, b)) == "C{p,q}(b)"
+        assert "∧" in str(b & b)
+
+
+class TestTraversal:
+    def test_subformulas(self):
+        b = b_atom()
+        assert (b & b).subformulas() == (b, b)
+        assert Knows("p", b).subformulas() == (b,)
+        assert b.subformulas() == ()

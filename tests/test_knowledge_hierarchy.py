@@ -1,0 +1,75 @@
+"""The everyone-knows hierarchy and knowledge depth."""
+
+import pytest
+
+from repro.knowledge.formula import TRUE
+from repro.knowledge.hierarchy import (
+    check_hierarchy_converges_to_common_knowledge,
+    depth_table,
+    everyone_knows,
+    hierarchy_extensions,
+    hierarchy_profile,
+    knowledge_depth,
+)
+from repro.knowledge.predicates import did_internal, has_received
+
+
+class TestHierarchy:
+    def test_profile_is_monotone_decreasing(self, broadcast_evaluator):
+        fact = did_internal("a", "learn")
+        profile = hierarchy_profile(broadcast_evaluator, {"a", "b", "c"}, fact)
+        assert profile == sorted(profile, reverse=True)
+
+    def test_contingent_fact_dies_out(self, broadcast_evaluator):
+        """E^k of a contingent fact reaches the empty fixed point — the
+        quantitative face of 'common knowledge cannot be gained'."""
+        fact = did_internal("a", "learn")
+        layers = hierarchy_extensions(broadcast_evaluator, {"a", "b", "c"}, fact)
+        assert len(layers[0]) > 0
+        assert len(layers[-1]) == 0
+
+    def test_depth_counts_strict_shrinks(self, broadcast_evaluator):
+        fact = did_internal("a", "learn")
+        depth = knowledge_depth(broadcast_evaluator, {"a", "b", "c"}, fact)
+        assert depth >= 1
+
+    def test_constant_true_has_depth_zero(self, broadcast_evaluator):
+        depth = knowledge_depth(broadcast_evaluator, {"a", "b", "c"}, TRUE)
+        assert depth == 0
+        profile = hierarchy_profile(broadcast_evaluator, {"a", "b", "c"}, TRUE)
+        assert len(set(profile)) == 1
+
+    def test_fixed_point_is_common_knowledge(self, broadcast_evaluator):
+        for formula in (TRUE, did_internal("a", "learn"), has_received("c", "fact")):
+            assert check_hierarchy_converges_to_common_knowledge(
+                broadcast_evaluator, {"a", "b", "c"}, formula
+            )
+
+    def test_fixed_point_on_pingpong(self, pingpong_evaluator):
+        assert check_hierarchy_converges_to_common_knowledge(
+            pingpong_evaluator, {"p", "q"}, has_received("q", "ping")
+        )
+
+    def test_depth_table_shape(self, broadcast_evaluator):
+        rows = depth_table(
+            broadcast_evaluator,
+            {"a", "b", "c"},
+            [("fact", did_internal("a", "learn")), ("true", TRUE)],
+        )
+        assert len(rows) == 2
+        name, profile, depth = rows[0]
+        assert name == "fact" and depth >= 1 and profile[0] > profile[-1]
+
+    def test_everyone_knows_needs_processes(self):
+        with pytest.raises(ValueError):
+            everyone_knows(frozenset(), TRUE)
+
+    def test_everyone_knows_implies_each_knows(self, pingpong_evaluator):
+        from repro.knowledge.formula import Implies, Knows
+
+        b = has_received("q", "ping")
+        e_formula = everyone_knows({"p", "q"}, b)
+        for process in ("p", "q"):
+            assert pingpong_evaluator.is_valid(
+                Implies(e_formula, Knows(process, b))
+            )

@@ -1,0 +1,147 @@
+"""Theorems 4, 5, 6 and Lemma 4: how knowledge is transferred (§4.3)."""
+
+import pytest
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import Knows
+from repro.knowledge.predicates import did_internal, has_received, has_sent
+from repro.knowledge.transfer import (
+    check_lemma_4,
+    check_lemma_4_corollaries,
+    check_theorem_4,
+    check_theorem_4_negative_corollary,
+    check_theorem_5_gain,
+    check_theorem_6_loss,
+    nested_knowledge,
+)
+
+P = frozenset("p")
+Q = frozenset("q")
+A = frozenset("a")
+B = frozenset("b")
+C = frozenset("c")
+
+
+class TestTheorem4:
+    def test_pingpong(self, pingpong_evaluator):
+        b = has_received("q", "ping")
+        for sets in ([P], [P, Q], [Q, P], [P, Q, P]):
+            report = check_theorem_4(pingpong_evaluator, sets, b)
+            assert report.holds, report
+        # Non-vacuity: the two-set case must actually fire.
+        assert check_theorem_4(pingpong_evaluator, [P, Q], b).checked > 0
+
+    def test_broadcast_three_sets(self, broadcast_evaluator):
+        b = did_internal("a", "learn")
+        report = check_theorem_4(broadcast_evaluator, [C, B, A], b)
+        assert report.holds and report.checked > 0
+
+    def test_sure_variant(self, pingpong_evaluator):
+        b = has_received("q", "ping")
+        report = check_theorem_4(pingpong_evaluator, [P, Q], b, sure=True)
+        assert report.holds and report.checked > 0
+
+    def test_negative_corollary(self, pingpong_evaluator):
+        b = has_received("q", "ping")
+        for sets in ([P], [P, Q], [Q, P]):
+            report = check_theorem_4_negative_corollary(
+                pingpong_evaluator, sets, b
+            )
+            assert report.holds, report
+
+
+class TestLemma4:
+    def test_pingpong_events(self, pingpong_evaluator):
+        b = has_received("q", "ping")  # local to q = P̄ for P = {p}
+        reports = check_lemma_4(pingpong_evaluator, b, P)
+        assert all(report.holds for report in reports.values()), reports
+        assert reports["receive"].checked > 0
+        assert reports["send"].checked > 0
+
+    def test_broadcast_events(self, broadcast_evaluator):
+        b = did_internal("a", "learn")  # local to a
+        reports = check_lemma_4(broadcast_evaluator, b, frozenset({"b", "c"}))
+        assert all(report.holds for report in reports.values()), reports
+
+    def test_corollaries_gain_needs_receive_loss_needs_send(
+        self, pingpong_evaluator
+    ):
+        b = has_received("q", "ping")
+        reports = check_lemma_4_corollaries(pingpong_evaluator, b, P)
+        assert reports["gain-receive"].holds
+        assert reports["loss-send"].holds
+        assert reports["gain-receive"].checked > 0
+
+
+class TestTheorem5Gain:
+    def test_pingpong_single_set(self, pingpong_evaluator):
+        b = has_received("q", "ping")
+        report = check_theorem_5_gain(pingpong_evaluator, [P], b)
+        assert report.holds and report.checked > 0
+
+    def test_pingpong_two_sets(self, pingpong_evaluator):
+        b = has_received("q", "ping")
+        report = check_theorem_5_gain(pingpong_evaluator, [P, Q], b)
+        assert report.holds, report
+
+    def test_broadcast_chain_direction(self, broadcast_evaluator):
+        """c knows b knows (fact at a): the chain must run a -> b -> c...
+        i.e. <Pn ... P1> with P1 = {c}, P2 = {b}, ... reversed."""
+        b = did_internal("a", "learn")
+        report = check_theorem_5_gain(broadcast_evaluator, [C, B], b)
+        assert report.holds and report.checked > 0
+
+    def test_token_bus(self, token_bus_evaluator):
+        from repro.protocols.token_bus import holds_token_atom
+
+        protocol = token_bus_evaluator.universe.protocol
+        b = holds_token_atom(protocol, "q")
+        report = check_theorem_5_gain(
+            token_bus_evaluator, [frozenset({"r"})], b, check_receive=False
+        )
+        assert report.holds
+
+
+class TestTheorem6Loss:
+    def test_pingpong(self, pingpong_evaluator):
+        """p knows 'q has not sent pong #2' and loses that knowledge when
+        q sends — loss requires a chain ending at the loser."""
+        from repro.knowledge.formula import Not
+
+        b = Not(has_sent("q", "pong"))
+        report = check_theorem_6_loss(pingpong_evaluator, [P, Q], b)
+        assert report.holds
+
+    def test_toggle_loss_is_exercised(self, toggle_evaluator):
+        """q knows bit=false initially; the owner's flip destroys it."""
+        from repro.knowledge.formula import Not
+        from repro.protocols.toggle import bit_atom
+
+        bit = bit_atom(toggle_evaluator.universe.protocol)
+        report = check_theorem_6_loss(
+            toggle_evaluator, [Q, P], Not(bit), check_send=False
+        )
+        assert report.holds
+
+    def test_loss_of_remote_knowledge_needs_send(self, pingpong_evaluator):
+        from repro.knowledge.formula import Not
+
+        b = Not(has_sent("q", "pong"))  # local to q
+        report = check_theorem_6_loss(pingpong_evaluator, [P, Q], b)
+        assert report.holds
+
+
+class TestNestedKnowledgeBuilder:
+    def test_nesting_order(self):
+        b = has_received("q", "ping")
+        nested = nested_knowledge([P, Q], b)
+        assert isinstance(nested, Knows)
+        assert nested.processes == P
+        assert nested.operand.processes == Q
+
+    def test_sure_nesting(self):
+        from repro.knowledge.formula import Sure
+
+        b = has_received("q", "ping")
+        nested = nested_knowledge([P], b, sure=True)
+        assert isinstance(nested, Sure)

@@ -1,0 +1,86 @@
+"""Broadcast protocol: knowledge dissemination along topologies."""
+
+import pytest
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import Knows
+from repro.protocols.broadcast import (
+    BroadcastProtocol,
+    fact_established_atom,
+    fact_known_atom,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.universe.explorer import Universe
+
+
+class TestTopologies:
+    def test_line(self):
+        topology = line_topology(("a", "b", "c"))
+        assert topology["a"] == ("b",)
+        assert topology["b"] == ("a", "c")
+        assert topology["c"] == ("b",)
+
+    def test_star(self):
+        topology = star_topology("hub", ("x", "y"))
+        assert set(topology["hub"]) == {"x", "y"}
+        assert topology["x"] == ("hub",)
+
+    def test_ring(self):
+        topology = ring_topology(("a", "b", "c"))
+        assert topology["a"] == ("c", "b")
+        assert topology["b"] == ("a", "c")
+
+    def test_root_must_exist(self):
+        with pytest.raises(ValueError):
+            BroadcastProtocol(line_topology(("a", "b")), root="zebra")
+
+
+class TestDissemination:
+    def test_everyone_learns_in_full_runs(self):
+        names = tuple(f"n{i}" for i in range(5))
+        protocol = BroadcastProtocol(line_topology(names), root=names[0])
+        trace = simulate(protocol, RandomScheduler(2))
+        final = trace.final_configuration
+        for name in names:
+            assert protocol.knows_fact(name, final.history(name))
+
+    def test_star_floods_from_hub(self):
+        protocol = BroadcastProtocol(star_topology("hub", ("x", "y", "z")), "hub")
+        trace = simulate(protocol, RandomScheduler(0))
+        assert trace.count_messages("fact") == 3
+
+    def test_learning_is_monotone(self, broadcast_universe):
+        protocol = broadcast_universe.protocol
+        for configuration in broadcast_universe:
+            for successor in broadcast_universe.successors(configuration):
+                for process in protocol.processes:
+                    before = protocol.knows_fact(
+                        process, configuration.history(process)
+                    )
+                    after = protocol.knows_fact(process, successor.history(process))
+                    assert after or not before
+
+
+class TestKnowledgeStructure:
+    def test_knowing_the_fact_is_knowing_the_atom(self, broadcast_universe):
+        """Once c receives the fact, c *knows* (epistemically) the root
+        learnt it — receipt implies knowledge through the chain."""
+        evaluator = KnowledgeEvaluator(broadcast_universe)
+        protocol = broadcast_universe.protocol
+        established = fact_established_atom(protocol)
+        c_has_it = fact_known_atom(protocol, "c")
+        for configuration in evaluator.extension(c_has_it):
+            assert evaluator.holds(Knows("c", established), configuration)
+
+    def test_no_knowledge_without_receipt(self, broadcast_universe):
+        evaluator = KnowledgeEvaluator(broadcast_universe)
+        protocol = broadcast_universe.protocol
+        established = fact_established_atom(protocol)
+        c_has_it = fact_known_atom(protocol, "c")
+        for configuration in broadcast_universe:
+            if not c_has_it.fn(configuration):
+                assert not evaluator.holds(Knows("c", established), configuration)

@@ -1,0 +1,119 @@
+"""Two-phase commit: knowledge preconditions for action."""
+
+import pytest
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import CommonKnowledge, Implies, Knows, Not, Sure
+from repro.protocols.commit import TwoPhaseCommitProtocol
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.universe.explorer import Universe
+
+
+@pytest.fixture(scope="module")
+def commit_setup():
+    protocol = TwoPhaseCommitProtocol(("p1", "p2"))
+    universe = Universe(protocol)
+    evaluator = KnowledgeEvaluator(universe)
+    return protocol, universe, evaluator
+
+
+class TestProtocolBehaviour:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            TwoPhaseCommitProtocol(("a",), coordinator="a")
+        with pytest.raises(ValueError):
+            TwoPhaseCommitProtocol(())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement(self, seed):
+        """All participants apply the same decision."""
+        protocol = TwoPhaseCommitProtocol(("p1", "p2", "p3"))
+        trace = simulate(protocol, RandomScheduler(seed))
+        final = trace.final_configuration
+        decisions = {
+            protocol.applied(final.history(participant))
+            for participant in protocol.participants
+        }
+        assert len(decisions) == 1
+        assert decisions != {None}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_commit_iff_unanimous(self, seed):
+        protocol = TwoPhaseCommitProtocol(("p1", "p2", "p3"))
+        trace = simulate(protocol, RandomScheduler(seed + 50))
+        final = trace.final_configuration
+        votes = [
+            protocol.vote_of(final.history(participant))
+            for participant in protocol.participants
+        ]
+        applied = protocol.applied(final.history(protocol.participants[0]))
+        assert applied == all(votes)
+
+    def test_universe_is_finite_and_complete(self, commit_setup):
+        _, universe, _ = commit_setup
+        assert universe.is_complete
+        assert len(universe) > 0
+
+
+class TestKnowledgePreconditions:
+    def test_commit_requires_knowing_unanimity(self, commit_setup):
+        """The headline knowledge precondition: a participant that has
+        committed *knows* every participant voted yes."""
+        protocol, _, evaluator = commit_setup
+        unanimous = protocol.all_voted_yes()
+        for participant in protocol.participants:
+            committed = protocol.committed_atom(participant)
+            assert evaluator.is_valid(
+                Implies(committed, Knows(participant, unanimous))
+            )
+
+    def test_no_knowledge_of_peer_votes_before_decision(self, commit_setup):
+        """Before receiving the coordinator's decision, p1 is never sure
+        of p2's vote — votes travel through the coordinator only."""
+        protocol, universe, evaluator = commit_setup
+        p2_yes = protocol.voted_atom("p2", True)
+        sure = evaluator.extension(Sure("p1", p2_yes))
+        for configuration in universe:
+            if protocol.decision_received(configuration.history("p1")) is None:
+                assert configuration not in sure
+
+    def test_coordinator_knows_votes_it_received(self, commit_setup):
+        protocol, universe, evaluator = commit_setup
+        p1_yes = protocol.voted_atom("p1", True)
+        knows = evaluator.extension(Knows(protocol.coordinator, p1_yes))
+        for configuration in universe:
+            votes = protocol.votes_received(
+                configuration.history(protocol.coordinator)
+            )
+            if votes.get("p1") is True:
+                assert configuration in knows
+
+    def test_outcome_never_common_knowledge(self, commit_setup):
+        """The knowledge-theoretic root of 2PC's blocking behaviour: the
+        unanimous outcome never becomes common knowledge among the
+        participants."""
+        protocol, _, evaluator = commit_setup
+        ck = CommonKnowledge(set(protocol.participants), protocol.all_voted_yes())
+        assert len(evaluator.extension(ck)) == 0
+
+    def test_commit_knowledge_is_nested_through_coordinator(self, commit_setup):
+        """When p1 commits it also knows the coordinator knew unanimity —
+        the chain <p2 coord p1> at the knowledge level."""
+        protocol, _, evaluator = commit_setup
+        unanimous = protocol.all_voted_yes()
+        committed = protocol.committed_atom("p1")
+        nested = Knows("p1", Knows(protocol.coordinator, unanimous))
+        assert evaluator.is_valid(Implies(committed, nested))
+
+    def test_knowledge_gain_requires_chain_from_peers(self, commit_setup):
+        """Theorem 5 applied to 2PC: p1 gaining knowledge of 'p2 voted
+        yes' requires a process chain <p2 p1> in the suffix."""
+        from repro.knowledge.transfer import check_theorem_5_gain
+
+        protocol, _, evaluator = commit_setup
+        p2_yes = protocol.voted_atom("p2", True)
+        report = check_theorem_5_gain(
+            evaluator, [frozenset({"p1"})], p2_yes, check_receive=False
+        )
+        assert report.holds and report.checked > 0

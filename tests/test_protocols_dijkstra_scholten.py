@@ -1,0 +1,111 @@
+"""Dijkstra–Scholten: correctness and the exact-overhead property."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.protocols.dijkstra_scholten import DijkstraScholtenProtocol
+from repro.protocols.termination import (
+    Activation,
+    TerminationWorkload,
+    generate_workload,
+)
+from repro.simulation.scheduler import (
+    EagerReceiveScheduler,
+    LazyReceiveScheduler,
+    RandomScheduler,
+)
+from repro.simulation.simulator import simulate
+
+
+def run(workload, scheduler):
+    protocol = DijkstraScholtenProtocol(workload)
+    trace = simulate(protocol, scheduler)
+    return protocol, trace
+
+
+class TestDetection:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_detects(self, seed):
+        workload = generate_workload(
+            ("a", "b", "c", "d"), seed=seed, activations_per_process=3
+        )
+        protocol, trace = run(workload, RandomScheduler(seed))
+        assert protocol.has_detected(trace.final_configuration)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_detection_is_sound(self, seed):
+        """The root announces only after genuine termination."""
+        workload = generate_workload(("a", "b", "c"), seed=seed)
+        protocol, trace = run(workload, RandomScheduler(seed + 100))
+        for prefix in trace.computation.prefixes():
+            configuration = Configuration.from_computation(prefix)
+            if protocol.has_detected(configuration):
+                assert protocol.is_terminated(configuration)
+                break
+
+    def test_detects_trivial_termination(self):
+        workload = TerminationWorkload(
+            processes=("a", "b"), root="a", plans={"a": (Activation(()),)}
+        )
+        protocol, trace = run(workload, RandomScheduler(0))
+        assert protocol.has_detected(trace.final_configuration)
+        assert protocol.overhead_messages(trace.final_configuration) == 0
+
+
+class TestOverhead:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_overhead_equals_underlying(self, seed):
+        """One ack per work message — DS meets the §5(c) bound exactly."""
+        workload = generate_workload(
+            ("a", "b", "c", "d", "e"), seed=seed, activations_per_process=3
+        )
+        protocol, trace = run(workload, RandomScheduler(seed))
+        final = trace.final_configuration
+        work = trace.count_messages("work")
+        assert work == workload.total_work_messages()
+        assert protocol.overhead_messages(final) == work
+
+    def test_overhead_under_adversarial_schedules(self):
+        workload = generate_workload(("a", "b", "c"), seed=1)
+        for scheduler in (EagerReceiveScheduler(), LazyReceiveScheduler()):
+            protocol, trace = run(workload, scheduler)
+            final = trace.final_configuration
+            assert protocol.has_detected(final)
+            assert protocol.overhead_messages(final) == trace.count_messages("work")
+
+
+class TestDsState:
+    def test_quiet_at_the_end(self):
+        workload = generate_workload(("a", "b", "c"), seed=3)
+        protocol, trace = run(workload, RandomScheduler(3))
+        final = trace.final_configuration
+        for process in workload.processes:
+            state = protocol.ds_state(process, final.history(process))
+            assert state.deficit == 0
+            assert not state.pending
+            if process != workload.root:
+                assert not state.engaged
+
+    def test_deficit_counts_unacked_work(self):
+        workload = TerminationWorkload(
+            processes=("a", "b"), root="a", plans={"a": (Activation(("b",)),)}
+        )
+        protocol = DijkstraScholtenProtocol(workload)
+        from repro.core.configuration import EMPTY_CONFIGURATION
+
+        configuration = EMPTY_CONFIGURATION
+        # Drive: a sends work to b.
+        sends = [
+            event
+            for event in protocol.enabled_events(configuration)
+            if event.is_send and event.message.tag == "work"
+        ]
+        configuration = configuration.extend(sends[0])
+        state = protocol.ds_state("a", configuration.history("a"))
+        assert state.deficit == 1
+
+    def test_detect_fires_once(self):
+        workload = generate_workload(("a", "b"), seed=0)
+        protocol, trace = run(workload, RandomScheduler(0))
+        detects = trace.count_internal("detect")
+        assert detects == 1

@@ -1,0 +1,128 @@
+"""Failure monitors: async impossibility substrate, sync timeouts."""
+
+import pytest
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import Knows, Not, Sure
+from repro.protocols.failure_monitor import (
+    AsyncFailureMonitorProtocol,
+    SyncFailureMonitorProtocol,
+)
+from repro.universe.explorer import Universe
+
+
+@pytest.fixture(scope="module")
+def async_universe():
+    return Universe(AsyncFailureMonitorProtocol(heartbeats=2))
+
+
+@pytest.fixture(scope="module")
+def sync_universe():
+    return Universe(SyncFailureMonitorProtocol(rounds=2))
+
+
+class TestAsyncProtocol:
+    def test_crashed_worker_stops(self, async_universe):
+        protocol = async_universe.protocol
+        for configuration in async_universe:
+            history = configuration.history(protocol.worker)
+            crash_indices = [
+                index
+                for index, event in enumerate(history)
+                if getattr(event, "tag", None) == "crash"
+            ]
+            if crash_indices:
+                assert crash_indices[0] == len(history) - 1
+
+    def test_crash_is_local_to_worker(self, async_universe):
+        from repro.knowledge.predicates import is_local_to
+
+        protocol = async_universe.protocol
+        evaluator = KnowledgeEvaluator(async_universe)
+        assert is_local_to(evaluator, protocol.crashed_atom(), {protocol.worker})
+
+    def test_monitor_never_sure(self, async_universe):
+        protocol = async_universe.protocol
+        evaluator = KnowledgeEvaluator(async_universe)
+        crashed = protocol.crashed_atom()
+        assert evaluator.is_valid(Not(Sure(protocol.monitor, crashed)))
+
+    def test_monitor_never_knows_liveness_either(self, async_universe):
+        protocol = async_universe.protocol
+        evaluator = KnowledgeEvaluator(async_universe)
+        crashed = protocol.crashed_atom()
+        assert not evaluator.is_valid(Knows(protocol.monitor, Not(crashed)))
+
+
+class TestSyncProtocol:
+    def test_ticks_wait_for_heartbeats_or_crash(self, sync_universe):
+        """The synchrony restriction: tick r exists only when heartbeat r
+        was sent or the worker crashed first."""
+        protocol = sync_universe.protocol
+        for configuration in sync_universe:
+            ticks = [
+                event
+                for event in configuration.history(protocol.timer)
+                if event.is_send
+            ]
+            heartbeats_sent = sum(
+                1
+                for event in configuration.history(protocol.worker)
+                if event.is_send
+            )
+            crashed = protocol.crashed(configuration.history(protocol.worker))
+            for tick in ticks:
+                round_index = tick.message.payload
+                assert heartbeats_sent > round_index or crashed
+
+    def test_detection_happens(self, sync_universe):
+        protocol = sync_universe.protocol
+        evaluator = KnowledgeEvaluator(sync_universe)
+        crashed = protocol.crashed_atom()
+        detections = evaluator.extension(Knows(protocol.monitor, crashed))
+        assert len(detections) > 0
+
+    def test_detection_is_by_timeout(self, sync_universe):
+        """In every configuration where the monitor knows the crash, it
+        has received a tick whose heartbeat never arrived."""
+        protocol = sync_universe.protocol
+        evaluator = KnowledgeEvaluator(sync_universe)
+        crashed = protocol.crashed_atom()
+        for configuration in evaluator.extension(
+            Knows(protocol.monitor, crashed)
+        ):
+            monitor_history = configuration.history(protocol.monitor)
+            ticks = [
+                event.message.payload
+                for event in monitor_history
+                if event.is_receive and event.message.tag == "tick"
+            ]
+            heartbeats = sum(
+                1
+                for event in monitor_history
+                if event.is_receive and event.message.tag == "heartbeat"
+            )
+            assert ticks, "knowledge without any tick received"
+            assert max(ticks) >= heartbeats  # some round timed out
+
+    def test_sync_universe_is_smaller_than_free_product(self, sync_universe):
+        """The synchrony assumption removes computations (that is the whole
+        point): relaxing the restriction must enlarge the universe."""
+        protocol = sync_universe.protocol
+
+        class Unrestricted(SyncFailureMonitorProtocol):
+            def enabled_events(self, configuration):
+                # Base Protocol enabling, without the synchrony filter.
+                return super(SyncFailureMonitorProtocol, self).enabled_events(
+                    configuration
+                )
+
+        free = Universe(
+            Unrestricted(
+                worker=protocol.worker,
+                monitor=protocol.monitor,
+                timer=protocol.timer,
+                rounds=protocol.rounds,
+            )
+        )
+        assert len(sync_universe) < len(free)

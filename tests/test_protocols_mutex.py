@@ -1,0 +1,92 @@
+"""Token-ring mutual exclusion: safety is knowledge."""
+
+import pytest
+
+from repro.protocols.mutex import TokenRingMutexProtocol, check_mutual_exclusion
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.universe.explorer import Universe
+
+
+@pytest.fixture(scope="module")
+def mutex_universe():
+    return Universe(TokenRingMutexProtocol(max_hops=3, max_sessions=1))
+
+
+class TestSafety:
+    def test_mutual_exclusion_holds(self, mutex_universe):
+        result = check_mutual_exclusion(mutex_universe)
+        assert result["safe"]
+        assert result["sessions"] > 0
+
+    def test_safety_is_epistemic(self, mutex_universe):
+        """The process in the critical section KNOWS it is alone."""
+        result = check_mutual_exclusion(mutex_universe)
+        assert result["epistemic"]
+
+    def test_wrong_universe_rejected(self, pingpong_universe):
+        with pytest.raises(TypeError):
+            check_mutual_exclusion(pingpong_universe)
+
+
+class TestBehaviour:
+    def test_token_uniqueness(self, mutex_universe):
+        protocol = mutex_universe.protocol
+        for configuration in mutex_universe:
+            holders = [
+                station
+                for station in protocol.stations
+                if protocol.holds_token(station, configuration.history(station))
+            ]
+            assert len(holders) + len(configuration.in_flight_messages) == 1
+
+    def test_cs_requires_token(self, mutex_universe):
+        protocol = mutex_universe.protocol
+        for configuration in mutex_universe:
+            for station in protocol.stations:
+                history = configuration.history(station)
+                if protocol.in_critical_section(station, history):
+                    assert protocol.holds_token(station, history)
+
+    def test_sessions_bounded(self, mutex_universe):
+        protocol = mutex_universe.protocol
+        for configuration in mutex_universe:
+            for station in protocol.stations:
+                enters = sum(
+                    1
+                    for event in configuration.history(station)
+                    if getattr(event, "tag", None) == "enter"
+                )
+                assert enters <= protocol.max_sessions
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_simulated_runs_are_safe(self, seed):
+        protocol = TokenRingMutexProtocol(
+            ("a", "b", "c", "d"), max_hops=6, max_sessions=2
+        )
+        trace = simulate(protocol, RandomScheduler(seed))
+        for configuration in trace.configurations():
+            inside = [
+                station
+                for station in protocol.stations
+                if protocol.in_critical_section(
+                    station, configuration.history(station)
+                )
+            ]
+            assert len(inside) <= 1
+
+    def test_every_station_can_get_a_turn(self):
+        protocol = TokenRingMutexProtocol(("a", "b", "c"), max_hops=4)
+        universe = Universe(protocol)
+        visited = set()
+        for configuration in universe:
+            for station in protocol.stations:
+                if protocol.in_critical_section(
+                    station, configuration.history(station)
+                ):
+                    visited.add(station)
+        assert visited == set(protocol.stations)
+
+    def test_needs_two_stations(self):
+        with pytest.raises(ValueError):
+            TokenRingMutexProtocol(("solo",))

@@ -1,0 +1,93 @@
+"""The wave-based polling detector: soundness, liveness, overhead shape."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.protocols.polling_detector import PollingDetectorProtocol, WaveSummary
+from repro.protocols.termination import generate_workload
+from repro.simulation.scheduler import LazyReceiveScheduler, RandomScheduler
+from repro.simulation.simulator import simulate
+
+
+def run(workload, scheduler, max_waves=64):
+    protocol = PollingDetectorProtocol(workload, max_waves=max_waves)
+    trace = simulate(protocol, scheduler, max_steps=1_000_000)
+    return protocol, trace
+
+
+class TestDetection:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_detects_with_enough_waves(self, seed):
+        workload = generate_workload(("a", "b", "c"), seed=seed)
+        protocol, trace = run(workload, RandomScheduler(seed))
+        assert protocol.has_detected(trace.final_configuration)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_detection_is_sound(self, seed):
+        """The four-counter condition never announces early."""
+        workload = generate_workload(
+            ("a", "b", "c", "d"), seed=seed, activations_per_process=3
+        )
+        protocol, trace = run(workload, RandomScheduler(seed * 7 + 1))
+        for prefix in trace.computation.prefixes():
+            configuration = Configuration.from_computation(prefix)
+            if protocol.has_detected(configuration):
+                assert protocol.is_terminated(configuration)
+                break
+
+    def test_detection_under_lazy_network(self):
+        workload = generate_workload(("a", "b", "c"), seed=2)
+        protocol, trace = run(workload, LazyReceiveScheduler())
+        assert protocol.has_detected(trace.final_configuration)
+
+
+class TestOverhead:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_overhead_is_two_n_per_wave(self, seed):
+        workload = generate_workload(("a", "b", "c"), seed=seed)
+        protocol, trace = run(workload, RandomScheduler(seed))
+        overhead = protocol.overhead_messages(trace.final_configuration)
+        probes = trace.count_messages("probe")
+        reports = trace.count_messages("report")
+        assert overhead == probes + reports
+        assert reports <= probes <= 3 * protocol.max_waves
+
+    def test_needs_at_least_two_waves(self):
+        workload = generate_workload(("a", "b", "c"), seed=0)
+        protocol, trace = run(workload, RandomScheduler(0))
+        assert protocol.overhead_messages(trace.final_configuration) >= 2 * 2 * 3
+
+
+class TestDetectionCondition:
+    def test_two_identical_balanced_passive_waves(self):
+        summaries = [WaveSummary(5, 5, True), WaveSummary(5, 5, True)]
+        assert PollingDetectorProtocol.detection_condition(summaries)
+
+    def test_single_wave_insufficient(self):
+        assert not PollingDetectorProtocol.detection_condition(
+            [WaveSummary(5, 5, True)]
+        )
+
+    def test_unbalanced_waves_rejected(self):
+        summaries = [WaveSummary(5, 4, True), WaveSummary(5, 4, True)]
+        assert not PollingDetectorProtocol.detection_condition(summaries)
+
+    def test_active_process_rejected(self):
+        summaries = [WaveSummary(5, 5, True), WaveSummary(5, 5, False)]
+        assert not PollingDetectorProtocol.detection_condition(summaries)
+
+    def test_changing_counts_rejected(self):
+        summaries = [WaveSummary(4, 4, True), WaveSummary(5, 5, True)]
+        assert not PollingDetectorProtocol.detection_condition(summaries)
+
+
+class TestConstruction:
+    def test_detector_must_be_fresh(self):
+        workload = generate_workload(("a", "b"), seed=0)
+        with pytest.raises(ValueError):
+            PollingDetectorProtocol(workload, detector="a")
+
+    def test_wave_summaries_only_counts_complete_waves(self):
+        workload = generate_workload(("a", "b"), seed=0)
+        protocol = PollingDetectorProtocol(workload)
+        assert protocol.wave_summaries(()) == []

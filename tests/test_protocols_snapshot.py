@@ -1,0 +1,87 @@
+"""Chandy–Lamport snapshots: completion and cut consistency."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.protocols.snapshot import (
+    SnapshotTokenRingProtocol,
+    recorded_snapshot,
+    snapshot_is_consistent,
+)
+from repro.simulation.network import FifoProtocol
+from repro.simulation.scheduler import (
+    EagerReceiveScheduler,
+    LazyReceiveScheduler,
+    RandomScheduler,
+)
+from repro.simulation.simulator import simulate
+
+
+def run(ring=("p", "q", "r"), max_hops=4, scheduler=None):
+    protocol = SnapshotTokenRingProtocol(ring, max_hops=max_hops)
+    trace = simulate(FifoProtocol(protocol), scheduler or RandomScheduler(0))
+    return protocol, trace
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_snapshot_completes(self, seed):
+        protocol, trace = run(scheduler=RandomScheduler(seed))
+        assert protocol.snapshot_complete(trace.final_configuration)
+
+    def test_completes_on_larger_rings(self):
+        protocol, trace = run(
+            ring=("a", "b", "c", "d", "e"), max_hops=8, scheduler=RandomScheduler(3)
+        )
+        assert protocol.snapshot_complete(trace.final_configuration)
+
+    def test_extremal_schedulers(self):
+        for scheduler in (EagerReceiveScheduler(), LazyReceiveScheduler()):
+            protocol, trace = run(scheduler=scheduler)
+            assert protocol.snapshot_complete(trace.final_configuration)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_recorded_cut_is_consistent(self, seed):
+        protocol, trace = run(scheduler=RandomScheduler(seed))
+        assert snapshot_is_consistent(protocol, trace.final_configuration)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consistency_on_bigger_rings(self, seed):
+        protocol, trace = run(
+            ring=("a", "b", "c", "d"), max_hops=7, scheduler=RandomScheduler(seed)
+        )
+        assert snapshot_is_consistent(protocol, trace.final_configuration)
+
+    def test_channel_states_capture_in_flight_tokens(self):
+        """Across seeds, at least one snapshot records a non-empty channel
+        (the interesting case of the algorithm)."""
+        nonempty = 0
+        for seed in range(20):
+            protocol, trace = run(max_hops=6, scheduler=RandomScheduler(seed))
+            snapshot = recorded_snapshot(protocol, trace.final_configuration)
+            if snapshot.channel_messages():
+                nonempty += 1
+        assert nonempty > 0
+
+    def test_snapshot_requires_completion(self):
+        protocol = SnapshotTokenRingProtocol(("p", "q", "r"))
+        from repro.core.configuration import EMPTY_CONFIGURATION
+
+        with pytest.raises(ProtocolError):
+            recorded_snapshot(protocol, EMPTY_CONFIGURATION)
+
+
+class TestConstruction:
+    def test_ring_needs_two(self):
+        with pytest.raises(ProtocolError):
+            SnapshotTokenRingProtocol(("solo",))
+
+    def test_initiator_must_be_on_ring(self):
+        with pytest.raises(ProtocolError):
+            SnapshotTokenRingProtocol(("p", "q"), initiator="zebra")
+
+    def test_one_marker_per_process(self):
+        protocol, trace = run(scheduler=RandomScheduler(4))
+        assert trace.count_messages("marker") == 3

@@ -1,0 +1,108 @@
+"""Diffusing computations: workloads, determinism, termination predicate."""
+
+import pytest
+
+from repro.protocols.termination import (
+    Activation,
+    DiffusingComputationProtocol,
+    TerminationWorkload,
+    generate_workload,
+)
+from repro.simulation.scheduler import (
+    EagerReceiveScheduler,
+    LazyReceiveScheduler,
+    RandomScheduler,
+)
+from repro.simulation.simulator import simulate
+
+
+def simple_workload() -> TerminationWorkload:
+    return TerminationWorkload(
+        processes=("a", "b", "c"),
+        root="a",
+        plans={
+            "a": (Activation(("b", "c")),),
+            "b": (Activation(("c",)),),
+            "c": (Activation(()), Activation(())),
+        },
+    )
+
+
+class TestWorkload:
+    def test_total_messages_is_schedule_independent(self):
+        workload = simple_workload()
+        expected = workload.total_work_messages()
+        assert expected == 3  # a->b, a->c, b->c
+        for scheduler in (
+            RandomScheduler(0),
+            RandomScheduler(5),
+            EagerReceiveScheduler(),
+            LazyReceiveScheduler(),
+        ):
+            trace = simulate(DiffusingComputationProtocol(workload), scheduler)
+            assert trace.count_messages("work") == expected
+
+    def test_root_must_be_a_process(self):
+        with pytest.raises(ValueError):
+            TerminationWorkload(processes=("a",), root="zebra")
+
+    def test_targets_must_be_processes(self):
+        with pytest.raises(ValueError):
+            TerminationWorkload(
+                processes=("a",), root="a", plans={"a": (Activation(("x",)),)}
+            )
+
+    def test_generated_workloads_are_reproducible(self):
+        first = generate_workload(("a", "b", "c"), seed=9)
+        second = generate_workload(("a", "b", "c"), seed=9)
+        assert first == second
+
+    def test_generated_workloads_are_nontrivial(self):
+        for seed in range(10):
+            workload = generate_workload(("a", "b", "c", "d"), seed=seed)
+            assert workload.total_work_messages() >= 1
+
+    def test_activation_beyond_plan_is_empty(self):
+        workload = simple_workload()
+        assert workload.activation("a", 99) == Activation(())
+
+
+class TestExecution:
+    def test_runs_terminate(self):
+        workload = simple_workload()
+        trace = simulate(DiffusingComputationProtocol(workload), RandomScheduler(1))
+        protocol = DiffusingComputationProtocol(workload)
+        assert protocol.is_terminated(trace.final_configuration)
+
+    def test_termination_is_stable(self):
+        """Once terminated, always terminated (no spontaneous wakeups)."""
+        workload = simple_workload()
+        protocol = DiffusingComputationProtocol(workload)
+        trace = simulate(protocol, RandomScheduler(4))
+        seen_terminated = False
+        for configuration in trace.configurations():
+            terminated = protocol.is_terminated(configuration)
+            if seen_terminated:
+                assert terminated
+            seen_terminated = terminated
+
+    def test_not_terminated_while_messages_in_flight(self):
+        workload = simple_workload()
+        protocol = DiffusingComputationProtocol(workload)
+        trace = simulate(protocol, RandomScheduler(2))
+        for configuration in trace.configurations():
+            if any(
+                message.tag == "work"
+                for message in configuration.in_flight_messages
+            ):
+                assert not protocol.is_terminated(configuration)
+
+    def test_underlying_state_consistency(self):
+        workload = simple_workload()
+        protocol = DiffusingComputationProtocol(workload)
+        trace = simulate(protocol, RandomScheduler(3))
+        final = trace.final_configuration
+        for process in workload.processes:
+            state = protocol.underlying_state(process, final.history(process))
+            assert not state.active
+            assert state.triggered == state.completed

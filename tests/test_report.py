@@ -1,0 +1,52 @@
+"""The one-shot verification report."""
+
+import pytest
+
+from repro.report import ReportItem, VerificationReport, verification_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return verification_report()
+
+
+class TestVerificationReport:
+    def test_all_claims_verified(self, report):
+        failing = [item for item in report.items if not item.verdict]
+        assert report.all_hold, failing
+
+    def test_covers_every_section(self, report):
+        experiments = {item.experiment for item in report.items}
+        # Sections 3, 4, 5 and 6 are all represented.
+        assert {"E2", "E3", "E5"} <= experiments  # §3
+        assert {"E6", "E7", "E8", "E9"} <= experiments  # §4
+        assert {"E10", "E11", "E12"} <= experiments  # §5
+        assert "E14" in experiments  # §6
+
+    def test_markdown_rendering(self, report):
+        markdown = report.to_markdown()
+        assert markdown.startswith("# Verification report")
+        assert "ALL CLAIMS VERIFIED" in markdown
+        assert markdown.count("✓") == len(report.items)
+        assert "✗" not in markdown
+
+    def test_failure_rendering(self):
+        failing = VerificationReport(
+            items=[ReportItem("EX", "a false claim", False, "details")]
+        )
+        markdown = failing.to_markdown()
+        assert not failing.all_hold
+        assert "FAILURES FOUND" in markdown
+        assert "✗ FAIL" in markdown
+
+    def test_cli_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        assert "ALL CLAIMS VERIFIED" in capsys.readouterr().out
+
+    def test_cli_lists_e14(self, capsys):
+        from repro.cli import main
+
+        main(["experiments"])
+        assert "E14" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Hand-built computation families (Figure 3-1) and builder helpers."""
+
+from repro.core.configuration import Configuration
+from repro.core.validation import is_system_computation
+from repro.universe.builder import (
+    configuration_from_events,
+    figure_3_1_computations,
+    figure_3_1_universe,
+)
+
+
+class TestFigure31Family:
+    def test_four_computations(self):
+        comps = figure_3_1_computations()
+        assert set(comps) == {"x", "y", "z", "w"}
+        for computation in comps.values():
+            assert len(computation) == 2
+            assert is_system_computation(computation)
+
+    def test_the_stated_relations(self):
+        comps = figure_3_1_computations()
+        # x and z are distinct permutations.
+        assert comps["x"] != comps["z"]
+        assert comps["x"].is_permutation_of(comps["z"])
+        # x agrees with y on p only.
+        assert comps["x"].projection("p") == comps["y"].projection("p")
+        assert comps["x"].projection("q") != comps["y"].projection("q")
+        # w agrees with z on q only.
+        assert comps["z"].projection("q") == comps["w"].projection("q")
+        assert comps["z"].projection("p") != comps["w"].projection("p")
+
+    def test_universe_closure(self):
+        universe = figure_3_1_universe()
+        assert len(universe) == 8
+        assert universe.is_complete
+        # The three distinct [D]-classes are present.
+        comps = figure_3_1_computations()
+        for name in ("x", "y", "w"):
+            assert Configuration.from_computation(comps[name]) in universe
+
+    def test_dot_export(self):
+        from repro.isomorphism.diagram import IsomorphismDiagram
+
+        comps = figure_3_1_computations()
+        diagram = IsomorphismDiagram(
+            comps.values(), {"p", "q"}, names={k: v for k, v in comps.items()}
+        )
+        dot = diagram.to_dot()
+        assert dot.startswith("graph isomorphism {")
+        assert '"x" -- "y" [label="{p}"];' in dot
+        assert "self" not in dot  # self loops omitted
+        with_loops = diagram.to_dot(include_self_loops=True)
+        assert '"x" -- "x"' in with_loops
+
+
+class TestHelpers:
+    def test_configuration_from_events(self):
+        from repro.core.events import internal, message_pair
+
+        snd, rcv = message_pair("p", "q", "m")
+        configuration = configuration_from_events(snd, rcv, internal("p"))
+        assert configuration.count_on("p") == 2
+        assert configuration.count_on("q") == 1

@@ -1,0 +1,113 @@
+"""Unit tests for exhaustive universe exploration."""
+
+import pytest
+
+from repro.core.configuration import EMPTY_CONFIGURATION
+from repro.core.errors import UniverseError
+from repro.core.validation import is_valid_configuration
+from repro.protocols.pingpong import PingPongProtocol
+from repro.universe.builder import figure_3_1_universe
+from repro.universe.explorer import EnumeratedUniverse, Universe
+
+
+class TestExploration:
+    def test_pingpong_universe_size(self):
+        """One round of ping/pong: null, ping sent, ping received, pong
+        sent, pong received — exactly 5 configurations."""
+        universe = Universe(PingPongProtocol(rounds=1))
+        assert len(universe) == 5
+        assert universe.is_complete
+
+    def test_contains_empty_configuration(self, pingpong_universe):
+        assert EMPTY_CONFIGURATION in pingpong_universe
+
+    def test_all_configurations_valid(self, pingpong_universe):
+        for configuration in pingpong_universe:
+            assert is_valid_configuration(configuration)
+
+    def test_bfs_order_is_by_size(self, pingpong_universe):
+        sizes = [len(configuration) for configuration in pingpong_universe]
+        assert sizes == sorted(sizes)
+
+    def test_closed_under_consistent_cuts(self, broadcast_universe):
+        """Every sub-configuration of a member is a member (the closure
+        property the composed-relation machinery relies on)."""
+        for x, z in broadcast_universe.sub_configuration_pairs():
+            assert x in broadcast_universe
+
+    def test_successors_extend_by_one_event(self, pingpong_universe):
+        for configuration in pingpong_universe:
+            for successor in pingpong_universe.successors(configuration):
+                assert len(successor) == len(configuration) + 1
+                assert configuration.is_sub_configuration_of(successor)
+
+    def test_truncation_detected(self):
+        truncated = Universe(PingPongProtocol(rounds=10), max_events=4)
+        assert not truncated.is_complete
+
+    def test_configuration_budget_enforced(self):
+        with pytest.raises(UniverseError):
+            Universe(PingPongProtocol(rounds=4), max_configurations=3)
+
+    def test_require_rejects_foreigners(self, pingpong_universe):
+        from repro.core.configuration import Configuration
+        from repro.core.events import internal
+
+        foreign = Configuration({"x": (internal("x"),)})
+        with pytest.raises(UniverseError):
+            pingpong_universe.require(foreign)
+
+
+class TestIsoClasses:
+    def test_iso_class_members_share_projection(self, pingpong_universe):
+        for configuration in pingpong_universe:
+            for member in pingpong_universe.iso_class(configuration, {"p"}):
+                assert member.projection({"p"}) == configuration.projection({"p"})
+
+    def test_iso_class_is_symmetric(self, pingpong_universe):
+        for x in pingpong_universe:
+            for y in pingpong_universe.iso_class(x, {"q"}):
+                assert x in pingpong_universe.iso_class(y, {"q"})
+
+    def test_empty_set_class_is_everything(self, pingpong_universe):
+        for configuration in pingpong_universe:
+            assert len(
+                pingpong_universe.iso_class(configuration, frozenset())
+            ) == len(pingpong_universe)
+
+    def test_d_class_is_singleton(self, pingpong_universe):
+        """Configurations are canonical [D]-representatives, so the
+        [D]-class of each is itself alone."""
+        d = pingpong_universe.processes
+        for configuration in pingpong_universe:
+            assert pingpong_universe.iso_class(configuration, d) == (configuration,)
+
+    def test_events_view(self, pingpong_universe):
+        events = pingpong_universe.events()
+        # Two rounds: ping#0/#1 and pong#0/#1, each with a send and receive.
+        assert len(events) == 8
+        assert all(event.process in {"p", "q"} for event in events)
+
+
+class TestEnumeratedUniverse:
+    def test_prefix_closure(self):
+        universe = figure_3_1_universe()
+        assert EMPTY_CONFIGURATION in universe
+        for configuration in universe:
+            for smaller in universe:
+                if smaller.is_sub_configuration_of(configuration):
+                    assert smaller in universe
+
+    def test_has_no_protocol(self):
+        universe = figure_3_1_universe()
+        with pytest.raises(UniverseError):
+            universe.protocol  # noqa: B018
+
+    def test_complement_uses_observed_processes(self):
+        universe = figure_3_1_universe()
+        assert universe.complement({"p"}) == {"q"}
+
+    def test_successor_structure(self):
+        universe = figure_3_1_universe()
+        empty = EMPTY_CONFIGURATION
+        assert len(universe.successors(empty)) == 4  # a_p, d_p, b_q, c_q

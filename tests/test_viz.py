@@ -1,0 +1,45 @@
+"""Terminal renderings."""
+
+from repro.protocols.pingpong import PingPongProtocol
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+from repro.viz.render import knowledge_timeline, space_time_diagram
+
+
+class TestSpaceTime:
+    def test_one_row_per_process(self):
+        trace = simulate(PingPongProtocol(rounds=2), RandomScheduler(0))
+        diagram = space_time_diagram(trace.computation)
+        lines = diagram.splitlines()
+        assert lines[0].startswith("p |")
+        assert lines[1].startswith("q |")
+
+    def test_symbols_match_event_kinds(self):
+        trace = simulate(PingPongProtocol(rounds=1), RandomScheduler(0))
+        diagram = space_time_diagram(trace.computation)
+        assert "▲" in diagram and "▼" in diagram
+
+    def test_truncation(self):
+        trace = simulate(PingPongProtocol(rounds=10), RandomScheduler(0))
+        diagram = space_time_diagram(trace.computation, max_columns=10)
+        assert "…" in diagram
+
+    def test_legend_lists_events(self):
+        trace = simulate(PingPongProtocol(rounds=1), RandomScheduler(0))
+        diagram = space_time_diagram(trace.computation)
+        assert "send ping#0(p->q)" in diagram
+        assert "recv pong#0(q->p)" in diagram
+
+
+class TestTimeline:
+    def test_flags_are_interleaved(self):
+        trace = simulate(PingPongProtocol(rounds=1), RandomScheduler(0))
+        timeline = knowledge_timeline(trace.computation, {3: "p knows b"})
+        assert "<-- p knows b" in timeline
+        assert timeline.count("<--") == 1
+
+    def test_no_flags(self):
+        trace = simulate(PingPongProtocol(rounds=1), RandomScheduler(0))
+        timeline = knowledge_timeline(trace.computation, {})
+        assert "<--" not in timeline
+        assert len(timeline.splitlines()) == 4
