@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Standalone entry point for the scaling benchmark harness.
+
+Equivalent to ``python -m repro.cli bench``; kept next to the
+pytest-benchmark suites so both perf tools live in one place.  Writes a
+``BENCH_<date>.json`` trajectory file into the current directory (or
+``--output-dir``).
+"""
+
+import sys
+
+if __name__ == "__main__":
+    from repro.bench import main
+
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""E15 — knowledge-extension computation on the bitmask evaluator.
+
+Tracks evaluator performance directly (exploration is covered by E13):
+each benchmark constructs a *fresh* :class:`KnowledgeEvaluator` per
+round so formula memoisation does not trivialise the measurement, while
+the universe (and its dense-id projection indexes) is shared — the
+production shape for repeated queries over one explored universe.
+"""
+
+import pytest
+
+from repro.knowledge.evaluator import KnowledgeEvaluator
+from repro.knowledge.formula import Atom, CommonKnowledge, Knows, knows
+from repro.protocols.broadcast import BroadcastProtocol, star_topology
+from repro.universe.explorer import Universe
+
+
+@pytest.fixture(scope="module")
+def star_universe() -> Universe:
+    return Universe(
+        BroadcastProtocol(star_topology("hub", ("v", "w", "x", "y", "z")), "hub")
+    )
+
+
+def receiver_got_it() -> Atom:
+    return Atom(
+        "x_got_it",
+        lambda configuration: any(
+            event.is_receive for event in configuration.history("x")
+        ),
+    )
+
+
+def test_bench_knows_extension(benchmark, star_universe):
+    body = receiver_got_it()
+    formula = Knows(frozenset({"hub"}), body)
+
+    def run():
+        return KnowledgeEvaluator(star_universe).extension(formula)
+
+    extension = run()
+    # The hub cannot know x received: deliveries are indistinguishable.
+    assert extension == frozenset()
+    print(
+        f"\n[E15] knows over {len(star_universe)} configurations: "
+        f"|extension| = {len(extension)}"
+    )
+    benchmark(run)
+
+
+def test_bench_common_knowledge_extension(benchmark, star_universe):
+    body = receiver_got_it()
+    formula = CommonKnowledge(frozenset({"hub", "x"}), body)
+
+    def run():
+        return KnowledgeEvaluator(star_universe).extension(formula)
+
+    extension = run()
+    assert extension == frozenset()  # no common knowledge without acks
+    benchmark(run)
+
+
+def test_bench_nested_knowledge_extension(benchmark, star_universe):
+    """Nested ``x knows hub knows …`` exercises chained class scans."""
+    hub_sent = Atom(
+        "hub_sent",
+        lambda configuration: any(
+            event.is_send for event in configuration.history("hub")
+        ),
+    )
+    formula = knows("x", "hub", hub_sent)
+
+    def run():
+        return KnowledgeEvaluator(star_universe).extension(formula)
+
+    extension = run()
+    evaluator = KnowledgeEvaluator(star_universe)
+    # Sanity: nested knowledge is contained in the body's extension.
+    assert extension <= evaluator.extension(hub_sent)
+    benchmark(run)
+
+
+def test_bench_extension_masks_agree_with_views(benchmark, star_universe):
+    """The mask representation and the frozenset view must coincide."""
+    body = receiver_got_it()
+    formula = Knows(frozenset({"x"}), body)
+    evaluator = KnowledgeEvaluator(star_universe)
+    mask = evaluator.extension_mask(formula)
+    view = evaluator.extension(formula)
+    assert view == frozenset(star_universe.configurations_in_mask(mask))
+    assert len(view) == mask.bit_count()
+
+    benchmark(lambda: KnowledgeEvaluator(star_universe).extension_mask(formula))

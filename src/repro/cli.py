@@ -11,7 +11,9 @@ Four subcommands, each wrapping the corresponding library layer:
 * ``repro experiments`` — list the experiment index (E1–E14) with the
   bench target regenerating each;
 * ``repro report`` — run every theorem checker and print a markdown
-  verification report (exit status 1 on any failure).
+  verification report (exit status 1 on any failure);
+* ``repro bench`` — run the scaling benchmarks and write a
+  ``BENCH_<date>.json`` trajectory file (see :mod:`repro.bench`).
 
 Usage::
 
@@ -149,6 +151,14 @@ def cmd_report(_args: argparse.Namespace) -> int:
     return 0 if report.all_hold else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_and_report
+
+    return run_and_report(
+        repeats=args.repeats, output_dir=args.output_dir, no_write=args.no_write
+    )
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     print(f"{'id':>4}  {'artefact':40}  bench target")
     for exp_id, description, target in EXPERIMENTS:
@@ -202,6 +212,16 @@ def make_parser() -> argparse.ArgumentParser:
         "report", help="run every checker and print a verification report"
     )
     report.set_defaults(handler=cmd_report)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the scaling benchmarks and write a BENCH_<date>.json "
+        "trajectory file",
+    )
+    from repro.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 

@@ -11,18 +11,85 @@ Working with configurations instead of linear computations shrinks
 exhaustively explored universes by the number of interleavings per class
 (often exponential) without changing any answer — this is the design
 decision ablated by experiment E13 (see DESIGN.md).
+
+Because every quantifier of the theory ranges over explored universes,
+constructing and deduplicating configurations is *the* hot path of the
+whole system.  Three invariants make it fast (see PERFORMANCE.md):
+
+* ``_histories`` always keeps its keys in sorted order, so projections,
+  canonical keys and iteration never re-sort;
+* the content hash is an order-independent sum of per-entry hashes,
+  maintained *incrementally* by :meth:`extend` (one entry re-hashed per
+  event instead of the whole configuration);
+* configurations produced by :meth:`extend` are interned in a weak
+  registry, so on the exploration hot path equal configurations are the
+  *same object* and set/dict membership is effectively by identity.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterable, Iterator, Mapping
 from functools import cached_property
+from types import MappingProxyType
 from typing import Optional
 
 from repro.core.computation import Computation
 from repro.core.errors import InvalidConfigurationError
 from repro.core.events import Event, Message, ReceiveEvent, SendEvent
 from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+
+
+_HASH_MODULUS = (1 << 61) - 1
+"""Content hashes are sums of per-entry rolling hashes reduced mod this prime.
+
+The reduction keeps every stored hash inside ``Py_hash_t`` range so the
+value survives Python's own ``hash()`` wrapping unchanged — which is what
+lets :meth:`Configuration.extend` maintain the hash incrementally (one
+modular multiply-add per event) while agreeing exactly with the lazy
+full computation of publicly constructed configurations.
+"""
+
+_ROLL_MULTIPLIER = 1099511628211
+
+
+def _entry_hash(process: ProcessId, history: tuple[Event, ...]) -> int:
+    """Rolling hash of one ``(process, history)`` entry.
+
+    Seeded by the process name and folded event by event, so the hash of
+    ``history + (event,)`` derives from the hash of ``history`` in O(1) —
+    the extend fast path never re-hashes a whole history.
+    """
+    acc = hash(process) % _HASH_MODULUS
+    for event in history:
+        acc = (acc * _ROLL_MULTIPLIER + hash(event)) % _HASH_MODULUS
+    return acc
+
+
+_REGISTRY: dict[int, list] = {}
+"""Weak intern registry: content hash -> weakrefs of live configurations.
+
+Collisions are resolved by full structural comparison at lookup time (see
+``Configuration.extend``), so a hash bucket may in principle hold several
+distinct configurations.  Dead references are pruned by the weakref
+callbacks installed in :func:`_registry_insert`.
+"""
+
+
+def _registry_insert(content_hash: int, configuration: "Configuration") -> None:
+    def _cleanup(reference: "weakref.ref", _hash: int = content_hash) -> None:
+        bucket = _REGISTRY.get(_hash)
+        if bucket is not None:
+            try:
+                bucket.remove(reference)
+            except ValueError:
+                pass
+            if not bucket:
+                _REGISTRY.pop(_hash, None)
+
+    _REGISTRY.setdefault(content_hash, []).append(
+        weakref.ref(configuration, _cleanup)
+    )
 
 
 class Configuration:
@@ -33,7 +100,7 @@ class Configuration:
     both — the definition of ``x [D] y``.
     """
 
-    __slots__ = ("_histories", "_hash", "__dict__")
+    __slots__ = ("_histories", "_hash", "_entry_hashes", "__weakref__", "__dict__")
 
     def __init__(self, histories: Mapping[ProcessId, Iterable[Event]] = ()) -> None:
         items: dict[ProcessId, tuple[Event, ...]] = {}
@@ -49,23 +116,62 @@ class Configuration:
                 items[process] = history
         self._histories = items
         self._hash: Optional[int] = None
+        self._entry_hashes: Optional[dict[ProcessId, int]] = None
+
+    @classmethod
+    def _from_trusted(
+        cls,
+        items: dict[ProcessId, tuple[Event, ...]],
+        content_hash: int,
+        entry_hashes: dict[ProcessId, int],
+    ) -> "Configuration":
+        """No-validate constructor for the ``extend`` fast path.
+
+        ``items`` must already be normalised: sorted keys, nonempty
+        tuple histories, every event filed under its own process.
+        ``content_hash`` must equal the modular sum of ``entry_hashes``,
+        which must equal :func:`_entry_hash` per entry (the same values
+        :meth:`__hash__` computes lazily).
+        """
+        configuration = object.__new__(cls)
+        configuration._histories = items
+        configuration._hash = content_hash
+        configuration._entry_hashes = entry_hashes
+        # Pre-seed the cached read-only view: every explored configuration
+        # is asked for its histories at least once (enabled_events).
+        configuration.__dict__["histories"] = MappingProxyType(items)
+        return configuration
+
+    def _entry_hash_map(self) -> dict[ProcessId, int]:
+        entry_hashes = self._entry_hashes
+        if entry_hashes is None:
+            entry_hashes = {
+                process: _entry_hash(process, history)
+                for process, history in self._histories.items()
+            }
+            self._entry_hashes = entry_hashes
+        return entry_hashes
 
     # ------------------------------------------------------------------
     # Value semantics
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Configuration):
             return NotImplemented
         return self._histories == other._histories
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            self._hash = hash(tuple(sorted(self._histories.items())))
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = sum(self._entry_hash_map().values()) % _HASH_MODULUS
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:
         parts = []
-        for process in sorted(self._histories):
+        for process in self._histories:
             events = " ".join(str(event) for event in self._histories[process])
             parts.append(f"{process}: {events}")
         return "Configuration(" + "; ".join(parts) + ")"
@@ -76,10 +182,10 @@ class Configuration:
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def histories(self) -> Mapping[ProcessId, tuple[Event, ...]]:
         """Read-only view of the nonempty per-process histories."""
-        return dict(self._histories)
+        return MappingProxyType(self._histories)
 
     @property
     def processes(self) -> frozenset[ProcessId]:
@@ -98,17 +204,27 @@ class Configuration:
         Two configurations ``x, y`` satisfy ``x [P] y`` iff their
         projections on ``P`` are equal; empty histories are omitted so the
         key does not depend on which processes exist elsewhere.
+
+        Keys are memoised per process set: universes and evaluators ask
+        for the same projections over and over while indexing.
         """
         p_set = as_process_set(processes)
-        return tuple(
-            (process, self._histories[process])
-            for process in sorted(p_set & self._histories.keys())
-        )
+        cache = self.__dict__.get("_projection_cache")
+        if cache is None:
+            cache = {}
+            self.__dict__["_projection_cache"] = cache
+        key = cache.get(p_set)
+        if key is None:
+            key = tuple(
+                entry for entry in self._histories.items() if entry[0] in p_set
+            )
+            cache[p_set] = key
+        return key
 
     def events(self) -> Iterator[Event]:
         """All events, grouped by process (process order within groups)."""
-        for process in sorted(self._histories):
-            yield from self._histories[process]
+        for history in self._histories.values():
+            yield from history
 
     @cached_property
     def event_set(self) -> frozenset[Event]:
@@ -155,17 +271,124 @@ class Configuration:
         sub-configuration is realised by a prefix of some linearization of
         ``other`` (it is a consistent cut).
         """
+        if self is other:
+            return True
+        other_histories = other._histories
         for process, history in self._histories.items():
-            other_history = other.history(process)
+            other_history = other_histories.get(process, ())
             if other_history[: len(history)] != history:
                 return False
         return True
 
     def extend(self, event: Event) -> "Configuration":
-        """The configuration with ``event`` appended to its process."""
-        histories = dict(self._histories)
-        histories[event.process] = self.history(event.process) + (event,)
-        return Configuration(histories)
+        """The configuration with ``event`` appended to its process.
+
+        This is the exploration hot path: the result is built without
+        re-validation or re-sorting, its hash is derived incrementally
+        from this configuration's hash, and structurally equal results are
+        interned so repeated discoveries return the same object.
+        """
+        process = event.process
+        parent_histories = self._histories
+        old_history = parent_histories.get(process, ())
+        new_history = old_history + (event,)
+        entry_hashes = self._entry_hashes
+        if entry_hashes is None:
+            entry_hashes = self._entry_hash_map()
+        parent_hash = self._hash
+        if parent_hash is None:
+            parent_hash = self.__hash__()
+        try:
+            event_hash = event._hash_cache
+        except AttributeError:
+            event_hash = hash(event)
+        old_entry = entry_hashes.get(process)
+        if old_entry is None:
+            new_entry = (
+                (hash(process) % _HASH_MODULUS) * _ROLL_MULTIPLIER + event_hash
+            ) % _HASH_MODULUS
+            content_hash = (parent_hash + new_entry) % _HASH_MODULUS
+        else:
+            new_entry = (old_entry * _ROLL_MULTIPLIER + event_hash) % _HASH_MODULUS
+            content_hash = (parent_hash - old_entry + new_entry) % _HASH_MODULUS
+
+        # Duplicate discovery (the common case in diamond-shaped state
+        # spaces) resolves against the registry with O(|P|) pointer
+        # comparisons and no allocation.
+        bucket = _REGISTRY.get(content_hash)
+        if bucket is not None:
+            for reference in bucket:
+                candidate = reference()
+                if candidate is None:
+                    continue
+                candidate_histories = candidate._histories
+                if candidate_histories.get(process) != new_history:
+                    continue
+                if len(candidate_histories) != len(parent_histories) + (
+                    1 if old_entry is None else 0
+                ):
+                    continue
+                for existing, history in parent_histories.items():
+                    if existing != process:
+                        other = candidate_histories.get(existing)
+                        if other is not history and other != history:
+                            break
+                else:
+                    return candidate
+
+        if old_history:
+            items = dict(parent_histories)
+            items[process] = new_history  # same key: position preserved
+        else:
+            # Insert the new process at its sorted position.
+            items = {}
+            placed = False
+            for existing, history in parent_histories.items():
+                if not placed and process < existing:
+                    items[process] = new_history
+                    placed = True
+                items[existing] = history
+            if not placed:
+                items[process] = new_history
+
+        child_entry_hashes = dict(entry_hashes)
+        child_entry_hashes[process] = new_entry
+        child = Configuration._from_trusted(items, content_hash, child_entry_hashes)
+        self._propagate_caches(child, event)
+        _registry_insert(content_hash, child)
+        return child
+
+    def _propagate_caches(self, child: "Configuration", event: Event) -> None:
+        """Derive the child's message-set caches from this configuration's.
+
+        Exploration computes ``in_flight_messages`` for every
+        configuration it pops; deriving the child's sets from the parent's
+        (sharing the frozensets outright when the event does not touch
+        them) turns O(events) scans per configuration into O(msgs)
+        updates.  Only populated when the parent has already built the
+        caches, and kept exactly equal to the lazy definitions —
+        including the degenerate re-send of a message value that was
+        already received, where ``sent - received`` must stay empty.
+        """
+        parent_cache = self.__dict__
+        received = parent_cache.get("received_messages")
+        in_flight = parent_cache.get("in_flight_messages")
+        if received is None or in_flight is None:
+            return
+        child_cache = child.__dict__
+        if isinstance(event, SendEvent):
+            message = event.message
+            child_cache["received_messages"] = received
+            child_cache["in_flight_messages"] = (
+                in_flight if message in received else in_flight | {message}
+            )
+        elif isinstance(event, ReceiveEvent):
+            message = event.message
+            child_cache["received_messages"] = received | {message}
+            child_cache["in_flight_messages"] = in_flight - {message}
+        else:
+            child_cache["received_messages"] = received
+            child_cache["in_flight_messages"] = in_flight
 
     def suffix_after(
         self, prefix: "Configuration"

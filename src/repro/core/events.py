@@ -29,6 +29,22 @@ class EventKind(enum.Enum):
     INTERNAL = "internal"
 
 
+def _cached_value_hash(self) -> int:
+    """Shared ``__hash__`` for event/message value objects.
+
+    Events and messages are hashed constantly on the exploration hot path
+    (as members of history tuples and set elements); the generated
+    dataclass hash re-hashes every field on every call.  Computing it once
+    and stashing it on the instance makes repeated hashing O(1).
+    """
+    try:
+        return self._hash_cache
+    except AttributeError:
+        value = hash(tuple(getattr(self, name) for name in self.__match_args__))
+        object.__setattr__(self, "_hash_cache", value)
+        return value
+
+
 @dataclass(frozen=True, order=True)
 class Message:
     """A distinguished message from ``sender`` to ``receiver``.
@@ -45,6 +61,8 @@ class Message:
     seq: int = 0
     payload: Hashable = None
 
+    __hash__ = _cached_value_hash
+
     def __str__(self) -> str:
         return f"{self.tag}#{self.seq}({self.sender}->{self.receiver})"
 
@@ -58,6 +76,8 @@ class Event:
     """
 
     process: ProcessId
+
+    __hash__ = _cached_value_hash
 
     @property
     def kind(self) -> EventKind:
@@ -82,6 +102,8 @@ class SendEvent(Event):
 
     message: Message = field(default=None)  # type: ignore[assignment]
 
+    __hash__ = _cached_value_hash
+
     def __post_init__(self) -> None:
         if self.message is None:
             raise ValueError("SendEvent requires a message")
@@ -104,6 +126,8 @@ class ReceiveEvent(Event):
     """Reception of ``message`` by ``message.receiver`` (== ``process``)."""
 
     message: Message = field(default=None)  # type: ignore[assignment]
+
+    __hash__ = _cached_value_hash
 
     def __post_init__(self) -> None:
         if self.message is None:
@@ -134,6 +158,8 @@ class InternalEvent(Event):
     seq: int = 0
     payload: Hashable = None
 
+    __hash__ = _cached_value_hash
+
     @property
     def kind(self) -> EventKind:
         return EventKind.INTERNAL
@@ -148,8 +174,18 @@ def send(message: Message) -> SendEvent:
 
 
 def receive(message: Message) -> ReceiveEvent:
-    """Build the receive event of ``message`` (on the message's receiver)."""
-    return ReceiveEvent(process=message.receiver, message=message)
+    """Build the receive event of ``message`` (on the message's receiver).
+
+    The event is cached on the message: exploration re-offers the same
+    in-flight message at every configuration along an interleaving, and
+    events are value objects, so returning the same instance is sound.
+    """
+    try:
+        return message._receive_event
+    except AttributeError:
+        event = ReceiveEvent(process=message.receiver, message=message)
+        object.__setattr__(message, "_receive_event", event)
+        return event
 
 
 def internal(

@@ -35,6 +35,8 @@ def as_process_set(processes: ProcessSetLike) -> frozenset[ProcessId]:
     """
     if isinstance(processes, str):
         return frozenset((processes,))
+    if type(processes) is frozenset:
+        return processes
     return frozenset(processes)
 
 

@@ -7,9 +7,13 @@ universe that quantifier is exact, and every formula has a well-defined
 
 :class:`KnowledgeEvaluator` computes extensions bottom-up and memoises
 them per formula, so repeated queries (and nested ``knows``) cost one
-pass each.  ``Knows`` is evaluated per isomorphism class: a class
-satisfies ``P knows b`` iff the class is contained in the extension of
-``b`` — this is where the projection index of the universe pays off.
+pass each.  Internally an extension is an **int bitmask** over the
+universe's dense configuration ids (see PERFORMANCE.md): boolean
+connectives are single bitwise operations, ``knows`` tests class
+containment with ``class_mask & body == class_mask``, and the
+common-knowledge fixpoint iterates over class masks instead of
+rebuilding membership lists.  The public API still speaks frozensets of
+:class:`Configuration`; those views are materialised lazily per formula.
 """
 
 from __future__ import annotations
@@ -51,7 +55,8 @@ class KnowledgeEvaluator:
                 "pass allow_incomplete=True to accept the approximation"
             )
         self._universe = universe
-        self._extensions: dict[Formula, frozenset[Configuration]] = {}
+        self._masks: dict[Formula, int] = {}
+        self._views: dict[Formula, frozenset[Configuration]] = {}
         self._partitions: dict[
             frozenset[ProcessId], list[list[Configuration]]
         ] = {}
@@ -65,38 +70,47 @@ class KnowledgeEvaluator:
     # ------------------------------------------------------------------
     def holds(self, formula: Formula, configuration: Configuration) -> bool:
         """``formula at configuration``."""
-        self._universe.require(configuration)
-        return configuration in self.extension(formula)
+        config_id = self._universe.config_id(configuration)
+        return bool(self.extension_mask(formula) >> config_id & 1)
 
     def extension(self, formula: Formula) -> frozenset[Configuration]:
         """All configurations of the universe at which ``formula`` holds."""
-        cached = self._extensions.get(formula)
-        if cached is None:
-            cached = self._compute_extension(formula)
-            self._extensions[formula] = cached
-        return cached
+        view = self._views.get(formula)
+        if view is None:
+            view = frozenset(
+                self._universe.configurations_in_mask(self.extension_mask(formula))
+            )
+            self._views[formula] = view
+        return view
+
+    def extension_mask(self, formula: Formula) -> int:
+        """The extension as a bitmask over dense configuration ids."""
+        mask = self._masks.get(formula)
+        if mask is None:
+            mask = self._compute_mask(formula)
+            self._masks[formula] = mask
+        return mask
 
     def is_valid(self, formula: Formula) -> bool:
         """True iff ``formula`` holds at every computation of the universe."""
-        return len(self.extension(formula)) == len(self._universe)
+        return self.extension_mask(formula) == self._universe.full_mask
 
     def is_constant(self, formula: Formula) -> bool:
         """The paper's *constant* predicates: same value at every
         computation."""
-        size = len(self.extension(formula))
-        return size == 0 or size == len(self._universe)
+        mask = self.extension_mask(formula)
+        return mask == 0 or mask == self._universe.full_mask
 
     def counterexamples(
         self, formula: Formula, limit: int = 3
     ) -> list[Configuration]:
         """Up to ``limit`` configurations at which ``formula`` fails."""
-        extension = self.extension(formula)
+        failing = self._universe.full_mask & ~self.extension_mask(formula)
         found = []
-        for configuration in self._universe:
-            if configuration not in extension:
-                found.append(configuration)
-                if len(found) >= limit:
-                    break
+        for configuration in self._universe.configurations_in_mask(failing):
+            found.append(configuration)
+            if len(found) >= limit:
+                break
         return found
 
     # ------------------------------------------------------------------
@@ -109,79 +123,82 @@ class KnowledgeEvaluator:
         p_set = as_process_set(processes)
         cached = self._partitions.get(p_set)
         if cached is None:
-            buckets: dict[tuple, list[Configuration]] = {}
-            for configuration in self._universe:
-                buckets.setdefault(
-                    configuration.projection(p_set), []
-                ).append(configuration)
-            cached = list(buckets.values())
+            cached = [
+                list(self._universe.configurations_in_mask(mask))
+                for mask in self._universe.class_masks(p_set)
+            ]
             self._partitions[p_set] = cached
         return cached
 
     # ------------------------------------------------------------------
     # Extension computation
     # ------------------------------------------------------------------
-    def _compute_extension(self, formula: Formula) -> frozenset[Configuration]:
-        everything = frozenset(self._universe)
+    def _compute_mask(self, formula: Formula) -> int:
+        everything = self._universe.full_mask
         if isinstance(formula, Constant):
-            return everything if formula.value else frozenset()
+            return everything if formula.value else 0
         if isinstance(formula, Atom):
-            return frozenset(
-                configuration
-                for configuration in self._universe
-                if formula.fn(configuration)
-            )
+            fn = formula.fn
+            mask = 0
+            for config_id, configuration in enumerate(self._universe):
+                if fn(configuration):
+                    mask |= 1 << config_id
+            return mask
         if isinstance(formula, Not):
-            return everything - self.extension(formula.operand)
+            return everything & ~self.extension_mask(formula.operand)
         if isinstance(formula, And):
-            return self.extension(formula.left) & self.extension(formula.right)
-        if isinstance(formula, Or):
-            return self.extension(formula.left) | self.extension(formula.right)
-        if isinstance(formula, Implies):
-            return (everything - self.extension(formula.left)) | self.extension(
+            return self.extension_mask(formula.left) & self.extension_mask(
                 formula.right
             )
-        if isinstance(formula, Iff):
-            left = self.extension(formula.left)
-            right = self.extension(formula.right)
-            return (left & right) | (everything - left - right)
-        if isinstance(formula, Knows):
-            return self._knows_extension(formula.processes, formula.operand)
-        if isinstance(formula, Sure):
-            return self._knows_extension(
-                formula.processes, formula.operand
-            ) | self._knows_extension(formula.processes, Not(formula.operand))
-        if isinstance(formula, CommonKnowledge):
-            return self._common_knowledge_extension(
-                formula.processes, formula.operand
+        if isinstance(formula, Or):
+            return self.extension_mask(formula.left) | self.extension_mask(
+                formula.right
             )
+        if isinstance(formula, Implies):
+            return (
+                everything & ~self.extension_mask(formula.left)
+            ) | self.extension_mask(formula.right)
+        if isinstance(formula, Iff):
+            left = self.extension_mask(formula.left)
+            right = self.extension_mask(formula.right)
+            return everything & ~(left ^ right)
+        if isinstance(formula, Knows):
+            return self._knows_mask(formula.processes, formula.operand)
+        if isinstance(formula, Sure):
+            return self._knows_mask(
+                formula.processes, formula.operand
+            ) | self._knows_mask(formula.processes, Not(formula.operand))
+        if isinstance(formula, CommonKnowledge):
+            return self._common_knowledge_mask(formula.processes, formula.operand)
         raise FormulaError(f"unknown formula type: {formula!r}")
 
-    def _knows_extension(
+    def _knows_mask(
         self, processes: frozenset[ProcessId], operand: Formula
-    ) -> frozenset[Configuration]:
-        body = self.extension(operand)
-        satisfied: set[Configuration] = set()
-        for iso_class in self.partition(processes):
-            if all(member in body for member in iso_class):
-                satisfied.update(iso_class)
-        return frozenset(satisfied)
+    ) -> int:
+        body = self.extension_mask(operand)
+        satisfied = 0
+        for class_mask in self._universe.class_masks(processes):
+            if class_mask & body == class_mask:
+                satisfied |= class_mask
+        return satisfied
 
-    def _common_knowledge_extension(
+    def _common_knowledge_mask(
         self, processes: Iterable[ProcessId], operand: Formula
-    ) -> frozenset[Configuration]:
+    ) -> int:
         """Greatest fixpoint: start from the extension of ``operand`` and
         delete configurations whose ``[p]``-class leaks out, until stable."""
-        current = set(self.extension(operand))
-        process_list = sorted(as_process_set(processes))
+        current = self.extension_mask(operand)
+        per_process = [
+            self._universe.class_masks({process})
+            for process in sorted(as_process_set(processes))
+        ]
         changed = True
         while changed:
             changed = False
-            for process in process_list:
-                for iso_class in self.partition({process}):
-                    members_in = [member for member in iso_class if member in current]
-                    if members_in and len(members_in) != len(iso_class):
-                        for member in members_in:
-                            current.discard(member)
+            for class_masks in per_process:
+                for class_mask in class_masks:
+                    overlap = current & class_mask
+                    if overlap and overlap != class_mask:
+                        current &= ~class_mask
                         changed = True
-        return frozenset(current)
+        return current

@@ -14,7 +14,7 @@ same computation.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Sequence
 
 from repro.core.configuration import EMPTY_CONFIGURATION, Configuration
 from repro.core.computation import Computation
@@ -62,8 +62,9 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def enabled(self) -> list[Event]:
-        """Events currently enabled."""
+    def enabled(self) -> Sequence[Event]:
+        """Events currently enabled (read-only: may be a shared memoised
+        tuple from the protocol)."""
         return self._protocol.enabled_events(self._configuration)
 
     def step(self) -> Event | None:

@@ -18,6 +18,13 @@ When exploration terminates without hitting a bound the universe is
 When a bound is hit the universe is a sound under-approximation and
 :attr:`Universe.is_complete` is ``False``; theorem checkers refuse
 incomplete universes unless explicitly told otherwise.
+
+Every configuration receives a *dense integer id* (its BFS discovery
+index).  Successor lists are stored as id arrays and projection indexes
+map each ``[P]``-projection key to an **int bitmask** over ids, so set
+algebra over the universe (knowledge extensions, class containment,
+fixpoints) runs as single bitwise operations on Python ints — see
+PERFORMANCE.md for the architecture.
 """
 
 from __future__ import annotations
@@ -27,12 +34,20 @@ from collections.abc import Iterable, Iterator, Sequence
 
 from repro.core.configuration import EMPTY_CONFIGURATION, Configuration
 from repro.core.errors import UniverseError
-from repro.core.events import Event
+from repro.core.events import Event, ReceiveEvent, SendEvent
 from repro.core.process import ProcessId, ProcessSetLike, as_process_set
 from repro.universe.protocol import Protocol
 
 ProjectionKey = tuple
 """Canonical key identifying a ``[P]``-class (see Configuration.projection)."""
+
+
+def iter_bit_ids(mask: int) -> Iterator[int]:
+    """The set bit positions of ``mask``, ascending (dense config ids)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 class Universe:
@@ -58,41 +73,55 @@ class Universe:
         self._protocol = protocol
         self._max_events = max_events
         self._configurations: list[Configuration] = []
-        self._successors: dict[Configuration, list[Configuration]] = {}
+        self._config_ids: dict[Configuration, int] = {}
+        self._successor_ids: list[list[int]] = []
         self._complete = True
         self._projection_indexes: dict[
-            frozenset[ProcessId], dict[ProjectionKey, list[Configuration]]
+            frozenset[ProcessId], dict[ProjectionKey, int]
         ] = {}
         self._explore(max_configurations)
 
     def _explore(self, max_configurations: int | None) -> None:
-        seen: set[Configuration] = {EMPTY_CONFIGURATION}
-        queue: deque[Configuration] = deque([EMPTY_CONFIGURATION])
-        self._configurations.append(EMPTY_CONFIGURATION)
-        while queue:
-            current = queue.popleft()
-            if self._max_events is not None and len(current) >= self._max_events:
-                if self._protocol.enabled_events(current):
+        configurations = self._configurations
+        config_ids = self._config_ids
+        successor_ids = self._successor_ids
+        protocol = self._protocol
+        max_events = self._max_events
+
+        config_ids[EMPTY_CONFIGURATION] = 0
+        configurations.append(EMPTY_CONFIGURATION)
+        successor_ids.append([])
+        # extend() returns the canonical interned instance, so ids can be
+        # resolved by object identity during the hot loop; the
+        # content-keyed dict stays authoritative for public lookups.
+        ids_by_identity: dict[int, int] = {id(EMPTY_CONFIGURATION): 0}
+        cursor = 0
+        while cursor < len(configurations):
+            current = configurations[cursor]
+            row = successor_ids[cursor]
+            cursor += 1
+            if max_events is not None and len(current) >= max_events:
+                if protocol.enabled_events(current):
                     self._complete = False
-                self._successors[current] = []
                 continue
-            successors: list[Configuration] = []
-            for event in self._protocol.enabled_events(current):
+            for event in protocol.enabled_events(current):
                 extended = current.extend(event)
-                successors.append(extended)
-                if extended not in seen:
-                    seen.add(extended)
-                    self._configurations.append(extended)
-                    queue.append(extended)
+                extended_id = ids_by_identity.get(id(extended))
+                if extended_id is None:
+                    extended_id = len(configurations)
+                    config_ids[extended] = extended_id
+                    ids_by_identity[id(extended)] = extended_id
+                    configurations.append(extended)
+                    successor_ids.append([])
                     if (
                         max_configurations is not None
-                        and len(self._configurations) > max_configurations
+                        and len(configurations) > max_configurations
                     ):
                         raise UniverseError(
                             f"exploration exceeded {max_configurations} "
                             "configurations; raise the bound or shrink the protocol"
                         )
-            self._successors[current] = successors
+                row.append(extended_id)
 
     # ------------------------------------------------------------------
     # Basic views
@@ -120,14 +149,14 @@ class Universe:
         return len(self._configurations)
 
     def __contains__(self, configuration: Configuration) -> bool:
-        return configuration in self._successors
+        return configuration in self._config_ids
 
     def __iter__(self) -> Iterator[Configuration]:
         return iter(self._configurations)
 
     def require(self, configuration: Configuration) -> Configuration:
         """Return ``configuration`` if it belongs to the universe, else raise."""
-        if configuration not in self:
+        if configuration not in self._config_ids:
             raise UniverseError(
                 f"{configuration!r} is not a computation of this universe"
             )
@@ -135,42 +164,123 @@ class Universe:
 
     def successors(self, configuration: Configuration) -> Sequence[Configuration]:
         """One-event extensions of ``configuration`` within the universe."""
-        self.require(configuration)
-        return tuple(self._successors[configuration])
+        index = self._config_ids.get(configuration)
+        if index is None:
+            raise UniverseError(
+                f"{configuration!r} is not a computation of this universe"
+            )
+        configurations = self._configurations
+        return tuple(
+            configurations[successor] for successor in self._successor_ids[index]
+        )
 
     def complement(self, processes: ProcessSetLike) -> frozenset[ProcessId]:
         """``P̄ = D - P``."""
         return self._protocol.complement(processes)
 
     # ------------------------------------------------------------------
+    # Dense-id / bitmask machinery
+    # ------------------------------------------------------------------
+    def config_id(self, configuration: Configuration) -> int:
+        """The dense id (BFS discovery index) of ``configuration``."""
+        index = self._config_ids.get(configuration)
+        if index is None:
+            raise UniverseError(
+                f"{configuration!r} is not a computation of this universe"
+            )
+        return index
+
+    def configuration_of_id(self, index: int) -> Configuration:
+        """The configuration with dense id ``index``."""
+        return self._configurations[index]
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with one set bit per configuration of the universe."""
+        return (1 << len(self._configurations)) - 1
+
+    def configurations_in_mask(self, mask: int) -> tuple[Configuration, ...]:
+        """The configurations whose ids are set in ``mask``, in id order."""
+        configurations = self._configurations
+        return tuple(configurations[index] for index in iter_bit_ids(mask))
+
+    # ------------------------------------------------------------------
     # Isomorphism machinery
     # ------------------------------------------------------------------
     def _index_for(
         self, processes: frozenset[ProcessId]
-    ) -> dict[ProjectionKey, list[Configuration]]:
+    ) -> dict[ProjectionKey, int]:
         index = self._projection_indexes.get(processes)
         if index is None:
+            buckets: dict[ProjectionKey, list[int]] = {}
+            if len(processes) == 1:
+                # Single-process classes are keyed by the history tuple
+                # itself — no projection tuple to build.  This is the hot
+                # shape: the common-knowledge fixpoint and most ``knows``
+                # queries partition by singletons.
+                (process,) = processes
+                for config_id, configuration in enumerate(self._configurations):
+                    key = configuration._histories.get(process, ())
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = [config_id]
+                    else:
+                        bucket.append(config_id)
+            else:
+                for config_id, configuration in enumerate(self._configurations):
+                    key = configuration.projection(processes)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = [config_id]
+                    else:
+                        bucket.append(config_id)
+            # Materialise each class mask in one pass over a bytearray —
+            # repeated big-int ORs would copy the growing mask per member.
+            width = (len(self._configurations) + 7) >> 3
             index = {}
-            for configuration in self._configurations:
-                key = configuration.projection(processes)
-                index.setdefault(key, []).append(configuration)
+            for key, ids in buckets.items():
+                if len(ids) == 1:
+                    index[key] = 1 << ids[0]
+                    continue
+                bits = bytearray(width)
+                for config_id in ids:
+                    bits[config_id >> 3] |= 1 << (config_id & 7)
+                index[key] = int.from_bytes(bits, "little")
             self._projection_indexes[processes] = index
         return index
+
+    def class_masks(self, processes: ProcessSetLike) -> tuple[int, ...]:
+        """One bitmask per ``[P]``-class of the universe.
+
+        The masks partition :attr:`full_mask`; order is by first
+        discovery (BFS order of the class representative).
+        """
+        return tuple(self._index_for(as_process_set(processes)).values())
+
+    def iso_class_mask(
+        self, configuration: Configuration, processes: ProcessSetLike
+    ) -> int:
+        """Bitmask of the ``[P]``-class of ``configuration``."""
+        self.require(configuration)
+        p_set = as_process_set(processes)
+        if len(p_set) == 1:
+            (process,) = p_set
+            return self._index_for(p_set)[configuration.history(process)]
+        return self._index_for(p_set)[configuration.projection(p_set)]
 
     def iso_class(
         self, configuration: Configuration, processes: ProcessSetLike
     ) -> Sequence[Configuration]:
         """All universe configurations ``y`` with ``configuration [P] y``."""
-        self.require(configuration)
-        p_set = as_process_set(processes)
-        index = self._index_for(p_set)
-        return tuple(index[configuration.projection(p_set)])
+        return self.configurations_in_mask(
+            self.iso_class_mask(configuration, processes)
+        )
 
     def iso_class_size(
         self, configuration: Configuration, processes: ProcessSetLike
     ) -> int:
         """Size of the ``[P]``-class of ``configuration``."""
-        return len(self.iso_class(configuration, processes))
+        return self.iso_class_mask(configuration, processes).bit_count()
 
     def sub_configuration_pairs(
         self,
@@ -179,14 +289,22 @@ class Universe:
         ``z`` — the configuration-level analogue of the paper's ``x <= z``.
 
         Quadratic in the universe size; intended for exhaustive theorem
-        checking on small universes.
+        checking on small universes.  Candidates are bucketed by event
+        count so ``x`` is only ever compared against configurations with
+        at least as many events.
         """
+        by_count: dict[int, list[Configuration]] = {}
+        for configuration in self._configurations:
+            by_count.setdefault(len(configuration), []).append(configuration)
+        counts = sorted(by_count)
         for smaller in self._configurations:
-            for larger in self._configurations:
-                if len(smaller) <= len(larger) and smaller.is_sub_configuration_of(
-                    larger
-                ):
-                    yield smaller, larger
+            threshold = len(smaller)
+            for count in counts:
+                if count < threshold:
+                    continue
+                for larger in by_count[count]:
+                    if smaller.is_sub_configuration_of(larger):
+                        yield smaller, larger
 
     def events(self) -> frozenset[Event]:
         """Every event occurring anywhere in the universe."""
@@ -196,12 +314,13 @@ class Universe:
         return frozenset(found)
 
 
-def _consistent_cuts(configuration: Configuration) -> Iterator[Configuration]:
-    """All message-consistent combinations of per-process history prefixes.
+def _consistent_cuts_exhaustive(
+    configuration: Configuration,
+) -> Iterator[Configuration]:
+    """Reference enumeration over the full prefix-length product.
 
-    System computations are prefix closed and closed under removing
-    causally-maximal events, so every consistent cut of a computation is
-    itself a computation of the same system.
+    Kept as the fallback for segments whose causal order is cyclic (no
+    linearization), where the pruned forward search below is incomplete.
     """
     import itertools
 
@@ -215,6 +334,65 @@ def _consistent_cuts(configuration: Configuration) -> Iterator[Configuration]:
         candidate = Configuration(histories)
         if candidate.received_messages <= candidate.sent_messages:
             yield candidate
+
+
+def _consistent_cuts(configuration: Configuration) -> Iterator[Configuration]:
+    """All message-consistent combinations of per-process history prefixes.
+
+    System computations are prefix closed and closed under removing
+    causally-maximal events, so every consistent cut of a computation is
+    itself a computation of the same system.
+
+    Implemented as a prefix-pruned forward search: starting from the
+    empty cut, a cut is extended one event at a time, receives only when
+    their message is already sent within the cut.  For configurations
+    with an acyclic causal order this reaches exactly the cuts whose
+    received messages are a subset of their sent messages, while never
+    materialising the (exponentially larger) full product of prefix
+    lengths.  Cyclic inputs fall back to the exhaustive reference.
+    """
+    processes = sorted(configuration.processes)
+    if not processes:
+        yield configuration
+        return
+
+    from repro.causality.order import CausalOrder
+
+    if not CausalOrder(configuration).is_acyclic():
+        yield from _consistent_cuts_exhaustive(configuration)
+        return
+
+    histories = [configuration.history(process) for process in processes]
+    start = (0,) * len(processes)
+    sent_at: dict[tuple[int, ...], frozenset] = {start: frozenset()}
+    queue: deque[tuple[int, ...]] = deque([start])
+    cuts: list[tuple[int, ...]] = [start]
+    while queue:
+        cut = queue.popleft()
+        sent = sent_at[cut]
+        for position, history in enumerate(histories):
+            length = cut[position]
+            if length >= len(history):
+                continue
+            event = history[length]
+            if isinstance(event, ReceiveEvent) and event.message not in sent:
+                continue
+            extended = cut[:position] + (length + 1,) + cut[position + 1 :]
+            if extended in sent_at:
+                continue
+            sent_at[extended] = (
+                sent | {event.message} if isinstance(event, SendEvent) else sent
+            )
+            queue.append(extended)
+            cuts.append(extended)
+    for cut in cuts:
+        yield Configuration(
+            {
+                process: histories[position][: cut[position]]
+                for position, process in enumerate(processes)
+                if cut[position]
+            }
+        )
 
 
 class EnumeratedUniverse(Universe):
@@ -240,17 +418,26 @@ class EnumeratedUniverse(Universe):
         self._protocol = None  # type: ignore[assignment]
         self._max_events = None
         self._configurations = closure
+        self._config_ids = {
+            configuration: index for index, configuration in enumerate(closure)
+        }
         self._complete = True
         self._projection_indexes = {}
         self._processes = frozenset(processes)
-        self._successors = {}
-        for configuration in closure:
-            self._successors[configuration] = [
-                other
-                for other in closure
-                if len(other) == len(configuration) + 1
-                and configuration.is_sub_configuration_of(other)
+        # Successors: one-event extensions within the closure.  Bucket the
+        # candidates by event count so each configuration is only compared
+        # against the next layer.
+        by_count: dict[int, list[int]] = {}
+        for index, configuration in enumerate(closure):
+            by_count.setdefault(len(configuration), []).append(index)
+        self._successor_ids = [
+            [
+                candidate
+                for candidate in by_count.get(len(configuration) + 1, ())
+                if configuration.is_sub_configuration_of(closure[candidate])
             ]
+            for configuration in closure
+        ]
 
     @property
     def protocol(self) -> Protocol:  # type: ignore[override]

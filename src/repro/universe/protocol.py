@@ -21,7 +21,7 @@ messages and steps.
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.configuration import Configuration
 from repro.core.errors import ProtocolError
@@ -40,6 +40,13 @@ from repro.core.process import ProcessId, ProcessSetLike, as_process_set
 History = tuple[Event, ...]
 """A local history: one process's event sequence."""
 
+_ENABLED_CACHE_MAX_EVENTS = 64
+"""Only configurations at most this large are memoised — exhaustive
+universes stay under it by construction; simulation traces exceed it."""
+
+_ENABLED_CACHE_MAX_ENTRIES = 1 << 17
+"""Hard cap on memoised configurations per protocol instance."""
+
 
 class Protocol(abc.ABC):
     """Finite description of a distributed system's behaviours.
@@ -55,6 +62,7 @@ class Protocol(abc.ABC):
         self._processes = as_process_set(processes)
         if not self._processes:
             raise ProtocolError("a protocol needs at least one process")
+        self._ordered_processes = tuple(sorted(self._processes))
 
     @property
     def processes(self) -> frozenset[ProcessId]:
@@ -93,36 +101,85 @@ class Protocol(abc.ABC):
     # ------------------------------------------------------------------
     # System-level enabling
     # ------------------------------------------------------------------
-    def enabled_events(self, configuration: Configuration) -> list[Event]:
+    def enabled_events(self, configuration: Configuration) -> Sequence[Event]:
         """All events that may extend ``configuration`` by one step.
 
         Local steps come from :meth:`local_steps`; receive events are
         offered for every in-flight message whose receiver is willing.
         The result is deterministically ordered so exploration is
-        reproducible.
+        reproducible, and must be treated as read-only (small
+        configurations share one memoised tuple).
         """
+        # The whole enabling relation is a pure function of the
+        # configuration for a fixed protocol, so it is memoised per
+        # configuration (configurations are interned value objects) and
+        # returned as an immutable tuple.  Caching is gated to small
+        # configurations and a bounded entry count: exhaustively explored
+        # configurations are small by construction, while long simulation
+        # traces grow without bound and would pin O(steps^2) event
+        # references in a strong cache.
+        cacheable = len(configuration) <= _ENABLED_CACHE_MAX_EVENTS
+        try:
+            enabled_cache = self._enabled_cache
+        except AttributeError:
+            enabled_cache = self._enabled_cache = {}
+        if cacheable:
+            cached = enabled_cache.get(configuration)
+            if cached is not None:
+                return cached
         enabled: list[Event] = []
         in_flight = configuration.in_flight_messages
-        for process in sorted(self._processes):
-            history = configuration.history(process)
-            for event in self.local_steps(process, history):
-                if event.is_receive:
-                    raise ProtocolError(
-                        f"local_steps of {process!r} yielded a receive event"
-                    )
-                if event.process != process:
-                    raise ProtocolError(
-                        f"local_steps of {process!r} yielded an event on "
-                        f"{event.process!r}"
-                    )
-                enabled.append(event)
-        for message in sorted(in_flight):
-            history = configuration.history(message.receiver)
-            if message.receiver not in self._processes:
-                continue
-            if self.can_receive(message.receiver, history, message):
-                enabled.append(receive(message))
-        return enabled
+        try:
+            ordered = self._ordered_processes
+        except AttributeError:  # subclass that skipped Protocol.__init__
+            ordered = self._ordered_processes = tuple(sorted(self._processes))
+        try:
+            step_cache = self._local_step_cache
+        except AttributeError:
+            step_cache = self._local_step_cache = {
+                process: {} for process in ordered
+            }
+        history_of = configuration.histories.get
+        for process in ordered:
+            history = history_of(process, ())
+            # local_steps is a pure function of (process, history) — the
+            # protocol contract requires value-object events — so its
+            # results are memoised: exploration asks about the same local
+            # history once per interleaving otherwise.
+            per_process = step_cache[process]
+            steps = per_process.get(history)
+            if steps is None:
+                steps = tuple(self.local_steps(process, history))
+                for event in steps:
+                    if event.is_receive:
+                        raise ProtocolError(
+                            f"local_steps of {process!r} yielded a receive event"
+                        )
+                    if event.process != process:
+                        raise ProtocolError(
+                            f"local_steps of {process!r} yielded an event on "
+                            f"{event.process!r}"
+                        )
+                per_process[history] = steps
+            enabled.extend(steps)
+        if in_flight:
+            pending = sorted(in_flight) if len(in_flight) > 1 else in_flight
+            # Protocols that keep the always-willing default skip the
+            # per-message can_receive call entirely.
+            selective = type(self).can_receive is not Protocol.can_receive
+            processes = self._processes
+            for message in pending:
+                receiver = message.receiver
+                if receiver not in processes:
+                    continue
+                if not selective or self.can_receive(
+                    receiver, history_of(receiver, ()), message
+                ):
+                    enabled.append(receive(message))
+        result = tuple(enabled)
+        if cacheable and len(enabled_cache) < _ENABLED_CACHE_MAX_ENTRIES:
+            enabled_cache[configuration] = result
+        return result
 
     # ------------------------------------------------------------------
     # Membership checks (the paper's "zp is a process computation of p")

@@ -1,0 +1,101 @@
+"""Vector-clock ``happened_before`` cross-checked against the BFS oracle.
+
+:class:`CausalOrder` answers ``happened_before`` from precomputed vector
+stamps; :meth:`happened_before_bfs` keeps the original reachability
+search as an independently computed oracle.  These tests compare the two
+on randomized simulator traces across several protocols, and exercise the
+fallback path for segments with no linearization.
+"""
+
+import pytest
+
+from repro.causality.order import CausalOrder
+from repro.core.computation import computation_of
+from repro.core.configuration import Configuration
+from repro.core.events import internal, message_pair
+from repro.protocols.broadcast import BroadcastProtocol, star_topology
+from repro.protocols.leader_election import ChangRobertsProtocol
+from repro.protocols.pingpong import PingPongProtocol
+from repro.protocols.token_bus import TokenBusProtocol
+from repro.simulation.scheduler import RandomScheduler
+from repro.simulation.simulator import simulate
+
+
+def all_pairs_agree(order: CausalOrder) -> None:
+    events = order.events
+    for first in events:
+        for second in events:
+            assert order.happened_before(first, second) == order.happened_before_bfs(
+                first, second
+            ), (first, second)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7])
+def test_random_election_traces_match_oracle(seed):
+    ring = tuple(f"n{i}" for i in range(6))
+    trace = simulate(ChangRobertsProtocol(ring), RandomScheduler(seed))
+    all_pairs_agree(CausalOrder(trace.computation))
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_random_token_bus_traces_match_oracle(seed):
+    trace = simulate(TokenBusProtocol(max_hops=5), RandomScheduler(seed))
+    all_pairs_agree(CausalOrder(trace.computation))
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_random_broadcast_traces_match_oracle(seed):
+    protocol = BroadcastProtocol(star_topology("hub", ("x", "y", "z")), "hub")
+    trace = simulate(protocol, RandomScheduler(seed))
+    all_pairs_agree(CausalOrder(trace.computation))
+
+
+def test_pingpong_configuration_matches_oracle():
+    trace = simulate(PingPongProtocol(rounds=3), RandomScheduler(0))
+    all_pairs_agree(CausalOrder(trace.final_configuration))
+
+
+def test_strictly_before_and_concurrent_match_oracle():
+    ring = tuple(f"n{i}" for i in range(5))
+    trace = simulate(ChangRobertsProtocol(ring), RandomScheduler(4))
+    order = CausalOrder(trace.computation)
+    for first in order.events:
+        for second in order.events:
+            bfs_hb = order.happened_before_bfs(first, second)
+            bfs_strict = first != second and bfs_hb
+            assert order.strictly_before(first, second) == bfs_strict
+            bfs_concurrent = (
+                first != second
+                and not bfs_hb
+                and not order.happened_before_bfs(second, first)
+            )
+            assert order.concurrent(first, second) == bfs_concurrent
+
+
+def test_vector_stamp_counts_causal_past():
+    snd, rcv = message_pair("p", "q", "m")
+    after = internal("q", tag="after")
+    order = CausalOrder(computation_of(snd, rcv, after))
+    assert order.vector_stamp(snd) == {"p": 1, "q": 0}
+    assert order.vector_stamp(rcv) == {"p": 1, "q": 1}
+    assert order.vector_stamp(after) == {"p": 1, "q": 2}
+
+
+def test_vector_stamp_unknown_event_is_none():
+    order = CausalOrder(computation_of(internal("p", tag="a")))
+    assert order.vector_stamp(internal("p", tag="other")) is None
+
+
+def test_cyclic_segment_falls_back_to_bfs():
+    """A segment where each receive precedes the matching send on the
+    other process has no linearization; the fast path must defer."""
+    snd1, rcv1 = message_pair("p", "q", "m1")
+    snd2, rcv2 = message_pair("q", "p", "m2")
+    segment = {"p": (rcv2, snd1), "q": (rcv1, snd2)}
+    order = CausalOrder(segment)
+    assert not order.is_acyclic()
+    assert order.vector_stamp(snd1) is None
+    all_pairs_agree(order)
+    # The cycle makes every event reachable from every other.
+    assert order.happened_before(snd1, rcv2)
+    assert order.happened_before(rcv2, snd1)

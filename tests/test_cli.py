@@ -55,6 +55,32 @@ class TestCommands:
         assert main(["simulate", "snapshot", "--size", "3"]) == 0
         assert "0 undelivered" in capsys.readouterr().out
 
+    def test_bench_writes_trajectory_file(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        # Shrink the workload: one repeat, output into a temp directory.
+        assert main(
+            ["bench", "--repeats", "1", "--output-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "universe_star_broadcast_n6" in output
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        document = json.loads(written[0].read_text())
+        assert document["repeats"] == 1
+        benchmarks = document["benchmarks"]
+        assert "evaluator_star_broadcast_n6" in benchmarks
+        assert benchmarks["universe_star_broadcast_n6"]["configurations"] == 6332
+
+    def test_bench_no_write(self, capsys, tmp_path):
+        import os
+
+        before = set(os.listdir(tmp_path))
+        assert main(["bench", "--repeats", "1", "--no-write",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert "benchmark" in capsys.readouterr().out
+        assert set(os.listdir(tmp_path)) == before
+
     def test_simulate_toggle(self, capsys):
         assert main(["simulate", "toggle", "--flips", "2"]) == 0
 

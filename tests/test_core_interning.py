@@ -1,0 +1,148 @@
+"""Interning, hashing and caching invariants of the Configuration fast path.
+
+``extend()`` builds configurations through a no-validate constructor with
+an incrementally maintained content hash and interns the result, so the
+exploration hot path works with canonical instances.  Publicly
+constructed configurations are separate objects but must agree with the
+interned ones on equality and hash — these tests pin that contract.
+"""
+
+from types import MappingProxyType
+
+import pytest
+
+from repro.core.configuration import EMPTY_CONFIGURATION, Configuration
+from repro.core.errors import InvalidConfigurationError
+from repro.core.events import internal, message_pair
+from repro.protocols.pingpong import PingPongProtocol
+from repro.universe.explorer import Universe
+
+
+def events_pq():
+    snd, rcv = message_pair("p", "q", "m")
+    a = internal("p", tag="a")
+    b = internal("q", tag="b")
+    return snd, rcv, a, b
+
+
+class TestInterning:
+    def test_diamond_extensions_are_identical(self):
+        """Reaching the same configuration along two interleavings must
+        produce the same object, not merely an equal one."""
+        a = internal("p", tag="a")
+        b = internal("q", tag="b")
+        via_ab = EMPTY_CONFIGURATION.extend(a).extend(b)
+        via_ba = EMPTY_CONFIGURATION.extend(b).extend(a)
+        assert via_ab is via_ba
+
+    def test_extension_chain_is_deterministic(self):
+        snd, rcv, a, b = events_pq()
+        first = EMPTY_CONFIGURATION.extend(snd).extend(rcv).extend(a).extend(b)
+        second = EMPTY_CONFIGURATION.extend(snd).extend(a).extend(rcv).extend(b)
+        assert first is second
+
+    def test_universe_configurations_are_canonical(self):
+        universe = Universe(PingPongProtocol(rounds=2))
+        for configuration in universe:
+            if len(configuration) == 0:
+                continue
+            # Rebuilding any configuration one event at a time through a
+            # linearization lands on the interned instance.
+            rebuilt = EMPTY_CONFIGURATION
+            for event in configuration.linearize():
+                rebuilt = rebuilt.extend(event)
+            assert rebuilt is configuration
+
+
+class TestEqualityAndHash:
+    def test_public_constructor_round_trip(self):
+        snd, rcv, a, b = events_pq()
+        interned = EMPTY_CONFIGURATION.extend(snd).extend(rcv).extend(a)
+        rebuilt = Configuration(interned.histories)
+        assert rebuilt == interned
+        assert interned == rebuilt
+        assert hash(rebuilt) == hash(interned)
+        assert rebuilt in {interned}
+        assert interned in {rebuilt}
+
+    def test_extend_agrees_with_public_constructor(self):
+        snd, rcv, a, b = events_pq()
+        extended = EMPTY_CONFIGURATION.extend(snd).extend(rcv)
+        manual = Configuration({"p": (snd,), "q": (rcv,)})
+        assert extended == manual
+        assert hash(extended) == hash(manual)
+
+    def test_hash_is_insertion_order_independent(self):
+        a = internal("p", tag="a")
+        b = internal("q", tag="b")
+        forward = Configuration({"p": (a,), "q": (b,)})
+        backward = Configuration({"q": (b,), "p": (a,)})
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_unequal_configurations_differ(self):
+        a = internal("p", tag="a")
+        other = internal("p", tag="other")
+        assert Configuration({"p": (a,)}) != Configuration({"p": (other,)})
+        assert Configuration({"p": (a,)}) != EMPTY_CONFIGURATION
+
+    def test_public_constructor_still_validates(self):
+        a = internal("p", tag="a")
+        with pytest.raises(InvalidConfigurationError):
+            Configuration({"q": (a,)})
+
+    def test_extend_keys_event_under_its_own_process(self):
+        a = internal("p", tag="a")
+        extended = EMPTY_CONFIGURATION.extend(a)
+        assert extended.history("p") == (a,)
+        assert extended.processes == frozenset({"p"})
+
+
+class TestCachedViews:
+    def test_histories_is_read_only_and_cached(self):
+        snd, rcv, a, b = events_pq()
+        configuration = EMPTY_CONFIGURATION.extend(snd).extend(rcv)
+        view = configuration.histories
+        assert isinstance(view, MappingProxyType)
+        assert configuration.histories is view  # cached, not re-allocated
+        with pytest.raises(TypeError):
+            view["p"] = ()
+        assert view == {"p": (snd,), "q": (rcv,)}
+
+    def test_projection_keys_are_memoised(self):
+        snd, rcv, a, b = events_pq()
+        configuration = EMPTY_CONFIGURATION.extend(snd).extend(rcv).extend(a)
+        key = configuration.projection(frozenset({"p"}))
+        assert configuration.projection(frozenset({"p"})) is key
+        assert key == (("p", (snd, a)),)
+
+    def test_projection_sorted_regardless_of_query_shape(self):
+        snd, rcv, a, b = events_pq()
+        configuration = EMPTY_CONFIGURATION.extend(snd).extend(rcv).extend(b)
+        assert configuration.projection(("q", "p")) == (
+            ("p", (snd,)),
+            ("q", (rcv, b)),
+        )
+
+    def test_resent_message_value_keeps_set_semantics(self):
+        """Re-sending a message value that was already received must not
+        leave it in the in-flight cache: in_flight == sent - received as
+        frozensets, regardless of how the caches were derived."""
+        snd, rcv = message_pair("p", "q", "m")
+        configuration = EMPTY_CONFIGURATION.extend(snd)
+        assert configuration.in_flight_messages == {snd.message}
+        configuration = configuration.extend(rcv)
+        assert configuration.in_flight_messages == frozenset()
+        resent = configuration.extend(snd)  # identical message value again
+        fresh = Configuration(dict(resent.histories))
+        assert resent.in_flight_messages == fresh.in_flight_messages == frozenset()
+        assert resent.sent_messages == fresh.sent_messages
+        assert resent.received_messages == fresh.received_messages
+
+    def test_message_set_caches_match_fresh_computation(self):
+        universe = Universe(PingPongProtocol(rounds=2))
+        for configuration in universe:
+            fresh = Configuration(dict(configuration.histories))
+            assert configuration.sent_messages == fresh.sent_messages
+            assert configuration.received_messages == fresh.received_messages
+            assert configuration.in_flight_messages == fresh.in_flight_messages

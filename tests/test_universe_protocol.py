@@ -68,7 +68,7 @@ class TestEnabling:
 
     def test_quiescence_after_rounds(self):
         protocol = PingPongProtocol(rounds=0)
-        assert protocol.enabled_events(EMPTY_CONFIGURATION) == []
+        assert list(protocol.enabled_events(EMPTY_CONFIGURATION)) == []
 
 
 class TestMembership:
