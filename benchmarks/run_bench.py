@@ -4,7 +4,9 @@
 Equivalent to ``python -m repro.cli bench``; kept next to the
 pytest-benchmark suites so both perf tools live in one place.  Writes a
 ``BENCH_<date>.json`` trajectory file into the current directory (or
-``--output-dir``).
+``--output-dir``).  ``--quick --check`` runs the small-universe smoke
+subset with mask-vs-reference cross-validation (non-zero exit on any
+disagreement) — the mode the tier-1 suite exercises.
 """
 
 import sys

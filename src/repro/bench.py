@@ -1,16 +1,27 @@
 """Scaling benchmarks with a JSON trajectory file (``repro bench``).
 
 Runs the hot-path benchmarks the dense-index bitset engine targets —
-universe construction, knowledge-extension computation, and causality
-queries — and writes a ``BENCH_<date>.json`` trajectory file so perf is
-tracked across PRs, not eyeballed.  Each benchmark reports the best wall
-time over ``--repeats`` runs (the pytest-benchmark convention), plus the
-speedup against the recorded seed baseline where one exists.
+universe construction, knowledge-extension computation, causality
+queries, and the isomorphism suite (``check_all_properties``,
+``composed_class`` chains) — and writes a ``BENCH_<date>.json``
+trajectory file so perf is tracked across PRs, not eyeballed.  Each
+benchmark reports the best wall time over ``--repeats`` runs (the
+pytest-benchmark convention), plus the speedup against the recorded seed
+baseline where one exists.  Isomorphism benchmarks additionally time the
+retained object-level reference implementations
+(:mod:`repro.isomorphism.reference`) in the same run, so mask-engine
+speedups are controlled before/after pairs.
+
+``--quick`` runs a small-universe subset in seconds (repeats forced
+to 1); ``--check`` cross-validates the mask engine against the reference
+oracles during the run and fails loudly on any mismatch — together they
+are the smoke mode the tier-1 suite exercises so the harness cannot rot.
 
 Usage::
 
     python -m repro.cli bench                # writes BENCH_<date>.json here
     python -m repro.cli bench --repeats 7 --output-dir benchmarks/results
+    python -m repro.cli bench --quick --check --no-write   # smoke mode
     python benchmarks/run_bench.py           # same, as a standalone script
 """
 
@@ -26,10 +37,18 @@ from collections.abc import Callable, Sequence
 from pathlib import Path
 
 from repro.causality.order import CausalOrder
+from repro.isomorphism import reference
+from repro.isomorphism.algebra import check_all_properties
+from repro.isomorphism.relation import (
+    composed_class,
+    find_composition_witness,
+    isomorphic,
+)
 from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import Atom, CommonKnowledge, Knows
 from repro.protocols.broadcast import BroadcastProtocol, star_topology
 from repro.protocols.leader_election import ChangRobertsProtocol
+from repro.protocols.pingpong import PingPongProtocol
 from repro.protocols.token_bus import TokenBusProtocol
 from repro.simulation.scheduler import RandomScheduler
 from repro.simulation.simulator import simulate
@@ -49,6 +68,11 @@ controlled before/after pair rather than numbers from different noise
 windows."""
 
 
+class BenchCheckFailure(RuntimeError):
+    """Raised by ``--check`` when the mask engine disagrees with the
+    object-level reference oracles."""
+
+
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -56,6 +80,12 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _timed_once(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def _star_protocol(receivers: tuple[str, ...]) -> BroadcastProtocol:
@@ -71,10 +101,104 @@ def _receiver_got_it() -> Atom:
     )
 
 
-def run_benchmarks(repeats: int = 5) -> dict:
-    """Run every benchmark; returns the result document (JSON-ready)."""
+def _composition_chains(universe: Universe) -> list[list[frozenset]]:
+    """Representative ``[P1 … Pn]`` chains over a universe's processes."""
+    processes = sorted(universe.processes)
+    first = frozenset({processes[0]})
+    last = frozenset({processes[-1]})
+    return [[first], [first, last], [first, last, first]]
+
+
+def _sample_configurations(universe: Universe, count: int = 64) -> list:
+    return list(universe)[:: max(1, len(universe) // count)]
+
+
+def _cross_check_universe(universe: Universe, label: str) -> None:
+    """Assert the mask engine is bit-identical to the reference oracles.
+
+    Compares ``composed_class``, ``find_composition_witness`` and the full
+    property sweep on the given (small) universe.  Raises
+    :class:`BenchCheckFailure` on the first disagreement.
+    """
+    sample = _sample_configurations(universe, 24)
+    endpoints = [sample[0], sample[-1]]
+    for sets in _composition_chains(universe):
+        for x in sample:
+            mask_class = composed_class(universe, x, sets)
+            object_class = reference.composed_class_reference(universe, x, sets)
+            if mask_class != object_class:
+                raise BenchCheckFailure(
+                    f"composed_class mismatch on {label} for {sets}: "
+                    f"{len(mask_class)} vs {len(object_class)} members"
+                )
+            for z in endpoints:
+                witness = find_composition_witness(universe, x, sets, z)
+                expected = reference.find_composition_witness_reference(
+                    universe, x, sets, z
+                )
+                if (witness is None) != (expected is None):
+                    raise BenchCheckFailure(
+                        f"witness existence mismatch on {label} for {sets}"
+                    )
+                if witness is not None:
+                    if witness[0] != x or witness[-1] != z:
+                        raise BenchCheckFailure(
+                            f"witness endpoints wrong on {label}"
+                        )
+                    for step, entry in enumerate(sets):
+                        if not isomorphic(witness[step], witness[step + 1], entry):
+                            raise BenchCheckFailure(
+                                f"witness step {step} not isomorphic on {label}"
+                            )
+    mask_props = check_all_properties(universe, max_sets=4)
+    object_props = reference.check_all_properties_reference(universe, max_sets=4)
+    if mask_props != object_props:
+        differing = sorted(
+            name
+            for name in mask_props
+            if mask_props[name] != object_props.get(name)
+        )
+        raise BenchCheckFailure(
+            f"property verdicts differ on {label}: {differing}"
+        )
+    if not all(mask_props.values()):
+        failed = sorted(name for name, ok in mask_props.items() if not ok)
+        raise BenchCheckFailure(f"properties fail on {label}: {failed}")
+
+
+def run_cross_checks() -> list[str]:
+    """The ``--check`` validation suite: mask engine vs reference oracles
+    on three protocols plus a truncated (incomplete) universe.  Returns
+    the labels checked; raises :class:`BenchCheckFailure` on mismatch."""
+    checked = []
+    for label, universe in (
+        ("pingpong", Universe(PingPongProtocol(rounds=2))),
+        ("star_broadcast_n3", Universe(_star_protocol(("x", "y")))),
+        ("token_bus_h4", Universe(TokenBusProtocol(max_hops=4))),
+        (
+            "star_broadcast_n4_truncated",
+            Universe(_star_protocol(("x", "y", "z")), max_events=4),
+        ),
+    ):
+        _cross_check_universe(universe, label)
+        checked.append(label)
+    return checked
+
+
+def run_benchmarks(repeats: int = 5, quick: bool = False, check: bool = False) -> dict:
+    """Run every benchmark; returns the result document (JSON-ready).
+
+    ``quick`` restricts to small universes with ``repeats=1`` (the smoke
+    mode); ``check`` runs the mask-vs-reference cross-validation first and
+    raises :class:`BenchCheckFailure` on any disagreement.
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if quick:
+        repeats = 1
+    checked: list[str] = []
+    if check:
+        checked = run_cross_checks()
     results: dict[str, dict] = {}
 
     def record(name: str, seconds: float, **extra) -> None:
@@ -84,6 +208,19 @@ def run_benchmarks(repeats: int = 5) -> dict:
             entry["seed_seconds"] = baseline
             entry["speedup_vs_seed"] = round(baseline / seconds, 2)
         results[name] = entry
+
+    def record_paired(
+        name: str, seconds: float, object_seconds: float, **extra
+    ) -> None:
+        """Record a benchmark alongside its object-level reference timing
+        (measured once, in this same run — a controlled pairing)."""
+        record(
+            name,
+            seconds,
+            object_seconds=round(object_seconds, 6),
+            speedup_vs_object=round(object_seconds / seconds, 2),
+            **extra,
+        )
 
     # --- universe construction -----------------------------------------
     # The first construction of each protocol runs against cold caches
@@ -95,83 +232,210 @@ def run_benchmarks(repeats: int = 5) -> dict:
         universe = Universe(protocol)
         return universe, time.perf_counter() - start
 
-    protocol_n6 = _star_protocol(("v", "w", "x", "y", "z"))
-    universe_n6, first_n6 = timed_universe(protocol_n6)
-    record(
-        "universe_star_broadcast_n6",
-        _best_of(lambda: Universe(protocol_n6), repeats),
-        configurations=len(universe_n6),
-        first_seconds=round(first_n6, 6),
-    )
+    def universe_benchmark(name: str, protocol, explore_repeats: int) -> Universe:
+        universe, first = timed_universe(protocol)
+        record(
+            name,
+            _best_of(lambda: Universe(protocol), explore_repeats),
+            configurations=len(universe),
+            first_seconds=round(first, 6),
+        )
+        return universe
 
-    protocol_n5 = _star_protocol(("w", "x", "y", "z"))
-    universe_n5, first_n5 = timed_universe(protocol_n5)
-    record(
-        "universe_star_broadcast_n5",
-        _best_of(lambda: Universe(protocol_n5), repeats),
-        configurations=len(universe_n5),
-        first_seconds=round(first_n5, 6),
-    )
-
-    token_bus = TokenBusProtocol(max_hops=6)
-    token_universe, first_token = timed_universe(token_bus)
-    record(
-        "universe_token_bus_h6",
-        _best_of(lambda: Universe(token_bus), repeats),
-        configurations=len(token_universe),
-        first_seconds=round(first_token, 6),
-    )
-
-    # --- knowledge evaluation ------------------------------------------
     def evaluate(universe: Universe) -> None:
         evaluator = KnowledgeEvaluator(universe)
         body = _receiver_got_it()
         evaluator.extension(Knows(frozenset({"hub"}), body))
         evaluator.extension(CommonKnowledge(frozenset({"hub", "x"}), body))
 
-    record(
-        "evaluator_star_broadcast_n5",
-        _best_of(lambda: evaluate(universe_n5), repeats),
-        configurations=len(universe_n5),
-    )
-    record(
-        "evaluator_star_broadcast_n6",
-        _best_of(lambda: evaluate(universe_n6), repeats),
-        configurations=len(universe_n6),
-    )
+    def composed_sweep_benchmark(name: str, universe: Universe) -> None:
+        chain = _composition_chains(universe)[-1]
+        sample = _sample_configurations(universe, 128)
 
-    # --- causality -------------------------------------------------------
-    ring = tuple(f"n{i}" for i in range(10))
-    trace = simulate(ChangRobertsProtocol(ring), RandomScheduler(0))
-    order = CausalOrder(trace.computation)
-    events = order.events
+        def mask_sweep() -> None:
+            for x in sample:
+                composed_class(universe, x, chain)
 
-    def all_pairs() -> None:
-        happened_before = order.happened_before
-        for first in events:
-            for second in events:
-                happened_before(first, second)
+        def object_sweep() -> None:
+            for x in sample:
+                reference.composed_class_reference(universe, x, chain)
 
-    record(
-        "causality_happened_before_all_pairs",
-        _best_of(all_pairs, repeats),
-        events=len(events),
-        pairs=len(events) ** 2,
-    )
+        object_seconds = _timed_once(object_sweep)
+        mask_sweep()  # warm the adjacency and union memos
+        record_paired(
+            name,
+            _best_of(mask_sweep, repeats),
+            object_seconds,
+            configurations=len(universe),
+            sample=len(sample),
+            chain_length=len(chain),
+        )
 
-    return {
+    if quick:
+        universe_small = universe_benchmark(
+            "universe_star_broadcast_n3", _star_protocol(("x", "y")), repeats
+        )
+        universe_benchmark(
+            "universe_token_bus_h4", TokenBusProtocol(max_hops=4), repeats
+        )
+        record(
+            "evaluator_star_broadcast_n3",
+            _best_of(lambda: evaluate(universe_small), repeats),
+            configurations=len(universe_small),
+        )
+        composed_sweep_benchmark("iso_composed_class_star_n3", universe_small)
+        object_seconds = _timed_once(
+            lambda: reference.check_all_properties_reference(
+                universe_small, max_sets=4
+            )
+        )
+        record_paired(
+            "iso_properties_star_n3",
+            _best_of(
+                lambda: check_all_properties(universe_small, max_sets=4), repeats
+            ),
+            object_seconds,
+            configurations=len(universe_small),
+            max_sets=4,
+        )
+    else:
+        universe_n6 = universe_benchmark(
+            "universe_star_broadcast_n6",
+            _star_protocol(("v", "w", "x", "y", "z")),
+            repeats,
+        )
+        universe_n5 = universe_benchmark(
+            "universe_star_broadcast_n5",
+            _star_protocol(("w", "x", "y", "z")),
+            repeats,
+        )
+        universe_benchmark(
+            "universe_token_bus_h6", TokenBusProtocol(max_hops=6), repeats
+        )
+
+        # --- knowledge evaluation --------------------------------------
+        record(
+            "evaluator_star_broadcast_n5",
+            _best_of(lambda: evaluate(universe_n5), repeats),
+            configurations=len(universe_n5),
+        )
+        record(
+            "evaluator_star_broadcast_n6",
+            _best_of(lambda: evaluate(universe_n6), repeats),
+            configurations=len(universe_n6),
+        )
+
+        # --- causality --------------------------------------------------
+        ring = tuple(f"n{i}" for i in range(10))
+        trace = simulate(ChangRobertsProtocol(ring), RandomScheduler(0))
+        order = CausalOrder(trace.computation)
+        events = order.events
+
+        def all_pairs() -> None:
+            happened_before = order.happened_before
+            for first in events:
+                for second in events:
+                    happened_before(first, second)
+
+        record(
+            "causality_happened_before_all_pairs",
+            _best_of(all_pairs, repeats),
+            events=len(events),
+            pairs=len(events) ** 2,
+        )
+
+        # --- isomorphism: composed-relation chains ----------------------
+        composed_sweep_benchmark("iso_composed_class_star_n6", universe_n6)
+
+        # --- isomorphism: property sweeps -------------------------------
+        # The object-level full sweep is cubic in class sizes: star n=4
+        # (80 configurations) is the largest size where it finishes in
+        # seconds, so that is where the controlled pairing is measured;
+        # at n=6 the reference implementation would need hours and only
+        # the mask engine is recorded.
+        universe_n4 = Universe(_star_protocol(("x", "y", "z")))
+        object_seconds = _timed_once(
+            lambda: reference.check_all_properties_reference(
+                universe_n4, max_sets=4
+            )
+        )
+        record_paired(
+            "iso_properties_star_n4",
+            _best_of(
+                lambda: check_all_properties(universe_n4, max_sets=4), repeats
+            ),
+            object_seconds,
+            configurations=len(universe_n4),
+            max_sets=4,
+        )
+        record(
+            "iso_properties_star_n6",
+            _best_of(
+                lambda: check_all_properties(universe_n6, max_sets=6),
+                min(repeats, 3),
+            ),
+            configurations=len(universe_n6),
+            max_sets=6,
+            note="object-level sweep infeasible at this size (hours)",
+        )
+
+        # --- scale targets: star n=7 and token bus max_hops=10 ----------
+        universe_n7 = universe_benchmark(
+            "universe_star_broadcast_n7",
+            _star_protocol(("u", "v", "w", "x", "y", "z")),
+            min(repeats, 2),
+        )
+        record(
+            "evaluator_star_broadcast_n7",
+            _best_of(lambda: evaluate(universe_n7), min(repeats, 3)),
+            configurations=len(universe_n7),
+        )
+        properties_n7: dict[str, bool] = {}
+
+        def properties_n7_sweep() -> None:
+            properties_n7.update(check_all_properties(universe_n7, max_sets=8))
+
+        record(
+            "iso_properties_star_n7",
+            _timed_once(properties_n7_sweep),
+            configurations=len(universe_n7),
+            max_sets=8,
+            all_hold=all(properties_n7.values()),
+            repeats_used=1,
+        )
+        universe_h10 = universe_benchmark(
+            "universe_token_bus_h10", TokenBusProtocol(max_hops=10), repeats
+        )
+        record(
+            "iso_properties_token_bus_h10",
+            _best_of(
+                lambda: check_all_properties(universe_h10, max_sets=8),
+                min(repeats, 3),
+            ),
+            configurations=len(universe_h10),
+            max_sets=8,
+        )
+
+    document = {
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeats": repeats,
+        "mode": "quick" if quick else "full",
         "measurement": (
             "best_seconds = min wall time over repeats (steady state: intern "
             "registry and protocol caches warm); first_seconds = first "
             "construction in this process (cold caches); speedup_vs_seed "
-            "compares best_seconds against the pre-bitset seed's best"
+            "compares best_seconds against the pre-bitset seed's best; "
+            "object_seconds times the retained object-level reference "
+            "implementation once in the same run (speedup_vs_object is the "
+            "controlled mask-vs-object pairing)"
         ),
         "benchmarks": results,
     }
+    if check:
+        document["cross_checked"] = checked
+    return document
 
 
 def write_trajectory(document: dict, output_dir: str | Path = ".") -> Path:
@@ -184,25 +448,41 @@ def write_trajectory(document: dict, output_dir: str | Path = ".") -> Path:
 
 
 def print_summary(document: dict) -> None:
-    print(f"{'benchmark':>38} {'best (s)':>10} {'seed (s)':>9} {'speedup':>8}")
+    print(
+        f"{'benchmark':>38} {'best (s)':>10} {'seed (s)':>9} {'speedup':>8} "
+        f"{'vs object':>10}"
+    )
     for name, entry in sorted(document["benchmarks"].items()):
         seed = entry.get("seed_seconds")
         speedup = entry.get("speedup_vs_seed")
+        object_speedup = entry.get("speedup_vs_object")
         print(
             f"{name:>38} {entry['best_seconds']:>10.4f} "
             f"{seed if seed is not None else '-':>9} "
-            f"{f'{speedup}x' if speedup is not None else '-':>8}"
+            f"{f'{speedup}x' if speedup is not None else '-':>8} "
+            f"{f'{object_speedup}x' if object_speedup is not None else '-':>10}"
         )
+    checked = document.get("cross_checked")
+    if checked is not None:
+        print(f"cross-checked vs reference oracles: {', '.join(checked)}")
 
 
 def run_and_report(
-    repeats: int = 5, output_dir: str | Path = ".", no_write: bool = False
+    repeats: int = 5,
+    output_dir: str | Path = ".",
+    no_write: bool = False,
+    quick: bool = False,
+    check: bool = False,
 ) -> int:
     """Run the benchmarks, print the summary, optionally write the
     trajectory file.  Shared by ``repro bench`` and ``run_bench.py``."""
     if repeats < 1:
         raise SystemExit(f"repro bench: --repeats must be >= 1, got {repeats}")
-    document = run_benchmarks(repeats=repeats)
+    try:
+        document = run_benchmarks(repeats=repeats, quick=quick, check=check)
+    except BenchCheckFailure as failure:
+        print(f"repro bench --check FAILED: {failure}")
+        return 1
     print_summary(document)
     if not no_write:
         path = write_trajectory(document, output_dir)
@@ -222,6 +502,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-write", action="store_true", help="print the summary only"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-universe smoke subset, repeats forced to 1",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="cross-validate the mask engine against the object-level "
+        "reference oracles before timing; non-zero exit on mismatch",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -233,7 +524,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     add_bench_arguments(parser)
     args = parser.parse_args(argv)
     return run_and_report(
-        repeats=args.repeats, output_dir=args.output_dir, no_write=args.no_write
+        repeats=args.repeats,
+        output_dir=args.output_dir,
+        no_write=args.no_write,
+        quick=args.quick,
+        check=args.check,
     )
 
 

@@ -155,7 +155,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_and_report
 
     return run_and_report(
-        repeats=args.repeats, output_dir=args.output_dir, no_write=args.no_write
+        repeats=args.repeats,
+        output_dir=args.output_dir,
+        no_write=args.no_write,
+        quick=args.quick,
+        check=args.check,
     )
 
 

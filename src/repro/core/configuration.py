@@ -71,25 +71,40 @@ _REGISTRY: dict[int, list] = {}
 
 Collisions are resolved by full structural comparison at lookup time (see
 ``Configuration.extend``), so a hash bucket may in principle hold several
-distinct configurations.  Dead references are pruned by the weakref
-callbacks installed in :func:`_registry_insert`.
+distinct configurations.  Dead references are pruned by the single shared
+:func:`_registry_cleanup` callback via the ref -> hash side table, so
+insertion never allocates a per-configuration closure — exploration
+inserts thousands of configurations back to back and the closure
+allocation was a measurable slice of cold-start time.
 """
+
+_REF_HASHES: dict["weakref.ref", int] = {}
+"""Reverse map ref -> content hash for the shared cleanup callback."""
+
+
+def _registry_cleanup(reference: "weakref.ref") -> None:
+    content_hash = _REF_HASHES.pop(reference, None)
+    if content_hash is None:
+        return
+    bucket = _REGISTRY.get(content_hash)
+    if bucket is not None:
+        try:
+            bucket.remove(reference)
+        except ValueError:
+            pass
+        if not bucket:
+            _REGISTRY.pop(content_hash, None)
 
 
 def _registry_insert(content_hash: int, configuration: "Configuration") -> None:
-    def _cleanup(reference: "weakref.ref", _hash: int = content_hash) -> None:
-        bucket = _REGISTRY.get(_hash)
-        if bucket is not None:
-            try:
-                bucket.remove(reference)
-            except ValueError:
-                pass
-            if not bucket:
-                _REGISTRY.pop(_hash, None)
+    reference = weakref.ref(configuration, _registry_cleanup)
+    _REF_HASHES[reference] = content_hash
+    _REGISTRY.setdefault(content_hash, []).append(reference)
 
-    _REGISTRY.setdefault(content_hash, []).append(
-        weakref.ref(configuration, _cleanup)
-    )
+
+def registry_size() -> int:
+    """Number of live interned configurations (tests and diagnostics)."""
+    return sum(len(bucket) for bucket in _REGISTRY.values())
 
 
 class Configuration:
@@ -100,7 +115,14 @@ class Configuration:
     both — the definition of ``x [D] y``.
     """
 
-    __slots__ = ("_histories", "_hash", "_entry_hashes", "__weakref__", "__dict__")
+    __slots__ = (
+        "_histories",
+        "_hash",
+        "_entry_hashes",
+        "_length",
+        "__weakref__",
+        "__dict__",
+    )
 
     def __init__(self, histories: Mapping[ProcessId, Iterable[Event]] = ()) -> None:
         items: dict[ProcessId, tuple[Event, ...]] = {}
@@ -117,6 +139,7 @@ class Configuration:
         self._histories = items
         self._hash: Optional[int] = None
         self._entry_hashes: Optional[dict[ProcessId, int]] = None
+        self._length: Optional[int] = None
 
     @classmethod
     def _from_trusted(
@@ -137,9 +160,38 @@ class Configuration:
         configuration._histories = items
         configuration._hash = content_hash
         configuration._entry_hashes = entry_hashes
+        configuration._length = None
         # Pre-seed the cached read-only view: every explored configuration
         # is asked for its histories at least once (enabled_events).
         configuration.__dict__["histories"] = MappingProxyType(items)
+        return configuration
+
+    @classmethod
+    def _intern_from_histories(
+        cls, items: dict[ProcessId, tuple[Event, ...]]
+    ) -> "Configuration":
+        """Interned no-validate constructor from normalised histories.
+
+        ``items`` must satisfy the ``_from_trusted`` contract (sorted
+        keys, nonempty tuple histories, events filed under their own
+        process).  Resolves against the intern registry first, so equal
+        configurations built elsewhere are returned as the same object —
+        one registry lookup and at most one insertion, never the
+        per-event churn of rebuilding through repeated ``extend``.
+        """
+        entry_hashes = {
+            process: _entry_hash(process, history)
+            for process, history in items.items()
+        }
+        content_hash = sum(entry_hashes.values()) % _HASH_MODULUS
+        bucket = _REGISTRY.get(content_hash)
+        if bucket is not None:
+            for reference in bucket:
+                candidate = reference()
+                if candidate is not None and candidate._histories == items:
+                    return candidate
+        configuration = cls._from_trusted(items, content_hash, entry_hashes)
+        _registry_insert(content_hash, configuration)
         return configuration
 
     def _entry_hash_map(self) -> dict[ProcessId, int]:
@@ -177,7 +229,11 @@ class Configuration:
         return "Configuration(" + "; ".join(parts) + ")"
 
     def __len__(self) -> int:
-        return sum(len(history) for history in self._histories.values())
+        length = self._length
+        if length is None:
+            length = sum(len(history) for history in self._histories.values())
+            self._length = length
+        return length
 
     # ------------------------------------------------------------------
     # Views
@@ -354,6 +410,8 @@ class Configuration:
         child_entry_hashes = dict(entry_hashes)
         child_entry_hashes[process] = new_entry
         child = Configuration._from_trusted(items, content_hash, child_entry_hashes)
+        if self._length is not None:
+            child._length = self._length + 1
         self._propagate_caches(child, event)
         _registry_insert(content_hash, child)
         return child
@@ -458,3 +516,60 @@ class Configuration:
 
 EMPTY_CONFIGURATION = Configuration({})
 """The configuration of the empty computation."""
+
+
+def iter_prefix_configurations(
+    events: Iterable[Event],
+) -> Iterator[Configuration]:
+    """Configurations of every prefix of ``events``, empty prefix first.
+
+    Maintains the histories, per-entry rolling hashes and content hash
+    incrementally — O(|P|) per step — and snapshots each prefix through
+    ``_from_trusted`` **without touching the intern registry**: a
+    10^5-step simulation trace yields 10^5 throwaway configurations, and
+    interning each one would churn the registry with weakrefs that die on
+    the next step.  The yielded objects hash and compare exactly like
+    publicly constructed configurations.
+    """
+    items: dict[ProcessId, tuple[Event, ...]] = {}
+    entry_hashes: dict[ProcessId, int] = {}
+    content_hash = 0
+    count = 0
+    yield EMPTY_CONFIGURATION
+    for event in events:
+        process = event.process
+        old_history = items.get(process)
+        try:
+            event_hash = event._hash_cache
+        except AttributeError:
+            event_hash = hash(event)
+        if old_history is None:
+            new_entry = (
+                (hash(process) % _HASH_MODULUS) * _ROLL_MULTIPLIER + event_hash
+            ) % _HASH_MODULUS
+            content_hash = (content_hash + new_entry) % _HASH_MODULUS
+            # Insert the new process at its sorted position.
+            rebuilt: dict[ProcessId, tuple[Event, ...]] = {}
+            placed = False
+            for existing, history in items.items():
+                if not placed and process < existing:
+                    rebuilt[process] = (event,)
+                    placed = True
+                rebuilt[existing] = history
+            if not placed:
+                rebuilt[process] = (event,)
+            items = rebuilt
+        else:
+            old_entry = entry_hashes[process]
+            new_entry = (
+                old_entry * _ROLL_MULTIPLIER + event_hash
+            ) % _HASH_MODULUS
+            content_hash = (content_hash - old_entry + new_entry) % _HASH_MODULUS
+            items = dict(items)
+            items[process] = old_history + (event,)
+        entry_hashes = dict(entry_hashes)
+        entry_hashes[process] = new_entry
+        count += 1
+        snapshot = Configuration._from_trusted(items, content_hash, entry_hashes)
+        snapshot._length = count
+        yield snapshot

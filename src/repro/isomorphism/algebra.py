@@ -11,22 +11,25 @@ Two kinds of machinery live here:
   on every instance, and are the machinery behind experiment E2 and the
   algebra test-suite.  Each check is a *universally quantified* statement,
   so a single ``False`` would falsify the reproduction.
+
+The checkers run on the universe's partition tables: a ``[P]``-relation
+is a partition of the dense configuration ids, a composed relation
+``[P1 … Pn]`` propagates along the cached class-adjacency graph, and each
+universally quantified property collapses to bitwise subset/equality
+tests over class masks and O(n) passes over class-index arrays — never a
+nested loop over ``Configuration`` objects.  The original object-level
+checkers survive in :mod:`repro.isomorphism.reference`; the cross-check
+tests assert both agree verdict-for-verdict.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections.abc import Sequence
+from array import array
 
-from repro.core.configuration import Configuration
 from repro.core.process import ProcessSetLike, as_process_set
-from repro.isomorphism.relation import (
-    SetSequence,
-    composed_class,
-    composed_isomorphic,
-    isomorphic,
-)
-from repro.universe.explorer import Universe
+from repro.isomorphism.relation import SetSequence, fold_classes
+from repro.universe.explorer import PartitionTable, Universe, iter_bit_ids
 
 
 def normalise_sequence(sets: SetSequence) -> tuple[frozenset, ...]:
@@ -54,17 +57,84 @@ def normalise_sequence(sets: SetSequence) -> tuple[frozenset, ...]:
     return tuple(current)
 
 
+# ----------------------------------------------------------------------
+# Class-graph pipeline: composed relations at class granularity.
+# ----------------------------------------------------------------------
+def _frontier_classes(
+    universe: Universe, sets: list[frozenset]
+) -> tuple[PartitionTable, PartitionTable, list[frozenset[int]]]:
+    """Propagate every ``[P1]``-class through ``[P2 … Pn]`` at class level.
+
+    Returns ``(base, final, frontiers)`` where ``frontiers[k]`` is the set
+    of ``final``-partition class indices reachable from class ``k`` of the
+    ``base`` (``[P1]``) partition.  Because every intermediate step unions
+    whole classes, the composed image of a configuration ``x`` is exactly
+    the union of the ``final`` classes in ``frontiers[class_of(x)]`` — no
+    masks are materialised until a caller asks for them.
+    """
+    base = universe.partition_table(sets[0])
+    frontiers = [
+        frozenset(fold_classes(universe, {index}, sets[0], sets[1:]))
+        for index in range(base.num_classes)
+    ]
+    return base, universe.partition_table(sets[-1]), frontiers
+
+
+def _materialise_frontiers(
+    final: PartitionTable, frontiers: list[frozenset[int]]
+) -> list[int]:
+    """One composed-image mask per base class, shared between equal
+    frontiers (distinct frontier sets are typically few)."""
+    memo: dict[frozenset[int], int] = {}
+    results: list[int] = []
+    for frontier in frontiers:
+        mask = memo.get(frontier)
+        if mask is None:
+            mask = final.classes_mask(frontier)
+            memo[frontier] = mask
+        results.append(mask)
+    return results
+
+
 def sequences_equal(
     universe: Universe, left: SetSequence, right: SetSequence
 ) -> bool:
     """Extensional equality ``[left] = [right]`` over the universe.
 
-    Compares the composed classes of every configuration.
+    Compares the composed class masks of every configuration, deduplicated
+    by (left class, right class) pair.
     """
-    for configuration in universe:
-        if composed_class(universe, configuration, left) != composed_class(
-            universe, configuration, right
-        ):
+    left_n = [as_process_set(entry) for entry in left]
+    right_n = [as_process_set(entry) for entry in right]
+    if left_n == right_n:
+        return True  # syntactically identical sequences denote one relation
+    if not left_n and not right_n:
+        return True
+    if not left_n or not right_n:
+        # One side is the identity relation: the other must map every
+        # configuration to exactly its own singleton.
+        base, final, frontiers = _frontier_classes(universe, left_n or right_n)
+        results = _materialise_frontiers(final, frontiers)
+        base_of = base.class_of
+        return all(
+            results[base_of[config_id]] == 1 << config_id
+            for config_id in range(len(universe))
+        )
+    left_base, left_final, left_frontiers = _frontier_classes(universe, left_n)
+    right_base, right_final, right_frontiers = _frontier_classes(
+        universe, right_n
+    )
+    left_results = _materialise_frontiers(left_final, left_frontiers)
+    right_results = _materialise_frontiers(right_final, right_frontiers)
+    left_of = left_base.class_of
+    right_of = right_base.class_of
+    seen: set[tuple[int, int]] = set()
+    for config_id in range(len(universe)):
+        pair = (left_of[config_id], right_of[config_id])
+        if pair in seen:
+            continue
+        seen.add(pair)
+        if left_results[pair[0]] != right_results[pair[1]]:
             return False
     return True
 
@@ -75,22 +145,19 @@ def sequences_equal(
 def check_equivalence(universe: Universe, processes: ProcessSetLike) -> bool:
     """Property 1: ``[P]`` is an equivalence relation.
 
-    Reflexivity and symmetry are structural (projection equality); this
-    verifies transitivity exhaustively and spot-checks the other two.
+    Symmetry and transitivity are structural once the relation is a
+    partition; this verifies the partition: class masks pairwise disjoint
+    and covering the universe (which also gives reflexivity — every
+    configuration sits in exactly one class containing it).
     """
-    p_set = as_process_set(processes)
-    configurations = list(universe)
-    for x in configurations:
-        if not isomorphic(x, x, p_set):
+    table = universe.partition_table(processes)
+    union = 0
+    for index in range(table.num_classes):
+        mask = table.class_mask(index)
+        if union & mask:
             return False
-    for x in configurations:
-        for y in universe.iso_class(x, p_set):
-            if not isomorphic(y, x, p_set):
-                return False
-            for z in universe.iso_class(y, p_set):
-                if not isomorphic(x, z, p_set):
-                    return False
-    return True
+        union |= mask
+    return union == universe.full_mask
 
 
 def check_substitution(
@@ -111,41 +178,99 @@ def check_substitution(
 
 
 def check_idempotence(universe: Universe, processes: ProcessSetLike) -> bool:
-    """Property 3: ``[P P] = [P]``."""
+    """Property 3: ``[P P] = [P]``.
+
+    Checked by closing every ``[P]``-class under ``[P]`` again: the
+    one-pass :meth:`~repro.universe.explorer.Universe.compose_masks`
+    closure must return the class unchanged.
+    """
     p_set = as_process_set(processes)
-    return sequences_equal(universe, [p_set, p_set], [p_set])
+    table = universe.partition_table(p_set)
+    for index in range(table.num_classes):
+        mask = table.class_mask(index)
+        if universe.compose_masks(mask, p_set) != mask:
+            return False
+    return True
 
 
 def check_reflexivity(universe: Universe, sets: SetSequence) -> bool:
     """Property 4: ``x [P1 … Pn] x`` for every computation ``x``."""
+    normalised = [as_process_set(entry) for entry in sets]
+    if not normalised:
+        return True
+    base, final, frontiers = _frontier_classes(universe, normalised)
+    base_of = base.class_of
+    final_of = final.class_of
     return all(
-        composed_isomorphic(universe, configuration, sets, configuration)
-        for configuration in universe
+        final_of[config_id] in frontiers[base_of[config_id]]
+        for config_id in range(len(universe))
     )
 
 
 def check_inversion(universe: Universe, sets: SetSequence) -> bool:
-    """Property 5: ``x [P1 … Pn] y  =  y [Pn … P1] x``."""
-    reversed_sets = list(reversed(list(sets)))
-    for x in universe:
-        forward = composed_class(universe, x, sets)
-        for y in universe:
-            backward = composed_isomorphic(universe, y, reversed_sets, x)
-            if (y in forward) != backward:
-                return False
-    return True
+    """Property 5: ``x [P1 … Pn] y  =  y [Pn … P1] x``.
+
+    The forward image of a ``[P1]``-class is a union of ``[Pn]``-classes
+    (and vice versa), so the property reduces to the transpose of the
+    forward class graph equalling the backward class graph — checked with
+    set operations on class indices, no masks at all.
+    """
+    normalised = [as_process_set(entry) for entry in sets]
+    if not normalised:
+        return True  # the identity relation is symmetric
+    _, forward_final, forward = _frontier_classes(universe, normalised)
+    _, _, backward = _frontier_classes(universe, list(reversed(normalised)))
+    transpose: list[set[int]] = [set() for _ in range(forward_final.num_classes)]
+    for source, frontier in enumerate(forward):
+        for target in frontier:
+            transpose[target].add(source)
+    return all(
+        backward[target] == transpose[target]
+        for target in range(forward_final.num_classes)
+    )
 
 
 def check_concatenation(
     universe: Universe, prefix_sets: SetSequence, suffix_sets: SetSequence
 ) -> bool:
-    """Property 6: ``∃y: x [P1…Pm] y and y [Pm+1…Pn] z  =  x [P1…Pn] z``."""
-    combined = list(prefix_sets) + list(suffix_sets)
-    for x in universe:
-        via_definition: set[Configuration] = set()
-        for y in composed_class(universe, x, prefix_sets):
-            via_definition.update(composed_class(universe, y, suffix_sets))
-        if via_definition != composed_class(universe, x, combined):
+    """Property 6: ``∃y: x [P1…Pm] y and y [Pm+1…Pn] z  =  x [P1…Pn] z``.
+
+    The definitional side quantifies over the intermediates ``y``: the
+    prefix image is *materialised* as a mask, its membership re-derived
+    bit by bit (cross-checking mask materialisation against the class
+    index arrays), and the suffix applied to that re-derived frontier —
+    then compared against the single-pipeline composed image.  Distinct
+    prefix frontiers are processed once.
+    """
+    prefix_n = [as_process_set(entry) for entry in prefix_sets]
+    suffix_n = [as_process_set(entry) for entry in suffix_sets]
+    combined = prefix_n + suffix_n
+    if not prefix_n or not suffix_n:
+        # One side is the identity: the definitional union over {x} (or
+        # over the image itself) is the composed image verbatim.
+        return True
+    base, prefix_final, prefix_frontiers = _frontier_classes(universe, prefix_n)
+    final_of = prefix_final.class_of
+    suffix_table = universe.partition_table(suffix_n[-1])
+    via_memo: dict[frozenset[int], int] = {}
+    for index in range(base.num_classes):
+        frontier = prefix_frontiers[index]
+        via_definition = via_memo.get(frontier)
+        if via_definition is None:
+            intermediate = prefix_final.classes_mask(frontier)
+            derived = {
+                final_of[config_id] for config_id in iter_bit_ids(intermediate)
+            }
+            if derived != set(frontier):
+                return False
+            via_definition = suffix_table.classes_mask(
+                fold_classes(universe, derived, prefix_n[-1], suffix_n)
+            )
+            via_memo[frontier] = via_definition
+        direct = suffix_table.classes_mask(
+            fold_classes(universe, {index}, prefix_n[0], combined[1:])
+        )
+        if via_definition != direct:
             return False
     return True
 
@@ -153,17 +278,33 @@ def check_concatenation(
 def check_union(
     universe: Universe, first: ProcessSetLike, second: ProcessSetLike
 ) -> bool:
-    """Property 7: ``[P ∪ Q] = [P] ∩ [Q]``."""
+    """Property 7: ``[P ∪ Q] = [P] ∩ [Q]``.
+
+    Holds iff the ``[P ∪ Q]`` partition coincides with the common
+    refinement of ``[P]`` and ``[Q]`` — one O(n) pass matching union-class
+    indices against (P-class, Q-class) pairs, in both directions.
+    """
     p_set = as_process_set(first)
     q_set = as_process_set(second)
-    union = p_set | q_set
-    for x in universe:
-        for y in universe:
-            combined = isomorphic(x, y, union)
-            separate = isomorphic(x, y, p_set) and isomorphic(x, y, q_set)
-            if combined != separate:
-                return False
-    return True
+    p_of = universe.partition_table(p_set).class_of
+    q_table = universe.partition_table(q_set)
+    q_of = q_table.class_of
+    union_of = universe.partition_table(p_set | q_set).class_of
+    # Relabel the common refinement of [P] and [Q] canonically (labels in
+    # first-occurrence order).  Partition-table class indices are already
+    # in first-occurrence order, so the property holds iff the two label
+    # arrays are equal element-wise — a C-level array comparison.
+    labels: dict[int, int] = {}
+    width = q_table.num_classes
+    canonical = array("i", bytes(4 * len(universe)))
+    for config_id, (p_class, q_class) in enumerate(zip(p_of, q_of)):
+        pair = p_class * width + q_class
+        label = labels.get(pair)
+        if label is None:
+            label = len(labels)
+            labels[pair] = label
+        canonical[config_id] = label
+    return canonical == union_of
 
 
 def check_containment(
@@ -171,27 +312,29 @@ def check_containment(
 ) -> bool:
     """Property 8: ``Q ⊇ P  =  [Q] ⊆ [P]``.
 
-    The forward direction is checked exhaustively.  The converse needs the
-    model's "every process has an event in some computation" assumption;
-    it is checked whenever each process of ``P - Q`` has an event in the
-    universe, and skipped (treated as holding) otherwise.
+    ``[Q] ⊆ [P]`` is exactly "the ``[Q]`` partition refines the ``[P]``
+    partition": every ``[Q]``-class maps into a single ``[P]``-class.
+    The converse needs the model's "every process has an event in some
+    computation" assumption; it is checked whenever each process of
+    ``P - Q`` has an event in the universe, and skipped (treated as
+    holding) otherwise.
     """
     q_set = as_process_set(larger)
     p_set = as_process_set(smaller)
+    q_of = universe.partition_table(q_set).class_of
+    p_of = universe.partition_table(p_set).class_of
+    expected: dict[int, int] = {}
     relation_contained = True
-    for x in universe:
-        for y in universe.iso_class(x, q_set):
-            if not isomorphic(x, y, p_set):
-                relation_contained = False
-                break
-        if not relation_contained:
+    for config_id in range(len(universe)):
+        p_class = p_of[config_id]
+        if expected.setdefault(q_of[config_id], p_class) != p_class:
+            relation_contained = False
             break
     if q_set >= p_set:
         return relation_contained
     # Q does not contain P: the property demands [Q] ⊄ [P], provided the
     # missing processes actually have events somewhere in this universe.
-    active = {event.process for event in universe.events()}
-    if not (p_set - q_set) & active:
+    if not (p_set - q_set) & universe.active_processes:
         return True
     return not relation_contained
 

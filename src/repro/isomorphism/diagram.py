@@ -30,7 +30,7 @@ from repro.core.process import (
     as_process_set,
     format_process_set,
 )
-from repro.isomorphism.relation import SetSequence, isomorphic
+from repro.isomorphism.relation import SetSequence
 from repro.universe.explorer import Universe
 
 Vertex = Union[Computation, Configuration]
@@ -69,6 +69,22 @@ class IsomorphismDiagram:
                 self._names[vertex] = name
         for index, vertex in enumerate(self._vertices):
             self._names.setdefault(vertex, f"c{index}")
+        # Diagram-local partition tables: for each process, vertices are
+        # bucketed by projection and assigned a class index, so every
+        # agreement question is an integer comparison instead of a
+        # history-tuple comparison.
+        self._ordered_processes = tuple(sorted(self._all_processes))
+        self._class_ids: dict[ProcessId, dict[Vertex, int]] = {}
+        self._class_keys: dict[ProcessId, dict[tuple, int]] = {}
+        for process in self._ordered_processes:
+            classes: dict[tuple, int] = {}
+            ids: dict[Vertex, int] = {}
+            for vertex in self._vertices:
+                key = _history(vertex, process)
+                index = classes.setdefault(key, len(classes))
+                ids[vertex] = index
+            self._class_ids[process] = ids
+            self._class_keys[process] = classes
         self._graph = nx.Graph()
         self._build()
 
@@ -108,12 +124,22 @@ class IsomorphismDiagram:
 
         Processes having no event in either computation agree vacuously
         and are included, matching the ``[D]`` self-loop convention.
+        Known vertices compare per-process class indices; foreign
+        vertices fall back to projection comparison.
         """
-        return frozenset(
-            process
-            for process in self._all_processes
-            if _history(first, process) == _history(second, process)
-        )
+        class_ids = self._class_ids
+        try:
+            return frozenset(
+                process
+                for process in self._ordered_processes
+                if class_ids[process][first] == class_ids[process][second]
+            )
+        except KeyError:
+            return frozenset(
+                process
+                for process in self._all_processes
+                if _history(first, process) == _history(second, process)
+            )
 
     def label(self, first: Vertex, second: Vertex) -> frozenset[ProcessId] | None:
         """The edge label between two vertices, or ``None`` if no edge."""
@@ -140,13 +166,33 @@ class IsomorphismDiagram:
         """
         frontier: set[Vertex] = {start}
         for entry in sets:
-            p_set = as_process_set(entry)
-            frontier = {
-                other
-                for vertex in frontier
-                for other in self._vertices
-                if isomorphic(vertex, other, p_set)
-            }
+            processes = sorted(as_process_set(entry))
+
+            def signature(vertex: Vertex) -> tuple:
+                # Per-process class indices resolved through the history
+                # key, so vertices outside the diagram (e.g. a foreign
+                # `start`) land in the same bucket as the diagram
+                # vertices they agree with.  Histories unseen in the
+                # diagram keep the raw key: they match no bucket, which
+                # is correct — no vertex shares that projection.
+                parts = []
+                for process in processes:
+                    key = _history(vertex, process)
+                    keys = self._class_keys.get(process)
+                    if keys is None:
+                        parts.append(key)
+                    else:
+                        index = keys.get(key)
+                        parts.append(key if index is None else index)
+                return tuple(parts)
+
+            buckets: dict[tuple, list[Vertex]] = {}
+            for vertex in self._vertices:
+                buckets.setdefault(signature(vertex), []).append(vertex)
+            next_frontier: set[Vertex] = set()
+            for vertex in frontier:
+                next_frontier.update(buckets.get(signature(vertex), ()))
+            frontier = next_frontier
         return end in frontier
 
     def edge_list(self) -> list[tuple[str, str, frozenset[ProcessId]]]:

@@ -22,7 +22,7 @@ assert non-vacuity.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from repro.core.configuration import Configuration
 from repro.core.events import Event
@@ -152,6 +152,31 @@ def related_set(
     return frozenset(composed_class(universe, configuration, [p_set, complement]))
 
 
+def _related_mask_for(
+    universe: Universe, processes: frozenset
+) -> Callable[[int], int]:
+    """Per-configuration ``[P P̄]`` image masks, memoised per ``[P]``-class.
+
+    The image of ``x`` depends only on the ``[P]``-class of ``x``, so
+    Theorem 3's quantifier over transitions needs one composed mask per
+    class, not per configuration.
+    """
+    complement = universe.complement(processes)
+    table = universe.partition_table(processes)
+    class_of = table.class_of
+    results: dict[int, int] = {}
+
+    def mask_of(config_id: int) -> int:
+        index = class_of[config_id]
+        mask = results.get(index)
+        if mask is None:
+            mask = universe.compose_masks(table.class_mask(index), complement)
+            results[index] = mask
+        return mask
+
+    return mask_of
+
+
 def check_theorem_3(
     universe: Universe, process_sets: Iterable[ProcessSetLike] | None = None
 ) -> dict[str, int]:
@@ -171,25 +196,31 @@ def check_theorem_3(
         candidate_sets = [frozenset((process,)) for process in sorted(universe.processes)]
     else:
         candidate_sets = [as_process_set(entry) for entry in process_sets]
+    related_masks = {
+        p_set: _related_mask_for(universe, p_set) for p_set in candidate_sets
+    }
     counts = {"receive": 0, "send": 0, "internal": 0}
     for x in universe:
+        x_id = universe.config_id(x)
         for extended in universe.successors(x):
             event = extension_event(x, extended)
             if event is None:
                 continue
+            extended_id = universe.config_id(extended)
             for p_set in candidate_sets:
                 if event.process not in p_set:
                     continue
-                before = related_set(universe, x, p_set)
-                after = related_set(universe, extended, p_set)
+                mask_of = related_masks[p_set]
+                before = mask_of(x_id)
+                after = mask_of(extended_id)
                 if event.is_receive:
-                    if not after <= before:
+                    if after & before != after:
                         raise AssertionError(
                             f"Theorem 3 (receive) fails at x={x!r}, e={event}"
                         )
                     counts["receive"] += 1
                 elif event.is_send:
-                    if not before <= after:
+                    if before & after != before:
                         raise AssertionError(
                             f"Theorem 3 (send) fails at x={x!r}, e={event}"
                         )

@@ -28,11 +28,16 @@ itself a proof instance of the theorem.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.causality.chains import chain_in_suffix
 from repro.core.configuration import Configuration
 from repro.core.errors import FusionError
 from repro.core.process import ProcessSetLike, as_process_set
 from repro.core.validation import find_configuration_defect
+
+if TYPE_CHECKING:
+    from repro.universe.explorer import Universe
 
 
 def fusion_side_conditions(
@@ -104,6 +109,54 @@ def fuse(
             f"fusion hypotheses held but the fused computation is invalid: {defect}"
         )
     return fused
+
+
+def fusion_census(universe: "Universe", processes: ProcessSetLike) -> dict[str, int]:
+    """Exhaustive Theorem-2 sweep over a universe, on partition tables.
+
+    For every ``x <= y``, ``x <= z`` (supersets collected in one
+    :meth:`~repro.universe.explorer.Universe.sub_configuration_pairs`
+    pass), attempts the fusion and verifies the conclusion ``y [P] w``
+    and ``z [P̄] w`` by comparing class indices in the universe's
+    ``[P]``/``[P̄]`` partition tables — no projection comparisons.
+
+    Returns ``{"licensed", "blocked", "escaped"}`` counts; ``escaped``
+    (fusions leaving a *truncated* universe) is always 0 on complete
+    universes, where an escape would falsify the theorem and raises.
+    """
+    p_set = as_process_set(processes)
+    complement = universe.complement(p_set)
+    p_of = universe.partition_table(p_set).class_of
+    c_of = universe.partition_table(complement).class_of
+    supersets: dict[Configuration, list[Configuration]] = {}
+    for smaller, larger in universe.sub_configuration_pairs():
+        supersets.setdefault(smaller, []).append(larger)
+    licensed = blocked = escaped = 0
+    for x, candidates in supersets.items():
+        for y in candidates:
+            for z in candidates:
+                problems = fusion_side_conditions(
+                    x, y, z, p_set, universe.processes
+                )
+                if problems:
+                    blocked += 1
+                    continue
+                w = fuse(x, y, z, p_set, universe.processes)
+                if w not in universe:
+                    if universe.is_complete:
+                        raise FusionError(
+                            f"fusion of y={y!r}, z={z!r} escaped a complete "
+                            "universe"
+                        )
+                    escaped += 1
+                    continue
+                w_id = universe.config_id(w)
+                if p_of[w_id] != p_of[universe.config_id(y)]:
+                    raise FusionError(f"fused w not [P]-isomorphic to y={y!r}")
+                if c_of[w_id] != c_of[universe.config_id(z)]:
+                    raise FusionError(f"fused w not [P̄]-isomorphic to z={z!r}")
+                licensed += 1
+    return {"licensed": licensed, "blocked": blocked, "escaped": escaped}
 
 
 def fuse_disjoint(

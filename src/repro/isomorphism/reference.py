@@ -1,0 +1,335 @@
+"""Object-level reference implementations of the isomorphism layer.
+
+These are the pre-mask-engine implementations of the composed relation
+``[P1 … Pn]`` and of the ten algebraic property checkers: they walk
+:class:`~repro.core.configuration.Configuration` objects, ``projection()``
+keys and Python sets, quantifying by explicit loops.  They are kept —
+verbatim in behaviour — for two jobs:
+
+* **oracles**: the cross-check tests assert the mask pipelines in
+  :mod:`repro.isomorphism.relation` and :mod:`repro.isomorphism.algebra`
+  are bit-identical to these on complete and truncated universes;
+* **baselines**: ``repro bench`` times them against the mask engine so
+  the recorded speedups are controlled before/after pairs.
+
+Nothing here should be called on hot paths; the public API lives in
+:mod:`repro.isomorphism.relation` / :mod:`repro.isomorphism.algebra`.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.process import ProcessSetLike, as_process_set
+from repro.isomorphism.relation import SetSequence, isomorphic
+from repro.universe.explorer import Universe
+
+
+def composed_class_reference(
+    universe: Universe,
+    x: Configuration,
+    sets: SetSequence,
+) -> frozenset[Configuration]:
+    """All ``z`` with ``x [P1 … Pn] z`` — iterated closure on object sets."""
+    universe.require(x)
+    frontier: set[Configuration] = {x}
+    for entry in sets:
+        p_set = as_process_set(entry)
+        next_frontier: set[Configuration] = set()
+        seen_keys: set = set()
+        for configuration in frontier:
+            key = configuration.projection(p_set)
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            next_frontier.update(universe.iso_class(configuration, p_set))
+        frontier = next_frontier
+    return frozenset(frontier)
+
+
+def composed_isomorphic_reference(
+    universe: Universe,
+    x: Configuration,
+    sets: SetSequence,
+    z: Configuration,
+) -> bool:
+    """``x [P1 P2 … Pn] z`` by membership in the object-level class."""
+    universe.require(z)
+    if not sets:
+        return x == z
+    return z in composed_class_reference(universe, x, sets)
+
+
+def find_composition_witness_reference(
+    universe: Universe,
+    x: Configuration,
+    sets: SetSequence,
+    z: Configuration,
+) -> list[Configuration] | None:
+    """Witness chain ``x = y0 [P1] y1 … [Pn] yn = z`` via object-set BFS."""
+    universe.require(x)
+    universe.require(z)
+    if not sets:
+        return [x] if x == z else None
+
+    layers: list[set[Configuration]] = [{x}]
+    for entry in sets:
+        p_set = as_process_set(entry)
+        frontier: set[Configuration] = set()
+        for configuration in layers[-1]:
+            frontier.update(universe.iso_class(configuration, p_set))
+        layers.append(frontier)
+    if z not in layers[-1]:
+        return None
+
+    witness = [z]
+    current = z
+    for index in range(len(sets) - 1, -1, -1):
+        p_set = as_process_set(sets[index])
+        for candidate in sorted(layers[index], key=lambda c: (len(c), repr(c))):
+            if isomorphic(candidate, current, p_set):
+                witness.append(candidate)
+                current = candidate
+                break
+        else:
+            raise AssertionError("BFS layers inconsistent with membership")
+    witness.reverse()
+    return witness
+
+
+def sequences_equal_reference(
+    universe: Universe, left: SetSequence, right: SetSequence
+) -> bool:
+    """Extensional equality ``[left] = [right]`` by per-configuration sets."""
+    for configuration in universe:
+        if composed_class_reference(
+            universe, configuration, left
+        ) != composed_class_reference(universe, configuration, right):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Properties 1-10, object-level (the pre-mask-engine checker bodies).
+# ----------------------------------------------------------------------
+def check_equivalence_reference(
+    universe: Universe, processes: ProcessSetLike
+) -> bool:
+    """Property 1 by exhaustive transitivity scan over object classes."""
+    p_set = as_process_set(processes)
+    configurations = list(universe)
+    for x in configurations:
+        if not isomorphic(x, x, p_set):
+            return False
+    for x in configurations:
+        for y in universe.iso_class(x, p_set):
+            if not isomorphic(y, x, p_set):
+                return False
+            for z in universe.iso_class(y, p_set):
+                if not isomorphic(x, z, p_set):
+                    return False
+    return True
+
+
+def check_substitution_reference(
+    universe: Universe,
+    beta: SetSequence,
+    delta: SetSequence,
+    alpha: SetSequence,
+    gamma: SetSequence,
+) -> bool:
+    """Property 2: ``[β] = [δ]`` implies ``[α β γ] = [α δ γ]``."""
+    if not sequences_equal_reference(universe, beta, delta):
+        return True
+    return sequences_equal_reference(
+        universe,
+        list(alpha) + list(beta) + list(gamma),
+        list(alpha) + list(delta) + list(gamma),
+    )
+
+
+def check_idempotence_reference(
+    universe: Universe, processes: ProcessSetLike
+) -> bool:
+    """Property 3: ``[P P] = [P]``."""
+    p_set = as_process_set(processes)
+    return sequences_equal_reference(universe, [p_set, p_set], [p_set])
+
+
+def check_reflexivity_reference(universe: Universe, sets: SetSequence) -> bool:
+    """Property 4: ``x [P1 … Pn] x`` for every computation ``x``."""
+    return all(
+        composed_isomorphic_reference(universe, configuration, sets, configuration)
+        for configuration in universe
+    )
+
+
+def check_inversion_reference(universe: Universe, sets: SetSequence) -> bool:
+    """Property 5: ``x [P1 … Pn] y  =  y [Pn … P1] x``."""
+    reversed_sets = list(reversed(list(sets)))
+    for x in universe:
+        forward = composed_class_reference(universe, x, sets)
+        for y in universe:
+            backward = composed_isomorphic_reference(universe, y, reversed_sets, x)
+            if (y in forward) != backward:
+                return False
+    return True
+
+
+def check_concatenation_reference(
+    universe: Universe, prefix_sets: SetSequence, suffix_sets: SetSequence
+) -> bool:
+    """Property 6: ``∃y: x [P1…Pm] y and y [Pm+1…Pn] z  =  x [P1…Pn] z``."""
+    combined = list(prefix_sets) + list(suffix_sets)
+    for x in universe:
+        via_definition: set[Configuration] = set()
+        for y in composed_class_reference(universe, x, prefix_sets):
+            via_definition.update(
+                composed_class_reference(universe, y, suffix_sets)
+            )
+        if via_definition != composed_class_reference(universe, x, combined):
+            return False
+    return True
+
+
+def check_union_reference(
+    universe: Universe, first: ProcessSetLike, second: ProcessSetLike
+) -> bool:
+    """Property 7: ``[P ∪ Q] = [P] ∩ [Q]``."""
+    p_set = as_process_set(first)
+    q_set = as_process_set(second)
+    union = p_set | q_set
+    for x in universe:
+        for y in universe:
+            combined = isomorphic(x, y, union)
+            separate = isomorphic(x, y, p_set) and isomorphic(x, y, q_set)
+            if combined != separate:
+                return False
+    return True
+
+
+def check_containment_reference(
+    universe: Universe, larger: ProcessSetLike, smaller: ProcessSetLike
+) -> bool:
+    """Property 8: ``Q ⊇ P  =  [Q] ⊆ [P]`` (with the activity caveat)."""
+    q_set = as_process_set(larger)
+    p_set = as_process_set(smaller)
+    relation_contained = True
+    for x in universe:
+        for y in universe.iso_class(x, q_set):
+            if not isomorphic(x, y, p_set):
+                relation_contained = False
+                break
+        if not relation_contained:
+            break
+    if q_set >= p_set:
+        return relation_contained
+    active = {event.process for event in universe.events()}
+    if not (p_set - q_set) & active:
+        return True
+    return not relation_contained
+
+
+def check_extensionality_reference(
+    universe: Universe, first: ProcessSetLike, second: ProcessSetLike
+) -> bool:
+    """Property 9: ``P = Q  =  [P] = [Q]`` (same caveat as property 8)."""
+    p_set = as_process_set(first)
+    q_set = as_process_set(second)
+    return check_containment_reference(
+        universe, p_set, q_set
+    ) and check_containment_reference(universe, q_set, p_set)
+
+
+def check_absorption_reference(
+    universe: Universe, larger: ProcessSetLike, smaller: ProcessSetLike
+) -> bool:
+    """Property 10: ``Q ⊇ P`` implies ``[Q P] = [P] = [P Q]``."""
+    q_set = as_process_set(larger)
+    p_set = as_process_set(smaller)
+    if not q_set >= p_set:
+        return True
+    return sequences_equal_reference(
+        universe, [q_set, p_set], [p_set]
+    ) and sequences_equal_reference(universe, [p_set, q_set], [p_set])
+
+
+def check_all_properties_reference(
+    universe: Universe, max_sets: int | None = None
+) -> dict[str, bool]:
+    """Object-level mirror of
+    :func:`repro.isomorphism.algebra.check_all_properties` — same subset
+    sweep, reference checkers.  Cubic in class sizes; feasible only on
+    small universes (it is the "before" column of the bench pairing).
+    """
+    import itertools
+
+    processes = sorted(universe.processes)
+    subsets: list[frozenset] = []
+    for size in range(len(processes) + 1):
+        for combo in itertools.combinations(processes, size):
+            subsets.append(frozenset(combo))
+    if max_sets is not None:
+        subsets = subsets[:max_sets]
+
+    results: dict[str, bool] = {}
+    results["1-equivalence"] = all(
+        check_equivalence_reference(universe, subset) for subset in subsets
+    )
+    results["3-idempotence"] = all(
+        check_idempotence_reference(universe, subset) for subset in subsets
+    )
+    results["4-reflexivity"] = all(
+        check_reflexivity_reference(universe, [subset]) for subset in subsets
+    )
+    results["5-inversion"] = all(
+        check_inversion_reference(universe, [first, second])
+        for first in subsets
+        for second in subsets
+    )
+    results["6-concatenation"] = all(
+        check_concatenation_reference(universe, [first], [second])
+        for first in subsets
+        for second in subsets
+    )
+    results["7-union"] = all(
+        check_union_reference(universe, first, second)
+        for first in subsets
+        for second in subsets
+    )
+    results["8-containment"] = all(
+        check_containment_reference(universe, first, second)
+        for first in subsets
+        for second in subsets
+    )
+    results["9-extensionality"] = all(
+        check_extensionality_reference(universe, first, second)
+        for first in subsets
+        for second in subsets
+        if first == second
+    )
+    results["10-absorption"] = all(
+        check_absorption_reference(universe, first, second)
+        for first in subsets
+        for second in subsets
+    )
+    results["2-substitution"] = all(
+        check_substitution_reference(universe, [first], [first], [second], [second])
+        for first in subsets[: min(len(subsets), 4)]
+        for second in subsets[: min(len(subsets), 4)]
+    )
+    return results
+
+
+PROPERTY_CHECKERS_REFERENCE = {
+    "1-equivalence": check_equivalence_reference,
+    "2-substitution": check_substitution_reference,
+    "3-idempotence": check_idempotence_reference,
+    "4-reflexivity": check_reflexivity_reference,
+    "5-inversion": check_inversion_reference,
+    "6-concatenation": check_concatenation_reference,
+    "7-union": check_union_reference,
+    "8-containment": check_containment_reference,
+    "9-extensionality": check_extensionality_reference,
+    "10-absorption": check_absorption_reference,
+}
+"""Property name → object-level checker, for oracle-driven test sweeps."""

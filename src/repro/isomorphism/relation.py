@@ -6,8 +6,13 @@
 The composed relation ``[P1 … Pn] = [P1] ∘ … ∘ [Pn]`` existentially
 quantifies over intermediate computations ("for some computation y"), so
 deciding it needs a quantification domain: a :class:`repro.universe.Universe`.
-:func:`composed_isomorphic` answers it by breadth-first search through
-isomorphism classes, using the universe's projection indexes.
+:func:`composed_isomorphic` answers it as a **mask pipeline**: the frontier
+is an int bitmask over dense configuration ids, and each ``[Pi]`` step is
+one :meth:`~repro.universe.explorer.Universe.compose_masks` closure (each
+touched class unioned exactly once).  Witness extraction walks the layer
+masks backwards with bit arithmetic.  The pre-mask object-level
+implementations survive in :mod:`repro.isomorphism.reference` as the
+oracles the cross-check tests compare against.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from collections.abc import Sequence
 from repro.core.computation import Computation
 from repro.core.configuration import Configuration
 from repro.core.process import ProcessSetLike, as_process_set
-from repro.universe.explorer import Universe
+from repro.universe.explorer import Universe, iter_bit_ids
 
 SetSequence = Sequence[ProcessSetLike]
 """A sequence of process sets, written ``[P1 P2 … Pn]`` in the paper."""
@@ -66,6 +71,66 @@ def agreement_set(
     )
 
 
+def fold_classes(
+    universe: Universe,
+    classes: set[int],
+    current: ProcessSetLike,
+    rest: SetSequence,
+) -> set[int]:
+    """Propagate ``[current]``-partition class indices through ``rest``.
+
+    One step per entry along the cached class-adjacency graph — the
+    shared frontier fold behind every composed-relation pipeline and
+    property checker.
+    """
+    for entry in rest:
+        adjacency = universe.class_adjacency(current, entry)
+        classes = set().union(*(adjacency[index] for index in classes))
+        current = entry
+    return classes
+
+
+def _frontier_class_sets(
+    universe: Universe,
+    mask: int,
+    sets: SetSequence,
+) -> list[set[int]]:
+    """Per-layer frontier class sets of the pipeline ``mask [P1] … [Pn]``.
+
+    Entry ``i`` (``i >= 1``) holds the ``[Pi]``-partition class indices
+    reachable after ``i`` steps; entry 0 is ``None`` (the raw mask).  Only
+    the first step touches configuration bits — afterwards the frontier
+    propagates along the cached class-adjacency graph, so a step costs
+    set operations on class indices rather than bit scans of ever-growing
+    masks.
+    """
+    first = universe.partition_table(sets[0])
+    class_of = first.class_of
+    frontier = {class_of[config_id] for config_id in iter_bit_ids(mask)}
+    layers: list[set[int]] = [None, frontier]  # type: ignore[list-item]
+    for previous, entry in zip(sets, sets[1:]):
+        frontier = fold_classes(universe, frontier, previous, [entry])
+        layers.append(frontier)
+    return layers
+
+
+def composed_class_mask(
+    universe: Universe,
+    mask: int,
+    sets: SetSequence,
+) -> int:
+    """The composed image of ``mask`` under ``[P1 … Pn]``, as a bitmask.
+
+    The frontier is propagated at class granularity (see
+    :func:`_frontier_class_sets`) and materialised once at the end via the
+    final partition's memoised class-union masks.
+    """
+    if not sets:
+        return mask
+    layers = _frontier_class_sets(universe, mask, sets)
+    return universe.partition_table(sets[-1]).classes_mask(layers[-1])
+
+
 def composed_class(
     universe: Universe,
     x: Configuration,
@@ -73,23 +138,11 @@ def composed_class(
 ) -> frozenset[Configuration]:
     """All ``z`` in the universe with ``x [P1 … Pn] z``.
 
-    Implemented as iterated closure: start from ``{x}`` and replace the
-    frontier by the union of its ``[Pi]``-classes for each ``Pi`` in turn.
+    A thin view over :func:`composed_class_mask` starting from the
+    singleton mask of ``x``.
     """
-    universe.require(x)
-    frontier: set[Configuration] = {x}
-    for entry in sets:
-        p_set = as_process_set(entry)
-        next_frontier: set[Configuration] = set()
-        seen_keys: set = set()
-        for configuration in frontier:
-            key = configuration.projection(p_set)
-            if key in seen_keys:
-                continue
-            seen_keys.add(key)
-            next_frontier.update(universe.iso_class(configuration, p_set))
-        frontier = next_frontier
-    return frozenset(frontier)
+    mask = composed_class_mask(universe, 1 << universe.config_id(x), sets)
+    return frozenset(universe.configurations_in_mask(mask))
 
 
 def composed_isomorphic(
@@ -104,10 +157,11 @@ def composed_isomorphic(
     truncated universe it is a sound under-approximation (intermediate
     computations outside the bound are not considered).
     """
-    universe.require(z)
+    z_id = universe.config_id(z)
     if not sets:
         return x == z
-    return z in composed_class(universe, x, sets)
+    mask = composed_class_mask(universe, 1 << universe.config_id(x), sets)
+    return bool(mask >> z_id & 1)
 
 
 def find_composition_witness(
@@ -121,33 +175,35 @@ def find_composition_witness(
     Returns the full list ``[y0, …, yn]`` or ``None`` when the relation
     does not hold.  Used to render paths in isomorphism diagrams.
     """
-    universe.require(x)
-    universe.require(z)
+    x_id = universe.config_id(x)
+    z_id = universe.config_id(z)
     if not sets:
         return [x] if x == z else None
 
-    # Forward BFS recording, for each layer, the set of reachable
-    # configurations; then walk backwards choosing predecessors.
-    layers: list[set[Configuration]] = [{x}]
-    for entry in sets:
-        p_set = as_process_set(entry)
-        frontier: set[Configuration] = set()
-        for configuration in layers[-1]:
-            frontier.update(universe.iso_class(configuration, p_set))
-        layers.append(frontier)
-    if z not in layers[-1]:
+    # Forward pass recording each layer's reachable classes; then walk
+    # backwards intersecting each layer's mask with the [Pi]-class of the
+    # current configuration and taking its lowest id (ids are in BFS
+    # order, so the lowest set bit is a shortest candidate).
+    layers = _frontier_class_sets(universe, 1 << x_id, sets)
+    if not universe.partition_table(sets[-1]).classes_mask(
+        layers[-1]
+    ) >> z_id & 1:
         return None
 
     witness = [z]
     current = z
     for index in range(len(sets) - 1, -1, -1):
-        p_set = as_process_set(sets[index])
-        for candidate in sorted(layers[index], key=lambda c: (len(c), repr(c))):
-            if isomorphic(candidate, current, p_set):
-                witness.append(candidate)
-                current = candidate
-                break
+        if index == 0:
+            layer_mask = 1 << x_id
         else:
-            raise AssertionError("BFS layers inconsistent with membership")
+            layer_mask = universe.partition_table(sets[index - 1]).classes_mask(
+                layers[index]
+            )
+        candidates = layer_mask & universe.iso_class_mask(current, sets[index])
+        if not candidates:
+            raise AssertionError("composition layers inconsistent with membership")
+        low = candidates & -candidates
+        current = universe.configuration_of_id(low.bit_length() - 1)
+        witness.append(current)
     witness.reverse()
     return witness

@@ -39,7 +39,7 @@ from repro.core.configuration import Configuration
 from repro.core.process import ProcessId, ProcessSetLike, as_process_set
 from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import Formula
-from repro.universe.explorer import Universe
+from repro.universe.explorer import PartitionTable, Universe
 
 StateFn = Callable[[tuple], Hashable]
 """Maps a local history (tuple of events) to an abstract state."""
@@ -142,35 +142,55 @@ class StateKnowledgeEvaluator:
         self._universe = universe
         self._abstraction = abstraction
         self._base = KnowledgeEvaluator(universe, allow_incomplete=allow_incomplete)
-        self._partitions: dict[frozenset[ProcessId], list[list[Configuration]]] = {}
+        self._tables: dict[frozenset[ProcessId], PartitionTable] = {}
 
     @property
     def universe(self) -> Universe:
         return self._universe
 
-    def partition(self, processes: ProcessSetLike) -> list[list[Configuration]]:
-        """The ``[P]_s``-classes of the universe."""
+    def partition_table(self, processes: ProcessSetLike) -> PartitionTable:
+        """The ``[P]_s``-partition on dense configuration ids.
+
+        Same :class:`~repro.universe.explorer.PartitionTable` machinery as
+        the universe's computation-based ``[P]`` partitions, keyed by
+        abstract state instead of projection — the modal layer runs on
+        class masks either way.
+        """
         p_set = as_process_set(processes)
-        cached = self._partitions.get(p_set)
-        if cached is None:
-            buckets: dict[tuple, list[Configuration]] = {}
-            for configuration in self._universe:
+        table = self._tables.get(p_set)
+        if table is None:
+            buckets: dict[tuple, list[int]] = {}
+            for config_id, configuration in enumerate(self._universe):
                 key = self._abstraction.configuration_state(configuration, p_set)
-                buckets.setdefault(key, []).append(configuration)
-            cached = list(buckets.values())
-            self._partitions[p_set] = cached
-        return cached
+                buckets.setdefault(key, []).append(config_id)
+            table = PartitionTable(len(self._universe), buckets)
+            self._tables[p_set] = table
+        return table
+
+    def partition(self, processes: ProcessSetLike) -> list[list[Configuration]]:
+        """The ``[P]_s``-classes of the universe, as configuration lists."""
+        universe = self._universe
+        return [
+            [universe.configuration_of_id(config_id) for config_id in members]
+            for members in self.partition_table(processes).members
+        ]
+
+    def knows_extension_mask(
+        self, processes: ProcessSetLike, formula: Formula
+    ) -> int:
+        """Bitmask of configurations at which ``P`` state-knows ``formula``."""
+        body = self._base.extension_mask(formula)
+        return self.partition_table(processes).contained_classes_mask(body)
 
     def knows_extension(
         self, processes: ProcessSetLike, formula: Formula
     ) -> frozenset[Configuration]:
         """Configurations at which ``P`` state-knows ``formula``."""
-        body = self._base.extension(formula)
-        satisfied: set[Configuration] = set()
-        for iso_class in self.partition(processes):
-            if all(member in body for member in iso_class):
-                satisfied.update(iso_class)
-        return frozenset(satisfied)
+        return frozenset(
+            self._universe.configurations_in_mask(
+                self.knows_extension_mask(processes, formula)
+            )
+        )
 
     def holds(
         self,
@@ -179,8 +199,10 @@ class StateKnowledgeEvaluator:
         configuration: Configuration,
     ) -> bool:
         """``(P knows_s formula) at configuration``."""
-        self._universe.require(configuration)
-        return configuration in self.knows_extension(processes, formula)
+        config_id = self._universe.config_id(configuration)
+        return bool(
+            self.knows_extension_mask(processes, formula) >> config_id & 1
+        )
 
 
 def knowledge_gap(
@@ -201,18 +223,14 @@ def knowledge_gap(
     from repro.knowledge.formula import Knows
 
     p_set = as_process_set(processes)
-    by_computation = base.extension(Knows(p_set, formula))
+    by_computation = base.extension_mask(Knows(p_set, formula))
     state_evaluator = StateKnowledgeEvaluator(universe, abstraction)
-    by_state = state_evaluator.knows_extension(p_set, formula)
-    forgotten = len(by_computation - by_state)
-    retained = len(by_computation & by_state)
-    impossible = len(by_state - by_computation)
-    neither = len(universe) - len(by_computation | by_state)
+    by_state = state_evaluator.knows_extension_mask(p_set, formula)
     return {
-        "retained": retained,
-        "forgotten": forgotten,
-        "impossible": impossible,
-        "neither": neither,
+        "retained": (by_computation & by_state).bit_count(),
+        "forgotten": (by_computation & ~by_state).bit_count(),
+        "impossible": (by_state & ~by_computation).bit_count(),
+        "neither": len(universe) - (by_computation | by_state).bit_count(),
     }
 
 
@@ -231,36 +249,35 @@ def check_state_knowledge_facts(
     evaluator = StateKnowledgeEvaluator(universe, abstraction)
     base = KnowledgeEvaluator(universe)
     p_set = as_process_set(processes)
-    body = base.extension(formula)
-    knows = evaluator.knows_extension(p_set, formula)
+    body = base.extension_mask(formula)
+    knows = evaluator.knows_extension_mask(p_set, formula)
+    table = evaluator.partition_table(p_set)
 
     results: dict[str, bool] = {}
-    results["4-veridical"] = knows <= body
+    results["4-veridical"] = knows & body == knows
     results["5-total"] = True  # extensions are total by construction
-    # Class stability: knowledge is constant on each [P]_s-class.
+    # Class stability: knowledge is constant on each [P]_s-class — every
+    # class mask lies wholly inside or wholly outside the extension.
     stable = True
-    for iso_class in evaluator.partition(p_set):
-        values = {member in knows for member in iso_class}
-        if len(values) > 1:
+    stable_negative = True
+    for index in range(table.num_classes):
+        class_mask = table.class_mask(index)
+        overlap = class_mask & knows
+        if overlap and overlap != class_mask:
             stable = False
+            stable_negative = False
+            break
     results["1-class-property"] = stable
     # Positive introspection: K b -> K K b, i.e. the class of a knowing
     # configuration lies inside the knows-extension (holds iff stable).
     results["10-positive-introspection"] = stable
     # Negative introspection likewise reduces to class stability of the
     # complement.
-    complement = frozenset(universe) - knows
-    stable_negative = True
-    for iso_class in evaluator.partition(p_set):
-        values = {member in complement for member in iso_class}
-        if len(values) > 1:
-            stable_negative = False
     results["11-negative-introspection"] = stable_negative
     # State-knowledge never exceeds computation-knowledge ([P] refines
     # [P]_s, so the universal quantifier ranges over a superset).
     from repro.knowledge.formula import Knows
 
-    results["weaker-than-computation"] = knows <= base.extension(
-        Knows(p_set, formula)
-    )
+    computation_knows = base.extension_mask(Knows(p_set, formula))
+    results["weaker-than-computation"] = knows & computation_knows == knows
     return results

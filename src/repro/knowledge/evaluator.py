@@ -176,11 +176,9 @@ class KnowledgeEvaluator:
         self, processes: frozenset[ProcessId], operand: Formula
     ) -> int:
         body = self.extension_mask(operand)
-        satisfied = 0
-        for class_mask in self._universe.class_masks(processes):
-            if class_mask & body == class_mask:
-                satisfied |= class_mask
-        return satisfied
+        return self._universe.partition_table(processes).contained_classes_mask(
+            body
+        )
 
     def _common_knowledge_mask(
         self, processes: Iterable[ProcessId], operand: Formula
@@ -189,16 +187,15 @@ class KnowledgeEvaluator:
         delete configurations whose ``[p]``-class leaks out, until stable."""
         current = self.extension_mask(operand)
         per_process = [
-            self._universe.class_masks({process})
+            self._universe.partition_table({process})
             for process in sorted(as_process_set(processes))
         ]
         changed = True
         while changed:
             changed = False
-            for class_masks in per_process:
-                for class_mask in class_masks:
-                    overlap = current & class_mask
-                    if overlap and overlap != class_mask:
-                        current &= ~class_mask
-                        changed = True
+            for table in per_process:
+                kept = table.contained_classes_mask(current)
+                if kept != current:
+                    current = kept
+                    changed = True
         return current

@@ -12,7 +12,7 @@ from collections.abc import Callable, Iterator
 from functools import cached_property
 
 from repro.core.computation import Computation
-from repro.core.configuration import Configuration
+from repro.core.configuration import Configuration, iter_prefix_configurations
 from repro.core.events import Event, InternalEvent, ReceiveEvent, SendEvent
 from repro.core.process import ProcessId
 
@@ -36,13 +36,29 @@ class SimulationTrace:
 
     @cached_property
     def final_configuration(self) -> Configuration:
-        """The ``[D]``-class of the full run."""
-        return Configuration.from_computation(self._computation)
+        """The ``[D]``-class of the full run.
+
+        Built through the interned ``_from_trusted`` fast path: the
+        histories are grouped in one pass over the trace and resolved
+        against the intern registry directly, instead of re-validating
+        (or re-interning) every intermediate prefix.
+        """
+        grouped: dict[ProcessId, list[Event]] = {}
+        for event in self._computation:
+            grouped.setdefault(event.process, []).append(event)
+        items = {
+            process: tuple(grouped[process]) for process in sorted(grouped)
+        }
+        return Configuration._intern_from_histories(items)
 
     def configurations(self) -> Iterator[Configuration]:
-        """Configurations after every prefix, shortest first."""
-        for prefix in self._computation.prefixes():
-            yield Configuration.from_computation(prefix)
+        """Configurations after every prefix, shortest first.
+
+        Incremental: O(processes) per step and no intern-registry churn,
+        where rebuilding each prefix from scratch would be quadratic in
+        the trace length.
+        """
+        return iter_prefix_configurations(self._computation)
 
     # ------------------------------------------------------------------
     # Measurements
@@ -86,9 +102,9 @@ class SimulationTrace:
         self, predicate: Callable[[Configuration], bool]
     ) -> Computation | None:
         """The shortest prefix whose configuration satisfies ``predicate``."""
-        for prefix in self._computation.prefixes():
-            if predicate(Configuration.from_computation(prefix)):
-                return prefix
+        for length, configuration in enumerate(self.configurations()):
+            if predicate(configuration):
+                return self._computation[:length]
         return None
 
     def events_by_process(self) -> dict[ProcessId, int]:

@@ -5,14 +5,21 @@ from repro.universe.builder import (
     figure_3_1_computations,
     figure_3_1_universe,
 )
-from repro.universe.explorer import EnumeratedUniverse, Universe
+from repro.universe.explorer import (
+    EnumeratedUniverse,
+    PartitionTable,
+    Universe,
+    iter_bit_ids,
+)
 from repro.universe.protocol import History, Protocol
 
 __all__ = [
     "EnumeratedUniverse",
     "History",
+    "PartitionTable",
     "Protocol",
     "Universe",
+    "iter_bit_ids",
     "configuration_from_events",
     "figure_3_1_computations",
     "figure_3_1_universe",

@@ -29,6 +29,7 @@ PERFORMANCE.md for the architecture.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from collections.abc import Iterable, Iterator, Sequence
 
@@ -42,12 +43,200 @@ ProjectionKey = tuple
 """Canonical key identifying a ``[P]``-class (see Configuration.projection)."""
 
 
+_BYTE_BITS = tuple(
+    tuple(bit for bit in range(8) if byte >> bit & 1) for byte in range(256)
+)
+"""Set-bit offsets per byte value, for O(bytes) mask iteration."""
+
+
 def iter_bit_ids(mask: int) -> Iterator[int]:
-    """The set bit positions of ``mask``, ascending (dense config ids)."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
+    """The set bit positions of ``mask``, ascending (dense config ids).
+
+    Walks the mask's little-endian bytes against a 256-entry offset
+    table: isolating bits with ``mask & -mask`` would copy the whole
+    big-int per set bit, which is quadratic on the dense masks the
+    composed-relation pipelines produce.
+    """
+    if not mask:
+        return
+    byte_bits = _BYTE_BITS
+    offset = 0
+    for byte in mask.to_bytes((mask.bit_length() + 7) >> 3, "little"):
+        if byte:
+            for bit in byte_bits[byte]:
+                yield offset + bit
+        offset += 8
+
+
+_DENSE_MASK_WORD_BUDGET = 1 << 21
+"""Dense partition tables cache one big-int mask per class; a table whose
+cached masks would exceed this many 64-bit words (16 MiB) stores member
+id-arrays instead and materialises masks on demand.  Highly fragmented
+partitions — e.g. the all-singleton ``[D]``-classes, where per-class masks
+cost ``O(classes × n/64)`` words — take the sparse representation long
+before coarse partitions do."""
+
+_COMPOSE_MEMO_LIMIT = 8192
+"""Cap on memoised class-combination masks per partition table."""
+
+
+class PartitionTable:
+    """The ``[P]``-partition of a universe on dense configuration ids.
+
+    One table answers every class-level question the isomorphism engine
+    asks:
+
+    * ``class_of[config_id]`` — the class index of a configuration;
+    * ``members[k]`` — the ids of class ``k``, ascending;
+    * ``class_mask(k)`` / ``masks()`` — classes as int bitmasks;
+    * ``compose(mask)`` — the closure of a mask under ``[P]`` in one
+      pass (the primitive behind ``[P1 … Pn]`` composition);
+    * ``contained_classes_mask(body)`` — the union of classes wholly
+      inside ``body`` (the modal step of ``knows``).
+
+    Dense tables cache all class masks; *sparse* tables (fragmented
+    partitions where per-class masks would be quadratic in memory) keep
+    only the id arrays and materialise masks transiently.
+    """
+
+    __slots__ = (
+        "size",
+        "num_classes",
+        "class_of",
+        "members",
+        "key_to_class",
+        "sparse",
+        "_masks",
+        "_compose_memo",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        buckets: dict[ProjectionKey, list[int]],
+        sparse: bool | None = None,
+    ) -> None:
+        self.size = size
+        self.num_classes = len(buckets)
+        self.key_to_class: dict[ProjectionKey, int] = {}
+        class_of = array("i", bytes(4 * size))
+        members: list[array] = []
+        for index, (key, ids) in enumerate(buckets.items()):
+            self.key_to_class[key] = index
+            row = array("i", ids)
+            members.append(row)
+            for config_id in ids:
+                class_of[config_id] = index
+        self.class_of = class_of
+        self.members = tuple(members)
+        if sparse is None:
+            words = (size + 63) >> 6
+            sparse = self.num_classes * words > _DENSE_MASK_WORD_BUDGET
+        self.sparse = sparse
+        self._masks: list[int] | None = None
+        self._compose_memo: dict[tuple[int, ...], int] = {}
+
+    # -- mask materialisation ------------------------------------------
+    def _mask_of_ids(self, ids: Sequence[int]) -> int:
+        if len(ids) == 1:
+            return 1 << ids[0]
+        bits = bytearray(((ids[-1] if ids else 0) >> 3) + 1)
+        for config_id in ids:
+            bits[config_id >> 3] |= 1 << (config_id & 7)
+        return int.from_bytes(bits, "little")
+
+    def _dense_masks(self) -> list[int]:
+        masks = self._masks
+        if masks is None:
+            masks = [self._mask_of_ids(ids) for ids in self.members]
+            self._masks = masks
+        return masks
+
+    def class_mask(self, index: int) -> int:
+        """The bitmask of class ``index`` (transient when sparse)."""
+        if self.sparse:
+            return self._mask_of_ids(self.members[index])
+        return self._dense_masks()[index]
+
+    def masks(self) -> tuple[int, ...]:
+        """All class masks, in class-index order.
+
+        Dense tables return a cached tuple; sparse tables materialise a
+        fresh one per call — prefer :attr:`class_of`/:attr:`members` or
+        :meth:`compose` on fragmented partitions.
+        """
+        if self.sparse:
+            return tuple(self._mask_of_ids(ids) for ids in self.members)
+        return tuple(self._dense_masks())
+
+    # -- relational algebra --------------------------------------------
+    def compose(self, mask: int) -> int:
+        """Close ``mask`` under ``[P]``: the union of the classes of its
+        members, each class unioned exactly once."""
+        class_of = self.class_of
+        hit = bytearray(self.num_classes)
+        touched: list[int] = []
+        for config_id in iter_bit_ids(mask):
+            index = class_of[config_id]
+            if not hit[index]:
+                hit[index] = 1
+                touched.append(index)
+        touched.sort()
+        return self._union_of(tuple(touched))
+
+    def classes_mask(self, indices: Iterable[int]) -> int:
+        """Union mask of the given classes (memoised per combination).
+
+        Composed relations repeatedly materialise the same unions of
+        final-partition classes; the memo makes each distinct combination
+        cost its ORs once.
+        """
+        return self._union_of(tuple(sorted(set(indices))))
+
+    def _union_of(self, key: tuple[int, ...]) -> int:
+        if len(key) == 1:
+            return self.class_mask(key[0])
+        if self.sparse:
+            bits = bytearray((self.size >> 3) + 1)
+            for index in key:
+                for config_id in self.members[index]:
+                    bits[config_id >> 3] |= 1 << (config_id & 7)
+            return int.from_bytes(bits, "little")
+        memo = self._compose_memo
+        result = memo.get(key)
+        if result is None:
+            masks = self._dense_masks()
+            result = 0
+            for index in key:
+                result |= masks[index]
+            if len(memo) < _COMPOSE_MEMO_LIMIT:
+                memo[key] = result
+        return result
+
+    def contained_classes_mask(self, body: int) -> int:
+        """Union of the classes wholly contained in ``body``.
+
+        This is the modal step of ``knows``: a class is kept iff every
+        member satisfies the body.
+        """
+        if self.sparse:
+            # Index the body's bytes directly: shifting the big-int per
+            # member would copy it once per bit tested.
+            body_bytes = body.to_bytes((self.size >> 3) + 1, "little")
+            bits = bytearray((self.size >> 3) + 1)
+            for ids in self.members:
+                if all(
+                    body_bytes[config_id >> 3] >> (config_id & 7) & 1
+                    for config_id in ids
+                ):
+                    for config_id in ids:
+                        bits[config_id >> 3] |= 1 << (config_id & 7)
+            return int.from_bytes(bits, "little")
+        satisfied = 0
+        for class_mask in self._dense_masks():
+            if class_mask & body == class_mask:
+                satisfied |= class_mask
+        return satisfied
 
 
 class Universe:
@@ -76,8 +265,10 @@ class Universe:
         self._config_ids: dict[Configuration, int] = {}
         self._successor_ids: list[list[int]] = []
         self._complete = True
-        self._projection_indexes: dict[
-            frozenset[ProcessId], dict[ProjectionKey, int]
+        self._partition_tables: dict[frozenset[ProcessId], PartitionTable] = {}
+        self._adjacency: dict[
+            tuple[frozenset[ProcessId], frozenset[ProcessId]],
+            tuple[tuple[int, ...], ...],
         ] = {}
         self._explore(max_configurations)
 
@@ -207,18 +398,23 @@ class Universe:
     # ------------------------------------------------------------------
     # Isomorphism machinery
     # ------------------------------------------------------------------
-    def _index_for(
-        self, processes: frozenset[ProcessId]
-    ) -> dict[ProjectionKey, int]:
-        index = self._projection_indexes.get(processes)
-        if index is None:
+    def partition_table(self, processes: ProcessSetLike) -> PartitionTable:
+        """The ``[P]``-partition of the universe as a :class:`PartitionTable`.
+
+        Tables are computed once per process set and cached; they are the
+        engine behind ``iso_class``, composed-relation pipelines, the
+        property checkers, and the knowledge evaluator.
+        """
+        p_set = as_process_set(processes)
+        table = self._partition_tables.get(p_set)
+        if table is None:
             buckets: dict[ProjectionKey, list[int]] = {}
-            if len(processes) == 1:
+            if len(p_set) == 1:
                 # Single-process classes are keyed by the history tuple
                 # itself — no projection tuple to build.  This is the hot
                 # shape: the common-knowledge fixpoint and most ``knows``
                 # queries partition by singletons.
-                (process,) = processes
+                (process,) = p_set
                 for config_id, configuration in enumerate(self._configurations):
                     key = configuration._histories.get(process, ())
                     bucket = buckets.get(key)
@@ -228,34 +424,60 @@ class Universe:
                         bucket.append(config_id)
             else:
                 for config_id, configuration in enumerate(self._configurations):
-                    key = configuration.projection(processes)
+                    key = configuration.projection(p_set)
                     bucket = buckets.get(key)
                     if bucket is None:
                         buckets[key] = [config_id]
                     else:
                         bucket.append(config_id)
-            # Materialise each class mask in one pass over a bytearray —
-            # repeated big-int ORs would copy the growing mask per member.
-            width = (len(self._configurations) + 7) >> 3
-            index = {}
-            for key, ids in buckets.items():
-                if len(ids) == 1:
-                    index[key] = 1 << ids[0]
-                    continue
-                bits = bytearray(width)
-                for config_id in ids:
-                    bits[config_id >> 3] |= 1 << (config_id & 7)
-                index[key] = int.from_bytes(bits, "little")
-            self._projection_indexes[processes] = index
-        return index
+            table = PartitionTable(len(self._configurations), buckets)
+            self._partition_tables[p_set] = table
+        return table
 
     def class_masks(self, processes: ProcessSetLike) -> tuple[int, ...]:
         """One bitmask per ``[P]``-class of the universe.
 
         The masks partition :attr:`full_mask`; order is by first
-        discovery (BFS order of the class representative).
+        discovery (BFS order of the class representative).  On sparse
+        (fragmented) partitions this materialises transiently — prefer
+        :meth:`partition_table` there.
         """
-        return tuple(self._index_for(as_process_set(processes)).values())
+        return self.partition_table(processes).masks()
+
+    def compose_masks(self, mask: int, processes: ProcessSetLike) -> int:
+        """Close ``mask`` under ``[P]`` in one pass.
+
+        Returns the union of the ``[P]``-classes of the configurations in
+        ``mask`` — the frontier step of ``[P1 … Pn]`` composition.  Each
+        touched class is unioned exactly once.
+        """
+        return self.partition_table(processes).compose(mask)
+
+    def class_adjacency(
+        self, first: ProcessSetLike, second: ProcessSetLike
+    ) -> tuple[tuple[int, ...], ...]:
+        """For each ``[P]``-class, the ``[Q]``-classes sharing a member.
+
+        Entry ``k`` lists, ascending, the class indices of
+        ``partition_table(second)`` reachable from class ``k`` of
+        ``partition_table(first)`` in one ``[Q]`` step.  This is the class
+        graph along which composed relations propagate — one O(n) pass,
+        cached per ordered pair.
+        """
+        p_set = as_process_set(first)
+        q_set = as_process_set(second)
+        cached = self._adjacency.get((p_set, q_set))
+        if cached is None:
+            first_of = self.partition_table(p_set).class_of
+            second_of = self.partition_table(q_set).class_of
+            reachable: list[set[int]] = [
+                set() for _ in range(self.partition_table(p_set).num_classes)
+            ]
+            for config_id in range(len(self._configurations)):
+                reachable[first_of[config_id]].add(second_of[config_id])
+            cached = tuple(tuple(sorted(entry)) for entry in reachable)
+            self._adjacency[(p_set, q_set)] = cached
+        return cached
 
     def iso_class_mask(
         self, configuration: Configuration, processes: ProcessSetLike
@@ -263,10 +485,21 @@ class Universe:
         """Bitmask of the ``[P]``-class of ``configuration``."""
         self.require(configuration)
         p_set = as_process_set(processes)
+        table = self.partition_table(p_set)
         if len(p_set) == 1:
             (process,) = p_set
-            return self._index_for(p_set)[configuration.history(process)]
-        return self._index_for(p_set)[configuration.projection(p_set)]
+            key: ProjectionKey = configuration.history(process)
+        else:
+            key = configuration.projection(p_set)
+        return table.class_mask(table.key_to_class[key])
+
+    def iso_class_index(
+        self, configuration: Configuration, processes: ProcessSetLike
+    ) -> int:
+        """Class index of ``configuration`` in ``partition_table(processes)``."""
+        return self.partition_table(processes).class_of[
+            self.config_id(configuration)
+        ]
 
     def iso_class(
         self, configuration: Configuration, processes: ProcessSetLike
@@ -312,6 +545,18 @@ class Universe:
         for configuration in self._configurations:
             found.update(configuration.events())
         return frozenset(found)
+
+    @property
+    def active_processes(self) -> frozenset[ProcessId]:
+        """Processes with at least one event somewhere in the universe."""
+        cached = getattr(self, "_active_processes", None)
+        if cached is None:
+            active: set[ProcessId] = set()
+            for configuration in self._configurations:
+                active.update(configuration._histories)
+            cached = frozenset(active)
+            self._active_processes = cached
+        return cached
 
 
 def _consistent_cuts_exhaustive(
@@ -422,7 +667,8 @@ class EnumeratedUniverse(Universe):
             configuration: index for index, configuration in enumerate(closure)
         }
         self._complete = True
-        self._projection_indexes = {}
+        self._partition_tables = {}
+        self._adjacency = {}
         self._processes = frozenset(processes)
         # Successors: one-event extensions within the closure.  Bucket the
         # candidates by event count so each configuration is only compared

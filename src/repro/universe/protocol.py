@@ -63,6 +63,24 @@ class Protocol(abc.ABC):
         if not self._processes:
             raise ProtocolError("a protocol needs at least one process")
         self._ordered_processes = tuple(sorted(self._processes))
+        self._prepare_step_tables()
+
+    def _prepare_step_tables(self) -> None:
+        """Set up the memo tables *before* exploration starts.
+
+        The enabling relation, per-history local steps and per-message
+        receive events are all memoised; creating the tables (and
+        resolving whether :meth:`can_receive` is overridden) eagerly in
+        ``__init__`` keeps the first BFS free of lazy-initialisation
+        branches.  Also called defensively from :meth:`enabled_events`
+        for subclasses that skip ``Protocol.__init__``.
+        """
+        self._enabled_cache: dict[Configuration, tuple[Event, ...]] = {}
+        self._local_step_cache: dict[ProcessId, dict] = {
+            process: {} for process in self._ordered_processes
+        }
+        self._receive_cache: dict[Message, ReceiveEvent] = {}
+        self._selective = type(self).can_receive is not Protocol.can_receive
 
     @property
     def processes(self) -> frozenset[ProcessId]:
@@ -121,24 +139,18 @@ class Protocol(abc.ABC):
         cacheable = len(configuration) <= _ENABLED_CACHE_MAX_EVENTS
         try:
             enabled_cache = self._enabled_cache
-        except AttributeError:
-            enabled_cache = self._enabled_cache = {}
+        except AttributeError:  # subclass that skipped Protocol.__init__
+            self._ordered_processes = tuple(sorted(self._processes))
+            self._prepare_step_tables()
+            enabled_cache = self._enabled_cache
         if cacheable:
             cached = enabled_cache.get(configuration)
             if cached is not None:
                 return cached
         enabled: list[Event] = []
         in_flight = configuration.in_flight_messages
-        try:
-            ordered = self._ordered_processes
-        except AttributeError:  # subclass that skipped Protocol.__init__
-            ordered = self._ordered_processes = tuple(sorted(self._processes))
-        try:
-            step_cache = self._local_step_cache
-        except AttributeError:
-            step_cache = self._local_step_cache = {
-                process: {} for process in ordered
-            }
+        ordered = self._ordered_processes
+        step_cache = self._local_step_cache
         history_of = configuration.histories.get
         for process in ordered:
             history = history_of(process, ())
@@ -165,9 +177,12 @@ class Protocol(abc.ABC):
         if in_flight:
             pending = sorted(in_flight) if len(in_flight) > 1 else in_flight
             # Protocols that keep the always-willing default skip the
-            # per-message can_receive call entirely.
-            selective = type(self).can_receive is not Protocol.can_receive
+            # per-message can_receive call entirely; receive events are
+            # memoised per message (the same in-flight message is offered
+            # along every interleaving it is pending in).
+            selective = self._selective
             processes = self._processes
+            receive_cache = self._receive_cache
             for message in pending:
                 receiver = message.receiver
                 if receiver not in processes:
@@ -175,7 +190,11 @@ class Protocol(abc.ABC):
                 if not selective or self.can_receive(
                     receiver, history_of(receiver, ()), message
                 ):
-                    enabled.append(receive(message))
+                    event = receive_cache.get(message)
+                    if event is None:
+                        event = receive(message)
+                        receive_cache[message] = event
+                    enabled.append(event)
         result = tuple(enabled)
         if cacheable and len(enabled_cache) < _ENABLED_CACHE_MAX_ENTRIES:
             enabled_cache[configuration] = result

@@ -58,25 +58,26 @@ class TestCommands:
     def test_bench_writes_trajectory_file(self, capsys, tmp_path, monkeypatch):
         import json
 
-        # Shrink the workload: one repeat, output into a temp directory.
+        # Shrink the workload: quick mode, output into a temp directory.
         assert main(
-            ["bench", "--repeats", "1", "--output-dir", str(tmp_path)]
+            ["bench", "--quick", "--output-dir", str(tmp_path)]
         ) == 0
         output = capsys.readouterr().out
-        assert "universe_star_broadcast_n6" in output
+        assert "universe_star_broadcast_n3" in output
         written = list(tmp_path.glob("BENCH_*.json"))
         assert len(written) == 1
         document = json.loads(written[0].read_text())
         assert document["repeats"] == 1
+        assert document["mode"] == "quick"
         benchmarks = document["benchmarks"]
-        assert "evaluator_star_broadcast_n6" in benchmarks
-        assert benchmarks["universe_star_broadcast_n6"]["configurations"] == 6332
+        assert "evaluator_star_broadcast_n3" in benchmarks
+        assert "iso_composed_class_star_n3" in benchmarks
 
     def test_bench_no_write(self, capsys, tmp_path):
         import os
 
         before = set(os.listdir(tmp_path))
-        assert main(["bench", "--repeats", "1", "--no-write",
+        assert main(["bench", "--quick", "--check", "--no-write",
                      "--output-dir", str(tmp_path)]) == 0
         assert "benchmark" in capsys.readouterr().out
         assert set(os.listdir(tmp_path)) == before

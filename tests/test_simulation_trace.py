@@ -70,3 +70,55 @@ class TestSearching:
         assert trace.final_configuration == Configuration.from_computation(
             trace.computation
         )
+
+
+class TestRegistryChurn:
+    def long_trace(self, hops=400):
+        from repro.protocols.token_bus import TokenBusProtocol
+
+        return simulate(TokenBusProtocol(max_hops=hops), RandomScheduler(0))
+
+    def test_configurations_do_not_churn_the_registry(self):
+        """Iterating a long trace's per-step configurations must not
+        intern the throwaway prefixes (10^5-step traces would flood the
+        weak registry with dying entries)."""
+        from repro.core.configuration import registry_size
+
+        trace = self.long_trace()
+        before = registry_size()
+        tail = None
+        for configuration in trace.configurations():
+            tail = configuration
+        assert registry_size() == before
+        assert tail == Configuration.from_computation(trace.computation)
+
+    def test_final_configuration_interns_once(self):
+        from repro.core.configuration import registry_size
+
+        trace = self.long_trace()
+        before = registry_size()
+        final = trace.final_configuration
+        assert registry_size() <= before + 1
+        # The fast-path hash must agree exactly with the lazy public one.
+        rebuilt = Configuration.from_computation(trace.computation)
+        assert final == rebuilt and hash(final) == hash(rebuilt)
+        # And a second build resolves to the same interned object.
+        histories = {
+            process: rebuilt.history(process) for process in rebuilt.processes
+        }
+        assert Configuration._intern_from_histories(
+            dict(sorted(histories.items()))
+        ) is final
+
+    def test_prefix_configurations_hash_like_public_ones(self):
+        trace = pingpong_trace(rounds=2)
+        for configuration in trace.configurations():
+            rebuilt = Configuration(
+                {
+                    process: configuration.history(process)
+                    for process in configuration.processes
+                }
+            )
+            assert configuration == rebuilt
+            assert hash(configuration) == hash(rebuilt)
+            assert len(configuration) == len(rebuilt)

@@ -1,0 +1,145 @@
+"""Partition tables: dense/sparse representations and mask algebra."""
+
+import pytest
+
+from repro.protocols.broadcast import BroadcastProtocol, star_topology
+from repro.universe.explorer import PartitionTable, Universe, iter_bit_ids
+
+
+@pytest.fixture(scope="module")
+def star_universe() -> Universe:
+    return Universe(
+        BroadcastProtocol(star_topology("hub", ("x", "y", "z")), "hub")
+    )
+
+
+def sparse_twin(table: PartitionTable) -> PartitionTable:
+    """The same partition, forced onto the sparse representation."""
+    buckets = {
+        index: list(members) for index, members in enumerate(table.members)
+    }
+    return PartitionTable(table.size, buckets, sparse=True)
+
+
+class TestIterBitIds:
+    def test_matches_naive_iteration(self):
+        for mask in (0, 1, 0b1010, (1 << 200) | (1 << 3), (1 << 500) - 1):
+            naive = [index for index in range(mask.bit_length()) if mask >> index & 1]
+            assert list(iter_bit_ids(mask)) == naive
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("processes", [{"hub"}, {"x"}, {"hub", "x"}, set()])
+    def test_masks_partition_the_universe(self, star_universe, processes):
+        table = star_universe.partition_table(frozenset(processes))
+        union = 0
+        for mask in table.masks():
+            assert union & mask == 0
+            union |= mask
+        assert union == star_universe.full_mask
+
+    def test_class_of_agrees_with_masks(self, star_universe):
+        table = star_universe.partition_table(frozenset({"hub"}))
+        for index, mask in enumerate(table.masks()):
+            for config_id in iter_bit_ids(mask):
+                assert table.class_of[config_id] == index
+
+    def test_members_ascending_and_complete(self, star_universe):
+        table = star_universe.partition_table(frozenset({"x", "y"}))
+        seen = set()
+        for members in table.members:
+            assert list(members) == sorted(members)
+            seen.update(members)
+        assert seen == set(range(len(star_universe)))
+
+    def test_iso_class_index_matches_class_of(self, star_universe):
+        for configuration in star_universe:
+            index = star_universe.iso_class_index(configuration, {"hub"})
+            config_id = star_universe.config_id(configuration)
+            table = star_universe.partition_table(frozenset({"hub"}))
+            assert table.class_of[config_id] == index
+
+
+class TestSparseRepresentation:
+    def test_sparse_masks_equal_dense(self, star_universe):
+        dense = star_universe.partition_table(frozenset({"hub"}))
+        sparse = sparse_twin(dense)
+        assert sparse.sparse and not dense.sparse
+        assert sparse.masks() == dense.masks()
+        for index in range(dense.num_classes):
+            assert sparse.class_mask(index) == dense.class_mask(index)
+
+    def test_sparse_compose_equals_dense(self, star_universe):
+        dense = star_universe.partition_table(frozenset({"x"}))
+        sparse = sparse_twin(dense)
+        probes = [1, star_universe.full_mask, (1 << 40) - 1 & star_universe.full_mask]
+        for mask in probes:
+            assert sparse.compose(mask) == dense.compose(mask)
+
+    def test_sparse_contained_classes_equals_dense(self, star_universe):
+        dense = star_universe.partition_table(frozenset({"y"}))
+        sparse = sparse_twin(dense)
+        probes = [0, star_universe.full_mask, dense.class_mask(0), 0b1011]
+        for body in probes:
+            assert sparse.contained_classes_mask(
+                body
+            ) == dense.contained_classes_mask(body)
+
+    def test_fragmented_partition_goes_sparse_past_budget(self, star_universe):
+        # The [D]-partition is all singletons; with a tiny budget it must
+        # pick the sparse representation and still answer identically.
+        import repro.universe.explorer as explorer
+
+        buckets = {index: [index] for index in range(len(star_universe))}
+        dense = PartitionTable(len(star_universe), buckets, sparse=False)
+        auto = PartitionTable(len(star_universe), buckets)
+        assert auto.sparse == (
+            auto.num_classes * ((auto.size + 63) >> 6)
+            > explorer._DENSE_MASK_WORD_BUDGET
+        )
+        forced = PartitionTable(len(star_universe), buckets, sparse=True)
+        assert forced.compose(0b101) == dense.compose(0b101) == 0b101
+        assert forced.masks() == dense.masks()
+
+
+class TestCompose:
+    def test_compose_is_union_of_touched_classes(self, star_universe):
+        table = star_universe.partition_table(frozenset({"hub"}))
+        for configuration in list(star_universe)[::7]:
+            config_id = star_universe.config_id(configuration)
+            composed = star_universe.compose_masks(1 << config_id, {"hub"})
+            assert composed == star_universe.iso_class_mask(
+                configuration, {"hub"}
+            )
+            assert table.compose(composed) == composed  # idempotent
+
+    def test_compose_unions_each_class_once(self, star_universe):
+        full = star_universe.compose_masks(star_universe.full_mask, {"x"})
+        assert full == star_universe.full_mask
+
+    def test_classes_mask_memoises_combinations(self, star_universe):
+        table = star_universe.partition_table(frozenset({"hub"}))
+        indices = frozenset(range(min(3, table.num_classes)))
+        first = table.classes_mask(indices)
+        second = table.classes_mask(sorted(indices))
+        assert first == second
+        expected = 0
+        for index in indices:
+            expected |= table.class_mask(index)
+        assert first == expected
+
+
+class TestClassAdjacency:
+    def test_adjacency_lists_reachable_classes(self, star_universe):
+        first = frozenset({"hub"})
+        second = frozenset({"x"})
+        adjacency = star_universe.class_adjacency(first, second)
+        first_table = star_universe.partition_table(first)
+        second_table = star_universe.partition_table(second)
+        for index, reachable in enumerate(adjacency):
+            expected = {
+                second_table.class_of[config_id]
+                for config_id in first_table.members[index]
+            }
+            assert set(reachable) == expected
+            assert list(reachable) == sorted(reachable)
