@@ -22,7 +22,13 @@ Usage::
     python -m repro.cli bench                # writes BENCH_<date>.json here
     python -m repro.cli bench --repeats 7 --output-dir benchmarks/results
     python -m repro.cli bench --quick --check --no-write   # smoke mode
+    python -m repro.cli bench --suite exploration-scale --budget 300
     python benchmarks/run_bench.py           # same, as a standalone script
+
+The ``exploration-scale`` suite measures the frontier kernel at scale
+(star n=7/n=8, tree/ring depth targets, streaming truncation, the n=7
+property sweep) against the recorded PR-2 engine (``PR2_BASELINE``);
+``--budget`` is its wall-clock tripwire.
 """
 
 from __future__ import annotations
@@ -46,7 +52,12 @@ from repro.isomorphism.relation import (
 )
 from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import Atom, CommonKnowledge, Knows
-from repro.protocols.broadcast import BroadcastProtocol, star_topology
+from repro.protocols.broadcast import (
+    BroadcastProtocol,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
 from repro.protocols.leader_election import ChangRobertsProtocol
 from repro.protocols.pingpong import PingPongProtocol
 from repro.protocols.token_bus import TokenBusProtocol
@@ -68,9 +79,47 @@ controlled before/after pair rather than numbers from different noise
 windows."""
 
 
+PR2_BASELINE = {
+    "universe_star_broadcast_n7": {"first": 2.106, "steady": 0.556},
+    "universe_star_broadcast_n8": {"first": 55.924, "steady": 29.164},
+    "universe_tree_broadcast_d3": {"first": 15.360, "steady": 9.942},
+    "universe_ring_broadcast_n8": {"first": 0.6505, "steady": 0.0015},
+    "iso_properties_star_n7": {"first": 18.196},
+}
+"""Wall times of the pre-kernel engine (PR 2, commit 466473e) for the
+exploration-scale suite — measured back-to-back with the compiled-table /
+CSR kernel on the same machine under identical load immediately before
+the kernel landed, so ``speedup_vs_pr2`` is a controlled before/after
+pair (same protocols, same sizes, same measurement discipline as the
+PR 1/PR 2 pairs)."""
+
+
 class BenchCheckFailure(RuntimeError):
     """Raised by ``--check`` when the mask engine disagrees with the
     object-level reference oracles."""
+
+
+class BenchBudgetExceeded(RuntimeError):
+    """Raised by ``--budget`` when the suite overruns its wall-clock
+    allowance — the perf-regression tripwire of the scale suite."""
+
+
+class _BudgetGuard:
+    """Wall-clock guard checked between benchmarks (``--budget``)."""
+
+    def __init__(self, seconds: float | None) -> None:
+        self.seconds = seconds
+        self.start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start
+
+    def check(self, label: str) -> None:
+        if self.seconds is not None and self.elapsed() > self.seconds:
+            raise BenchBudgetExceeded(
+                f"wall-clock budget of {self.seconds}s exceeded after "
+                f"{self.elapsed():.1f}s (at {label})"
+            )
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -185,20 +234,37 @@ def run_cross_checks() -> list[str]:
     return checked
 
 
-def run_benchmarks(repeats: int = 5, quick: bool = False, check: bool = False) -> dict:
-    """Run every benchmark; returns the result document (JSON-ready).
+def run_benchmarks(
+    repeats: int = 5,
+    quick: bool = False,
+    check: bool = False,
+    suite: str = "core",
+    budget: float | None = None,
+) -> dict:
+    """Run a benchmark suite; returns the result document (JSON-ready).
 
-    ``quick`` restricts to small universes with ``repeats=1`` (the smoke
-    mode); ``check`` runs the mask-vs-reference cross-validation first and
-    raises :class:`BenchCheckFailure` on any disagreement.
+    ``suite`` selects the workload: ``"core"`` is the PR-1/PR-2
+    trajectory set; ``"exploration-scale"`` is the frontier-kernel scale
+    suite (star n=7/n=8, tree/ring depth targets, streaming truncation,
+    and the n=7 property sweep), paired against the recorded PR-2
+    engine via :data:`PR2_BASELINE`.  ``quick`` restricts either suite
+    to small universes with ``repeats=1`` (the smoke mode); ``check``
+    runs the mask-vs-reference cross-validation first and raises
+    :class:`BenchCheckFailure` on any disagreement; ``budget`` is a
+    wall-clock allowance in seconds enforced between benchmarks
+    (:class:`BenchBudgetExceeded`).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if suite not in ("core", "exploration-scale"):
+        raise ValueError(f"unknown suite {suite!r}")
     if quick:
         repeats = 1
+    guard = _BudgetGuard(budget)
     checked: list[str] = []
     if check:
         checked = run_cross_checks()
+        guard.check("cross-checks")
     results: dict[str, dict] = {}
 
     def record(name: str, seconds: float, **extra) -> None:
@@ -207,7 +273,21 @@ def run_benchmarks(repeats: int = 5, quick: bool = False, check: bool = False) -
         if baseline is not None:
             entry["seed_seconds"] = baseline
             entry["speedup_vs_seed"] = round(baseline / seconds, 2)
+        pr2 = PR2_BASELINE.get(name)
+        if pr2 is not None:
+            entry["pr2_seconds"] = pr2
+            # Scale benchmarks headline the cold run (universes are built
+            # once), so the controlled pairing is cold-vs-cold, with the
+            # warm re-exploration paired separately when both exist.
+            if pr2.get("first"):
+                entry["speedup_vs_pr2"] = round(pr2["first"] / seconds, 2)
+            steady = entry.get("steady_seconds")
+            if steady and pr2.get("steady"):
+                entry["steady_speedup_vs_pr2"] = round(
+                    pr2["steady"] / steady, 2
+                )
         results[name] = entry
+        guard.check(name)
 
     def record_paired(
         name: str, seconds: float, object_seconds: float, **extra
@@ -224,21 +304,31 @@ def run_benchmarks(repeats: int = 5, quick: bool = False, check: bool = False) -
 
     # --- universe construction -----------------------------------------
     # The first construction of each protocol runs against cold caches
-    # (empty intern registry entries, cold local-step memo) and is
-    # recorded as first_seconds; best_seconds is the steady state over
-    # the remaining repeats, the regime of repeated exploration.
-    def timed_universe(protocol) -> tuple[Universe, float]:
+    # (cold compiled step tables, cold receive memos) and is recorded as
+    # first_seconds; best_seconds is the best over the remaining repeats.
+    # The compiled-table build time is reported separately
+    # (table_build_seconds) so the remaining cold-start gap is
+    # attributable to BFS work rather than interpreted protocol logic.
+    def timed_universe(protocol, **kwargs) -> tuple[Universe, float]:
         start = time.perf_counter()
-        universe = Universe(protocol)
+        universe = Universe(protocol, **kwargs)
         return universe, time.perf_counter() - start
 
-    def universe_benchmark(name: str, protocol, explore_repeats: int) -> Universe:
-        universe, first = timed_universe(protocol)
+    def universe_benchmark(
+        name: str, protocol, explore_repeats: int, **kwargs
+    ) -> Universe:
+        universe, first = timed_universe(protocol, **kwargs)
+        # Round once, derive the split from the rounded values so the
+        # reported identity first == table_build + bfs_first is exact.
+        first_rounded = round(first, 6)
+        table_build = round(protocol.step_table.build_seconds, 6)
         record(
             name,
-            _best_of(lambda: Universe(protocol), explore_repeats),
+            _best_of(lambda: Universe(protocol, **kwargs), explore_repeats),
             configurations=len(universe),
-            first_seconds=round(first, 6),
+            first_seconds=first_rounded,
+            table_build_seconds=table_build,
+            bfs_first_seconds=round(first_rounded - table_build, 6),
         )
         return universe
 
@@ -271,7 +361,145 @@ def run_benchmarks(repeats: int = 5, quick: bool = False, check: bool = False) -
             chain_length=len(chain),
         )
 
-    if quick:
+    def properties_benchmark(
+        name: str, universe: Universe, max_sets: int, sweep_repeats: int
+    ) -> None:
+        verdicts: dict[str, bool] = {}
+
+        def sweep() -> None:
+            verdicts.update(check_all_properties(universe, max_sets=max_sets))
+
+        record(
+            name,
+            _best_of(sweep, sweep_repeats),
+            configurations=len(universe),
+            max_sets=max_sets,
+            all_hold=all(verdicts.values()),
+            repeats_used=sweep_repeats,
+        )
+
+    def scale_universe_benchmark(
+        name: str, protocol, steady_repeats: int, **kwargs
+    ) -> None:
+        """Cold-first measurement for the exploration-scale suite.
+
+        Exploration is a build-once operation, so ``best_seconds`` is the
+        *cold* first exploration (fresh protocol instance, cold compiled
+        tables).  ``steady_seconds`` re-explores with the first universe
+        released — holding two 10^6-configuration universes at once would
+        measure memory pressure, not the kernel.
+        """
+        universe, first = timed_universe(protocol, **kwargs)
+        first_rounded = round(first, 6)
+        table_build = round(protocol.step_table.build_seconds, 6)
+        size = len(universe)
+        del universe
+        steady = _best_of(
+            lambda: Universe(protocol, **kwargs), steady_repeats
+        )
+        record(
+            name,
+            first,
+            configurations=size,
+            first_seconds=first_rounded,
+            steady_seconds=round(steady, 6),
+            table_build_seconds=table_build,
+            bfs_first_seconds=round(first_rounded - table_build, 6),
+        )
+
+    def truncated_benchmark(name: str, protocol, cap: int) -> None:
+        """Streaming mode at scale: a capped universe must stay usable."""
+        start = time.perf_counter()
+        universe = Universe(
+            protocol, max_configurations=cap, on_limit="truncate"
+        )
+        seconds = time.perf_counter() - start
+        assert not universe.is_complete and len(universe) == cap
+        universe.partition_table(next(iter(universe.processes)))
+        record(
+            name,
+            seconds,
+            configurations=len(universe),
+            complete=universe.is_complete,
+            max_configurations=cap,
+            repeats_used=1,
+        )
+
+    if suite == "exploration-scale":
+        # The frontier-kernel scale suite: exploration is the benchmark.
+        # Fresh protocol instances per entry keep first_seconds honest
+        # (cold compiled tables); PR2_BASELINE pairs the full-size runs
+        # against the recorded pre-kernel engine.
+        if quick:
+            scale_universe_benchmark(
+                "universe_star_broadcast_n5",
+                _star_protocol(("w", "x", "y", "z")),
+                repeats,
+            )
+            scale_universe_benchmark(
+                "universe_tree_broadcast_d2",
+                BroadcastProtocol(
+                    tree_topology(tuple(f"t{i}" for i in range(7))), "t0"
+                ),
+                repeats,
+            )
+            scale_universe_benchmark(
+                "universe_ring_broadcast_n5",
+                BroadcastProtocol(
+                    ring_topology(tuple(f"r{i}" for i in range(5))), "r0"
+                ),
+                repeats,
+            )
+            truncated_benchmark(
+                "universe_star_broadcast_n5_truncated",
+                _star_protocol(("w", "x", "y", "z")),
+                cap=200,
+            )
+            properties_benchmark(
+                "iso_properties_star_n4",
+                Universe(_star_protocol(("x", "y", "z"))),
+                max_sets=4,
+                sweep_repeats=repeats,
+            )
+        else:
+            scale_universe_benchmark(
+                "universe_star_broadcast_n7",
+                _star_protocol(("u", "v", "w", "x", "y", "z")),
+                min(repeats, 2),
+            )
+            scale_universe_benchmark(
+                "universe_star_broadcast_n8",
+                _star_protocol(("t", "u", "v", "w", "x", "y", "z")),
+                1,
+                max_configurations=None,
+            )
+            scale_universe_benchmark(
+                "universe_tree_broadcast_d3",
+                BroadcastProtocol(
+                    tree_topology(tuple(f"t{i}" for i in range(15))), "t0"
+                ),
+                1,
+                max_configurations=None,
+            )
+            scale_universe_benchmark(
+                "universe_ring_broadcast_n8",
+                BroadcastProtocol(
+                    ring_topology(tuple(f"r{i}" for i in range(8))), "r0"
+                ),
+                repeats,
+            )
+            truncated_benchmark(
+                "universe_star_broadcast_n8_truncated_500k",
+                _star_protocol(("t", "u", "v", "w", "x", "y", "z")),
+                cap=500_000,
+            )
+            properties_benchmark(
+                "iso_properties_star_n7",
+                Universe(_star_protocol(("u", "v", "w", "x", "y", "z"))),
+                max_sets=8,
+                sweep_repeats=1,
+            )
+    elif quick:
         universe_small = universe_benchmark(
             "universe_star_broadcast_n3", _star_protocol(("x", "y")), repeats
         )
@@ -421,28 +649,48 @@ def run_benchmarks(repeats: int = 5, quick: bool = False, check: bool = False) -
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeats": repeats,
+        "suite": suite,
         "mode": "quick" if quick else "full",
         "measurement": (
-            "best_seconds = min wall time over repeats (steady state: intern "
-            "registry and protocol caches warm); first_seconds = first "
-            "construction in this process (cold caches); speedup_vs_seed "
+            "best_seconds = min wall time over repeats (steady state: "
+            "protocol caches warm) — EXCEPT exploration-scale universe "
+            "entries, where best_seconds is the cold first exploration "
+            "(universes are build-once; steady_seconds is the best warm "
+            "re-exploration with the first universe released); "
+            "first_seconds = first construction in this process (cold "
+            "caches); speedup_vs_seed "
             "compares best_seconds against the pre-bitset seed's best; "
             "object_seconds times the retained object-level reference "
             "implementation once in the same run (speedup_vs_object is the "
-            "controlled mask-vs-object pairing)"
+            "controlled mask-vs-object pairing); table_build_seconds is the "
+            "wall time spent compiling protocol step tables during the first "
+            "exploration (bfs_first_seconds = first_seconds minus it); "
+            "pr2_seconds / speedup_vs_pr2 pair scale benchmarks against the "
+            "pre-kernel PR-2 engine measured back-to-back on this machine"
         ),
         "benchmarks": results,
     }
+    if budget is not None:
+        document["budget_seconds"] = budget
+        document["elapsed_seconds"] = round(guard.elapsed(), 3)
     if check:
         document["cross_checked"] = checked
     return document
 
 
 def write_trajectory(document: dict, output_dir: str | Path = ".") -> Path:
-    """Write ``BENCH_<date>.json`` into ``output_dir`` and return the path."""
+    """Write ``BENCH_<date>.json`` into ``output_dir`` and return the path.
+
+    Never clobbers an existing trajectory file (two PRs can land the same
+    day): on a name collision the file gets a ``-2``, ``-3``, … suffix.
+    """
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{document['date']}.json"
+    serial = 2
+    while path.exists():
+        path = directory / f"BENCH_{document['date']}-{serial}.json"
+        serial += 1
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -473,15 +721,22 @@ def run_and_report(
     no_write: bool = False,
     quick: bool = False,
     check: bool = False,
+    suite: str = "core",
+    budget: float | None = None,
 ) -> int:
     """Run the benchmarks, print the summary, optionally write the
     trajectory file.  Shared by ``repro bench`` and ``run_bench.py``."""
     if repeats < 1:
         raise SystemExit(f"repro bench: --repeats must be >= 1, got {repeats}")
     try:
-        document = run_benchmarks(repeats=repeats, quick=quick, check=check)
+        document = run_benchmarks(
+            repeats=repeats, quick=quick, check=check, suite=suite, budget=budget
+        )
     except BenchCheckFailure as failure:
         print(f"repro bench --check FAILED: {failure}")
+        return 1
+    except BenchBudgetExceeded as overrun:
+        print(f"repro bench --budget FAILED: {overrun}")
         return 1
     print_summary(document)
     if not no_write:
@@ -513,6 +768,22 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="cross-validate the mask engine against the object-level "
         "reference oracles before timing; non-zero exit on mismatch",
     )
+    parser.add_argument(
+        "--suite",
+        choices=("core", "exploration-scale"),
+        default="core",
+        help="benchmark suite: 'core' (PR-1/PR-2 trajectory set) or "
+        "'exploration-scale' (star n=7/n=8, tree/ring depth targets, "
+        "streaming truncation, n=7 property sweep)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock allowance for the whole run, checked between "
+        "benchmarks; non-zero exit on overrun",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -529,6 +800,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         no_write=args.no_write,
         quick=args.quick,
         check=args.check,
+        suite=args.suite,
+        budget=args.budget,
     )
 
 

@@ -160,6 +160,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         no_write=args.no_write,
         quick=args.quick,
         check=args.check,
+        suite=args.suite,
+        budget=args.budget,
     )
 
 

@@ -146,24 +146,24 @@ class Configuration:
         cls,
         items: dict[ProcessId, tuple[Event, ...]],
         content_hash: int,
-        entry_hashes: dict[ProcessId, int],
+        entry_hashes: Optional[dict[ProcessId, int]],
     ) -> "Configuration":
-        """No-validate constructor for the ``extend`` fast path.
+        """No-validate constructor for the trusted fast paths.
 
         ``items`` must already be normalised: sorted keys, nonempty
         tuple histories, every event filed under its own process.
-        ``content_hash`` must equal the modular sum of ``entry_hashes``,
-        which must equal :func:`_entry_hash` per entry (the same values
-        :meth:`__hash__` computes lazily).
+        ``content_hash`` must equal the modular sum of the per-entry
+        rolling hashes (the same values :meth:`__hash__` computes
+        lazily).  ``entry_hashes`` may be ``None``: the exploration
+        kernel keeps rolling hashes in its own history-keyed memo
+        instead of copying a dict per child, and the instance recomputes
+        the map lazily if it is ever extended again.
         """
         configuration = object.__new__(cls)
         configuration._histories = items
         configuration._hash = content_hash
         configuration._entry_hashes = entry_hashes
         configuration._length = None
-        # Pre-seed the cached read-only view: every explored configuration
-        # is asked for its histories at least once (enabled_events).
-        configuration.__dict__["histories"] = MappingProxyType(items)
         return configuration
 
     @classmethod
@@ -336,18 +336,17 @@ class Configuration:
                 return False
         return True
 
-    def extend(self, event: Event) -> "Configuration":
-        """The configuration with ``event`` appended to its process.
+    def _extension_parts(self, event: Event) -> tuple[tuple[Event, ...], int, int]:
+        """``(new_history, content_hash, new_entry)`` of ``extend(event)``.
 
-        This is the exploration hot path: the result is built without
-        re-validation or re-sorting, its hash is derived incrementally
-        from this configuration's hash, and structurally equal results are
-        interned so repeated discoveries return the same object.
+        Derives the child's content hash from this configuration's cached
+        hash with one modular multiply-add — O(1), no child construction.
+        Exploration kernels use the hash to dedup against their own id
+        tables before deciding whether to build anything; ``new_history``
+        has the parent history as a prefix, so ``len(new_history) == 1``
+        tells builders the process is new to the configuration.
         """
         process = event.process
-        parent_histories = self._histories
-        old_history = parent_histories.get(process, ())
-        new_history = old_history + (event,)
         entry_hashes = self._entry_hashes
         if entry_hashes is None:
             entry_hashes = self._entry_hash_map()
@@ -360,39 +359,56 @@ class Configuration:
             event_hash = hash(event)
         old_entry = entry_hashes.get(process)
         if old_entry is None:
+            new_history: tuple[Event, ...] = (event,)
             new_entry = (
                 (hash(process) % _HASH_MODULUS) * _ROLL_MULTIPLIER + event_hash
             ) % _HASH_MODULUS
             content_hash = (parent_hash + new_entry) % _HASH_MODULUS
         else:
+            new_history = self._histories[process] + (event,)
             new_entry = (old_entry * _ROLL_MULTIPLIER + event_hash) % _HASH_MODULUS
             content_hash = (parent_hash - old_entry + new_entry) % _HASH_MODULUS
+        return new_history, content_hash, new_entry
 
-        # Duplicate discovery (the common case in diamond-shaped state
-        # spaces) resolves against the registry with O(|P|) pointer
-        # comparisons and no allocation.
-        bucket = _REGISTRY.get(content_hash)
-        if bucket is not None:
-            for reference in bucket:
-                candidate = reference()
-                if candidate is None:
-                    continue
-                candidate_histories = candidate._histories
-                if candidate_histories.get(process) != new_history:
-                    continue
-                if len(candidate_histories) != len(parent_histories) + (
-                    1 if old_entry is None else 0
-                ):
-                    continue
-                for existing, history in parent_histories.items():
-                    if existing != process:
-                        other = candidate_histories.get(existing)
-                        if other is not history and other != history:
-                            break
-                else:
-                    return candidate
+    def _matches_extension(
+        self,
+        candidate: "Configuration",
+        process: ProcessId,
+        new_history: tuple[Event, ...],
+    ) -> bool:
+        """True iff ``candidate == self.extend(event)``, without building
+        the child — O(|P|) pointer comparisons against the parent."""
+        candidate_histories = candidate._histories
+        if candidate_histories.get(process) != new_history:
+            return False
+        parent_histories = self._histories
+        if len(candidate_histories) != len(parent_histories) + (
+            1 if len(new_history) == 1 else 0
+        ):
+            return False
+        for existing, history in parent_histories.items():
+            if existing != process:
+                other = candidate_histories.get(existing)
+                if other is not history and other != history:
+                    return False
+        return True
 
-        if old_history:
+    def _build_extension(
+        self,
+        event: Event,
+        new_history: tuple[Event, ...],
+        content_hash: int,
+        new_entry: int,
+    ) -> "Configuration":
+        """Construct the child described by :meth:`_extension_parts`.
+
+        Trusted path: no validation, no re-sorting, no registry.  Must be
+        called with the values ``_extension_parts(event)`` returned (which
+        also guarantees ``_entry_hashes`` is populated).
+        """
+        process = event.process
+        parent_histories = self._histories
+        if len(new_history) > 1:
             items = dict(parent_histories)
             items[process] = new_history  # same key: position preserved
         else:
@@ -407,14 +423,53 @@ class Configuration:
             if not placed:
                 items[process] = new_history
 
-        child_entry_hashes = dict(entry_hashes)
+        child_entry_hashes = dict(self._entry_hashes)
         child_entry_hashes[process] = new_entry
         child = Configuration._from_trusted(items, content_hash, child_entry_hashes)
         if self._length is not None:
             child._length = self._length + 1
         self._propagate_caches(child, event)
+        return child
+
+    def extend(self, event: Event) -> "Configuration":
+        """The configuration with ``event`` appended to its process.
+
+        The result is built without re-validation or re-sorting, its hash
+        is derived incrementally from this configuration's hash, and
+        structurally equal results are interned so repeated discoveries
+        return the same object.  (The exhaustive-exploration kernel no
+        longer routes through here — it dedups against its own dense id
+        table via :meth:`_extension_parts`; see
+        :mod:`repro.universe.explorer`.)
+        """
+        new_history, content_hash, new_entry = self._extension_parts(event)
+        process = event.process
+        # Duplicate discovery resolves against the registry with O(|P|)
+        # pointer comparisons and no allocation.
+        bucket = _REGISTRY.get(content_hash)
+        if bucket is not None:
+            for reference in bucket:
+                candidate = reference()
+                if candidate is not None and self._matches_extension(
+                    candidate, process, new_history
+                ):
+                    return candidate
+        child = self._build_extension(event, new_history, content_hash, new_entry)
         _registry_insert(content_hash, child)
         return child
+
+    def extend_unregistered(self, event: Event) -> "Configuration":
+        """Like :meth:`extend`, but never touches the intern registry.
+
+        For driver loops that extend along one path and discard (or
+        privately index) the intermediates — the simulator's step loop and
+        the exploration kernel — where interning each child would cycle
+        the weak registry once per step for no dedup benefit.  The result
+        hashes and compares exactly like an interned configuration, it is
+        just never the canonical instance.
+        """
+        new_history, content_hash, new_entry = self._extension_parts(event)
+        return self._build_extension(event, new_history, content_hash, new_entry)
 
     def _propagate_caches(self, child: "Configuration", event: Event) -> None:
         """Derive the child's message-set caches from this configuration's.

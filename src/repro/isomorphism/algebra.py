@@ -25,11 +25,10 @@ tests assert both agree verdict-for-verdict.
 from __future__ import annotations
 
 import itertools
-from array import array
 
 from repro.core.process import ProcessSetLike, as_process_set
 from repro.isomorphism.relation import SetSequence, fold_classes
-from repro.universe.explorer import PartitionTable, Universe, iter_bit_ids
+from repro.universe.explorer import PartitionTable, Universe
 
 
 def normalise_sequence(sets: SetSequence) -> tuple[frozenset, ...]:
@@ -96,13 +95,40 @@ def _materialise_frontiers(
     return results
 
 
+def _composed_is_identity(universe: Universe, sets: list[frozenset]) -> bool:
+    """``[P1 … Pn]`` equals the identity relation over the universe.
+
+    The composed image of ``x`` always contains the whole base class of
+    ``x``, so the relation is the identity iff every base class is a
+    singleton whose frontier is a single singleton final class holding
+    the same configuration — checked per class, no masks, no O(n) pass.
+    """
+    base, final, frontiers = _frontier_classes(universe, sets)
+    final_members = final.members
+    for index, frontier in enumerate(frontiers):
+        members = base.members[index]
+        if len(members) != 1 or len(frontier) != 1:
+            return False
+        (final_class,) = frontier
+        reached = final_members[final_class]
+        if len(reached) != 1 or reached[0] != members[0]:
+            return False
+    return True
+
+
 def sequences_equal(
     universe: Universe, left: SetSequence, right: SetSequence
 ) -> bool:
     """Extensional equality ``[left] = [right]`` over the universe.
 
-    Compares the composed class masks of every configuration, deduplicated
-    by (left class, right class) pair.
+    Single-set sides compare as partitions (fingerprint + one C-level
+    array compare).  Composed sides compare their per-class images,
+    deduplicated by the realised (left class, right class) pairs — which
+    are exactly the rows of the cached
+    :meth:`~repro.universe.explorer.Universe.class_adjacency` graph, so
+    no per-configuration pass remains; when both pipelines end in the
+    same partition the images compare as final-class *sets*, with no
+    masks materialised at all.
     """
     left_n = [as_process_set(entry) for entry in left]
     right_n = [as_process_set(entry) for entry in right]
@@ -111,31 +137,33 @@ def sequences_equal(
     if not left_n and not right_n:
         return True
     if not left_n or not right_n:
-        # One side is the identity relation: the other must map every
-        # configuration to exactly its own singleton.
-        base, final, frontiers = _frontier_classes(universe, left_n or right_n)
-        results = _materialise_frontiers(final, frontiers)
-        base_of = base.class_of
-        return all(
-            results[base_of[config_id]] == 1 << config_id
-            for config_id in range(len(universe))
+        # One side is the identity relation.
+        return _composed_is_identity(universe, left_n or right_n)
+    if len(left_n) == 1 and len(right_n) == 1:
+        return universe.partition_table(left_n[0]).same_partition_as(
+            universe.partition_table(right_n[0])
         )
     left_base, left_final, left_frontiers = _frontier_classes(universe, left_n)
     right_base, right_final, right_frontiers = _frontier_classes(
         universe, right_n
     )
+    pair_rows = universe.class_adjacency(left_n[0], right_n[0])
+    if left_final is right_final:
+        # Images are unions of final classes; with one shared final
+        # partition the unions are equal iff the class sets are.
+        for left_class, row in enumerate(pair_rows):
+            left_frontier = left_frontiers[left_class]
+            for right_class in row:
+                if left_frontier != right_frontiers[right_class]:
+                    return False
+        return True
     left_results = _materialise_frontiers(left_final, left_frontiers)
     right_results = _materialise_frontiers(right_final, right_frontiers)
-    left_of = left_base.class_of
-    right_of = right_base.class_of
-    seen: set[tuple[int, int]] = set()
-    for config_id in range(len(universe)):
-        pair = (left_of[config_id], right_of[config_id])
-        if pair in seen:
-            continue
-        seen.add(pair)
-        if left_results[pair[0]] != right_results[pair[1]]:
-            return False
+    for left_class, row in enumerate(pair_rows):
+        left_image = left_results[left_class]
+        for right_class in row:
+            if left_image != right_results[right_class]:
+                return False
     return True
 
 
@@ -146,18 +174,14 @@ def check_equivalence(universe: Universe, processes: ProcessSetLike) -> bool:
     """Property 1: ``[P]`` is an equivalence relation.
 
     Symmetry and transitivity are structural once the relation is a
-    partition; this verifies the partition: class masks pairwise disjoint
-    and covering the universe (which also gives reflexivity — every
-    configuration sits in exactly one class containing it).
+    partition; this verifies the partition: every class mask decodes to
+    exactly its member ids, the members agree with the index array, and
+    the rows partition the id range — which gives disjointness, covering
+    and reflexivity together.  The verification is the memoised
+    :meth:`~repro.universe.explorer.PartitionTable.verify_consistency`,
+    shared with :func:`check_concatenation`'s definitional side.
     """
-    table = universe.partition_table(processes)
-    union = 0
-    for index in range(table.num_classes):
-        mask = table.class_mask(index)
-        if union & mask:
-            return False
-        union |= mask
-    return union == universe.full_mask
+    return universe.partition_table(processes).verify_consistency()
 
 
 def check_substitution(
@@ -194,16 +218,23 @@ def check_idempotence(universe: Universe, processes: ProcessSetLike) -> bool:
 
 
 def check_reflexivity(universe: Universe, sets: SetSequence) -> bool:
-    """Property 4: ``x [P1 … Pn] x`` for every computation ``x``."""
+    """Property 4: ``x [P1 … Pn] x`` for every computation ``x``.
+
+    ``x``'s image must contain its own final class, for every ``x`` —
+    i.e. for every *realised* (base class, final class) pair, the final
+    class must sit in the base class's frontier.  The realised pairs are
+    the rows of the cached class-adjacency graph, so the universal
+    quantifier costs O(pairs), not O(n) per sequence.
+    """
     normalised = [as_process_set(entry) for entry in sets]
     if not normalised:
         return True
     base, final, frontiers = _frontier_classes(universe, normalised)
-    base_of = base.class_of
-    final_of = final.class_of
+    pair_rows = universe.class_adjacency(normalised[0], normalised[-1])
     return all(
-        final_of[config_id] in frontiers[base_of[config_id]]
-        for config_id in range(len(universe))
+        final_class in frontiers[base_class]
+        for base_class, row in enumerate(pair_rows)
+        for final_class in row
     )
 
 
@@ -236,11 +267,12 @@ def check_concatenation(
     """Property 6: ``∃y: x [P1…Pm] y and y [Pm+1…Pn] z  =  x [P1…Pn] z``.
 
     The definitional side quantifies over the intermediates ``y``: the
-    prefix image is *materialised* as a mask, its membership re-derived
-    bit by bit (cross-checking mask materialisation against the class
-    index arrays), and the suffix applied to that re-derived frontier —
-    then compared against the single-pipeline composed image.  Distinct
-    prefix frontiers are processed once.
+    prefix image's mask↔index consistency is verified once per
+    prefix-final table (memoised ``verify_consistency`` — previously this
+    bit-by-bit re-derivation ran per subset pair and dominated the
+    sweep), then the suffix is applied to each whole prefix frontier and
+    compared against an independent stepwise fold of the full chain.
+    Distinct prefix frontiers are processed once.
     """
     prefix_n = [as_process_set(entry) for entry in prefix_sets]
     suffix_n = [as_process_set(entry) for entry in suffix_sets]
@@ -250,24 +282,28 @@ def check_concatenation(
         # over the image itself) is the composed image verbatim.
         return True
     base, prefix_final, prefix_frontiers = _frontier_classes(universe, prefix_n)
-    final_of = prefix_final.class_of
-    suffix_table = universe.partition_table(suffix_n[-1])
-    via_memo: dict[frozenset[int], int] = {}
+    # The definitional side materialises the intermediate image ``{y}``
+    # as a mask and re-derives its classes from the class-index arrays.
+    # That mask↔index re-derivation is a property of the prefix-final
+    # table alone, so it is verified once per table (memoised in
+    # ``verify_consistency``) instead of once per (pair, class) — the
+    # O(n·pairs) bit re-derivation this sweep used to pay.
+    if not prefix_final.verify_consistency():
+        return False
+    via_memo: dict[frozenset[int], frozenset[int]] = {}
     for index in range(base.num_classes):
         frontier = prefix_frontiers[index]
         via_definition = via_memo.get(frontier)
         if via_definition is None:
-            intermediate = prefix_final.classes_mask(frontier)
-            derived = {
-                final_of[config_id] for config_id in iter_bit_ids(intermediate)
-            }
-            if derived != set(frontier):
-                return False
-            via_definition = suffix_table.classes_mask(
-                fold_classes(universe, derived, prefix_n[-1], suffix_n)
+            # Quantify over the intermediates as one batch: fold the
+            # whole frontier through the suffix sets.
+            via_definition = frozenset(
+                fold_classes(universe, set(frontier), prefix_n[-1], suffix_n)
             )
             via_memo[frontier] = via_definition
-        direct = suffix_table.classes_mask(
+        # The direct side folds the single class through the full chain
+        # step by step — an independent walk of the adjacency graphs.
+        direct = frozenset(
             fold_classes(universe, {index}, prefix_n[0], combined[1:])
         )
         if via_definition != direct:
@@ -286,25 +322,16 @@ def check_union(
     """
     p_set = as_process_set(first)
     q_set = as_process_set(second)
-    p_of = universe.partition_table(p_set).class_of
-    q_table = universe.partition_table(q_set)
-    q_of = q_table.class_of
-    union_of = universe.partition_table(p_set | q_set).class_of
-    # Relabel the common refinement of [P] and [Q] canonically (labels in
-    # first-occurrence order).  Partition-table class indices are already
-    # in first-occurrence order, so the property holds iff the two label
-    # arrays are equal element-wise — a C-level array comparison.
-    labels: dict[int, int] = {}
-    width = q_table.num_classes
-    canonical = array("i", bytes(4 * len(universe)))
-    for config_id, (p_class, q_class) in enumerate(zip(p_of, q_of)):
-        pair = p_class * width + q_class
-        label = labels.get(pair)
-        if label is None:
-            label = len(labels)
-            labels[pair] = label
-        canonical[config_id] = label
-    return canonical == union_of
+    # [P] ∩ [Q] is the memoised refinement product — built from the
+    # class-index arrays, canonically labelled in first-occurrence order
+    # and shared across subset pairs (and with check_containment).  The
+    # [P ∪ Q] table is built independently, from projection keys; both
+    # labellings are canonical, so the property holds iff the two
+    # class_of arrays are equal — fingerprint fast-path, then one
+    # C-level array comparison.
+    refinement = universe.refinement_product(p_set, q_set)
+    union_table = universe.partition_table(p_set | q_set)
+    return refinement.same_partition_as(union_table)
 
 
 def check_containment(
@@ -321,15 +348,12 @@ def check_containment(
     """
     q_set = as_process_set(larger)
     p_set = as_process_set(smaller)
-    q_of = universe.partition_table(q_set).class_of
-    p_of = universe.partition_table(p_set).class_of
-    expected: dict[int, int] = {}
-    relation_contained = True
-    for config_id in range(len(universe)):
-        p_class = p_of[config_id]
-        if expected.setdefault(q_of[config_id], p_class) != p_class:
-            relation_contained = False
-            break
+    # [Q] ⊆ [P] iff every [Q]-class meets exactly one [P]-class — the
+    # rows of the cached class-adjacency graph (derived from the shared
+    # refinement product) are those meets.
+    relation_contained = all(
+        len(row) == 1 for row in universe.class_adjacency(q_set, p_set)
+    )
     if q_set >= p_set:
         return relation_contained
     # Q does not contain P: the property demands [Q] ⊄ [P], provided the

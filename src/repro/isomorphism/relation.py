@@ -79,13 +79,19 @@ def fold_classes(
 ) -> set[int]:
     """Propagate ``[current]``-partition class indices through ``rest``.
 
-    One step per entry along the cached class-adjacency graph — the
-    shared frontier fold behind every composed-relation pipeline and
-    property checker.
+    One step per entry along the cached class-adjacency graph (derived
+    from the memoised refinement products, so one O(n) pass per
+    unordered pair serves every pipeline and property checker).
+    Singleton frontiers — the common case in the per-class sweeps — skip
+    the n-ary union.
     """
     for entry in rest:
         adjacency = universe.class_adjacency(current, entry)
-        classes = set().union(*(adjacency[index] for index in classes))
+        if len(classes) == 1:
+            (index,) = classes
+            classes = set(adjacency[index])
+        else:
+            classes = set().union(*(adjacency[index] for index in classes))
         current = entry
     return classes
 

@@ -121,6 +121,35 @@ class TokenRingMutexProtocol(Protocol):
             )
             yield self.send_of(message)
 
+    def step_shape(self, process: ProcessId, history: History) -> object:
+        """Steps depend on (enter/exit counts, hop, token sends) only.
+
+        The event seqs are exactly those counters: exit seq = exits so
+        far, enter seq = enters so far, token seq = sends so far (all to
+        the one ring successor).  Stations without the token collapse to
+        one shape.
+        """
+        received = sent = enters = exits = 0
+        hop = 0
+        for event in history:
+            if isinstance(event, ReceiveEvent):
+                if event.message.tag == TOKEN_TAG:
+                    received += 1
+                    hop = int(event.message.payload)
+            elif isinstance(event, SendEvent):
+                if event.message.tag == TOKEN_TAG:
+                    sent += 1
+            elif event.tag == ENTER_TAG:
+                enters += 1
+            elif event.tag == EXIT_TAG:
+                exits += 1
+        holds = received == sent if process == self.stations[0] else (
+            received == sent + 1
+        )
+        if not holds:
+            return False
+        return (enters, exits, hop, sent)
+
     # ------------------------------------------------------------------
     # Atoms and checkers
     # ------------------------------------------------------------------

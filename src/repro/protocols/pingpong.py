@@ -54,3 +54,16 @@ class PingPongProtocol(Protocol):
             if pongs_sent < pings_received:
                 message = self.next_message(history, self.right, self.left, "pong")
                 yield self.send_of(message)
+
+    def step_shape(self, process: ProcessId, history: History) -> object:
+        """Steps are a function of the send/receive counts alone (the
+        message seq is exactly the matching send count)."""
+        if process == self.left:
+            return (
+                self._count(history, SendEvent, "ping"),
+                self._count(history, ReceiveEvent, "pong"),
+            )
+        return (
+            self._count(history, ReceiveEvent, "ping"),
+            self._count(history, SendEvent, "pong"),
+        )

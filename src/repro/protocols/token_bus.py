@@ -104,6 +104,28 @@ class TokenBusProtocol(Protocol):
             )
             yield self.send_of(message)
 
+    def step_shape(self, process: ProcessId, history: History) -> object:
+        """Steps depend on (holding, current hop, per-neighbour send
+        counts) only — idle stations collapse to one shape."""
+        received = sent = 0
+        hop = 0
+        sent_to: dict[ProcessId, int] = {}
+        for event in history:
+            if isinstance(event, ReceiveEvent):
+                if event.message.tag == TOKEN_TAG:
+                    received += 1
+                    hop = int(event.message.payload)
+            elif isinstance(event, SendEvent) and event.message.tag == TOKEN_TAG:
+                sent += 1
+                receiver = event.message.receiver
+                sent_to[receiver] = sent_to.get(receiver, 0) + 1
+        holds = received == sent if process == self.stations[0] else (
+            received == sent + 1
+        )
+        if not holds or hop >= self.max_hops:
+            return False
+        return (hop, tuple(sorted(sent_to.items())))
+
 
 # ----------------------------------------------------------------------
 # Predicates and the paper's example

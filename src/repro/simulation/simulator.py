@@ -68,7 +68,16 @@ class Simulator:
         return self._protocol.enabled_events(self._configuration)
 
     def step(self) -> Event | None:
-        """Execute one event; ``None`` when quiescent."""
+        """Execute one event; ``None`` when quiescent.
+
+        The new configuration is built through the *non-interning*
+        extension path: a simulation walks one linear computation, so
+        every intermediate configuration is discarded on the next step —
+        interning each one would cycle the weak registry once per step
+        over a 10^6-step run for zero dedup benefit.  The configurations
+        hash and compare exactly like interned ones (pinned by the trace
+        regression tests).
+        """
         enabled = self.enabled()
         if not enabled:
             return None
@@ -77,7 +86,7 @@ class Simulator:
             raise SimulationError(
                 f"scheduler chose {event}, which is not enabled"
             )
-        self._configuration = self._configuration.extend(event)
+        self._configuration = self._configuration.extend_unregistered(event)
         self._events.append(event)
         return event
 

@@ -29,11 +29,20 @@ PERFORMANCE.md for the architecture.
 
 from __future__ import annotations
 
+import gc
+import zlib
+from math import inf
 from array import array
 from collections import deque
 from collections.abc import Iterable, Iterator, Sequence
 
-from repro.core.configuration import EMPTY_CONFIGURATION, Configuration
+from repro.core.configuration import (
+    _HASH_MODULUS,
+    _ROLL_MULTIPLIER,
+    _entry_hash,
+    EMPTY_CONFIGURATION,
+    Configuration,
+)
 from repro.core.errors import UniverseError
 from repro.core.events import Event, ReceiveEvent, SendEvent
 from repro.core.process import ProcessId, ProcessSetLike, as_process_set
@@ -79,6 +88,13 @@ before coarse partitions do."""
 _COMPOSE_MEMO_LIMIT = 8192
 """Cap on memoised class-combination masks per partition table."""
 
+_SPARSE_MASK_MEMO_WORDS = 1 << 16
+"""Sparse tables memoise transiently-materialised class masks up to this
+many 64-bit words (512 KiB per table): fragmented ``[D]``-like partitions
+have repeat ``class_mask`` callers (property checkers, knowledge
+evaluation) that would otherwise re-materialise the same mask per call,
+while the full dense cache stays quadratic and out of reach."""
+
 
 class PartitionTable:
     """The ``[P]``-partition of a universe on dense configuration ids.
@@ -108,6 +124,10 @@ class PartitionTable:
         "sparse",
         "_masks",
         "_compose_memo",
+        "_sparse_memo",
+        "_sparse_memo_words",
+        "_fingerprint",
+        "_consistent",
     )
 
     def __init__(
@@ -135,6 +155,10 @@ class PartitionTable:
         self.sparse = sparse
         self._masks: list[int] | None = None
         self._compose_memo: dict[tuple[int, ...], int] = {}
+        self._sparse_memo: dict[int, int] = {}
+        self._sparse_memo_words = 0
+        self._fingerprint: tuple[int, int, int] | None = None
+        self._consistent: bool | None = None
 
     # -- mask materialisation ------------------------------------------
     def _mask_of_ids(self, ids: Sequence[int]) -> int:
@@ -153,21 +177,95 @@ class PartitionTable:
         return masks
 
     def class_mask(self, index: int) -> int:
-        """The bitmask of class ``index`` (transient when sparse)."""
+        """The bitmask of class ``index``.
+
+        Sparse tables materialise transiently but memoise repeat callers
+        up to a word budget (``_SPARSE_MASK_MEMO_WORDS``), so fragmented
+        ``[D]``-like partitions stop re-materialising the same mask per
+        call without ever caching quadratically many words.
+        """
         if self.sparse:
-            return self._mask_of_ids(self.members[index])
+            memo = self._sparse_memo
+            mask = memo.get(index)
+            if mask is None:
+                mask = self._mask_of_ids(self.members[index])
+                words = ((mask.bit_length() + 63) >> 6) or 1
+                if self._sparse_memo_words + words <= _SPARSE_MASK_MEMO_WORDS:
+                    memo[index] = mask
+                    self._sparse_memo_words += words
+            return mask
         return self._dense_masks()[index]
 
     def masks(self) -> tuple[int, ...]:
         """All class masks, in class-index order.
 
         Dense tables return a cached tuple; sparse tables materialise a
-        fresh one per call — prefer :attr:`class_of`/:attr:`members` or
-        :meth:`compose` on fragmented partitions.
+        fresh tuple per call (reusing the bounded per-class memo) —
+        prefer :attr:`class_of`/:attr:`members` or :meth:`compose` on
+        fragmented partitions.
         """
         if self.sparse:
-            return tuple(self._mask_of_ids(ids) for ids in self.members)
+            return tuple(self.class_mask(index) for index in range(self.num_classes))
         return tuple(self._dense_masks())
+
+    # -- identity ------------------------------------------------------
+    @property
+    def fingerprint(self) -> tuple[int, int, int]:
+        """Stable identity of the partition: ``(size, classes, crc)``.
+
+        Class indices are assigned in first-occurrence order over the
+        dense configuration ids, so the ``class_of`` array is a
+        *canonical* labelling: two tables over the same universe describe
+        the same partition iff their arrays are equal, and the
+        fingerprint — a CRC of the array bytes, independent of hash
+        randomisation — is equal whenever the partitions are.  Callers
+        that need exactness confirm with :meth:`same_partition_as`
+        (fingerprint first, then a C-level array compare).
+        """
+        fingerprint = self._fingerprint
+        if fingerprint is None:
+            fingerprint = (
+                self.size,
+                self.num_classes,
+                zlib.crc32(self.class_of.tobytes()),
+            )
+            self._fingerprint = fingerprint
+        return fingerprint
+
+    def same_partition_as(self, other: "PartitionTable") -> bool:
+        """Exact partition equality (fingerprint fast-path, then arrays)."""
+        if self is other:
+            return True
+        return self.fingerprint == other.fingerprint and self.class_of == other.class_of
+
+    def verify_consistency(self) -> bool:
+        """Cross-check mask materialisation against the id arrays.
+
+        Confirms, for every class, that the materialised mask decodes to
+        exactly the member ids and that each member's ``class_of`` entry
+        points back at the class — and that the member rows partition
+        ``range(size)``.  This is the mask↔index cross-check the property
+        checkers lean on; it is a property of the table alone, verified
+        once and memoised (checkers used to re-derive it per subset
+        pair).
+        """
+        result = self._consistent
+        if result is None:
+            result = True
+            total = 0
+            class_of = self.class_of
+            for index, ids in enumerate(self.members):
+                total += len(ids)
+                if any(class_of[config_id] != index for config_id in ids):
+                    result = False
+                    break
+                if list(iter_bit_ids(self.class_mask(index))) != list(ids):
+                    result = False
+                    break
+            if result:
+                result = total == self.size
+            self._consistent = result
+        return result
 
     # -- relational algebra --------------------------------------------
     def compose(self, mask: int) -> int:
@@ -239,6 +337,12 @@ class PartitionTable:
         return satisfied
 
 
+_BOUND_MESSAGE = (
+    "exploration exceeded %s configurations; raise the bound or shrink "
+    "the protocol"
+)
+
+
 class Universe:
     """All reachable configurations of a protocol, with isomorphism indexes.
 
@@ -250,7 +354,13 @@ class Universe:
         Stop extending configurations that already have this many events
         (``None`` = unbounded; the protocol must then be finite).
     max_configurations:
-        Abort exploration after this many configurations (safety valve).
+        Bound on the number of configurations (safety valve).
+    on_limit:
+        What to do when ``max_configurations`` is hit: ``"raise"``
+        (default) aborts with :class:`UniverseError`; ``"truncate"``
+        stops exploring and returns the partial universe with
+        :attr:`is_complete` ``False`` — the streaming mode that keeps
+        partial universes at n≥8 usable.
     """
 
     def __init__(
@@ -258,61 +368,283 @@ class Universe:
         protocol: Protocol,
         max_events: int | None = None,
         max_configurations: int | None = 1_000_000,
+        on_limit: str = "raise",
     ) -> None:
+        if on_limit not in ("raise", "truncate"):
+            raise UniverseError(
+                f"on_limit must be 'raise' or 'truncate', got {on_limit!r}"
+            )
         self._protocol = protocol
         self._max_events = max_events
         self._configurations: list[Configuration] = []
-        self._config_ids: dict[Configuration, int] = {}
-        self._successor_ids: list[list[int]] = []
+        # Content hash -> dense id (or list of ids on hash collision).
+        # This is both the BFS dedup table and, after exploration, the
+        # public configuration -> id index: one table, no second
+        # content-keyed dict and no weak-registry round-trips.
+        self._ids_by_hash: dict[int, int | list[int]] = {}
+        # CSR successor store: the successor ids of configuration i are
+        # _succ_ids[_succ_offsets[i]:_succ_offsets[i+1]].  BFS emits each
+        # configuration's successors contiguously, so the flat layout is
+        # append-only — no per-configuration list objects.
+        self._succ_offsets = array("q", (0,))
+        self._succ_ids = array("q")
         self._complete = True
+        self._init_relation_caches()
+        self._explore(max_configurations, on_limit)
+
+    def _init_relation_caches(self) -> None:
         self._partition_tables: dict[frozenset[ProcessId], PartitionTable] = {}
         self._adjacency: dict[
             tuple[frozenset[ProcessId], frozenset[ProcessId]],
             tuple[tuple[int, ...], ...],
         ] = {}
-        self._explore(max_configurations)
+        # Refinement products: frozenset-pair -> (first_set, table, pairs);
+        # fingerprint-keyed layer shares products across subset pairs
+        # whose partitions coincide extensionally.
+        self._refinement_products: dict[
+            frozenset[frozenset[ProcessId]],
+            tuple[frozenset[ProcessId], PartitionTable, list[tuple[int, int]]],
+        ] = {}
+        self._refinement_by_fp: dict[
+            tuple[tuple[int, int, int], tuple[int, int, int]],
+            tuple[array, array, PartitionTable, list[tuple[int, int]]],
+        ] = {}
 
-    def _explore(self, max_configurations: int | None) -> None:
+    def _explore(self, max_configurations: int | None, on_limit: str) -> None:
+        """The frontier-batched exploration kernel.
+
+        The BFS works over *append-only id buffers*: `configurations` is
+        the discovery-ordered buffer, the cursor walks it one frontier
+        batch at a time, and successors append to the flat CSR arrays.
+        Per popped configuration the enabled events are table lookups —
+        compiled local steps plus the memoised receive set — and each
+        candidate child is resolved against the local content-hash table
+        via :meth:`Configuration._extension_parts` (O(1) child hash, no
+        intern-registry round-trip, construction only on first
+        discovery).  Projection/partition indexes are built lazily after
+        exploration, never incrementally inside this loop.
+        """
         configurations = self._configurations
-        config_ids = self._config_ids
-        successor_ids = self._successor_ids
+        ids_by_hash = self._ids_by_hash
+        succ_ids = self._succ_ids
+        succ_offsets = self._succ_offsets
         protocol = self._protocol
         max_events = self._max_events
+        bound_error: str | None = None
 
-        config_ids[EMPTY_CONFIGURATION] = 0
+        table = protocol.step_table
+        steps_for = table.steps
+        by_history = table._by_history
+        ordered = protocol.ordered_processes
+        selective = protocol.is_selective
+        custom_enabling = protocol.has_custom_enabling
+        receive_sets = protocol.receive_events_for
+        selective_receives = protocol.selective_receive_events
+        compiled_enabled = protocol.compiled_enabled_events
+        # Processes absent from a configuration all share one compiled
+        # entry: their local steps after the empty history.
+        initial_steps = {
+            process: steps_for(process, ()) for process in ordered
+        }
+        # math.inf compares greater than every count, so `count >= limit`
+        # is the single bound test; non-positive bounds fire on the first
+        # discovered child, like the pre-CSR explorer.
+        limit = max_configurations if max_configurations is not None else inf
+        modulus = _HASH_MODULUS
+        multiplier = _ROLL_MULTIPLIER
+        seed_of = {
+            process: hash(process) % modulus for process in ordered
+        }
+        # Rolling entry hashes, keyed by history-tuple *identity*: the
+        # tuples are pinned alive by the configurations list for the whole
+        # exploration, every child shares its unchanged histories with its
+        # parent, and the kernel creates exactly one tuple per discovered
+        # child — so this one memo replaces the per-child entry-hash dict
+        # copy (and its ~360 bytes/configuration) entirely.
+        entry_hash_of: dict[int, int] = {}
+        entry_memo_get = entry_hash_of.get
+        from_trusted = Configuration._from_trusted
+
         configurations.append(EMPTY_CONFIGURATION)
-        successor_ids.append([])
-        # extend() returns the canonical interned instance, so ids can be
-        # resolved by object identity during the hot loop; the
-        # content-keyed dict stays authoritative for public lookups.
-        ids_by_identity: dict[int, int] = {id(EMPTY_CONFIGURATION): 0}
+        ids_by_hash[hash(EMPTY_CONFIGURATION)] = 0
+        count = 1  # == len(configurations), maintained locally
+        edges = 0  # == len(succ_ids)
         cursor = 0
-        while cursor < len(configurations):
-            current = configurations[cursor]
-            row = successor_ids[cursor]
-            cursor += 1
-            if max_events is not None and len(current) >= max_events:
-                if protocol.enabled_events(current):
-                    self._complete = False
-                continue
-            for event in protocol.enabled_events(current):
-                extended = current.extend(event)
-                extended_id = ids_by_identity.get(id(extended))
-                if extended_id is None:
-                    extended_id = len(configurations)
-                    config_ids[extended] = extended_id
-                    ids_by_identity[id(extended)] = extended_id
-                    configurations.append(extended)
-                    successor_ids.append([])
-                    if (
-                        max_configurations is not None
-                        and len(configurations) > max_configurations
-                    ):
-                        raise UniverseError(
-                            f"exploration exceeded {max_configurations} "
-                            "configurations; raise the bound or shrink the protocol"
-                        )
-                row.append(extended_id)
+        # The kernel allocates millions of acyclic, long-lived objects and
+        # creates no reference cycles of its own; CPython's generational
+        # collector would rescan the growing universe on every threshold
+        # crossing — a superlinear tax that dominated n=8 exploration.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while cursor < count:
+                batch_end = count  # one BFS frontier batch
+                while cursor < batch_end:
+                    current = configurations[cursor]
+                    cursor += 1
+                    if max_events is not None and len(current) >= max_events:
+                        if compiled_enabled(current):
+                            self._complete = False
+                        succ_offsets.append(edges)
+                        continue
+                    parent_histories = current._histories
+                    history_of = parent_histories.get
+                    if custom_enabling:
+                        # The protocol restricts system-level enabling
+                        # beyond local steps + willing receives; its
+                        # override is authoritative.
+                        enabled = list(protocol.enabled_events(current))
+                    else:
+                        enabled = []
+                        for process in ordered:
+                            history = history_of(process)
+                            if history is None:
+                                enabled += initial_steps[process]
+                            else:
+                                steps = by_history[process].get(history)
+                                enabled += (
+                                    steps
+                                    if steps is not None
+                                    else steps_for(process, history)
+                                )
+                        in_flight = current.in_flight_messages
+                        if in_flight:
+                            if not selective:
+                                enabled += receive_sets(in_flight)
+                            else:
+                                enabled += selective_receives(
+                                    history_of, in_flight
+                                )
+                    # Inlined Configuration._extension_parts, with the
+                    # parent's content hash loop-invariant across this
+                    # configuration's edges and rolling entry hashes read
+                    # from the history-identity memo.
+                    parent_hash = current._hash
+                    if parent_hash is None:
+                        parent_hash = hash(current)
+                    matches = current._matches_extension
+                    propagate = current._propagate_caches
+                    for event in enabled:
+                        process = event.process
+                        try:
+                            event_hash = event._hash_cache
+                        except AttributeError:
+                            event_hash = hash(event)
+                        old_history = history_of(process)
+                        if old_history is None:
+                            new_history = (event,)
+                            new_entry = (
+                                seed_of[process] * multiplier + event_hash
+                            ) % modulus
+                            child_hash = (parent_hash + new_entry) % modulus
+                        else:
+                            old_entry = entry_memo_get(id(old_history))
+                            if old_entry is None:
+                                old_entry = _entry_hash(process, old_history)
+                                entry_hash_of[id(old_history)] = old_entry
+                            new_history = old_history + (event,)
+                            new_entry = (
+                                old_entry * multiplier + event_hash
+                            ) % modulus
+                            child_hash = (
+                                parent_hash - old_entry + new_entry
+                            ) % modulus
+                        existing = ids_by_hash.get(child_hash)
+                        if existing is None:
+                            if count >= limit:
+                                bound_error = _BOUND_MESSAGE % max_configurations
+                                break
+                            child_id = count
+                        elif type(existing) is int:
+                            if matches(
+                                configurations[existing], process, new_history
+                            ):
+                                succ_ids.append(existing)
+                                edges += 1
+                                continue
+                            # content-hash collision: open the bucket
+                            if count >= limit:
+                                bound_error = _BOUND_MESSAGE % max_configurations
+                                break
+                            child_id = count
+                            ids_by_hash[child_hash] = [existing, child_id]
+                        else:
+                            for candidate_id in existing:
+                                if matches(
+                                    configurations[candidate_id],
+                                    process,
+                                    new_history,
+                                ):
+                                    child_id = candidate_id
+                                    break
+                            else:
+                                if count >= limit:
+                                    bound_error = (
+                                        _BOUND_MESSAGE % max_configurations
+                                    )
+                                    break
+                                child_id = count
+                                existing.append(child_id)
+                            if child_id != count:
+                                succ_ids.append(child_id)
+                                edges += 1
+                                continue
+                        # First discovery: build the child without a
+                        # per-child entry-hash dict (lazy recompute path).
+                        if existing is None:
+                            ids_by_hash[child_hash] = child_id
+                        count += 1
+                        entry_hash_of[id(new_history)] = new_entry
+                        if old_history is not None:
+                            items = dict(parent_histories)
+                            items[process] = new_history
+                        else:
+                            items = {}
+                            placed = False
+                            for existing_process, history in (
+                                parent_histories.items()
+                            ):
+                                if not placed and process < existing_process:
+                                    items[process] = new_history
+                                    placed = True
+                                items[existing_process] = history
+                            if not placed:
+                                items[process] = new_history
+                        child = from_trusted(items, child_hash, None)
+                        propagate(child, event)
+                        configurations.append(child)
+                        succ_ids.append(child_id)
+                        edges += 1
+                    succ_offsets.append(edges)
+                    if bound_error is not None:
+                        break
+                if bound_error is not None:
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if bound_error is not None:
+            if on_limit == "raise":
+                raise UniverseError(bound_error)
+            self._complete = False
+            # Unexpanded frontier configurations keep empty successor rows.
+            while len(succ_offsets) < len(configurations) + 1:
+                succ_offsets.append(len(succ_ids))
+
+    def _id_of(self, configuration: Configuration) -> int | None:
+        """Dense id of ``configuration``, or ``None`` if not a member."""
+        entry = self._ids_by_hash.get(hash(configuration))
+        if entry is None:
+            return None
+        configurations = self._configurations
+        if type(entry) is int:
+            if configurations[entry] == configuration:
+                return entry
+            return None
+        for candidate_id in entry:
+            if configurations[candidate_id] == configuration:
+                return candidate_id
+        return None
 
     # ------------------------------------------------------------------
     # Basic views
@@ -340,14 +672,14 @@ class Universe:
         return len(self._configurations)
 
     def __contains__(self, configuration: Configuration) -> bool:
-        return configuration in self._config_ids
+        return self._id_of(configuration) is not None
 
     def __iter__(self) -> Iterator[Configuration]:
         return iter(self._configurations)
 
     def require(self, configuration: Configuration) -> Configuration:
         """Return ``configuration`` if it belongs to the universe, else raise."""
-        if configuration not in self._config_ids:
+        if self._id_of(configuration) is None:
             raise UniverseError(
                 f"{configuration!r} is not a computation of this universe"
             )
@@ -355,14 +687,16 @@ class Universe:
 
     def successors(self, configuration: Configuration) -> Sequence[Configuration]:
         """One-event extensions of ``configuration`` within the universe."""
-        index = self._config_ids.get(configuration)
+        index = self._id_of(configuration)
         if index is None:
             raise UniverseError(
                 f"{configuration!r} is not a computation of this universe"
             )
         configurations = self._configurations
+        offsets = self._succ_offsets
         return tuple(
-            configurations[successor] for successor in self._successor_ids[index]
+            configurations[successor]
+            for successor in self._succ_ids[offsets[index] : offsets[index + 1]]
         )
 
     def complement(self, processes: ProcessSetLike) -> frozenset[ProcessId]:
@@ -374,7 +708,7 @@ class Universe:
     # ------------------------------------------------------------------
     def config_id(self, configuration: Configuration) -> int:
         """The dense id (BFS discovery index) of ``configuration``."""
-        index = self._config_ids.get(configuration)
+        index = self._id_of(configuration)
         if index is None:
             raise UniverseError(
                 f"{configuration!r} is not a computation of this universe"
@@ -423,8 +757,17 @@ class Universe:
                     else:
                         bucket.append(config_id)
             else:
+                # Multi-process classes are keyed by the tuple of
+                # per-process histories in sorted process order — the
+                # same equivalence as `Configuration.projection` for a
+                # fixed process set, without building (and memoising) a
+                # (process, history)-pair tuple per configuration.
+                ordered_p = tuple(sorted(p_set))
                 for config_id, configuration in enumerate(self._configurations):
-                    key = configuration.projection(p_set)
+                    histories = configuration._histories
+                    key = tuple(
+                        histories.get(process, ()) for process in ordered_p
+                    )
                     bucket = buckets.get(key)
                     if bucket is None:
                         buckets[key] = [config_id]
@@ -453,6 +796,86 @@ class Universe:
         """
         return self.partition_table(processes).compose(mask)
 
+    def _refinement_entry(
+        self, p_set: frozenset[ProcessId], q_set: frozenset[ProcessId]
+    ) -> tuple[PartitionTable, list[tuple[int, int]]]:
+        """The common refinement of ``[P]`` and ``[Q]`` plus its pair keys.
+
+        Returns ``(table, pairs)`` where ``table`` partitions the
+        universe into the nonempty intersections of ``[P]``- and
+        ``[Q]``-classes (labels in first-occurrence order — canonical)
+        and ``pairs[k]`` is the ``(P-class, Q-class)`` pair of refinement
+        class ``k``.  ``pairs`` is oriented for the *requested* order.
+
+        Built from the two ``class_of`` index arrays in one O(n) pass and
+        memoised per unordered pair of process sets; a fingerprint-keyed
+        layer additionally shares the product across subset pairs whose
+        partitions coincide extensionally (verified exactly, arrays
+        compared, before reuse).
+        """
+        key = frozenset((p_set, q_set))
+        cached = self._refinement_products.get(key)
+        if cached is not None:
+            first_set, table, pairs = cached
+            if first_set == p_set:
+                return table, pairs
+            return table, [(b, a) for a, b in pairs]
+        p_table = self.partition_table(p_set)
+        q_table = self.partition_table(q_set)
+        fp_key = (p_table.fingerprint, q_table.fingerprint)
+        shared = self._refinement_by_fp.get(fp_key)
+        if shared is not None:
+            p_of, q_of, table, pairs = shared
+            if p_of == p_table.class_of and q_of == q_table.class_of:
+                self._refinement_products[key] = (p_set, table, pairs)
+                return table, pairs
+        shared = self._refinement_by_fp.get((fp_key[1], fp_key[0]))
+        if shared is not None:
+            q_of, p_of, table, transposed = shared
+            if p_of == p_table.class_of and q_of == q_table.class_of:
+                pairs = [(a, b) for b, a in transposed]
+                self._refinement_products[key] = (p_set, table, pairs)
+                return table, pairs
+        p_of = p_table.class_of
+        q_of = q_table.class_of
+        width = q_table.num_classes
+        labels: dict[int, int] = {}
+        buckets: list[list[int]] = []
+        pair_keys: list[int] = []
+        for config_id in range(len(self._configurations)):
+            pair = p_of[config_id] * width + q_of[config_id]
+            label = labels.get(pair)
+            if label is None:
+                label = len(buckets)
+                labels[pair] = label
+                buckets.append([])
+                pair_keys.append(pair)
+            buckets[label].append(config_id)
+        pairs = [divmod(pair, width) for pair in pair_keys]
+        table = PartitionTable(
+            len(self._configurations), dict(zip(pairs, buckets))
+        )
+        self._refinement_products[key] = (p_set, table, pairs)
+        self._refinement_by_fp[fp_key] = (p_of, q_of, table, pairs)
+        return table, pairs
+
+    def refinement_product(
+        self, first: ProcessSetLike, second: ProcessSetLike
+    ) -> PartitionTable:
+        """The common refinement of ``[P]`` and ``[Q]`` as a partition table.
+
+        This is the relation ``[P] ∩ [Q]`` computed *from the class-index
+        arrays* — independently of the ``[P ∪ Q]`` projection index, which
+        is what lets :func:`repro.isomorphism.algebra.check_union` compare
+        the two.  Canonically labelled, memoised, fingerprint-shared; see
+        :meth:`_refinement_entry`.
+        """
+        p_set = as_process_set(first)
+        q_set = as_process_set(second)
+        if p_set == q_set:
+            return self.partition_table(p_set)
+        return self._refinement_entry(p_set, q_set)[0]
+
     def class_adjacency(
         self, first: ProcessSetLike, second: ProcessSetLike
     ) -> tuple[tuple[int, ...], ...]:
@@ -461,21 +884,29 @@ class Universe:
         Entry ``k`` lists, ascending, the class indices of
         ``partition_table(second)`` reachable from class ``k`` of
         ``partition_table(first)`` in one ``[Q]`` step.  This is the class
-        graph along which composed relations propagate — one O(n) pass,
-        cached per ordered pair.
+        graph along which composed relations propagate.  Derived from the
+        memoised refinement product — whose realised ``(P-class,
+        Q-class)`` pairs are exactly the adjacency edges — so one O(n)
+        pass serves both directions and every product consumer; cached
+        per ordered pair.
         """
         p_set = as_process_set(first)
         q_set = as_process_set(second)
         cached = self._adjacency.get((p_set, q_set))
         if cached is None:
-            first_of = self.partition_table(p_set).class_of
-            second_of = self.partition_table(q_set).class_of
-            reachable: list[set[int]] = [
-                set() for _ in range(self.partition_table(p_set).num_classes)
-            ]
-            for config_id in range(len(self._configurations)):
-                reachable[first_of[config_id]].add(second_of[config_id])
-            cached = tuple(tuple(sorted(entry)) for entry in reachable)
+            if p_set == q_set:
+                cached = tuple(
+                    (index,)
+                    for index in range(self.partition_table(p_set).num_classes)
+                )
+            else:
+                _, pairs = self._refinement_entry(p_set, q_set)
+                reachable: list[set[int]] = [
+                    set() for _ in range(self.partition_table(p_set).num_classes)
+                ]
+                for p_class, q_class in pairs:
+                    reachable[p_class].add(q_class)
+                cached = tuple(tuple(sorted(entry)) for entry in reachable)
             self._adjacency[(p_set, q_set)] = cached
         return cached
 
@@ -490,7 +921,10 @@ class Universe:
             (process,) = p_set
             key: ProjectionKey = configuration.history(process)
         else:
-            key = configuration.projection(p_set)
+            histories = configuration._histories
+            key = tuple(
+                histories.get(process, ()) for process in sorted(p_set)
+            )
         return table.class_mask(table.key_to_class[key])
 
     def iso_class_index(
@@ -663,27 +1097,33 @@ class EnumeratedUniverse(Universe):
         self._protocol = None  # type: ignore[assignment]
         self._max_events = None
         self._configurations = closure
-        self._config_ids = {
-            configuration: index for index, configuration in enumerate(closure)
-        }
+        self._ids_by_hash = {}
+        for index, configuration in enumerate(closure):
+            content_hash = hash(configuration)
+            entry = self._ids_by_hash.get(content_hash)
+            if entry is None:
+                self._ids_by_hash[content_hash] = index
+            elif type(entry) is int:
+                self._ids_by_hash[content_hash] = [entry, index]
+            else:
+                entry.append(index)
         self._complete = True
-        self._partition_tables = {}
-        self._adjacency = {}
+        self._init_relation_caches()
         self._processes = frozenset(processes)
-        # Successors: one-event extensions within the closure.  Bucket the
-        # candidates by event count so each configuration is only compared
-        # against the next layer.
+        # Successors: one-event extensions within the closure, stored in
+        # the same CSR layout as explored universes.  Bucket the
+        # candidates by event count so each configuration is only
+        # compared against the next layer.
         by_count: dict[int, list[int]] = {}
         for index, configuration in enumerate(closure):
             by_count.setdefault(len(configuration), []).append(index)
-        self._successor_ids = [
-            [
-                candidate
-                for candidate in by_count.get(len(configuration) + 1, ())
-                if configuration.is_sub_configuration_of(closure[candidate])
-            ]
-            for configuration in closure
-        ]
+        self._succ_offsets = array("q", (0,))
+        self._succ_ids = array("q")
+        for configuration in closure:
+            for candidate in by_count.get(len(configuration) + 1, ()):
+                if configuration.is_sub_configuration_of(closure[candidate]):
+                    self._succ_ids.append(candidate)
+            self._succ_offsets.append(len(self._succ_ids))
 
     @property
     def protocol(self) -> Protocol:  # type: ignore[override]

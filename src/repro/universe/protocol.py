@@ -21,6 +21,7 @@ messages and steps.
 from __future__ import annotations
 
 import abc
+import time
 from collections.abc import Iterable, Sequence
 
 from repro.core.configuration import Configuration
@@ -46,6 +47,96 @@ universes stay under it by construction; simulation traces exceed it."""
 
 _ENABLED_CACHE_MAX_ENTRIES = 1 << 17
 """Hard cap on memoised configurations per protocol instance."""
+
+
+class CompiledStepTable:
+    """A protocol's ``local_steps`` compiled into lookup tables.
+
+    Exploration pops millions of configurations, and every pop asks for
+    the local steps of each process.  This table guarantees the
+    *interpreted* ``local_steps`` body runs at most once per distinct
+    **history shape** — the protocol-declared canonical summary of a
+    local history (see :meth:`Protocol.step_shape`) — and at most once
+    per distinct history for protocols that declare no shape.  Lookups
+    hit two memo levels:
+
+    1. exact history → step tuple (one dict get on the shared tuple);
+    2. on miss, ``step_shape`` → step tuple — so a history whose shape
+       was seen along another interleaving reuses the compiled entry
+       without re-entering protocol code at all.
+
+    The shape contract (protocols must uphold it, tests cross-check it
+    against the retained :meth:`Protocol.enabled_events` oracle): if two
+    histories of a process have equal shapes, ``local_steps`` yields
+    equal value-object event tuples for both.
+
+    ``build_seconds`` accumulates the wall time spent inside the
+    interpreted compile path, so benchmark cold starts can attribute
+    table build time separately from BFS time (see PERFORMANCE.md).
+    """
+
+    __slots__ = (
+        "_protocol",
+        "_by_history",
+        "_by_shape",
+        "_shaped",
+        "build_seconds",
+        "compiled_entries",
+        "shape_hits",
+    )
+
+    def __init__(self, protocol: "Protocol") -> None:
+        self._protocol = protocol
+        self._by_history: dict[ProcessId, dict[History, tuple[Event, ...]]] = {
+            process: {} for process in protocol._ordered_processes
+        }
+        self._by_shape: dict[ProcessId, dict[object, tuple[Event, ...]]] = {
+            process: {} for process in protocol._ordered_processes
+        }
+        self._shaped = type(protocol).step_shape is not Protocol.step_shape
+        self.build_seconds = 0.0
+        self.compiled_entries = 0
+        self.shape_hits = 0
+
+    def steps(self, process: ProcessId, history: History) -> tuple[Event, ...]:
+        """The compiled local steps of ``process`` after ``history``."""
+        per_history = self._by_history[process]
+        steps = per_history.get(history)
+        if steps is not None:
+            return steps
+        if self._shaped:
+            shape = self._protocol.step_shape(process, history)
+            if shape is not None:
+                per_shape = self._by_shape[process]
+                steps = per_shape.get(shape)
+                if steps is None:
+                    steps = self._compile(process, history)
+                    per_shape[shape] = steps
+                else:
+                    self.shape_hits += 1
+                per_history[history] = steps
+                return steps
+        steps = self._compile(process, history)
+        per_history[history] = steps
+        return steps
+
+    def _compile(self, process: ProcessId, history: History) -> tuple[Event, ...]:
+        """Run the interpreted ``local_steps`` once, validated and timed."""
+        start = time.perf_counter()
+        steps = tuple(self._protocol.local_steps(process, history))
+        for event in steps:
+            if event.is_receive:
+                raise ProtocolError(
+                    f"local_steps of {process!r} yielded a receive event"
+                )
+            if event.process != process:
+                raise ProtocolError(
+                    f"local_steps of {process!r} yielded an event on "
+                    f"{event.process!r}"
+                )
+        self.build_seconds += time.perf_counter() - start
+        self.compiled_entries += 1
+        return steps
 
 
 class Protocol(abc.ABC):
@@ -80,12 +171,50 @@ class Protocol(abc.ABC):
             process: {} for process in self._ordered_processes
         }
         self._receive_cache: dict[Message, ReceiveEvent] = {}
+        self._receive_set_cache: dict[frozenset, tuple[ReceiveEvent, ...]] = {}
         self._selective = type(self).can_receive is not Protocol.can_receive
+        self._step_table = CompiledStepTable(self)
 
     @property
     def processes(self) -> frozenset[ProcessId]:
         """The set of all processes, the paper's ``D``."""
         return self._processes
+
+    @property
+    def ordered_processes(self) -> tuple[ProcessId, ...]:
+        """``D`` sorted — the deterministic iteration order of the kernels."""
+        return self._ordered_processes
+
+    @property
+    def is_selective(self) -> bool:
+        """Whether this protocol overrides :meth:`can_receive`."""
+        try:
+            return self._selective
+        except AttributeError:
+            self._ordered_processes = tuple(sorted(self._processes))
+            self._prepare_step_tables()
+            return self._selective
+
+    @property
+    def step_table(self) -> CompiledStepTable:
+        """The compiled step table (created eagerly in ``__init__``)."""
+        try:
+            return self._step_table
+        except AttributeError:  # subclass that skipped Protocol.__init__
+            self._ordered_processes = tuple(sorted(self._processes))
+            self._prepare_step_tables()
+            return self._step_table
+
+    @property
+    def has_custom_enabling(self) -> bool:
+        """Whether this protocol overrides :meth:`enabled_events`.
+
+        Protocols may restrict the system-level enabling relation beyond
+        local steps + willing receives (e.g. synchrony assumptions).  The
+        exploration kernel checks this and routes every configuration
+        through the override instead of the compiled fast path.
+        """
+        return type(self).enabled_events is not Protocol.enabled_events
 
     def complement(self, processes: ProcessSetLike) -> frozenset[ProcessId]:
         """``P̄ = D - P``."""
@@ -115,6 +244,98 @@ class Protocol(abc.ABC):
         Default: always.  Override to model selective reception.
         """
         return True
+
+    def step_shape(self, process: ProcessId, history: History) -> object | None:
+        """Canonical summary of ``history`` for the compiled step table.
+
+        Contract: if ``step_shape(p, h1) == step_shape(p, h2)`` (and
+        neither is ``None``), then ``local_steps(p, h1)`` and
+        ``local_steps(p, h2)`` yield *equal value-object event tuples*.
+        Finer shapes are always sound (they merely compile more entries);
+        an over-coarse shape is a protocol bug — the step-table test
+        suite cross-checks every bundled protocol against the
+        :meth:`enabled_events` oracle.
+
+        Default: ``None`` — the table memoises per exact history, which
+        is always sound.  Override where many histories share one step
+        set (e.g. flooding: steps depend only on who has been sent to).
+        """
+        return None
+
+    def receive_event(self, message: Message) -> ReceiveEvent:
+        """The memoised receive event of ``message``.
+
+        The same in-flight message is offered along every interleaving it
+        is pending in; the memo keeps that one event object per message.
+        """
+        cache = self._receive_cache
+        event = cache.get(message)
+        if event is None:
+            event = receive(message)
+            cache[message] = event
+        return event
+
+    def receive_events_for(
+        self, in_flight: frozenset[Message]
+    ) -> tuple[ReceiveEvent, ...]:
+        """The memoised receive set of one in-flight message set.
+
+        Only valid for protocols with the always-willing default
+        ``can_receive`` (callers gate on :attr:`is_selective`): the
+        offered receives are then a pure function of the in-flight set,
+        so the sort + per-message lookups run once per distinct set —
+        the same channel contents recur across every interleaving of the
+        rest of the system.  Order matches :meth:`enabled_events`
+        exactly: ascending message order, receivers outside ``D``
+        skipped.
+        """
+        cache = self._receive_set_cache
+        events = cache.get(in_flight)
+        if events is None:
+            pending = sorted(in_flight) if len(in_flight) > 1 else tuple(in_flight)
+            processes = self._processes
+            receive_cache = self._receive_cache
+            collected = []
+            for message in pending:
+                if message.receiver not in processes:
+                    continue
+                event = receive_cache.get(message)
+                if event is None:
+                    event = receive(message)
+                    receive_cache[message] = event
+                collected.append(event)
+            events = tuple(collected)
+            if len(cache) < _ENABLED_CACHE_MAX_ENTRIES:
+                cache[in_flight] = events
+        return events
+
+    def selective_receive_events(
+        self, history_of, in_flight: frozenset[Message]
+    ) -> list[ReceiveEvent]:
+        """Receive events of a selective protocol — the slow path.
+
+        The offered set depends on the receivers' histories (via
+        :meth:`can_receive`), so it cannot be memoised per in-flight set;
+        ``history_of`` is the configuration's ``histories.get``.  One
+        implementation, shared by :meth:`compiled_enabled_events` and the
+        exploration kernel, so the ordering and gating rules cannot
+        drift between them.
+        """
+        pending = sorted(in_flight) if len(in_flight) > 1 else in_flight
+        processes = self._processes
+        receive_cache = self._receive_cache
+        events: list[ReceiveEvent] = []
+        for message in pending:
+            receiver = message.receiver
+            if receiver not in processes:
+                continue
+            if self.can_receive(receiver, history_of(receiver, ()), message):
+                event = receive_cache.get(message)
+                if event is None:
+                    event = receive(message)
+                    receive_cache[message] = event
+                events.append(event)
+        return events
 
     # ------------------------------------------------------------------
     # System-level enabling
@@ -199,6 +420,40 @@ class Protocol(abc.ABC):
         if cacheable and len(enabled_cache) < _ENABLED_CACHE_MAX_ENTRIES:
             enabled_cache[configuration] = result
         return result
+
+    def compiled_enabled_events(
+        self, configuration: Configuration
+    ) -> tuple[Event, ...]:
+        """:meth:`enabled_events` via the compiled step table.
+
+        Bit-identical to the oracle — same events, same deterministic
+        order — but local steps come from :class:`CompiledStepTable`
+        (shape-keyed, never re-entering interpreted protocol logic for a
+        known shape) and no per-configuration memo is consulted or
+        written.  This is the path the exploration kernel takes; the
+        step-table tests assert the bit-identity on every bundled
+        protocol, complete and truncated.  Protocols that override
+        :meth:`enabled_events` (custom system-level enabling, e.g.
+        synchrony assumptions) are delegated to their override verbatim.
+        """
+        if type(self).enabled_events is not Protocol.enabled_events:
+            return tuple(self.enabled_events(configuration))
+        table = self.step_table
+        steps_for = table.steps
+        enabled: list[Event] = []
+        history_of = configuration.histories.get
+        for process in self._ordered_processes:
+            history = history_of(process)
+            enabled.extend(steps_for(process, history if history is not None else ()))
+        in_flight = configuration.in_flight_messages
+        if in_flight:
+            if not self._selective:
+                enabled.extend(self.receive_events_for(in_flight))
+            else:
+                enabled.extend(
+                    self.selective_receive_events(history_of, in_flight)
+                )
+        return tuple(enabled)
 
     # ------------------------------------------------------------------
     # Membership checks (the paper's "zp is a process computation of p")

@@ -69,3 +69,84 @@ class TestQuickCheckSmoke:
             run_benchmarks(repeats=0)
         with pytest.raises(SystemExit):
             main(["--quick", "--no-write", "--repeats", "0"])
+
+
+class TestExplorationScaleSmoke:
+    """The exploration-scale suite's quick mode is tier-1: the scale
+    harness (compiled-table cold split, streaming truncation, budget
+    guard) must not rot between full-size runs."""
+
+    def test_quick_suite_exits_zero(self, capsys):
+        assert main(
+            [
+                "--suite",
+                "exploration-scale",
+                "--quick",
+                "--no-write",
+                "--budget",
+                "600",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "universe_star_broadcast_n5" in out
+        assert "universe_tree_broadcast_d2" in out
+        assert "universe_star_broadcast_n5_truncated" in out
+
+    def test_quick_suite_document_shape(self):
+        document = run_benchmarks(
+            repeats=1, quick=True, suite="exploration-scale", budget=600
+        )
+        assert document["suite"] == "exploration-scale"
+        assert document["budget_seconds"] == 600
+        benchmarks = document["benchmarks"]
+        star = benchmarks["universe_star_broadcast_n5"]
+        # Cold-start attribution: table build reported separately from BFS.
+        assert star["table_build_seconds"] >= 0
+        assert (
+            abs(
+                star["first_seconds"]
+                - star["table_build_seconds"]
+                - star["bfs_first_seconds"]
+            )
+            < 1e-6
+        )
+        truncated = benchmarks["universe_star_broadcast_n5_truncated"]
+        assert truncated["complete"] is False
+        assert truncated["configurations"] == truncated["max_configurations"]
+        import json
+
+        assert json.loads(json.dumps(document)) == document
+
+    def test_budget_overrun_fails(self, capsys):
+        from repro.bench import BenchBudgetExceeded
+
+        with pytest.raises(BenchBudgetExceeded):
+            run_benchmarks(
+                repeats=1, quick=True, suite="exploration-scale", budget=1e-9
+            )
+        assert (
+            main(
+                [
+                    "--suite",
+                    "exploration-scale",
+                    "--quick",
+                    "--no-write",
+                    "--budget",
+                    "0.000000001",
+                ]
+            )
+            == 1
+        )
+        assert "budget" in capsys.readouterr().out
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            run_benchmarks(repeats=1, suite="nope")
+
+    def test_trajectory_files_never_clobber(self, tmp_path):
+        document = run_benchmarks(repeats=1, quick=True)
+        first = write_trajectory(document, tmp_path)
+        second = write_trajectory(document, tmp_path)
+        assert first != second
+        assert first.exists() and second.exists()
+        assert second.name.endswith("-2.json")

@@ -42,16 +42,32 @@ class TestInterning:
         assert first is second
 
     def test_universe_configurations_are_canonical(self):
+        """Universes dedup against their own dense-id table (not the
+        global registry): one object per [D]-class within the universe,
+        and rebuilding any member through interned ``extend`` resolves to
+        the same dense id."""
         universe = Universe(PingPongProtocol(rounds=2))
+        assert len(set(universe.configurations)) == len(universe)
         for configuration in universe:
             if len(configuration) == 0:
                 continue
-            # Rebuilding any configuration one event at a time through a
-            # linearization lands on the interned instance.
             rebuilt = EMPTY_CONFIGURATION
             for event in configuration.linearize():
                 rebuilt = rebuilt.extend(event)
-            assert rebuilt is configuration
+            assert rebuilt == configuration
+            assert universe.config_id(rebuilt) == universe.config_id(
+                configuration
+            )
+
+    def test_exploration_skips_the_intern_registry(self):
+        """The kernel's batched child construction must not cycle the
+        weak registry: exploring a universe leaves it unchanged."""
+        from repro.core.configuration import registry_size
+
+        before = registry_size()
+        universe = Universe(PingPongProtocol(rounds=2))
+        assert registry_size() == before
+        assert len(universe) == 9
 
 
 class TestEqualityAndHash:

@@ -169,3 +169,47 @@ class TestFifo:
             e for e in fifo.enabled_events(configuration) if e.is_receive
         ]
         assert len(receives) <= 1
+
+
+class TestNonInterningStep:
+    """`Simulator.step` builds configurations outside the intern registry
+    (a 10^6-step run must not cycle the weak registry once per step);
+    trace semantics have to be bit-identical to the interned path."""
+
+    def test_trace_identical_to_interned_replay(self):
+        from repro.core.configuration import EMPTY_CONFIGURATION
+        from repro.protocols.token_bus import TokenBusProtocol
+
+        protocol = TokenBusProtocol(max_hops=6)
+        trace = simulate(protocol, RandomScheduler(7))
+        replayed = EMPTY_CONFIGURATION
+        for event in trace.computation.events:
+            replayed = replayed.extend(event)  # interned reference path
+        final = Simulator(protocol, RandomScheduler(7))
+        result = final.run()
+        assert result.computation.events == trace.computation.events
+        assert final.configuration == replayed
+        assert hash(final.configuration) == hash(replayed)
+
+    def test_step_leaves_the_registry_alone(self):
+        from repro.core.configuration import registry_size
+        from repro.protocols.token_bus import TokenBusProtocol
+
+        simulator = Simulator(TokenBusProtocol(max_hops=8), RandomScheduler(3))
+        before = registry_size()
+        steps = 0
+        while simulator.step() is not None:
+            steps += 1
+        assert steps > 0
+        assert registry_size() == before
+
+    def test_stepwise_configurations_compare_like_interned_ones(self):
+        from repro.core.configuration import Configuration
+        from repro.protocols.pingpong import PingPongProtocol
+
+        simulator = Simulator(PingPongProtocol(rounds=2), RandomScheduler(0))
+        while simulator.step() is not None:
+            configuration = simulator.configuration
+            rebuilt = Configuration(dict(configuration.histories))
+            assert configuration == rebuilt
+            assert hash(configuration) == hash(rebuilt)

@@ -143,3 +143,109 @@ class TestClassAdjacency:
             }
             assert set(reachable) == expected
             assert list(reachable) == sorted(reachable)
+
+
+class TestSparseMaskMemo:
+    def test_repeat_class_mask_calls_hit_the_memo(self, star_universe):
+        table = sparse_twin(star_universe.partition_table(frozenset({"hub"})))
+        first = table.class_mask(0)
+        second = table.class_mask(0)
+        assert first is second  # memoised, not re-materialised
+
+    def test_memo_respects_the_word_budget(self, star_universe):
+        from repro.universe.explorer import _SPARSE_MASK_MEMO_WORDS
+
+        table = sparse_twin(star_universe.partition_table(frozenset({"hub"})))
+        for index in range(table.num_classes):
+            table.class_mask(index)
+        assert table._sparse_memo_words <= _SPARSE_MASK_MEMO_WORDS
+
+    def test_sparse_masks_equal_dense_masks(self, star_universe):
+        dense = star_universe.partition_table(frozenset({"hub", "x"}))
+        sparse = sparse_twin(dense)
+        assert sparse.masks() == dense.masks()
+
+
+class TestFingerprints:
+    def test_equal_partitions_share_a_fingerprint(self, star_universe):
+        table = star_universe.partition_table(frozenset({"hub"}))
+        rebuilt = PartitionTable(
+            table.size,
+            {index: list(members) for index, members in enumerate(table.members)},
+        )
+        assert rebuilt.fingerprint == table.fingerprint
+        assert rebuilt.same_partition_as(table)
+        assert table.same_partition_as(rebuilt)
+
+    def test_distinct_partitions_differ(self, star_universe):
+        hub = star_universe.partition_table(frozenset({"hub"}))
+        x = star_universe.partition_table(frozenset({"x"}))
+        assert hub.fingerprint != x.fingerprint
+        assert not hub.same_partition_as(x)
+
+    def test_fingerprint_is_stable_across_rebuilds(self, star_universe):
+        """First-occurrence labelling makes class_of canonical, so the
+        fingerprint is a pure function of the partition."""
+        table = star_universe.partition_table(frozenset({"x"}))
+        twin = Universe(
+            BroadcastProtocol(star_topology("hub", ("x", "y", "z")), "hub")
+        ).partition_table(frozenset({"x"}))
+        assert twin.fingerprint == table.fingerprint
+
+    def test_verify_consistency_is_memoised(self, star_universe):
+        table = star_universe.partition_table(frozenset({"hub"}))
+        assert table.verify_consistency()
+        assert table._consistent is True
+        assert table.verify_consistency()
+
+
+class TestRefinementProduct:
+    def brute_product(self, universe, first, second):
+        p_of = universe.partition_table(first).class_of
+        q_of = universe.partition_table(second).class_of
+        labels = {}
+        out = []
+        for config_id in range(len(universe)):
+            pair = (p_of[config_id], q_of[config_id])
+            out.append(labels.setdefault(pair, len(labels)))
+        return out
+
+    def test_matches_brute_force_grouping(self, star_universe):
+        first = frozenset({"hub"})
+        second = frozenset({"x"})
+        product = star_universe.refinement_product(first, second)
+        assert list(product.class_of) == self.brute_product(
+            star_universe, first, second
+        )
+
+    def test_symmetric_and_memoised(self, star_universe):
+        first = frozenset({"hub"})
+        second = frozenset({"y"})
+        forward = star_universe.refinement_product(first, second)
+        backward = star_universe.refinement_product(second, first)
+        assert forward is backward  # one product per unordered pair
+
+    def test_same_set_returns_the_partition_itself(self, star_universe):
+        p = frozenset({"x"})
+        assert star_universe.refinement_product(p, p) is (
+            star_universe.partition_table(p)
+        )
+
+    def test_equals_union_partition_for_valid_universes(self, star_universe):
+        """Property 7 instance: [P] ∩ [Q] == [P ∪ Q] here."""
+        first = frozenset({"hub"})
+        second = frozenset({"x"})
+        product = star_universe.refinement_product(first, second)
+        union = star_universe.partition_table(first | second)
+        assert product.same_partition_as(union)
+
+    def test_adjacency_derives_from_the_product(self, star_universe):
+        first = frozenset({"hub"})
+        second = frozenset({"z"})
+        rows = star_universe.class_adjacency(first, second)
+        p_of = star_universe.partition_table(first).class_of
+        q_of = star_universe.partition_table(second).class_of
+        expected = [set() for _ in rows]
+        for config_id in range(len(star_universe)):
+            expected[p_of[config_id]].add(q_of[config_id])
+        assert [set(row) for row in rows] == expected

@@ -1,0 +1,251 @@
+"""Compiled step tables and the exploration kernel vs. their oracles.
+
+The exploration kernel enables events through
+:meth:`Protocol.compiled_enabled_events` — compiled, shape-keyed step
+tables plus the memoised receive set — while :meth:`Protocol.enabled_events`
+remains the independently-memoised oracle.  These tests pin the
+bit-identity (same events, same order) on every bundled protocol, over
+complete *and* truncated universes, and check the CSR successor store
+against a from-scratch reference BFS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import EMPTY_CONFIGURATION
+from repro.protocols.broadcast import (
+    BroadcastProtocol,
+    line_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.protocols.dijkstra_scholten import DijkstraScholtenProtocol
+from repro.protocols.mutex import TokenRingMutexProtocol
+from repro.protocols.pingpong import PingPongProtocol
+from repro.protocols.termination import generate_workload
+from repro.protocols.token_bus import TokenBusProtocol
+from repro.universe.explorer import Universe
+from repro.universe.protocol import Protocol
+
+
+def bundled_protocols():
+    return [
+        ("star", BroadcastProtocol(star_topology("hub", ("x", "y", "z")), "hub")),
+        ("line", BroadcastProtocol(line_topology(("a", "b", "c")), "a")),
+        ("ring", BroadcastProtocol(ring_topology(("r0", "r1", "r2", "r3")), "r0")),
+        (
+            "tree",
+            BroadcastProtocol(
+                tree_topology(tuple(f"t{i}" for i in range(7))), "t0"
+            ),
+        ),
+        ("token_bus", TokenBusProtocol(max_hops=4)),
+        ("pingpong", PingPongProtocol(rounds=2)),
+        ("mutex", TokenRingMutexProtocol(max_hops=3)),
+        (
+            "dijkstra_scholten",
+            DijkstraScholtenProtocol(
+                generate_workload(("a", "b", "c"), seed=1, activations_per_process=1)
+            ),
+        ),
+    ]
+
+
+class TestCompiledStepTableOracle:
+    @pytest.mark.parametrize(
+        "label,protocol", bundled_protocols(), ids=[p[0] for p in bundled_protocols()]
+    )
+    def test_bit_identical_to_enabled_events_oracle(self, label, protocol):
+        """Table-driven enabling == the oracle on every configuration of
+        the complete universe (same events, same order)."""
+        universe = Universe(protocol)
+        assert universe.is_complete
+        for configuration in universe:
+            assert protocol.compiled_enabled_events(configuration) == tuple(
+                protocol.enabled_events(configuration)
+            )
+
+    @pytest.mark.parametrize(
+        "label,protocol",
+        [
+            (
+                "star_truncated",
+                BroadcastProtocol(
+                    star_topology("hub", ("w", "x", "y", "z")), "hub"
+                ),
+            ),
+            ("token_bus_truncated", TokenBusProtocol(max_hops=6)),
+        ],
+    )
+    def test_bit_identical_on_truncated_universes(self, label, protocol):
+        universe = Universe(protocol, max_events=4)
+        assert not universe.is_complete
+        for configuration in universe:
+            assert protocol.compiled_enabled_events(configuration) == tuple(
+                protocol.enabled_events(configuration)
+            )
+
+    def test_shape_memo_is_exercised(self):
+        """Shaped protocols must actually collapse histories onto shared
+        shapes (otherwise the compiled table silently degrades to
+        exact-history keying)."""
+        protocol = BroadcastProtocol(
+            star_topology("hub", ("w", "x", "y", "z")), "hub"
+        )
+        universe = Universe(protocol)
+        table = protocol.step_table
+        assert table.shape_hits > 0
+        assert table.compiled_entries < sum(
+            len(per) for per in table._by_history.values()
+        )
+        del universe
+
+    def test_shape_contract_against_direct_local_steps(self):
+        """Equal shapes ⟹ equal step tuples, checked per history against
+        an uncached local_steps call."""
+        protocol = TokenBusProtocol(max_hops=4)
+        universe = Universe(protocol)
+        by_shape: dict[tuple, dict[object, tuple]] = {}
+        for configuration in universe:
+            for process in protocol.ordered_processes:
+                history = configuration.history(process)
+                shape = protocol.step_shape(process, history)
+                steps = tuple(protocol.local_steps(process, history))
+                seen = by_shape.setdefault((process,), {})
+                if shape in seen:
+                    assert seen[shape] == steps
+                else:
+                    seen[shape] = steps
+
+    def test_build_time_instrumentation(self):
+        protocol = PingPongProtocol(rounds=2)
+        Universe(protocol)
+        table = protocol.step_table
+        assert table.build_seconds >= 0.0
+        assert table.compiled_entries > 0
+
+    def test_custom_enabling_protocols_bypass_the_table(self):
+        """Protocols overriding enabled_events (synchrony restrictions)
+        must be explored through their override."""
+        from repro.protocols.failure_monitor import SyncFailureMonitorProtocol
+
+        protocol = SyncFailureMonitorProtocol(rounds=1)
+        assert protocol.has_custom_enabling
+        universe = Universe(protocol)
+        for configuration in universe:
+            assert protocol.compiled_enabled_events(configuration) == tuple(
+                protocol.enabled_events(configuration)
+            )
+
+
+class TestCSRSuccessorStore:
+    def reference_bfs(self, protocol: Protocol):
+        """From-scratch BFS over interned extend — the pre-CSR store."""
+        configurations = [EMPTY_CONFIGURATION]
+        ids = {EMPTY_CONFIGURATION: 0}
+        successor_lists: list[list[int]] = [[]]
+        cursor = 0
+        while cursor < len(configurations):
+            current = configurations[cursor]
+            row = successor_lists[cursor]
+            cursor += 1
+            for event in protocol.enabled_events(current):
+                child = current.extend(event)
+                child_id = ids.get(child)
+                if child_id is None:
+                    child_id = len(configurations)
+                    ids[child] = child_id
+                    configurations.append(child)
+                    successor_lists.append([])
+                row.append(child_id)
+        return configurations, successor_lists
+
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            PingPongProtocol(rounds=2),
+            BroadcastProtocol(star_topology("hub", ("x", "y", "z")), "hub"),
+            TokenRingMutexProtocol(max_hops=3),
+        ],
+    )
+    def test_csr_matches_reference_store(self, protocol):
+        """Same configurations, same ids, same successor rows (order
+        included) as the reference id-list store."""
+        universe = Universe(protocol)
+        configurations, successor_lists = self.reference_bfs(protocol)
+        assert list(universe.configurations) == configurations
+        offsets = universe._succ_offsets
+        ids = universe._succ_ids
+        assert len(offsets) == len(universe) + 1
+        for index, row in enumerate(successor_lists):
+            assert list(ids[offsets[index] : offsets[index + 1]]) == row
+
+    def test_offsets_invariants(self, pingpong_universe):
+        offsets = pingpong_universe._succ_offsets
+        assert offsets[0] == 0
+        assert list(offsets) == sorted(offsets)  # monotone
+        assert offsets[-1] == len(pingpong_universe._succ_ids)
+
+    def test_successor_api_unchanged(self, pingpong_universe):
+        for configuration in pingpong_universe:
+            for successor in pingpong_universe.successors(configuration):
+                assert len(successor) == len(configuration) + 1
+                assert configuration.is_sub_configuration_of(successor)
+
+
+class TestStreamingMode:
+    def test_default_still_raises(self):
+        from repro.core.errors import UniverseError
+
+        with pytest.raises(UniverseError):
+            Universe(PingPongProtocol(rounds=4), max_configurations=3)
+
+    def test_truncate_returns_partial_universe(self):
+        universe = Universe(
+            PingPongProtocol(rounds=4),
+            max_configurations=3,
+            on_limit="truncate",
+        )
+        assert len(universe) == 3
+        assert not universe.is_complete
+        # The partial universe stays fully usable.
+        assert universe._succ_offsets[-1] == len(universe._succ_ids)
+        assert len(universe._succ_offsets) == len(universe) + 1
+        for configuration in universe:
+            assert universe.config_id(configuration) >= 0
+            universe.successors(configuration)
+        table = universe.partition_table(frozenset({"p"}))
+        assert table.size == 3
+
+    def test_truncated_prefix_matches_full_exploration(self):
+        """Streaming keeps exactly the BFS prefix of the full universe."""
+        full = Universe(PingPongProtocol(rounds=4))
+        partial = Universe(
+            PingPongProtocol(rounds=4),
+            max_configurations=5,
+            on_limit="truncate",
+        )
+        assert list(partial.configurations) == list(full.configurations)[:5]
+
+    def test_invalid_on_limit_rejected(self):
+        from repro.core.errors import UniverseError
+
+        with pytest.raises(UniverseError):
+            Universe(PingPongProtocol(rounds=1), on_limit="explode")
+
+    def test_non_positive_bound_still_fires(self):
+        """max_configurations=0 must bound on the first discovered child
+        (the pre-CSR behaviour), not silently disable the safety valve."""
+        from repro.core.errors import UniverseError
+
+        with pytest.raises(UniverseError):
+            Universe(PingPongProtocol(rounds=2), max_configurations=0)
+        truncated = Universe(
+            PingPongProtocol(rounds=2),
+            max_configurations=0,
+            on_limit="truncate",
+        )
+        assert len(truncated) == 1  # just the empty configuration
+        assert not truncated.is_complete
