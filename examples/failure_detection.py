@@ -15,7 +15,7 @@ Explores two complete universes:
 Run:  python examples/failure_detection.py
 """
 
-from repro import Knows, KnowledgeEvaluator, Not, Sure, Universe
+from repro import Knows, KnowledgeEvaluator, Universe
 from repro.applications.failure_detection import analyse_async, analyse_sync
 from repro.protocols.failure_monitor import (
     AsyncFailureMonitorProtocol,

@@ -17,11 +17,9 @@ from repro.applications.knowledge_flow import (
     latency_series,
     verify_chain_gating,
 )
-from repro.core.configuration import Configuration
 from repro.isomorphism.fusion import fuse, fusion_side_conditions
 from repro.isomorphism.relation import isomorphic
 from repro.protocols.broadcast import BroadcastProtocol, line_topology
-from repro.simulation import RandomScheduler, simulate
 from repro.universe.explorer import Universe
 
 

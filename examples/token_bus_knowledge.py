@@ -15,7 +15,7 @@ Run:  python examples/token_bus_knowledge.py
 """
 
 from repro import Knows, KnowledgeEvaluator, Not, Universe
-from repro.knowledge.formula import And, Implies
+from repro.knowledge.formula import Implies
 from repro.protocols.token_bus import (
     TokenBusProtocol,
     holds_token_atom,

@@ -1,5 +1,9 @@
-"""Setuptools shim for legacy editable installs (offline environments
-without the ``wheel`` package)."""
+"""Setuptools shim for legacy editable installs.
+
+All packaging metadata lives in ``pyproject.toml`` (the source of
+truth); this file exists only so offline environments without PEP 660
+support can still run ``pip install -e .`` through the legacy path.
+"""
 
 from setuptools import setup
 

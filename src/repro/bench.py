@@ -99,6 +99,12 @@ class BenchCheckFailure(RuntimeError):
     object-level reference oracles."""
 
 
+class BenchShardMismatch(RuntimeError):
+    """Raised by the ``--workers`` axis when a sharded exploration does
+    not reproduce the single-process universe measured in the same run
+    (always on — a wrong universe invalidates the benchmark)."""
+
+
 class BenchBudgetExceeded(RuntimeError):
     """Raised by ``--budget`` when the suite overruns its wall-clock
     allowance — the perf-regression tripwire of the scale suite."""
@@ -234,12 +240,27 @@ def run_cross_checks() -> list[str]:
     return checked
 
 
+_N9_BUDGET_FLOOR = 900.0
+"""Star n=9 (~1.6e7 configurations, minutes of wall time and tens of GB)
+only runs when the suite was given at least this much ``--budget``."""
+
+_N9_CONFIGURATION_CAP = 20_000_000
+"""Runaway guard for the n=9 entry: the universe is explored with
+``on_limit="truncate"`` at this cap so a mis-parameterised or
+larger-than-expected space records a flagged partial instead of growing
+unboundedly.  The full star n=9 space (17 017 970 configurations) fits
+under it, so on a machine with enough RAM (~26 GB single-process) the
+entry completes; the cap bounds configuration *count*, not memory —
+machines without that much RAM should not pass the n=9 budget floor."""
+
+
 def run_benchmarks(
     repeats: int = 5,
     quick: bool = False,
     check: bool = False,
     suite: str = "core",
     budget: float | None = None,
+    workers: int = 1,
 ) -> dict:
     """Run a benchmark suite; returns the result document (JSON-ready).
 
@@ -253,9 +274,22 @@ def run_benchmarks(
     :class:`BenchCheckFailure` on any disagreement; ``budget`` is a
     wall-clock allowance in seconds enforced between benchmarks
     (:class:`BenchBudgetExceeded`).
+
+    ``workers > 1`` adds the multiprocess sharded-engine axis to the
+    exploration-scale suite: each sharded entry re-explores a protocol
+    just measured single-process in the same run — a controlled pair,
+    recorded as ``single_process_seconds`` / ``speedup_vs_single`` —
+    and asserts the resulting universe has the single-process size.
+    The star n=9 target additionally requires ``budget`` of at least
+    ``_N9_BUDGET_FLOOR`` seconds — it runs for minutes and needs tens
+    of gigabytes of RAM, so only opt in on a machine that has them
+    (``_N9_CONFIGURATION_CAP`` bounds the configuration count as a
+    runaway guard, not the memory).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     if suite not in ("core", "exploration-scale"):
         raise ValueError(f"unknown suite {suite!r}")
     if quick:
@@ -406,6 +440,42 @@ def run_benchmarks(
             table_build_seconds=table_build,
             bfs_first_seconds=round(first_rounded - table_build, 6),
         )
+        return first, size
+
+    def sharded_universe_benchmark(
+        name: str,
+        protocol_factory,
+        single_seconds: float,
+        expected_size: int,
+        **kwargs,
+    ) -> None:
+        """One sharded-engine entry, paired against the single-process
+        cold time measured moments earlier in this same run.
+
+        A fresh protocol instance keeps the workers' compiled tables
+        cold, mirroring the single-process cold measurement; the merged
+        universe's size is asserted against the single-process size (the
+        full bit-identity contract is enforced by the test suite).
+        """
+        start = time.perf_counter()
+        universe = Universe(protocol_factory(), workers=workers, **kwargs)
+        seconds = time.perf_counter() - start
+        size = len(universe)
+        del universe
+        if size != expected_size:
+            raise BenchShardMismatch(
+                f"{name}: sharded universe has {size} configurations, "
+                f"single-process built {expected_size}"
+            )
+        record(
+            name,
+            seconds,
+            configurations=size,
+            workers=workers,
+            single_process_seconds=round(single_seconds, 6),
+            speedup_vs_single=round(single_seconds / seconds, 2),
+            repeats_used=1,
+        )
 
     def truncated_benchmark(name: str, protocol, cap: int) -> None:
         """Streaming mode at scale: a capped universe must stay usable."""
@@ -431,11 +501,18 @@ def run_benchmarks(
         # (cold compiled tables); PR2_BASELINE pairs the full-size runs
         # against the recorded pre-kernel engine.
         if quick:
-            scale_universe_benchmark(
+            first_n5, size_n5 = scale_universe_benchmark(
                 "universe_star_broadcast_n5",
                 _star_protocol(("w", "x", "y", "z")),
                 repeats,
             )
+            if workers > 1:
+                sharded_universe_benchmark(
+                    f"universe_star_broadcast_n5_workers{workers}",
+                    lambda: _star_protocol(("w", "x", "y", "z")),
+                    first_n5,
+                    size_n5,
+                )
             scale_universe_benchmark(
                 "universe_tree_broadcast_d2",
                 BroadcastProtocol(
@@ -462,17 +539,55 @@ def run_benchmarks(
                 sweep_repeats=repeats,
             )
         else:
-            scale_universe_benchmark(
+            first_n7, size_n7 = scale_universe_benchmark(
                 "universe_star_broadcast_n7",
                 _star_protocol(("u", "v", "w", "x", "y", "z")),
                 min(repeats, 2),
             )
-            scale_universe_benchmark(
+            if workers > 1:
+                sharded_universe_benchmark(
+                    f"universe_star_broadcast_n7_workers{workers}",
+                    lambda: _star_protocol(("u", "v", "w", "x", "y", "z")),
+                    first_n7,
+                    size_n7,
+                    max_configurations=None,
+                )
+            first_n8, size_n8 = scale_universe_benchmark(
                 "universe_star_broadcast_n8",
                 _star_protocol(("t", "u", "v", "w", "x", "y", "z")),
                 1,
                 max_configurations=None,
             )
+            if workers > 1:
+                sharded_universe_benchmark(
+                    f"universe_star_broadcast_n8_workers{workers}",
+                    lambda: _star_protocol(("t", "u", "v", "w", "x", "y", "z")),
+                    first_n8,
+                    size_n8,
+                    max_configurations=None,
+                )
+            if budget is not None and budget >= _N9_BUDGET_FLOOR:
+                # The n=9 wall (~1.6e7 configurations): explored with the
+                # truncation-streaming guard so a RAM-capped machine still
+                # records a flagged partial instead of thrashing.
+                start = time.perf_counter()
+                n9 = Universe(
+                    _star_protocol(("s", "t", "u", "v", "w", "x", "y", "z")),
+                    max_configurations=_N9_CONFIGURATION_CAP,
+                    on_limit="truncate",
+                    workers=workers if workers > 1 else None,
+                )
+                seconds = time.perf_counter() - start
+                record(
+                    f"universe_star_broadcast_n9_workers{workers}",
+                    seconds,
+                    configurations=len(n9),
+                    complete=n9.is_complete,
+                    workers=workers,
+                    max_configurations=_N9_CONFIGURATION_CAP,
+                    repeats_used=1,
+                )
+                del n9
             scale_universe_benchmark(
                 "universe_tree_broadcast_d3",
                 BroadcastProtocol(
@@ -666,10 +781,16 @@ def run_benchmarks(
             "wall time spent compiling protocol step tables during the first "
             "exploration (bfs_first_seconds = first_seconds minus it); "
             "pr2_seconds / speedup_vs_pr2 pair scale benchmarks against the "
-            "pre-kernel PR-2 engine measured back-to-back on this machine"
+            "pre-kernel PR-2 engine measured back-to-back on this machine; "
+            "*_workersK entries run the multiprocess sharded frontier engine "
+            "with K worker shards, paired against the single-process cold "
+            "exploration of the same protocol in the same run "
+            "(single_process_seconds / speedup_vs_single)"
         ),
         "benchmarks": results,
     }
+    if workers > 1:
+        document["workers"] = workers
     if budget is not None:
         document["budget_seconds"] = budget
         document["elapsed_seconds"] = round(guard.elapsed(), 3)
@@ -723,17 +844,28 @@ def run_and_report(
     check: bool = False,
     suite: str = "core",
     budget: float | None = None,
+    workers: int = 1,
 ) -> int:
     """Run the benchmarks, print the summary, optionally write the
     trajectory file.  Shared by ``repro bench`` and ``run_bench.py``."""
     if repeats < 1:
         raise SystemExit(f"repro bench: --repeats must be >= 1, got {repeats}")
+    if workers < 1:
+        raise SystemExit(f"repro bench: --workers must be >= 1, got {workers}")
     try:
         document = run_benchmarks(
-            repeats=repeats, quick=quick, check=check, suite=suite, budget=budget
+            repeats=repeats,
+            quick=quick,
+            check=check,
+            suite=suite,
+            budget=budget,
+            workers=workers,
         )
     except BenchCheckFailure as failure:
         print(f"repro bench --check FAILED: {failure}")
+        return 1
+    except BenchShardMismatch as mismatch:
+        print(f"repro bench --workers FAILED: {mismatch}")
         return 1
     except BenchBudgetExceeded as overrun:
         print(f"repro bench --budget FAILED: {overrun}")
@@ -782,7 +914,16 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="SECONDS",
         help="wall-clock allowance for the whole run, checked between "
-        "benchmarks; non-zero exit on overrun",
+        "benchmarks; non-zero exit on overrun (the star n=9 target of the "
+        "exploration-scale suite only runs when this is >= 900)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sharded-engine axis for the exploration-scale suite: N>1 "
+        "re-explores the scale targets with N multiprocess worker shards, "
+        "paired against the single-process times of the same run",
     )
 
 
@@ -802,6 +943,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         check=args.check,
         suite=args.suite,
         budget=args.budget,
+        workers=args.workers,
     )
 
 

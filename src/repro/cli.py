@@ -87,9 +87,12 @@ def build_protocol(name: str, args: argparse.Namespace) -> Protocol:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     protocol = build_protocol(args.protocol, args)
-    universe = Universe(protocol, max_configurations=args.limit)
+    universe = Universe(
+        protocol, max_configurations=args.limit, workers=args.workers
+    )
+    workers = f", workers: {args.workers}" if args.workers > 1 else ""
     print(f"{args.protocol}: {len(universe)} configurations "
-          f"(complete: {universe.is_complete})")
+          f"(complete: {universe.is_complete}{workers})")
     if len(universe) <= args.diagram_limit:
         diagram = IsomorphismDiagram.of_universe(universe)
         print(diagram.render())
@@ -162,6 +165,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         check=args.check,
         suite=args.suite,
         budget=args.budget,
+        workers=args.workers,
     )
 
 
@@ -195,6 +199,13 @@ def make_parser() -> argparse.ArgumentParser:
     explore = subparsers.add_parser("explore", help="explore a universe")
     add_protocol_options(explore)
     explore.add_argument("--diagram-limit", type=int, default=30)
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="exploration processes: 1 runs the in-process kernel, N>1 "
+        "the multiprocess sharded frontier engine (bit-identical result)",
+    )
     explore.set_defaults(handler=cmd_explore)
 
     check = subparsers.add_parser("check", help="run theorem checkers")

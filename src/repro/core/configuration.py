@@ -107,6 +107,24 @@ def registry_size() -> int:
     return sum(len(bucket) for bucket in _REGISTRY.values())
 
 
+def hash_domain_token() -> int:
+    """Fingerprint of this interpreter's content-hash domain.
+
+    Content hashes fold ``hash()`` of process names and events, which
+    depends on the interpreter's string-hash seed (``PYTHONHASHSEED``).
+    Two processes compute interchangeable content hashes — the
+    precondition for exchanging them, as the sharded exploration engine
+    does — exactly when their tokens agree.  Forked workers inherit the
+    parent's seed and always agree; spawn-style workers only agree under
+    a pinned ``PYTHONHASHSEED``, and the mismatch is detected through
+    this token instead of silently mis-merging shards.
+    """
+    probe = "__shard_probe__"
+    return (
+        _entry_hash(probe, ()) * _ROLL_MULTIPLIER + hash(probe)
+    ) % _HASH_MODULUS
+
+
 class Configuration:
     """Immutable map from process to its local event sequence.
 

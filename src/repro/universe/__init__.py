@@ -12,12 +12,14 @@ from repro.universe.explorer import (
     iter_bit_ids,
 )
 from repro.universe.protocol import History, Protocol
+from repro.universe.sharded import ShardedExplorer
 
 __all__ = [
     "EnumeratedUniverse",
     "History",
     "PartitionTable",
     "Protocol",
+    "ShardedExplorer",
     "Universe",
     "iter_bit_ids",
     "configuration_from_events",

@@ -120,6 +120,23 @@ class CompiledStepTable:
         per_history[history] = steps
         return steps
 
+    def __getstate__(self) -> dict:
+        """Pickled handoff of a (possibly warm) compiled table.
+
+        ``__slots__`` classes have no ``__dict__`` for the default pickle
+        path; the explicit state keeps every memo level — so a table
+        handed to a spawned worker arrives with its compiled entries
+        intact instead of re-running interpreted protocol code per shard.
+        (The sharded exploration engine's forked workers inherit the
+        table copy-on-write and never pickle it; this path exists for
+        explicit handoffs and diagnostics.)
+        """
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     def _compile(self, process: ProcessId, history: History) -> tuple[Event, ...]:
         """Run the interpreted ``local_steps`` once, validated and timed."""
         start = time.perf_counter()

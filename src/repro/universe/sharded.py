@@ -1,0 +1,598 @@
+"""Multiprocess sharded frontier exploration (``Universe(..., workers=K)``).
+
+The single-process kernel (:meth:`repro.universe.explorer.Universe._explore`)
+walks the frontier one BFS layer at a time.  Because every edge extends a
+configuration by exactly one event, each layer holds configurations of one
+uniform event count — so duplicate discoveries can only collide *within*
+the layer being expanded, never against earlier layers.  That invariant is
+what makes the frontier partitionable:
+
+* the frontier of layer ``L`` is split into ``K`` shards by the parent's
+  *content hash* (``hash % K`` — shard-stable because the rolling content
+  hash is a pure function of the configuration, see
+  :mod:`repro.core.configuration`);
+* worker ``w`` expands the parents of its shard: compiled-table enabled
+  events, rolling child hashes, and *local* duplicate resolution with the
+  same structural checks the kernel performs (transient children are
+  materialised per locally-distinct candidate so hash collisions are
+  detected exactly, not probabilistically);
+* workers ship per-parent **edge batches** — a duplicate edge is one
+  ``int`` (the index of the worker-local candidate it collapsed into), a
+  candidate-new edge is ``(event, child_hash)``;
+* the coordinator merges the batches *in global BFS order* (ascending
+  parent id, original enabled-event order within a parent), resolving
+  cross-worker duplicates against its authoritative id table with the
+  kernel's own dedup logic, constructing each first-discovered child
+  exactly once, and appending the CSR successor rows;
+* the merged discovery stream ``[(parent_id, event), ...]`` is broadcast
+  back (pickled once, sent ``K`` times) and every worker replays it to
+  keep its replica — configurations, id table, rolling entry-hash memo —
+  bit-identical to the coordinator's.
+
+Determinism: the coordinator replay *is* the kernel's inner loop fed by a
+pre-computed enabled-event stream, so the resulting universe — dense ids,
+CSR successor arrays, hash table (including collision buckets),
+completeness flag, truncation point under ``on_limit="truncate"`` — is
+bit-identical to single-process exploration.  The test suite asserts this
+on star/tree/ring broadcast, token bus, ping-pong and custom-enabling
+protocols.
+
+Workers are forked (``multiprocessing`` ``"fork"`` context): the protocol
+object and its :class:`~repro.universe.protocol.CompiledStepTable` are
+inherited copy-on-write, so no table handoff cost is paid up front (the
+table also pickles, for explicit handoffs — see
+``CompiledStepTable.__getstate__``).  Fork also inherits the interpreter's
+hash seed, which the content hashes of processes and events depend on;
+each worker verifies :func:`repro.core.configuration.hash_domain_token`
+against the coordinator's before exploring, so a spawn-style context with
+a different ``PYTHONHASHSEED`` fails loudly instead of mis-sharding.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import pickle
+import traceback
+from math import inf
+
+from repro.core.configuration import (
+    _HASH_MODULUS,
+    _ROLL_MULTIPLIER,
+    _entry_hash,
+    EMPTY_CONFIGURATION,
+    Configuration,
+    hash_domain_token,
+)
+from repro.core.errors import UniverseError
+
+_BOUND_MESSAGE = (
+    "exploration exceeded %s configurations; raise the bound or shrink "
+    "the protocol"
+)
+
+_MAX_WORKERS = 64
+"""Safety cap on the worker count (each worker replicates the universe)."""
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` argument: ``None``/``0``/``1`` mean the
+    in-process kernel; ``K > 1`` means ``K`` sharded worker processes."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise UniverseError(f"workers must be >= 0, got {workers}")
+    if workers > _MAX_WORKERS:
+        raise UniverseError(
+            f"workers must be <= {_MAX_WORKERS}, got {workers}"
+        )
+    return max(workers, 1)
+
+
+class _Replica:
+    """A worker's private copy of the universe under construction.
+
+    Grown exclusively by :meth:`apply` — replaying the coordinator's merged
+    discovery stream — so every replica (and the coordinator) holds the
+    same configurations at the same dense ids, with the same hash-table
+    collision buckets.
+    """
+
+    __slots__ = (
+        "protocol",
+        "configurations",
+        "ids_by_hash",
+        "entry_hash_of",
+        "seed_of",
+        "max_events",
+        "initial_steps",
+    )
+
+    def __init__(self, protocol, max_events) -> None:
+        self.protocol = protocol
+        self.configurations: list[Configuration] = [EMPTY_CONFIGURATION]
+        self.ids_by_hash: dict[int, int | list[int]] = {
+            hash(EMPTY_CONFIGURATION): 0
+        }
+        # Rolling entry hashes keyed by history-tuple identity, exactly as
+        # in the kernel: histories are pinned by `configurations`.
+        self.entry_hash_of: dict[int, int] = {}
+        self.seed_of = {
+            process: hash(process) % _HASH_MODULUS
+            for process in protocol.ordered_processes
+        }
+        self.max_events = max_events
+        table = protocol.step_table
+        self.initial_steps = {
+            process: table.steps(process, ())
+            for process in protocol.ordered_processes
+        }
+
+    # -- shared hash math ----------------------------------------------
+    def _child_parts(self, parent: Configuration, event):
+        """``(process, new_history, new_entry, child_hash)`` of one edge.
+
+        The kernel's rolling-hash math verbatim: O(1) per edge via the
+        history-identity entry memo.
+        """
+        process = event.process
+        try:
+            event_hash = event._hash_cache
+        except AttributeError:
+            event_hash = hash(event)
+        parent_hash = parent._hash
+        if parent_hash is None:
+            parent_hash = hash(parent)
+        old_history = parent._histories.get(process)
+        if old_history is None:
+            new_history = (event,)
+            new_entry = (
+                self.seed_of[process] * _ROLL_MULTIPLIER + event_hash
+            ) % _HASH_MODULUS
+            child_hash = (parent_hash + new_entry) % _HASH_MODULUS
+        else:
+            memo = self.entry_hash_of
+            old_entry = memo.get(id(old_history))
+            if old_entry is None:
+                old_entry = _entry_hash(process, old_history)
+                memo[id(old_history)] = old_entry
+            new_history = old_history + (event,)
+            new_entry = (
+                old_entry * _ROLL_MULTIPLIER + event_hash
+            ) % _HASH_MODULUS
+            child_hash = (parent_hash - old_entry + new_entry) % _HASH_MODULUS
+        return process, new_history, new_entry, child_hash
+
+    @staticmethod
+    def _child_items(parent: Configuration, process, new_history):
+        """The child's normalised history dict (kernel construction)."""
+        parent_histories = parent._histories
+        if len(new_history) > 1:
+            items = dict(parent_histories)
+            items[process] = new_history
+        else:
+            items = {}
+            placed = False
+            for existing_process, history in parent_histories.items():
+                if not placed and process < existing_process:
+                    items[process] = new_history
+                    placed = True
+                items[existing_process] = history
+            if not placed:
+                items[process] = new_history
+        return items
+
+    # -- replay ---------------------------------------------------------
+    def apply(self, records) -> None:
+        """Replay one layer's merged discovery stream ``[(parent_id,
+        event), ...]`` — append the children in stream order."""
+        configurations = self.configurations
+        ids_by_hash = self.ids_by_hash
+        from_trusted = Configuration._from_trusted
+        for parent_id, event in records:
+            parent = configurations[parent_id]
+            process, new_history, new_entry, child_hash = self._child_parts(
+                parent, event
+            )
+            self.entry_hash_of[id(new_history)] = new_entry
+            items = self._child_items(parent, process, new_history)
+            child = from_trusted(items, child_hash, None)
+            parent._propagate_caches(child, event)
+            child_id = len(configurations)
+            configurations.append(child)
+            existing = ids_by_hash.get(child_hash)
+            if existing is None:
+                ids_by_hash[child_hash] = child_id
+            elif type(existing) is int:
+                ids_by_hash[child_hash] = [existing, child_id]
+            else:
+                existing.append(child_id)
+
+    # -- expansion ------------------------------------------------------
+    def expand(self, layer_start: int, layer_end: int, shard: int, shards: int):
+        """Expand this shard's parents of one frontier layer.
+
+        Returns ``(records, incomplete)``: per owned parent, in ascending
+        id order, ``(parent_id, edges)`` where ``edges`` is ``None`` for a
+        ``max_events``-capped parent, else a list whose elements are
+        either an ``int`` (duplicate of the batch-local candidate with
+        that index) or ``(event, child_hash)`` (candidate-new edge, first
+        local discovery).  ``incomplete`` is True iff a capped parent
+        still had enabled events (the kernel's completeness rule).
+        """
+        protocol = self.protocol
+        configurations = self.configurations
+        max_events = self.max_events
+        table = protocol.step_table
+        steps_for = table.steps
+        by_history = table._by_history
+        ordered = protocol.ordered_processes
+        selective = protocol.is_selective
+        custom_enabling = protocol.has_custom_enabling
+        receive_sets = protocol.receive_events_for
+        selective_receives = protocol.selective_receive_events
+        compiled_enabled = protocol.compiled_enabled_events
+        initial_steps = self.initial_steps
+        child_parts = self._child_parts
+        child_items = self._child_items
+        from_trusted = Configuration._from_trusted
+
+        records = []
+        incomplete = False
+        candidates = 0
+        # Batch-local candidate table: child_hash -> [(index, transient)].
+        # Transient children are materialised so local duplicate edges get
+        # the kernel's structural check, not a hash-only equality.
+        layer_candidates: dict[int, list] = {}
+        for parent_id in range(layer_start, layer_end):
+            current = configurations[parent_id]
+            parent_hash = current._hash
+            if parent_hash is None:
+                parent_hash = hash(current)
+            if parent_hash % shards != shard:
+                continue
+            if max_events is not None and len(current) >= max_events:
+                if compiled_enabled(current):
+                    incomplete = True
+                records.append((parent_id, None))
+                continue
+            if custom_enabling:
+                enabled = list(protocol.enabled_events(current))
+            else:
+                history_of = current._histories.get
+                enabled = []
+                for process in ordered:
+                    history = history_of(process)
+                    if history is None:
+                        enabled += initial_steps[process]
+                    else:
+                        steps = by_history[process].get(history)
+                        enabled += (
+                            steps
+                            if steps is not None
+                            else steps_for(process, history)
+                        )
+                in_flight = current.in_flight_messages
+                if in_flight:
+                    if not selective:
+                        enabled += receive_sets(in_flight)
+                    else:
+                        enabled += selective_receives(
+                            current._histories.get, in_flight
+                        )
+            matches = current._matches_extension
+            edges: list = []
+            for event in enabled:
+                process, new_history, _, child_hash = child_parts(
+                    current, event
+                )
+                bucket = layer_candidates.get(child_hash)
+                if bucket is not None:
+                    resolved = None
+                    for candidate_index, transient in bucket:
+                        if matches(transient, process, new_history):
+                            resolved = candidate_index
+                            break
+                    if resolved is not None:
+                        edges.append(resolved)
+                        continue
+                transient = from_trusted(
+                    child_items(current, process, new_history),
+                    child_hash,
+                    None,
+                )
+                if bucket is None:
+                    layer_candidates[child_hash] = [(candidates, transient)]
+                else:
+                    bucket.append((candidates, transient))
+                edges.append((event, child_hash))
+                candidates += 1
+            records.append((parent_id, edges))
+        return records, incomplete
+
+
+def _worker_main(connection, protocol, shard, shards, max_events, token):
+    """Body of one shard worker process."""
+    gc.disable()
+    try:
+        if hash_domain_token() != token:
+            connection.send(
+                (
+                    "error",
+                    "worker hash domain differs from the coordinator's "
+                    "(sharded exploration requires the fork start method "
+                    "or a pinned PYTHONHASHSEED)",
+                )
+            )
+            return
+        replica = _Replica(protocol, max_events)
+        while True:
+            message = connection.recv()
+            kind = message[0]
+            if kind == "stop":
+                return
+            # ("expand", records_blob, layer_start, layer_end)
+            _, blob, layer_start, layer_end = message
+            replica.apply(pickle.loads(blob))
+            if len(replica.configurations) != layer_end:
+                connection.send(
+                    (
+                        "error",
+                        f"replica desync: {len(replica.configurations)} "
+                        f"configurations, expected {layer_end}",
+                    )
+                )
+                return
+            batch, incomplete = replica.expand(
+                layer_start, layer_end, shard, shards
+            )
+            connection.send(("batch", batch, incomplete))
+    except BaseException:
+        try:
+            connection.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        connection.close()
+
+
+class ShardedExplorer:
+    """Coordinator of the multiprocess sharded frontier exploration.
+
+    Drives ``workers`` forked shard workers through the per-layer batch
+    exchange protocol described in the module docstring and merges their
+    edge batches into the owning :class:`~repro.universe.explorer.Universe`
+    — deterministically, so the result is bit-identical to the
+    single-process kernel.
+    """
+
+    def __init__(self, protocol, max_events, workers: int) -> None:
+        if workers < 2:
+            raise UniverseError(
+                f"sharded exploration needs at least 2 workers, got {workers}"
+            )
+        self._protocol = protocol
+        self._max_events = max_events
+        self._workers = workers
+
+    def explore_into(self, universe, max_configurations, on_limit) -> None:
+        """Run the sharded exploration, filling ``universe``'s stores."""
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover - non-POSIX only
+            raise UniverseError(
+                "sharded exploration requires the 'fork' multiprocessing "
+                "start method (content hashes depend on the interpreter's "
+                "hash seed, which fork inherits)"
+            ) from error
+        protocol = self._protocol
+        workers = self._workers
+        # Warm the root's message-set caches before forking so the
+        # propagate chain is unbroken in every process, as in the kernel.
+        EMPTY_CONFIGURATION.received_messages
+        EMPTY_CONFIGURATION.in_flight_messages
+        token = hash_domain_token()
+        connections = []
+        processes = []
+        try:
+            for shard in range(workers):
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        child_end,
+                        protocol,
+                        shard,
+                        workers,
+                        self._max_events,
+                        token,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                connections.append(parent_end)
+                processes.append(process)
+            self._explore_loop(universe, max_configurations, on_limit, connections)
+            for connection in connections:
+                try:
+                    connection.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        finally:
+            for connection in connections:
+                connection.close()
+            for process in processes:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=5.0)
+
+    def _explore_loop(
+        self, universe, max_configurations, on_limit, connections
+    ) -> None:
+        """The coordinator side: broadcast, gather, merge, repeat."""
+        workers = self._workers
+        configurations = universe._configurations
+        ids_by_hash = universe._ids_by_hash
+        succ_ids = universe._succ_ids
+        succ_offsets = universe._succ_offsets
+        from_trusted = Configuration._from_trusted
+        child_items = _Replica._child_items
+        limit = max_configurations if max_configurations is not None else inf
+
+        configurations.append(EMPTY_CONFIGURATION)
+        ids_by_hash[hash(EMPTY_CONFIGURATION)] = 0
+        count = 1
+        edges = 0
+        layer_start = 0
+        replay: list = []  # previous layer's merged discovery stream
+        bound_error: str | None = None
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while True:
+                layer_end = count
+                blob = pickle.dumps(replay, protocol=pickle.HIGHEST_PROTOCOL)
+                for connection in connections:
+                    connection.send(("expand", blob, layer_start, layer_end))
+                batches: list = [None] * workers
+                for shard, connection in enumerate(connections):
+                    reply = self._receive(connection)
+                    if reply[0] == "error":
+                        raise UniverseError(
+                            f"sharded exploration worker {shard} failed:\n"
+                            f"{reply[1]}"
+                        )
+                    batches[shard] = reply[1]
+                    if reply[2]:
+                        universe._complete = False
+                replay = []
+                cursors = [0] * workers
+                # Per worker, candidate index -> resolved global id, filled
+                # in batch order as the merge walks the layer.
+                candidate_ids: list[list[int]] = [[] for _ in range(workers)]
+                for parent_id in range(layer_start, layer_end):
+                    parent = configurations[parent_id]
+                    parent_hash = parent._hash
+                    if parent_hash is None:
+                        parent_hash = hash(parent)
+                    shard = parent_hash % workers
+                    record = batches[shard][cursors[shard]]
+                    cursors[shard] += 1
+                    if record[0] != parent_id:
+                        raise UniverseError(
+                            f"sharded merge desync: worker {shard} sent "
+                            f"parent {record[0]}, expected {parent_id}"
+                        )
+                    edge_list = record[1]
+                    if edge_list is None:  # max_events-capped parent
+                        succ_offsets.append(edges)
+                        continue
+                    resolved = candidate_ids[shard]
+                    propagate = parent._propagate_caches
+                    matches = parent._matches_extension
+                    for edge in edge_list:
+                        if type(edge) is int:
+                            succ_ids.append(resolved[edge])
+                            edges += 1
+                            continue
+                        event, child_hash = edge
+                        process = event.process
+                        old_history = parent._histories.get(process)
+                        new_history = (
+                            old_history + (event,)
+                            if old_history is not None
+                            else (event,)
+                        )
+                        existing = ids_by_hash.get(child_hash)
+                        if existing is None:
+                            if count >= limit:
+                                bound_error = (
+                                    _BOUND_MESSAGE % max_configurations
+                                )
+                                break
+                            child_id = count
+                        elif type(existing) is int:
+                            if matches(
+                                configurations[existing], process, new_history
+                            ):
+                                resolved.append(existing)
+                                succ_ids.append(existing)
+                                edges += 1
+                                continue
+                            # content-hash collision: open the bucket
+                            if count >= limit:
+                                bound_error = (
+                                    _BOUND_MESSAGE % max_configurations
+                                )
+                                break
+                            child_id = count
+                            ids_by_hash[child_hash] = [existing, child_id]
+                        else:
+                            for candidate_id in existing:
+                                if matches(
+                                    configurations[candidate_id],
+                                    process,
+                                    new_history,
+                                ):
+                                    child_id = candidate_id
+                                    break
+                            else:
+                                if count >= limit:
+                                    bound_error = (
+                                        _BOUND_MESSAGE % max_configurations
+                                    )
+                                    break
+                                child_id = count
+                                existing.append(child_id)
+                            if child_id != count:
+                                resolved.append(child_id)
+                                succ_ids.append(child_id)
+                                edges += 1
+                                continue
+                        # First discovery.
+                        if existing is None:
+                            ids_by_hash[child_hash] = child_id
+                        count += 1
+                        child = from_trusted(
+                            child_items(parent, process, new_history),
+                            child_hash,
+                            None,
+                        )
+                        propagate(child, event)
+                        configurations.append(child)
+                        replay.append((parent_id, event))
+                        resolved.append(child_id)
+                        succ_ids.append(child_id)
+                        edges += 1
+                    succ_offsets.append(edges)
+                    if bound_error is not None:
+                        break
+                if bound_error is not None:
+                    break
+                layer_start = layer_end
+                if count == layer_end:  # no new configurations: done
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if bound_error is not None:
+            if on_limit == "raise":
+                raise UniverseError(bound_error)
+            universe._complete = False
+            while len(succ_offsets) < len(configurations) + 1:
+                succ_offsets.append(len(succ_ids))
+
+    @staticmethod
+    def _receive(connection):
+        try:
+            return connection.recv()
+        except EOFError as error:
+            raise UniverseError(
+                "sharded exploration worker exited unexpectedly"
+            ) from error
+
+
+__all__ = ["ShardedExplorer", "resolve_workers"]

@@ -11,7 +11,6 @@ import pytest
 
 from repro.causality.order import CausalOrder
 from repro.core.computation import computation_of
-from repro.core.configuration import Configuration
 from repro.core.events import internal, message_pair
 from repro.protocols.broadcast import BroadcastProtocol, star_topology
 from repro.protocols.leader_election import ChangRobertsProtocol

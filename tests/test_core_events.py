@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.events import (
     EventKind,
-    InternalEvent,
     Message,
     ReceiveEvent,
     SendEvent,

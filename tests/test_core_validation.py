@@ -5,7 +5,7 @@ import pytest
 from repro.core.computation import NULL, computation_of
 from repro.core.configuration import Configuration
 from repro.core.errors import InvalidComputationError, InvalidConfigurationError
-from repro.core.events import internal, message_pair, receive, send
+from repro.core.events import internal, message_pair, send
 from repro.core.validation import (
     check_configuration,
     check_system_computation,

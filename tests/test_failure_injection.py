@@ -5,8 +5,6 @@ Crashes are composed with real protocols to verify both liveness
 not success) and the safety properties that must survive them.
 """
 
-import pytest
-
 from repro.protocols.broadcast import BroadcastProtocol, line_topology
 from repro.protocols.dijkstra_scholten import DijkstraScholtenProtocol
 from repro.protocols.termination import generate_workload

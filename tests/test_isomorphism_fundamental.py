@@ -1,7 +1,5 @@
 """Theorem 1 — the Fundamental Theorem of Process Chains (§3.2)."""
 
-import pytest
-
 from repro.causality.chains import chain_in_suffix
 from repro.causality.order import CausalOrder
 from repro.isomorphism.fundamental import (

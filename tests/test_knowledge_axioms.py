@@ -1,18 +1,14 @@
 """The twelve knowledge facts of §4.1 over several universes."""
 
-import pytest
-
 from repro.knowledge.axioms import (
     check_all_facts,
     check_fact_3,
-    check_fact_4,
     check_fact_6,
     check_fact_9,
     check_fact_10,
     check_fact_11,
     check_fact_12,
 )
-from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import Knows, Not
 from repro.knowledge.predicates import (
     did_internal,

@@ -6,7 +6,6 @@ from repro.knowledge.common import (
     check_fixpoint_characterisation,
     common_knowledge,
 )
-from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import TRUE, CommonKnowledge, Knows
 from repro.knowledge.predicates import has_received, has_sent
 

@@ -7,7 +7,6 @@ from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import (
     FALSE,
     TRUE,
-    Atom,
     Iff,
     Implies,
     Knows,

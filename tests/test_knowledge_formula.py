@@ -10,7 +10,6 @@ from repro.knowledge.formula import (
     Atom,
     CommonKnowledge,
     Constant,
-    Iff,
     Implies,
     Knows,
     Not,

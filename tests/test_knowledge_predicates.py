@@ -1,6 +1,5 @@
 """Local predicates and the eight facts of §4.2."""
 
-from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import Knows, Not
 from repro.knowledge.predicates import (
     check_all_local_facts,

@@ -1,8 +1,5 @@
 """Theorems 4, 5, 6 and Lemma 4: how knowledge is transferred (§4.3)."""
 
-import pytest
-
-from repro.knowledge.evaluator import KnowledgeEvaluator
 from repro.knowledge.formula import Knows
 from repro.knowledge.predicates import did_internal, has_received, has_sent
 from repro.knowledge.transfer import (

@@ -14,7 +14,6 @@ from repro.protocols.broadcast import (
 )
 from repro.simulation.scheduler import RandomScheduler
 from repro.simulation.simulator import simulate
-from repro.universe.explorer import Universe
 
 
 class TestTopologies:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.knowledge.evaluator import KnowledgeEvaluator
-from repro.knowledge.formula import CommonKnowledge, Implies, Knows, Not, Sure
+from repro.knowledge.formula import CommonKnowledge, Implies, Knows, Sure
 from repro.protocols.commit import TwoPhaseCommitProtocol
 from repro.simulation.scheduler import RandomScheduler
 from repro.simulation.simulator import simulate

@@ -7,7 +7,7 @@ from repro.core.errors import UniverseError
 from repro.core.validation import is_valid_configuration
 from repro.protocols.pingpong import PingPongProtocol
 from repro.universe.builder import figure_3_1_universe
-from repro.universe.explorer import EnumeratedUniverse, Universe
+from repro.universe.explorer import Universe
 
 
 class TestExploration:

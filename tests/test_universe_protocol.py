@@ -93,7 +93,6 @@ class TestMembership:
 
 class TestEventHelpers:
     def test_next_message_sequences_by_tag_and_receiver(self):
-        protocol = PingPongProtocol(rounds=3)
         first = Protocol.next_message((), "p", "q", "ping")
         assert first.seq == 0
         from repro.core.events import send
