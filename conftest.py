@@ -1,0 +1,61 @@
+"""Repo-level pytest configuration: a hang ceiling for every test.
+
+PR 6's supervision layer guarantees the sharded coordinator never
+blocks forever on a dead worker; the suite enforces the same property
+on itself so a reintroduced deadlock fails fast instead of hanging CI.
+
+Two mechanisms, picked at collection time:
+
+* when ``pytest-timeout`` is installed (the ``[dev]`` extra pulls it
+  in; CI uses it), every test gets its per-test ceiling unless the
+  command line overrides ``--timeout``;
+* otherwise a POSIX ``SIGALRM`` fallback fixture arms the same ceiling
+  per test (main thread only — which is where pytest runs tests), so
+  environments without the plugin keep the no-hang guarantee.
+
+``REPRO_TEST_TIMEOUT`` (seconds) overrides the default ceiling.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+TEST_TIMEOUT_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running scale tests (deselect with -m 'not slow')"
+    )
+    if config.pluginmanager.hasplugin("timeout"):
+        if not getattr(config.option, "timeout", None):
+            config.option.timeout = TEST_TIMEOUT_SECONDS
+
+
+@pytest.fixture(autouse=True)
+def _hang_ceiling(request):
+    """SIGALRM fallback when pytest-timeout is absent."""
+    if (
+        request.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _abort(signum, frame):
+        pytest.fail(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS:.0f}s hang ceiling "
+            f"(REPRO_TEST_TIMEOUT to raise)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _abort)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -29,6 +29,13 @@ The ``exploration-scale`` suite measures the frontier kernel at scale
 (star n=7/n=8, tree/ring depth targets, streaming truncation, the n=7
 property sweep) against the recorded PR-2 engine (``PR2_BASELINE``);
 ``--budget`` is its wall-clock tripwire.
+
+The ``fault-recovery`` suite measures the sharded engine's failover
+paths (worker kill, corrupt frame, heartbeat timeout, shard fold,
+checkpoint resume): each entry injects one deterministic fault
+(:mod:`repro.universe.faults`), asserts the recovered universe is
+bit-identical to the fault-free baseline of the same run, and records
+the recovery overhead.  ``--quick`` is the CI smoke mode.
 """
 
 from __future__ import annotations
@@ -108,6 +115,36 @@ class BenchShardMismatch(RuntimeError):
 class BenchBudgetExceeded(RuntimeError):
     """Raised by ``--budget`` when the suite overruns its wall-clock
     allowance — the perf-regression tripwire of the scale suite."""
+
+
+class BenchRecoveryMismatch(RuntimeError):
+    """Raised by the ``fault-recovery`` suite when a universe recovered
+    from an injected fault (or resumed from a checkpoint) is not
+    bit-identical to the fault-free baseline built in the same run —
+    the whole point of the reliability layer, so always on."""
+
+
+def _assert_recovered_identical(baseline, recovered, label: str) -> None:
+    """The bit-identity contract, cheap enough to enforce in-bench:
+    ids, configurations (with per-process histories), CSR arrays, hash
+    table including collision buckets, completeness flag."""
+    if (
+        len(baseline) != len(recovered)
+        or baseline.is_complete != recovered.is_complete
+        or baseline._succ_offsets != recovered._succ_offsets
+        or baseline._succ_ids != recovered._succ_ids
+        or baseline._ids_by_hash != recovered._ids_by_hash
+        or any(
+            ours != theirs or ours._histories != theirs._histories
+            for ours, theirs in zip(
+                baseline._configurations, recovered._configurations
+            )
+        )
+    ):
+        raise BenchRecoveryMismatch(
+            f"{label}: recovered universe is not bit-identical to the "
+            f"fault-free baseline"
+        )
 
 
 class _BudgetGuard:
@@ -290,7 +327,7 @@ def run_benchmarks(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if suite not in ("core", "exploration-scale"):
+    if suite not in ("core", "exploration-scale", "fault-recovery"):
         raise ValueError(f"unknown suite {suite!r}")
     if quick:
         repeats = 1
@@ -614,6 +651,119 @@ def run_benchmarks(
                 max_sets=8,
                 sweep_repeats=1,
             )
+    elif suite == "fault-recovery":
+        # Recovery-overhead axis: every entry re-explores the same
+        # protocol the fault-free baseline just built in this run, with
+        # one injected fault per scenario, asserts the recovered
+        # universe is bit-identical, and records the overhead the
+        # recovery path cost (respawn-and-replay, fold, heartbeat
+        # timeout, checkpoint save+resume).
+        import os as _os
+        import tempfile
+
+        from repro.universe.faults import FaultPlan
+        from repro.universe.sharded import SupervisionPolicy
+
+        shards = workers if workers > 1 else 2
+        receivers = (
+            ("w", "x", "y", "z") if quick else ("v", "w", "x", "y", "z")
+        )
+        size_label = f"n{len(receivers) + 1}"
+        fast = SupervisionPolicy(heartbeat_timeout=5.0, poll_interval=0.02)
+
+        def timed_sharded(**kwargs):
+            start = time.perf_counter()
+            universe = Universe(
+                _star_protocol(receivers), workers=shards, **kwargs
+            )
+            return universe, time.perf_counter() - start
+
+        baseline, base_seconds = timed_sharded(supervision=fast)
+        record(
+            f"fault_free_star_{size_label}_workers{shards}",
+            base_seconds,
+            configurations=len(baseline),
+            workers=shards,
+            repeats_used=1,
+        )
+
+        mid_layer = 3 if quick else 5
+        scenarios = (
+            ("kill", FaultPlan.kill(0, mid_layer), fast),
+            (
+                "corrupt",
+                FaultPlan.corrupt_batch(shards - 1, mid_layer + 1),
+                fast,
+            ),
+            (
+                "timeout",
+                FaultPlan.drop_batch(0, mid_layer),
+                SupervisionPolicy(heartbeat_timeout=0.5, poll_interval=0.02),
+            ),
+            (
+                "fold",
+                FaultPlan.kill(0, mid_layer),
+                SupervisionPolicy(
+                    heartbeat_timeout=5.0,
+                    poll_interval=0.02,
+                    max_respawns=0,
+                ),
+            ),
+        )
+        for label, plan, policy in scenarios:
+            recovered, seconds = timed_sharded(
+                fault_plan=plan, supervision=policy
+            )
+            _assert_recovered_identical(baseline, recovered, label)
+            if not recovered.recovery_log:
+                raise BenchRecoveryMismatch(
+                    f"{label}: no recovery recorded — the injected fault "
+                    f"never fired"
+                )
+            record(
+                f"recovery_{label}_star_{size_label}_workers{shards}",
+                seconds,
+                configurations=len(recovered),
+                workers=shards,
+                fault_free_seconds=round(base_seconds, 6),
+                recovery_overhead_seconds=round(seconds - base_seconds, 6),
+                recoveries=[
+                    f"{event['kind']}->{event['action']}@L{event['layer']}"
+                    for event in recovered.recovery_log
+                ],
+                repeats_used=1,
+            )
+
+        # Checkpoint/resume: truncate a kernel run mid-space, resume it,
+        # and require the finished universe to match the sharded
+        # baseline bit for bit (also a cross-engine identity check).
+        with tempfile.TemporaryDirectory() as tmpdir:
+            path = _os.path.join(tmpdir, "bench.ckpt")
+            cap = 200 if quick else 2000
+            start = time.perf_counter()
+            partial = Universe(
+                _star_protocol(receivers),
+                max_configurations=cap,
+                on_limit="truncate",
+                checkpoint=path,
+            )
+            truncate_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            resumed = Universe(_star_protocol(receivers), checkpoint=path)
+            resume_seconds = time.perf_counter() - start
+            _assert_recovered_identical(
+                baseline, resumed, "checkpoint-resume"
+            )
+            record(
+                f"checkpoint_resume_star_{size_label}",
+                resume_seconds,
+                configurations=len(resumed),
+                truncated_at=len(partial),
+                truncate_seconds=round(truncate_seconds, 6),
+                resumed_from=resumed._checkpoint_session.resumed_from,
+                saves=resumed._checkpoint_session.saves,
+                repeats_used=1,
+            )
     elif quick:
         universe_small = universe_benchmark(
             "universe_star_broadcast_n3", _star_protocol(("x", "y")), repeats
@@ -785,7 +935,11 @@ def run_benchmarks(
             "*_workersK entries run the multiprocess sharded frontier engine "
             "with K worker shards, paired against the single-process cold "
             "exploration of the same protocol in the same run "
-            "(single_process_seconds / speedup_vs_single)"
+            "(single_process_seconds / speedup_vs_single); fault-recovery "
+            "recovery_* entries inject one fault and record "
+            "recovery_overhead_seconds against the fault-free sharded "
+            "exploration of the same run, with the recovered universe "
+            "asserted bit-identical"
         ),
         "benchmarks": results,
     }
@@ -902,11 +1056,14 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--suite",
-        choices=("core", "exploration-scale"),
+        choices=("core", "exploration-scale", "fault-recovery"),
         default="core",
-        help="benchmark suite: 'core' (PR-1/PR-2 trajectory set) or "
+        help="benchmark suite: 'core' (PR-1/PR-2 trajectory set), "
         "'exploration-scale' (star n=7/n=8, tree/ring depth targets, "
-        "streaming truncation, n=7 property sweep)",
+        "streaming truncation, n=7 property sweep), or 'fault-recovery' "
+        "(sharded-engine failover overhead: kill/corrupt/timeout/fold "
+        "recovery and checkpoint resume, each asserted bit-identical to "
+        "the fault-free baseline)",
     )
     parser.add_argument(
         "--budget",

@@ -87,12 +87,35 @@ def build_protocol(name: str, args: argparse.Namespace) -> Protocol:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     protocol = build_protocol(args.protocol, args)
+    on_limit = "truncate" if args.rss_budget is not None else "raise"
     universe = Universe(
-        protocol, max_configurations=args.limit, workers=args.workers
+        protocol,
+        max_configurations=args.limit,
+        on_limit=on_limit,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        rss_budget_mb=args.rss_budget,
     )
     workers = f", workers: {args.workers}" if args.workers > 1 else ""
     print(f"{args.protocol}: {len(universe)} configurations "
           f"(complete: {universe.is_complete}{workers})")
+    session = universe._checkpoint_session
+    if session is not None:
+        if session.resumed_from is not None:
+            print(
+                f"resumed from checkpoint {session.path} "
+                f"(frontier at configuration {session.resumed_from})"
+            )
+        print(
+            f"checkpoint: {session.path} "
+            f"({session.layers} layers, {session.saves} saves)"
+        )
+    for event in universe.recovery_log:
+        print(
+            f"recovered worker {event['shard']} at layer {event['layer']} "
+            f"({event['kind']} -> {event['action']})"
+        )
     if len(universe) <= args.diagram_limit:
         diagram = IsomorphismDiagram.of_universe(universe)
         print(diagram.render())
@@ -205,6 +228,30 @@ def make_parser() -> argparse.ArgumentParser:
         default=1,
         help="exploration processes: 1 runs the in-process kernel, N>1 "
         "the multiprocess sharded frontier engine (bit-identical result)",
+    )
+    explore.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file: save at BFS layer boundaries (atomic "
+        "write-then-rename) and resume from it if it already exists; "
+        "the resumed universe is bit-identical to an uninterrupted run",
+    )
+    explore.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="save the checkpoint every N completed layers (default 1)",
+    )
+    explore.add_argument(
+        "--rss-budget",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="resident-memory budget in MiB (all exploration processes); "
+        "crossing it truncates the universe at the next layer boundary "
+        "instead of risking an OOM kill",
     )
     explore.set_defaults(handler=cmd_explore)
 

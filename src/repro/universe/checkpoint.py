@@ -1,0 +1,302 @@
+"""Layer-boundary checkpoint/resume for universe exploration.
+
+Long explorations (star n=8 is ~20 s, n=9 is ~11 min and ~26 GB) are
+lost in their entirety when the process dies — OOM kill, ^C, a worker
+crash that exhausts recovery.  This module makes exploration *resumable*
+at BFS layer boundaries, for both the in-process kernel and the sharded
+engine, with one file format shared by both.
+
+Design: the checkpoint does **not** store configurations or hashes.  It
+stores the *merged discovery stream* — the sequence ``[(parent_id,
+event), ...]`` of first discoveries in global BFS order — plus the CSR
+successor arrays (dense ids only) and the completeness flag.  Replaying
+the stream through the same construction path the sharded workers use
+(:class:`repro.universe.sharded._Replica`) rebuilds the configuration
+list, the content-hash id table (including collision-bucket layout) and
+the rolling entry-hash memo *exactly*, so exploration continues from the
+first unexpanded layer as if it had never stopped; the finished universe
+is bit-identical to an uninterrupted run (asserted in
+``tests/test_universe_checkpoint.py``).
+
+Because hashes are recomputed at load time, a checkpoint is **portable
+across interpreter hash seeds** — unlike the live sharded exchange,
+which ships raw content hashes and needs ``hash_domain_token`` to match.
+The compatibility token therefore covers what replay genuinely depends
+on: the format version, the protocol identity (class and process set)
+and the ``max_events`` bound.
+
+Writes are atomic (write to a sibling temp file, fsync, ``os.replace``)
+so an interrupted save leaves the previous checkpoint intact, never a
+torn file.
+
+The module also hosts the RSS watchdog used by ``--rss-budget``: rather
+than being OOM-killed mid-layer (losing the run *and* the checkpoint
+window), exploration that crosses the budget degrades to the
+``on_limit="truncate"`` behaviour at the next layer boundary — the
+partial universe is flagged incomplete, the checkpoint survives, and a
+resume on a bigger machine finishes the job.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zlib
+from pathlib import Path
+
+from repro.core.errors import UniverseError
+
+CHECKPOINT_MAGIC = b"REPRO-CKPT\n"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(UniverseError):
+    """A checkpoint file is unreadable, corrupt, or incompatible with
+    the exploration it was asked to resume."""
+
+
+def compatibility_token(protocol, max_events) -> tuple:
+    """What a checkpoint's replay actually depends on.
+
+    The discovery stream is replayed through the protocol's step tables,
+    so the protocol identity (class and ordered process set) and the
+    ``max_events`` bound must match; content hashes are *recomputed* at
+    load time, so the interpreter hash seed need not.
+    """
+    return (
+        CHECKPOINT_VERSION,
+        type(protocol).__qualname__,
+        tuple(protocol.ordered_processes),
+        max_events,
+    )
+
+
+class ResumedExploration:
+    """What :meth:`CheckpointSession.try_resume` hands back to an engine."""
+
+    __slots__ = ("frontier_start", "stream", "entry_hash_of", "layers")
+
+    def __init__(self, frontier_start, stream, entry_hash_of, layers) -> None:
+        self.frontier_start = frontier_start
+        self.stream = stream
+        self.entry_hash_of = entry_hash_of
+        self.layers = layers
+
+
+class CheckpointSession:
+    """One exploration's checkpoint lifecycle: resume, commit, save.
+
+    Created by :class:`~repro.universe.explorer.Universe` when a
+    ``checkpoint`` path is given and threaded through whichever engine
+    runs the exploration.  ``every`` saves one file per ``every``
+    completed layers (the final state is always saved); each save
+    atomically replaces the previous one.
+    """
+
+    def __init__(self, path, protocol, max_events, every: int = 1) -> None:
+        if every < 1:
+            raise UniverseError(
+                f"checkpoint interval must be >= 1 layer, got {every}"
+            )
+        self.path = Path(path)
+        self.protocol = protocol
+        self.max_events = max_events
+        self.every = every
+        self.token = compatibility_token(protocol, max_events)
+        # Cumulative discovery stream of all *completed* layers.
+        self.stream: list = []
+        self.layers = 0
+        self.resumed_from: int | None = None
+        self.saves = 0
+
+    # -- resume --------------------------------------------------------
+    def try_resume(self, universe) -> ResumedExploration | None:
+        """Load ``self.path`` if it exists and rebuild ``universe``'s
+        stores from it.
+
+        Returns the engine-facing resume state, or ``None`` when there
+        is no checkpoint file (a fresh run).  Raises
+        :class:`CheckpointError` on a torn, corrupt or incompatible
+        file — resuming from the wrong protocol must fail loudly, never
+        mis-merge.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {error}"
+            ) from error
+        payload = self._decode(raw)
+        if payload["token"] != self.token:
+            raise CheckpointError(
+                f"checkpoint {self.path} is incompatible: it records "
+                f"{payload['token']}, this exploration is {self.token}"
+            )
+        # Rebuild configurations / id table / entry-hash memo by
+        # replaying the stream — the exact construction path the sharded
+        # replicas use, so the rebuilt state is bit-identical.
+        from repro.universe.sharded import _Replica
+
+        stream = payload["stream"]
+        replica = _Replica(self.protocol, self.max_events)
+        replica.apply(stream)
+        if len(replica.configurations) != payload["count"]:
+            raise CheckpointError(
+                f"checkpoint {self.path} replay desync: rebuilt "
+                f"{len(replica.configurations)} configurations, file "
+                f"records {payload['count']}"
+            )
+        universe._configurations.clear()
+        universe._configurations.extend(replica.configurations)
+        universe._ids_by_hash.clear()
+        universe._ids_by_hash.update(replica.ids_by_hash)
+        del universe._succ_ids[:]
+        universe._succ_ids.frombytes(payload["succ_ids"])
+        del universe._succ_offsets[:]
+        universe._succ_offsets.frombytes(payload["succ_offsets"])
+        universe._complete = payload["complete"]
+        frontier_start = payload["frontier_start"]
+        if len(universe._succ_offsets) != frontier_start + 1:
+            raise CheckpointError(
+                f"checkpoint {self.path} CSR desync: "
+                f"{len(universe._succ_offsets)} offsets for a frontier "
+                f"at {frontier_start}"
+            )
+        self.stream = list(stream)
+        self.layers = payload["layers"]
+        self.resumed_from = frontier_start
+        return ResumedExploration(
+            frontier_start, stream, replica.entry_hash_of, payload["layers"]
+        )
+
+    # -- commit --------------------------------------------------------
+    def commit_layer(
+        self, records, frontier_start, universe, final: bool = False
+    ) -> None:
+        """Fold one completed layer's discovery records into the stream
+        and save if the interval (or ``final``) says so."""
+        if records:
+            self.stream.extend(records)
+        self.layers += 1
+        if final or self.layers % self.every == 0:
+            self.save(frontier_start, universe)
+
+    def save(self, frontier_start: int, universe) -> None:
+        """Atomically write the current state to ``self.path``."""
+        payload = {
+            "token": self.token,
+            "stream": self.stream,
+            "count": len(universe._configurations),
+            "frontier_start": frontier_start,
+            "succ_ids": universe._succ_ids.tobytes(),
+            "succ_offsets": universe._succ_offsets.tobytes(),
+            "complete": universe._complete,
+            "layers": self.layers,
+        }
+        blob = CHECKPOINT_MAGIC + zlib.compress(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), 1
+        )
+        temp = self.path.with_name(self.path.name + ".tmp")
+        with open(temp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        self.saves += 1
+
+    @staticmethod
+    def _decode(raw: bytes) -> dict:
+        if not raw.startswith(CHECKPOINT_MAGIC):
+            raise CheckpointError(
+                "not a repro checkpoint file (bad magic header)"
+            )
+        try:
+            payload = pickle.loads(zlib.decompress(raw[len(CHECKPOINT_MAGIC):]))
+        except Exception as error:
+            raise CheckpointError(
+                f"checkpoint is corrupt or truncated: {error}"
+            ) from error
+        if not isinstance(payload, dict) or "token" not in payload:
+            raise CheckpointError("checkpoint payload is malformed")
+        if payload["token"][0] != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format version {payload['token'][0]} is not "
+                f"supported (this build reads version {CHECKPOINT_VERSION})"
+            )
+        return payload
+
+
+# ---------------------------------------------------------------------
+# RSS watchdog (``--rss-budget``)
+# ---------------------------------------------------------------------
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def process_rss_mb(pid: int | None = None) -> float | None:
+    """Resident set size of one process in MiB, or ``None`` if unknown.
+
+    Reads ``/proc/<pid>/statm`` (Linux); falls back to ``ru_maxrss``
+    (peak, self only) elsewhere.  The watchdog only ever compares
+    against a budget, so peak-vs-current imprecision errs on the safe
+    (earlier-truncation) side.
+    """
+    try:
+        with open(f"/proc/{pid or 'self'}/statm", "rb") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * _PAGE_SIZE / (1 << 20)
+    except (OSError, ValueError, IndexError):
+        pass
+    if pid is not None:
+        return None
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes.
+        return peak / (1 << 10) if peak < (1 << 40) else peak / (1 << 20)
+    except Exception:  # pragma: no cover - exotic platforms only
+        return None
+
+
+class RssWatchdog:
+    """Checks total exploration RSS against a budget at layer boundaries.
+
+    ``worker_pids`` (a zero-argument callable) lets the sharded engine
+    include its live workers — each holds a full replica, so coordinator
+    RSS alone understates the footprint (K+1)×.
+    """
+
+    def __init__(self, budget_mb: float, worker_pids=None) -> None:
+        if budget_mb <= 0:
+            raise UniverseError(
+                f"rss budget must be positive, got {budget_mb}"
+            )
+        self.budget_mb = float(budget_mb)
+        self.worker_pids = worker_pids
+        self.last_mb: float | None = None
+
+    def exceeded(self) -> bool:
+        total = process_rss_mb()
+        if total is None:
+            return False
+        if self.worker_pids is not None:
+            for pid in self.worker_pids():
+                worker = process_rss_mb(pid)
+                if worker is not None:
+                    total += worker
+        self.last_mb = total
+        return total > self.budget_mb
+
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointSession",
+    "ResumedExploration",
+    "RssWatchdog",
+    "compatibility_token",
+    "process_rss_mb",
+]

@@ -398,6 +398,26 @@ class Universe:
         the merged universe is bit-identical to single-process
         exploration — same dense ids, successor arrays, class masks and
         truncation behaviour.
+    checkpoint:
+        Optional path for layer-boundary checkpointing
+        (:mod:`repro.universe.checkpoint`): if the file exists, the
+        exploration *resumes* from its last completed BFS layer; the
+        finished universe is bit-identical to an uninterrupted run.
+        Saved every ``checkpoint_every`` layers (atomic
+        write-then-rename) and at the end.
+    rss_budget_mb:
+        Optional resident-memory budget (MiB, coordinator plus live
+        workers).  When exploration crosses it at a layer boundary it
+        degrades to the ``on_limit="truncate"`` behaviour — partial
+        universe, :attr:`is_complete` ``False`` — instead of being
+        OOM-killed (pair with ``checkpoint`` to resume elsewhere).
+    fault_plan:
+        Deterministic fault injection for the sharded engine
+        (:mod:`repro.universe.faults`); requires ``workers >= 2``.
+    supervision:
+        :class:`~repro.universe.sharded.SupervisionPolicy` overriding
+        the coordinator's heartbeat/respawn tunables; ``workers >= 2``
+        only.
     """
 
     def __init__(
@@ -407,6 +427,11 @@ class Universe:
         max_configurations: int | None = 1_000_000,
         on_limit: str = "raise",
         workers: int | None = None,
+        checkpoint=None,
+        checkpoint_every: int = 1,
+        rss_budget_mb: float | None = None,
+        fault_plan=None,
+        supervision=None,
     ) -> None:
         if on_limit not in ("raise", "truncate"):
             raise UniverseError(
@@ -414,6 +439,7 @@ class Universe:
             )
         self._protocol = protocol
         self._max_events = max_events
+        self._recovery_log: list[dict] = []
         self._configurations: list[Configuration] = []
         # Content hash -> dense id (or list of ids on hash collision).
         # This is both the BFS dedup table and, after exploration, the
@@ -431,12 +457,47 @@ class Universe:
         from repro.universe.sharded import ShardedExplorer, resolve_workers
 
         worker_count = resolve_workers(workers)
+        if worker_count <= 1:
+            if fault_plan is not None:
+                raise UniverseError(
+                    "fault injection requires the sharded engine "
+                    "(workers >= 2); the in-process kernel has no workers "
+                    "to fail"
+                )
+            if supervision is not None:
+                raise UniverseError(
+                    "supervision policies apply to the sharded engine only "
+                    "(workers >= 2)"
+                )
+        session = None
+        if checkpoint is not None:
+            from repro.universe.checkpoint import CheckpointSession
+
+            session = CheckpointSession(
+                checkpoint, protocol, max_events, every=checkpoint_every
+            )
+        self._checkpoint_session = session
         if worker_count > 1:
-            ShardedExplorer(protocol, max_events, worker_count).explore_into(
-                self, max_configurations, on_limit
+            ShardedExplorer(
+                protocol,
+                max_events,
+                worker_count,
+                supervision=supervision,
+                fault_plan=fault_plan,
+            ).explore_into(
+                self,
+                max_configurations,
+                on_limit,
+                checkpoint=session,
+                rss_budget_mb=rss_budget_mb,
             )
         else:
-            self._explore(max_configurations, on_limit)
+            self._explore(
+                max_configurations,
+                on_limit,
+                session=session,
+                rss_budget_mb=rss_budget_mb,
+            )
 
     def _init_relation_caches(self) -> None:
         self._partition_tables: dict[frozenset[ProcessId], PartitionTable] = {}
@@ -456,7 +517,13 @@ class Universe:
             tuple[array, array, PartitionTable, list[tuple[int, int]]],
         ] = {}
 
-    def _explore(self, max_configurations: int | None, on_limit: str) -> None:
+    def _explore(
+        self,
+        max_configurations: int | None,
+        on_limit: str,
+        session=None,
+        rss_budget_mb: float | None = None,
+    ) -> None:
         """The frontier-batched exploration kernel.
 
         The BFS works over *append-only id buffers*: `configurations` is
@@ -508,14 +575,30 @@ class Universe:
         # child — so this one memo replaces the per-child entry-hash dict
         # copy (and its ~360 bytes/configuration) entirely.
         entry_hash_of: dict[int, int] = {}
-        entry_memo_get = entry_hash_of.get
         from_trusted = Configuration._from_trusted
 
-        configurations.append(EMPTY_CONFIGURATION)
-        ids_by_hash[hash(EMPTY_CONFIGURATION)] = 0
-        count = 1  # == len(configurations), maintained locally
-        edges = 0  # == len(succ_ids)
-        cursor = 0
+        watchdog = None
+        if rss_budget_mb is not None:
+            from repro.universe.checkpoint import RssWatchdog
+
+            watchdog = RssWatchdog(rss_budget_mb)
+        resumed = session.try_resume(self) if session is not None else None
+        if resumed is not None:
+            # try_resume rebuilt the stores in place; adopt its state and
+            # continue from the first unexpanded layer.
+            entry_hash_of = resumed.entry_hash_of
+            count = len(configurations)
+            edges = len(succ_ids)
+            cursor = resumed.frontier_start
+        else:
+            configurations.append(EMPTY_CONFIGURATION)
+            ids_by_hash[hash(EMPTY_CONFIGURATION)] = 0
+            count = 1  # == len(configurations), maintained locally
+            edges = 0  # == len(succ_ids)
+            cursor = 0
+        entry_memo_get = entry_hash_of.get
+        track = session is not None
+        rss_truncated = False
         # The kernel allocates millions of acyclic, long-lived objects and
         # creates no reference cycles of its own; CPython's generational
         # collector would rescan the growing universe on every threshold
@@ -525,6 +608,7 @@ class Universe:
         try:
             while cursor < count:
                 batch_end = count  # one BFS frontier batch
+                layer_records = [] if track else None
                 while cursor < batch_end:
                     current = configurations[cursor]
                     cursor += 1
@@ -661,17 +745,31 @@ class Universe:
                         configurations.append(child)
                         succ_ids.append(child_id)
                         edges += 1
+                        if track:
+                            layer_records.append((cursor - 1, event))
                     succ_offsets.append(edges)
                     if bound_error is not None:
                         break
                 if bound_error is not None:
+                    # Mid-layer stop: the checkpoint keeps the previous
+                    # (complete) layer boundary, never a torn layer.
+                    break
+                if track:
+                    session.commit_layer(
+                        layer_records,
+                        batch_end,
+                        self,
+                        final=cursor >= count,
+                    )
+                if watchdog is not None and cursor < count and watchdog.exceeded():
+                    rss_truncated = True
                     break
         finally:
             if gc_was_enabled:
                 gc.enable()
-        if bound_error is not None:
-            if on_limit == "raise":
-                raise UniverseError(bound_error)
+        if bound_error is not None and on_limit == "raise":
+            raise UniverseError(bound_error)
+        if bound_error is not None or rss_truncated:
             self._complete = False
             # Unexpanded frontier configurations keep empty successor rows.
             while len(succ_offsets) < len(configurations) + 1:
@@ -708,6 +806,15 @@ class Universe:
     def is_complete(self) -> bool:
         """True iff no exploration bound truncated the computation space."""
         return self._complete
+
+    @property
+    def recovery_log(self) -> tuple[dict, ...]:
+        """Failover events the sharded engine survived while building
+        this universe (empty for in-process exploration): one dict per
+        recovered :class:`~repro.universe.sharded.WorkerFailure` with
+        ``layer``, ``shard``, ``kind`` and the ``action`` taken
+        (``"respawn"`` or ``"fold"``)."""
+        return tuple(getattr(self, "_recovery_log", ()))
 
     @property
     def configurations(self) -> Sequence[Configuration]:

@@ -1,0 +1,188 @@
+"""Deterministic fault injection for the sharded exploration engine.
+
+The paper studies what processes can know in a system whose peers and
+messages fail; the sharded engine (:mod:`repro.universe.sharded`) *is*
+such a system — K worker processes exchanging batches over pipes.  This
+module gives its failure modes a deterministic, testable shape: a
+:class:`FaultPlan` is an explicit (or seeded) list of :class:`Fault`
+actions, each firing **at most once** at a specific (worker shard, BFS
+layer), threaded through ``Universe(..., workers=K, fault_plan=plan)``.
+
+Supported fault kinds, and the recovery path each exercises:
+
+``kill``
+    The worker hard-exits (``os._exit``) on receiving the layer's expand
+    request — the coordinator sees ``EOFError`` on the pipe and runs the
+    crash-failover path (respawn from the replayed discovery stream, or
+    fold the shard into the coordinator once the respawn budget is
+    spent).
+``drop_batch``
+    The worker expands the layer but never sends its batch — silence.
+    The coordinator's heartbeat timeout fires and the worker is treated
+    as hung: terminated and replaced.
+``delay_batch``
+    The worker sleeps ``seconds`` before sending.  A delay shorter than
+    the heartbeat timeout is absorbed (measures pure wait overhead); a
+    longer one is indistinguishable from a hang and triggers the same
+    timeout failover.
+``corrupt_batch``
+    The worker flips a byte in its pickled batch *after* computing the
+    frame checksum.  The coordinator's CRC verification rejects the
+    frame and the worker is replaced — the payload is never unpickled.
+
+Faults are delivered to a worker at spawn time as plain tuples (no
+module state crosses the fork), so a plan is reproducible regardless of
+scheduling.  Because shard expansion is a pure function of the merged
+discovery stream, every recovery path re-derives bit-identical batches;
+the fault-injection matrix in ``tests/test_universe_faults.py`` asserts
+the recovered universe equals the fault-free one, id for id.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import UniverseError
+
+FAULT_KINDS = ("kill", "drop_batch", "delay_batch", "corrupt_batch")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: ``kind`` fires on worker ``shard`` when it
+    handles the expand request for BFS layer ``layer`` (0-based index of
+    the coordinator's layer exchanges).  ``seconds`` is only meaningful
+    for ``delay_batch``."""
+
+    kind: str
+    shard: int
+    layer: int
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise UniverseError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.shard < 0:
+            raise UniverseError(f"fault shard must be >= 0, got {self.shard}")
+        if self.layer < 0:
+            raise UniverseError(f"fault layer must be >= 0, got {self.layer}")
+        if self.seconds < 0:
+            raise UniverseError(
+                f"fault delay must be >= 0, got {self.seconds}"
+            )
+
+    def as_wire(self) -> tuple:
+        """The fault as a plain tuple for the worker spawn arguments."""
+        return (self.kind, self.layer, self.seconds)
+
+
+class FaultPlan:
+    """An explicit, reproducible schedule of injected faults.
+
+    The plan is owned by the coordinator: each fault is handed to the
+    matching shard's worker exactly once, at the first spawn whose shard
+    index matches — replacement workers do **not** re-arm faults already
+    delivered (a killed worker's unfired faults die with it), so every
+    fault fires at most once per exploration.
+    """
+
+    def __init__(self, faults: tuple[Fault, ...] | list[Fault] = ()) -> None:
+        self._faults = tuple(faults)
+        for fault in self._faults:
+            if not isinstance(fault, Fault):
+                raise UniverseError(
+                    f"FaultPlan entries must be Fault instances, got "
+                    f"{fault!r}"
+                )
+        self._delivered: set[int] = set()
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def kill(cls, shard: int, layer: int) -> "FaultPlan":
+        """Kill worker ``shard`` when it receives layer ``layer``."""
+        return cls((Fault("kill", shard, layer),))
+
+    @classmethod
+    def drop_batch(cls, shard: int, layer: int) -> "FaultPlan":
+        """Worker ``shard`` silently drops its layer-``layer`` batch."""
+        return cls((Fault("drop_batch", shard, layer),))
+
+    @classmethod
+    def delay_batch(
+        cls, shard: int, layer: int, seconds: float
+    ) -> "FaultPlan":
+        """Worker ``shard`` delays its layer-``layer`` batch."""
+        return cls((Fault("delay_batch", shard, layer, seconds),))
+
+    @classmethod
+    def corrupt_batch(cls, shard: int, layer: int) -> "FaultPlan":
+        """Worker ``shard`` corrupts its layer-``layer`` batch frame."""
+        return cls((Fault("corrupt_batch", shard, layer),))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        workers: int,
+        max_layer: int,
+        faults: int = 1,
+        kinds: tuple[str, ...] = ("kill",),
+    ) -> "FaultPlan":
+        """A reproducible random plan: ``faults`` draws of (kind, shard,
+        layer) from a :class:`random.Random` seeded with ``seed``."""
+        if workers < 1:
+            raise UniverseError(f"workers must be >= 1, got {workers}")
+        if max_layer < 0:
+            raise UniverseError(f"max_layer must be >= 0, got {max_layer}")
+        rng = random.Random(seed)
+        drawn = tuple(
+            Fault(
+                rng.choice(kinds),
+                rng.randrange(workers),
+                rng.randint(0, max_layer),
+                seconds=rng.uniform(0.05, 0.2),
+            )
+            for _ in range(faults)
+        )
+        return cls(drawn)
+
+    # -- coordinator-side delivery -------------------------------------
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        return self._faults
+
+    def take_for_shard(self, shard: int) -> list[tuple]:
+        """Wire tuples of the not-yet-delivered faults for ``shard``,
+        marking them delivered.  Called once per worker spawn."""
+        taken: list[tuple] = []
+        for index, fault in enumerate(self._faults):
+            if fault.shard == shard and index not in self._delivered:
+                self._delivered.add(index)
+                taken.append(fault.as_wire())
+        return taken
+
+    def validate(self, workers: int) -> None:
+        """Reject plans naming shards the exploration does not have."""
+        for fault in self._faults:
+            if fault.shard >= workers:
+                raise UniverseError(
+                    f"fault targets shard {fault.shard} but the "
+                    f"exploration has only {workers} workers"
+                )
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{fault.kind}(w{fault.shard}@L{fault.layer})"
+            for fault in self._faults
+        )
+        return f"FaultPlan({inner})"
+
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan"]

@@ -18,7 +18,9 @@ what makes the frontier partitionable:
   detected exactly, not probabilistically);
 * workers ship per-parent **edge batches** — a duplicate edge is one
   ``int`` (the index of the worker-local candidate it collapsed into), a
-  candidate-new edge is ``(event, child_hash)``;
+  candidate-new edge is ``(event, child_hash)``; the batch is pickled in
+  the worker and framed with a CRC-32 so a corrupted payload is rejected
+  before it is ever unpickled;
 * the coordinator merges the batches *in global BFS order* (ascending
   parent id, original enabled-event order within a parent), resolving
   cross-worker duplicates against its authoritative id table with the
@@ -37,6 +39,40 @@ bit-identical to single-process exploration.  The test suite asserts this
 on star/tree/ring broadcast, token bus, ping-pong and custom-enabling
 protocols.
 
+Fault tolerance (PR 6).  The coordinator never blocks on a bare
+``recv()``: every wait is a bounded ``multiprocessing.connection.wait``
+poll, workers send heartbeats while expanding (every
+``SupervisionPolicy.heartbeat_parents`` parents and every
+``heartbeat_records`` replayed records), and a worker that crashes
+(``EOFError``/``BrokenPipeError``), hangs (heartbeat timeout) or ships a
+corrupt frame (CRC mismatch) surfaces as a typed :class:`WorkerFailure`
+instead of a deadlock.  Recovery leans on the same purity that makes the
+engine deterministic: **shard expansion is a pure function of the merged
+discovery stream**, and the stream is reconstructible from the
+coordinator's own CSR store (:func:`discovery_stream`), so the
+coordinator either
+
+* **respawns** a replacement worker and feeds it the full reconstructed
+  stream as its first replay (the replacement rebuilds the replica and
+  re-expands the failed layer shard — bit-identical by construction), or
+* once the respawn budget (``SupervisionPolicy.max_respawns``) is spent,
+  **folds** the dead worker's shard into itself: the coordinator owns the
+  authoritative state and expands that shard in-process for the rest of
+  the run.  The shard *assignment* (``hash % K``) never changes — only
+  who executes a shard — which is exactly why recovery cannot perturb
+  the result.
+
+Worker-side exceptions are shipped as structured error frames (type,
+message, original traceback) and re-raised by the coordinator as
+:class:`WorkerError` — deterministic application errors are *not*
+retried, because a replacement would fail identically.
+
+Deterministic fault injection (:mod:`repro.universe.faults`) threads
+through ``_worker_main`` so every one of these recovery paths is
+exercised by tests and by ``repro bench --suite fault-recovery``;
+layer-boundary checkpointing and the RSS watchdog
+(:mod:`repro.universe.checkpoint`) hook into the layer loop.
+
 Workers are forked (``multiprocessing`` ``"fork"`` context): the protocol
 object and its :class:`~repro.universe.protocol.CompiledStepTable` are
 inherited copy-on-write, so no table handoff cost is paid up front (the
@@ -52,9 +88,14 @@ from __future__ import annotations
 
 import gc
 import multiprocessing
+import os
 import pickle
+import time
 import traceback
+import zlib
+from dataclasses import dataclass
 from math import inf
+from multiprocessing.connection import wait as _connection_wait
 
 from repro.core.configuration import (
     _HASH_MODULUS,
@@ -88,6 +129,79 @@ def resolve_workers(workers: int | None) -> int:
             f"workers must be <= {_MAX_WORKERS}, got {workers}"
         )
     return max(workers, 1)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Tunables of the coordinator's worker supervision.
+
+    ``heartbeat_timeout`` is how long a worker may stay silent (no
+    heartbeat, no batch) before it is declared hung; workers emit a
+    heartbeat every ``heartbeat_parents`` expanded parents and every
+    ``heartbeat_records`` replayed records, so the gap between
+    heartbeats under normal operation is bounded work, not a layer.
+    ``max_respawns`` is the total replacement budget for the whole
+    exploration (``None`` means one per worker); once spent, further
+    failures fold the shard into the coordinator.  ``poll_interval``
+    bounds every coordinator wait; ``join_timeout`` bounds teardown.
+    """
+
+    heartbeat_timeout: float = 30.0
+    poll_interval: float = 0.05
+    heartbeat_parents: int = 2048
+    heartbeat_records: int = 200_000
+    max_respawns: int | None = None
+    join_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout <= 0:
+            raise UniverseError("heartbeat_timeout must be positive")
+        if self.poll_interval <= 0:
+            raise UniverseError("poll_interval must be positive")
+        if self.heartbeat_parents < 1 or self.heartbeat_records < 1:
+            raise UniverseError("heartbeat chunk sizes must be >= 1")
+        if self.max_respawns is not None and self.max_respawns < 0:
+            raise UniverseError("max_respawns must be >= 0")
+
+    def resolve_respawns(self, workers: int) -> int:
+        return workers if self.max_respawns is None else self.max_respawns
+
+
+class WorkerFailure(Exception):
+    """Internal control-flow signal: worker ``shard`` failed *environmentally*
+    (crash, hang, corrupt frame) and the layer must be recovered.
+
+    Never escapes :class:`ShardedExplorer` — it is consumed by the
+    failover logic.  Deterministic application errors travel as
+    :class:`WorkerError` instead and are never retried.
+    """
+
+    def __init__(self, shard: int, kind: str, detail: str = "") -> None:
+        super().__init__(f"worker {shard} {kind}: {detail}")
+        self.shard = shard
+        self.kind = kind  # "exit" | "timeout" | "corrupt"
+        self.detail = detail
+
+
+class WorkerError(UniverseError):
+    """A worker raised a real exception; re-raised by the coordinator
+    with the worker's original traceback preserved in the message and in
+    :attr:`worker_traceback`."""
+
+    def __init__(self, shard: int, payload: dict) -> None:
+        self.shard = shard
+        self.worker_type = payload.get("type", "Exception")
+        self.worker_traceback = payload.get("traceback") or ""
+        text = (
+            f"sharded exploration worker {shard} failed with "
+            f"{self.worker_type}: {payload.get('message', '')}"
+        )
+        if self.worker_traceback:
+            text += (
+                "\n--- original worker traceback ---\n"
+                + self.worker_traceback
+            )
+        super().__init__(text)
 
 
 class _Replica:
@@ -128,6 +242,16 @@ class _Replica:
             process: table.steps(process, ())
             for process in protocol.ordered_processes
         }
+
+    @classmethod
+    def attached(cls, protocol, max_events, configurations) -> "_Replica":
+        """A replica that *reads* an externally owned configuration list
+        (the coordinator's) instead of maintaining its own — used to fold
+        a dead worker's shard into the coordinator.  Only :meth:`expand`
+        may be called on it."""
+        replica = cls(protocol, max_events)
+        replica.configurations = configurations
+        return replica
 
     # -- shared hash math ----------------------------------------------
     def _child_parts(self, parent: Configuration, event):
@@ -184,12 +308,15 @@ class _Replica:
         return items
 
     # -- replay ---------------------------------------------------------
-    def apply(self, records) -> None:
-        """Replay one layer's merged discovery stream ``[(parent_id,
-        event), ...]`` — append the children in stream order."""
+    def apply(self, records, progress=None, progress_every: int = 0) -> None:
+        """Replay a merged discovery stream ``[(parent_id, event), ...]``
+        — append the children in stream order.  ``progress`` (if given)
+        is invoked every ``progress_every`` records so a worker replaying
+        a huge layer keeps its heartbeat alive."""
         configurations = self.configurations
         ids_by_hash = self.ids_by_hash
         from_trusted = Configuration._from_trusted
+        since_progress = 0
         for parent_id, event in records:
             parent = configurations[parent_id]
             process, new_history, new_entry, child_hash = self._child_parts(
@@ -208,9 +335,22 @@ class _Replica:
                 ids_by_hash[child_hash] = [existing, child_id]
             else:
                 existing.append(child_id)
+            if progress is not None:
+                since_progress += 1
+                if since_progress >= progress_every:
+                    since_progress = 0
+                    progress()
 
     # -- expansion ------------------------------------------------------
-    def expand(self, layer_start: int, layer_end: int, shard: int, shards: int):
+    def expand(
+        self,
+        layer_start: int,
+        layer_end: int,
+        shard: int,
+        shards: int,
+        progress=None,
+        progress_every: int = 0,
+    ):
         """Expand this shard's parents of one frontier layer.
 
         Returns ``(records, incomplete)``: per owned parent, in ascending
@@ -220,6 +360,9 @@ class _Replica:
         that index) or ``(event, child_hash)`` (candidate-new edge, first
         local discovery).  ``incomplete`` is True iff a capped parent
         still had enabled events (the kernel's completeness rule).
+
+        ``progress`` (if given) is invoked every ``progress_every``
+        *owned* parents — the worker-side heartbeat hook.
         """
         protocol = self.protocol
         configurations = self.configurations
@@ -241,6 +384,7 @@ class _Replica:
         records = []
         incomplete = False
         candidates = 0
+        since_progress = 0
         # Batch-local candidate table: child_hash -> [(index, transient)].
         # Transient children are materialised so local duplicate edges get
         # the kernel's structural check, not a hash-only equality.
@@ -252,6 +396,11 @@ class _Replica:
                 parent_hash = hash(current)
             if parent_hash % shards != shard:
                 continue
+            if progress is not None:
+                since_progress += 1
+                if since_progress >= progress_every:
+                    since_progress = 0
+                    progress()
             if max_events is not None and len(current) >= max_events:
                 if compiled_enabled(current):
                     incomplete = True
@@ -312,18 +461,106 @@ class _Replica:
         return records, incomplete
 
 
-def _worker_main(connection, protocol, shard, shards, max_events, token):
-    """Body of one shard worker process."""
+# ---------------------------------------------------------------------
+# Discovery-stream reconstruction (the failover replay source)
+# ---------------------------------------------------------------------
+def _discovery_event(parent: Configuration, child: Configuration):
+    """The event extending ``parent`` to ``child``.
+
+    Children constructed by the merge (and by checkpoint replay) share
+    every unchanged history tuple with their parent by identity, so the
+    grown history is the one that is not the same object; its last entry
+    is the discovery event.
+    """
+    parent_histories = parent._histories
+    for process, history in child._histories.items():
+        if parent_histories.get(process) is not history:
+            return history[-1]
+    raise UniverseError(
+        "discovery-stream reconstruction found no extending event "
+        "(parent and child share all histories)"
+    )
+
+
+def discovery_stream(configurations, succ_offsets, succ_ids) -> list:
+    """Reconstruct the merged discovery stream from the CSR store.
+
+    Dense ids are assigned in discovery order, so walking the expanded
+    parents' successor rows in global BFS order, the first edge whose
+    child id equals the next unassigned id *is* that child's discovery
+    edge.  This is what lets the coordinator rebuild a dead worker's
+    replica without retaining the stream in memory: the stream is a pure
+    function of the state the coordinator already owns.
+    """
+    stream: list = []
+    expected = 1
+    for parent_id in range(len(succ_offsets) - 1):
+        row_start = succ_offsets[parent_id]
+        row_end = succ_offsets[parent_id + 1]
+        if row_start == row_end:
+            continue
+        parent = configurations[parent_id]
+        for child_id in succ_ids[row_start:row_end]:
+            if child_id == expected:
+                stream.append(
+                    (parent_id, _discovery_event(parent, configurations[child_id]))
+                )
+                expected += 1
+    return stream
+
+
+# ---------------------------------------------------------------------
+# Worker process body
+# ---------------------------------------------------------------------
+def _send_error(connection, error: BaseException | None, message: str) -> None:
+    """Ship a structured error frame; never raise from the shipper."""
+    payload = {
+        "type": type(error).__name__ if error is not None else "UniverseError",
+        "message": str(error) if error is not None else message,
+        "traceback": traceback.format_exc() if error is not None else "",
+    }
+    try:
+        connection.send(("error", payload))
+    except Exception:
+        pass
+
+
+def _worker_main(
+    connection,
+    protocol,
+    shard,
+    shards,
+    max_events,
+    token,
+    heartbeat_parents,
+    heartbeat_records,
+    fault_actions,
+):
+    """Body of one shard worker process.
+
+    ``fault_actions`` is a list of :meth:`repro.universe.faults.Fault.as_wire`
+    tuples scoped to this worker — deterministic fault injection for the
+    recovery test matrix; empty in production use.
+    """
     gc.disable()
+    faults_by_layer: dict[int, list] = {}
+    for kind, layer, seconds in fault_actions:
+        faults_by_layer.setdefault(layer, []).append((kind, seconds))
+
+    def heartbeat() -> None:
+        try:
+            connection.send(("heartbeat",))
+        except (BrokenPipeError, OSError):
+            pass
+
     try:
         if hash_domain_token() != token:
-            connection.send(
-                (
-                    "error",
-                    "worker hash domain differs from the coordinator's "
-                    "(sharded exploration requires the fork start method "
-                    "or a pinned PYTHONHASHSEED)",
-                )
+            _send_error(
+                connection,
+                None,
+                "worker hash domain differs from the coordinator's "
+                "(sharded exploration requires the fork start method "
+                "or a pinned PYTHONHASHSEED)",
             )
             return
         replica = _Replica(protocol, max_events)
@@ -332,29 +569,70 @@ def _worker_main(connection, protocol, shard, shards, max_events, token):
             kind = message[0]
             if kind == "stop":
                 return
-            # ("expand", records_blob, layer_start, layer_end)
-            _, blob, layer_start, layer_end = message
-            replica.apply(pickle.loads(blob))
+            # ("expand", records_blob, layer_start, layer_end, layer)
+            _, blob, layer_start, layer_end, layer = message
+            actions = faults_by_layer.pop(layer, ())
+            for fault_kind, _ in actions:
+                if fault_kind == "kill":
+                    # Simulated hard crash: no cleanup, no farewell frame
+                    # — the coordinator sees EOF, exactly as for an OOM
+                    # kill or a segfault.
+                    os._exit(17)
+            heartbeat()
+            replica.apply(
+                pickle.loads(blob),
+                progress=heartbeat,
+                progress_every=heartbeat_records,
+            )
             if len(replica.configurations) != layer_end:
-                connection.send(
-                    (
-                        "error",
-                        f"replica desync: {len(replica.configurations)} "
-                        f"configurations, expected {layer_end}",
-                    )
+                _send_error(
+                    connection,
+                    None,
+                    f"replica desync: {len(replica.configurations)} "
+                    f"configurations, expected {layer_end}",
                 )
                 return
             batch, incomplete = replica.expand(
-                layer_start, layer_end, shard, shards
+                layer_start,
+                layer_end,
+                shard,
+                shards,
+                progress=heartbeat,
+                progress_every=heartbeat_parents,
             )
-            connection.send(("batch", batch, incomplete))
-    except BaseException:
-        try:
-            connection.send(("error", traceback.format_exc()))
-        except Exception:
-            pass
+            frame = pickle.dumps(
+                (batch, incomplete), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            crc = zlib.crc32(frame)
+            drop = False
+            for fault_kind, seconds in actions:
+                if fault_kind == "delay_batch":
+                    time.sleep(seconds)
+                elif fault_kind == "drop_batch":
+                    drop = True
+                elif fault_kind == "corrupt_batch":
+                    mangled = bytearray(frame)
+                    mangled[len(mangled) // 2] ^= 0xFF
+                    frame = bytes(mangled)
+            if not drop:
+                connection.send(("batch", frame, crc))
+    except BaseException as error:
+        _send_error(connection, error, "")
     finally:
         connection.close()
+
+
+class _GatherState:
+    """Mutable per-layer gather bookkeeping shared by the broadcast,
+    gather and failover paths."""
+
+    __slots__ = ("pending", "batches", "last_seen", "incomplete")
+
+    def __init__(self, workers: int) -> None:
+        self.pending: set[int] = set()
+        self.batches: list = [None] * workers
+        self.last_seen: dict[int, float] = {}
+        self.incomplete = False
 
 
 class ShardedExplorer:
@@ -364,10 +642,19 @@ class ShardedExplorer:
     exchange protocol described in the module docstring and merges their
     edge batches into the owning :class:`~repro.universe.explorer.Universe`
     — deterministically, so the result is bit-identical to the
-    single-process kernel.
+    single-process kernel, *including* across worker crashes, hangs and
+    corrupt frames (see the fault-tolerance section of the module
+    docstring and RELIABILITY.md).
     """
 
-    def __init__(self, protocol, max_events, workers: int) -> None:
+    def __init__(
+        self,
+        protocol,
+        max_events,
+        workers: int,
+        supervision: SupervisionPolicy | None = None,
+        fault_plan=None,
+    ) -> None:
         if workers < 2:
             raise UniverseError(
                 f"sharded exploration needs at least 2 workers, got {workers}"
@@ -375,62 +662,386 @@ class ShardedExplorer:
         self._protocol = protocol
         self._max_events = max_events
         self._workers = workers
+        self._policy = supervision or SupervisionPolicy()
+        self._fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate(workers)
+        self._connections: list = [None] * workers
+        self._processes: list = [None] * workers
+        self._alive: list[bool] = [False] * workers
+        self._respawns_left = self._policy.resolve_respawns(workers)
+        self._fallback: _Replica | None = None
+        self._stream_blob: tuple[int, bytes] | None = None
+        self._context = None
+        self._token = None
+        self.recovery_log: list[dict] = []
 
-    def explore_into(self, universe, max_configurations, on_limit) -> None:
-        """Run the sharded exploration, filling ``universe``'s stores."""
+    # -- process lifecycle ---------------------------------------------
+    def _spawn(self, shard: int) -> None:
+        """Start (or restart) the worker for ``shard`` on a fresh pipe."""
+        actions = (
+            self._fault_plan.take_for_shard(shard)
+            if self._fault_plan is not None
+            else []
+        )
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_end,
+                self._protocol,
+                shard,
+                self._workers,
+                self._max_events,
+                self._token,
+                self._policy.heartbeat_parents,
+                self._policy.heartbeat_records,
+                actions,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        self._connections[shard] = parent_end
+        self._processes[shard] = process
+        self._alive[shard] = True
+
+    def _discard_worker(self, shard: int) -> None:
+        """Terminate and reap one worker, closing both coordinator-side
+        handles.  Safe to call on an already-dead worker."""
+        connection = self._connections[shard]
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
+            self._connections[shard] = None
+        process = self._processes[shard]
+        if process is not None:
+            try:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=self._policy.join_timeout)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.kill()
+                    process.join(timeout=self._policy.join_timeout)
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self._processes[shard] = None
+        self._alive[shard] = False
+
+    def _teardown(self) -> None:
+        """Exception-safe teardown of every child and both pipe ends.
+
+        Connections close first so idle workers unblock from ``recv``
+        with EOF and exit on their own; stragglers are terminated, then
+        killed.  Runs on every exit path — success, coordinator-side
+        exceptions, ``KeyboardInterrupt`` — so no orphan processes or
+        leaked descriptors survive ``explore_into``.
+        """
+        for shard in range(self._workers):
+            self._discard_worker(shard)
+
+    def _worker_pids(self) -> list[int]:
+        return [
+            process.pid
+            for process in self._processes
+            if process is not None and process.is_alive()
+        ]
+
+    # -- failover -------------------------------------------------------
+    def _full_stream_blob(self, universe, layer_end: int) -> bytes:
+        """The pickled full discovery stream up to ``layer_end`` —
+        reconstructed from the CSR store, cached per layer (several
+        failures in one layer replay the same stream)."""
+        cached = self._stream_blob
+        if cached is not None and cached[0] == layer_end:
+            return cached[1]
+        stream = discovery_stream(
+            universe._configurations,
+            universe._succ_offsets,
+            universe._succ_ids,
+        )
+        blob = pickle.dumps(stream, protocol=pickle.HIGHEST_PROTOCOL)
+        self._stream_blob = (layer_end, blob)
+        return blob
+
+    def _fold_shard(
+        self, universe, shard: int, layer_start: int, layer_end: int
+    ):
+        """Expand ``shard`` in the coordinator — the no-respawn fallback.
+
+        The coordinator's own state is authoritative, so an attached
+        replica over it re-derives exactly the batch the worker would
+        have sent (pure function of the stream)."""
+        if self._fallback is None:
+            self._fallback = _Replica.attached(
+                self._protocol, self._max_events, universe._configurations
+            )
+        return self._fallback.expand(
+            layer_start, layer_end, shard, self._workers
+        )
+
+    def _recover(
+        self,
+        universe,
+        failure: WorkerFailure,
+        state: _GatherState,
+        layer_start: int,
+        layer_end: int,
+        layer: int,
+    ) -> None:
+        """Deterministic failover for one failed worker.
+
+        Either respawn a replacement (fed the full reconstructed stream,
+        so it re-expands the failed layer shard bit-identically) or fold
+        the shard into the coordinator for the rest of the run.
+        """
+        shard = failure.shard
+        self._discard_worker(shard)
+        if self._respawns_left > 0:
+            self._respawns_left -= 1
+            self._spawn(shard)
+            try:
+                self._connections[shard].send(
+                    (
+                        "expand",
+                        self._full_stream_blob(universe, layer_end),
+                        layer_start,
+                        layer_end,
+                        layer,
+                    )
+                )
+            except (BrokenPipeError, OSError) as error:
+                # The replacement died before taking the job; recurse —
+                # bounded by the respawn budget, then folds.
+                self.recovery_log.append(
+                    {
+                        "layer": layer,
+                        "shard": shard,
+                        "kind": failure.kind,
+                        "action": "respawn-failed",
+                        "detail": str(error),
+                    }
+                )
+                self._recover(
+                    universe,
+                    WorkerFailure(shard, "exit", str(error)),
+                    state,
+                    layer_start,
+                    layer_end,
+                    layer,
+                )
+                return
+            state.pending.add(shard)
+            state.last_seen[shard] = time.monotonic()
+            self.recovery_log.append(
+                {
+                    "layer": layer,
+                    "shard": shard,
+                    "kind": failure.kind,
+                    "action": "respawn",
+                    "detail": failure.detail,
+                }
+            )
+            return
+        state.pending.discard(shard)
+        records, incomplete = self._fold_shard(
+            universe, shard, layer_start, layer_end
+        )
+        state.batches[shard] = records
+        state.incomplete |= incomplete
+        self.recovery_log.append(
+            {
+                "layer": layer,
+                "shard": shard,
+                "kind": failure.kind,
+                "action": "fold",
+                "detail": failure.detail,
+            }
+        )
+
+    # -- layer exchange -------------------------------------------------
+    def _exchange_layer(
+        self, universe, replay, layer_start: int, layer_end: int, layer: int
+    ) -> _GatherState:
+        """One full broadcast/expand/gather round with supervision.
+
+        Returns the gather state with every shard's batch present —
+        produced by its worker, a respawned replacement, or the
+        coordinator's fold — or raises :class:`WorkerError` /
+        :class:`UniverseError` for deterministic failures.
+        """
+        policy = self._policy
+        state = _GatherState(self._workers)
+        blob = pickle.dumps(replay, protocol=pickle.HIGHEST_PROTOCOL)
+        now = time.monotonic()
+        for shard in range(self._workers):
+            if not self._alive[shard]:
+                # Permanently folded shard: the coordinator does the work.
+                records, incomplete = self._fold_shard(
+                    universe, shard, layer_start, layer_end
+                )
+                state.batches[shard] = records
+                state.incomplete |= incomplete
+                continue
+            try:
+                self._connections[shard].send(
+                    ("expand", blob, layer_start, layer_end, layer)
+                )
+            except (BrokenPipeError, OSError) as error:
+                self._recover(
+                    universe,
+                    WorkerFailure(shard, "exit", f"send failed: {error}"),
+                    state,
+                    layer_start,
+                    layer_end,
+                    layer,
+                )
+                continue
+            state.pending.add(shard)
+            state.last_seen[shard] = now
+
+        while state.pending:
+            conn_of = {
+                self._connections[shard]: shard for shard in state.pending
+            }
+            ready = _connection_wait(
+                list(conn_of), timeout=policy.poll_interval
+            )
+            now = time.monotonic()
+            for connection in ready:
+                shard = conn_of[connection]
+                if shard not in state.pending:
+                    continue  # recovered earlier in this drain
+                if self._connections[shard] is not connection:
+                    continue  # stale handle of a replaced worker
+                try:
+                    message = connection.recv()
+                except (EOFError, BrokenPipeError, OSError) as error:
+                    self._recover(
+                        universe,
+                        WorkerFailure(
+                            shard, "exit", f"{type(error).__name__}: {error}"
+                        ),
+                        state,
+                        layer_start,
+                        layer_end,
+                        layer,
+                    )
+                    continue
+                state.last_seen[shard] = now
+                kind = message[0]
+                if kind == "heartbeat":
+                    continue
+                if kind == "error":
+                    # Deterministic application error: re-raise with the
+                    # original traceback; a replacement would fail the
+                    # same way, so no retry.
+                    raise WorkerError(shard, message[1])
+                frame, crc = message[1], message[2]
+                if zlib.crc32(frame) != crc:
+                    self._recover(
+                        universe,
+                        WorkerFailure(
+                            shard,
+                            "corrupt",
+                            f"batch CRC mismatch at layer {layer}",
+                        ),
+                        state,
+                        layer_start,
+                        layer_end,
+                        layer,
+                    )
+                    continue
+                records, incomplete = pickle.loads(frame)
+                state.batches[shard] = records
+                state.incomplete |= incomplete
+                state.pending.discard(shard)
+            for shard in sorted(state.pending):
+                if now - state.last_seen[shard] > policy.heartbeat_timeout:
+                    self._recover(
+                        universe,
+                        WorkerFailure(
+                            shard,
+                            "timeout",
+                            f"no heartbeat for "
+                            f"{policy.heartbeat_timeout:.3g}s at layer "
+                            f"{layer}",
+                        ),
+                        state,
+                        layer_start,
+                        layer_end,
+                        layer,
+                    )
+        return state
+
+    # -- exploration ----------------------------------------------------
+    def explore_into(
+        self,
+        universe,
+        max_configurations,
+        on_limit,
+        checkpoint=None,
+        rss_budget_mb=None,
+    ) -> None:
+        """Run the sharded exploration, filling ``universe``'s stores.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.universe.checkpoint.CheckpointSession` (resume +
+        layer-boundary saves); ``rss_budget_mb`` arms the RSS watchdog
+        (coordinator + live workers), degrading to the
+        ``on_limit="truncate"`` behaviour at the next layer boundary
+        instead of being OOM-killed.
+        """
         try:
-            context = multiprocessing.get_context("fork")
+            self._context = multiprocessing.get_context("fork")
         except ValueError as error:  # pragma: no cover - non-POSIX only
             raise UniverseError(
                 "sharded exploration requires the 'fork' multiprocessing "
                 "start method (content hashes depend on the interpreter's "
                 "hash seed, which fork inherits)"
             ) from error
-        protocol = self._protocol
-        workers = self._workers
         # Warm the root's message-set caches before forking so the
         # propagate chain is unbroken in every process, as in the kernel.
         EMPTY_CONFIGURATION.received_messages
         EMPTY_CONFIGURATION.in_flight_messages
-        token = hash_domain_token()
-        connections = []
-        processes = []
+        self._token = hash_domain_token()
+        universe._recovery_log = self.recovery_log
+        watchdog = None
+        if rss_budget_mb is not None:
+            from repro.universe.checkpoint import RssWatchdog
+
+            watchdog = RssWatchdog(rss_budget_mb, self._worker_pids)
+        resumed = checkpoint.try_resume(universe) if checkpoint else None
         try:
-            for shard in range(workers):
-                parent_end, child_end = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=_worker_main,
-                    args=(
-                        child_end,
-                        protocol,
-                        shard,
-                        workers,
-                        self._max_events,
-                        token,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                child_end.close()
-                connections.append(parent_end)
-                processes.append(process)
-            self._explore_loop(universe, max_configurations, on_limit, connections)
-            for connection in connections:
-                try:
-                    connection.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
+            for shard in range(self._workers):
+                self._spawn(shard)
+            self._explore_loop(
+                universe,
+                max_configurations,
+                on_limit,
+                checkpoint,
+                watchdog,
+                resumed,
+            )
+            for shard in range(self._workers):
+                if self._alive[shard]:
+                    try:
+                        self._connections[shard].send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
         finally:
-            for connection in connections:
-                connection.close()
-            for process in processes:
-                process.join(timeout=5.0)
-                if process.is_alive():  # pragma: no cover - defensive
-                    process.terminate()
-                    process.join(timeout=5.0)
+            self._teardown()
 
     def _explore_loop(
-        self, universe, max_configurations, on_limit, connections
+        self,
+        universe,
+        max_configurations,
+        on_limit,
+        checkpoint,
+        watchdog,
+        resumed,
     ) -> None:
         """The coordinator side: broadcast, gather, merge, repeat."""
         workers = self._workers
@@ -442,32 +1053,35 @@ class ShardedExplorer:
         child_items = _Replica._child_items
         limit = max_configurations if max_configurations is not None else inf
 
-        configurations.append(EMPTY_CONFIGURATION)
-        ids_by_hash[hash(EMPTY_CONFIGURATION)] = 0
-        count = 1
-        edges = 0
-        layer_start = 0
-        replay: list = []  # previous layer's merged discovery stream
+        if resumed is not None:
+            count = len(configurations)
+            edges = len(succ_ids)
+            layer_start = resumed.frontier_start
+            layer = resumed.layers
+            # Fresh replicas rebuild from the root: the first replay blob
+            # is the full restored stream, not one layer's.
+            replay: list = resumed.stream
+        else:
+            configurations.append(EMPTY_CONFIGURATION)
+            ids_by_hash[hash(EMPTY_CONFIGURATION)] = 0
+            count = 1
+            edges = 0
+            layer_start = 0
+            layer = 0
+            replay = []  # previous layer's merged discovery stream
         bound_error: str | None = None
+        rss_truncated = False
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
             while True:
                 layer_end = count
-                blob = pickle.dumps(replay, protocol=pickle.HIGHEST_PROTOCOL)
-                for connection in connections:
-                    connection.send(("expand", blob, layer_start, layer_end))
-                batches: list = [None] * workers
-                for shard, connection in enumerate(connections):
-                    reply = self._receive(connection)
-                    if reply[0] == "error":
-                        raise UniverseError(
-                            f"sharded exploration worker {shard} failed:\n"
-                            f"{reply[1]}"
-                        )
-                    batches[shard] = reply[1]
-                    if reply[2]:
-                        universe._complete = False
+                state = self._exchange_layer(
+                    universe, replay, layer_start, layer_end, layer
+                )
+                if state.incomplete:
+                    universe._complete = False
+                batches = state.batches
                 replay = []
                 cursors = [0] * workers
                 # Per worker, candidate index -> resolved global id, filled
@@ -572,27 +1186,34 @@ class ShardedExplorer:
                         break
                 if bound_error is not None:
                     break
+                done = count == layer_end  # no new configurations
+                if checkpoint is not None:
+                    checkpoint.commit_layer(
+                        replay, layer_end, universe, final=done
+                    )
                 layer_start = layer_end
-                if count == layer_end:  # no new configurations: done
+                layer += 1
+                if done:
+                    break
+                if watchdog is not None and watchdog.exceeded():
+                    rss_truncated = True
                     break
         finally:
             if gc_was_enabled:
                 gc.enable()
-        if bound_error is not None:
-            if on_limit == "raise":
-                raise UniverseError(bound_error)
+        if bound_error is not None and on_limit == "raise":
+            raise UniverseError(bound_error)
+        if bound_error is not None or rss_truncated:
             universe._complete = False
             while len(succ_offsets) < len(configurations) + 1:
                 succ_offsets.append(len(succ_ids))
 
-    @staticmethod
-    def _receive(connection):
-        try:
-            return connection.recv()
-        except EOFError as error:
-            raise UniverseError(
-                "sharded exploration worker exited unexpectedly"
-            ) from error
 
-
-__all__ = ["ShardedExplorer", "resolve_workers"]
+__all__ = [
+    "ShardedExplorer",
+    "SupervisionPolicy",
+    "WorkerError",
+    "WorkerFailure",
+    "discovery_stream",
+    "resolve_workers",
+]

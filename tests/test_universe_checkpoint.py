@@ -1,0 +1,314 @@
+"""Layer-boundary checkpoint/resume and the RSS watchdog.
+
+The contract: an exploration interrupted at any layer boundary and
+resumed from its checkpoint file finishes with a universe bit-identical
+to an uninterrupted run — same dense ids, CSR arrays, hash buckets
+(collision layout included), completeness flag — for the in-process
+kernel and the sharded engine alike, and even across engines (a kernel
+checkpoint resumed sharded, and vice versa), because the file stores
+the merged discovery stream rather than engine-specific state.
+"""
+
+import os
+
+import pytest
+
+from repro.core.errors import UniverseError
+from repro.protocols.token_bus import TokenBusProtocol
+from repro.universe.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    CheckpointSession,
+    RssWatchdog,
+    compatibility_token,
+    process_rss_mb,
+)
+from repro.universe.explorer import Universe
+from repro.universe.faults import FaultPlan
+from repro.universe.sharded import SupervisionPolicy
+
+from test_universe_sharded import assert_bit_identical, star_protocol
+
+FAST = SupervisionPolicy(heartbeat_timeout=5.0, poll_interval=0.02)
+
+
+def interrupt_then_resume(tmp_path, cap, workers=None, resume_workers=None):
+    """Truncate an exploration at ``cap`` configurations (the natural
+    mid-exploration interruption: the checkpoint keeps the last
+    completed layer boundary), then resume with the cap lifted."""
+    path = tmp_path / "universe.ckpt"
+    partial = Universe(
+        star_protocol(5),
+        max_configurations=cap,
+        on_limit="truncate",
+        checkpoint=path,
+        workers=workers,
+    )
+    assert not partial.is_complete
+    resumed = Universe(
+        star_protocol(5), checkpoint=path, workers=resume_workers
+    )
+    return partial, resumed
+
+
+class TestKernelResume:
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path):
+        single = Universe(star_protocol(5))
+        partial, resumed = interrupt_then_resume(tmp_path, cap=200)
+        assert len(partial) == 200
+        assert_bit_identical(single, resumed)
+        assert resumed._checkpoint_session.resumed_from is not None
+
+    def test_every_interruption_point(self, tmp_path):
+        """Truncating at many different caps always resumes exactly."""
+        single = Universe(star_protocol(5))
+        for cap in (2, 17, 80, 300, 633):
+            path = tmp_path / f"cap{cap}.ckpt"
+            Universe(
+                star_protocol(5),
+                max_configurations=cap,
+                on_limit="truncate",
+                checkpoint=path,
+            )
+            resumed = Universe(star_protocol(5), checkpoint=path)
+            assert_bit_identical(single, resumed)
+
+    def test_fresh_run_with_checkpoint_writes_file(self, tmp_path):
+        path = tmp_path / "fresh.ckpt"
+        universe = Universe(star_protocol(4), checkpoint=path)
+        assert path.exists()
+        session = universe._checkpoint_session
+        assert session.resumed_from is None
+        assert session.saves >= 1
+        assert not path.with_name(path.name + ".tmp").exists()  # atomic
+
+    def test_resume_of_complete_run_is_idempotent(self, tmp_path):
+        path = tmp_path / "done.ckpt"
+        first = Universe(star_protocol(5), checkpoint=path)
+        again = Universe(star_protocol(5), checkpoint=path)
+        assert again._checkpoint_session.resumed_from == len(first)
+        assert_bit_identical(first, again)
+
+    def test_checkpoint_every_reduces_saves(self, tmp_path):
+        dense = Universe(
+            star_protocol(5), checkpoint=tmp_path / "dense.ckpt"
+        )
+        sparse = Universe(
+            star_protocol(5),
+            checkpoint=tmp_path / "sparse.ckpt",
+            checkpoint_every=4,
+        )
+        assert sparse._checkpoint_session.saves < (
+            dense._checkpoint_session.saves
+        )
+        # The final state is always saved, so resume still completes.
+        resumed = Universe(
+            star_protocol(5), checkpoint=tmp_path / "sparse.ckpt"
+        )
+        assert_bit_identical(dense, resumed)
+
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(UniverseError, match=">= 1"):
+            Universe(
+                star_protocol(4),
+                checkpoint=tmp_path / "x.ckpt",
+                checkpoint_every=0,
+            )
+
+    def test_max_events_round_trip(self, tmp_path):
+        single = Universe(star_protocol(5), max_events=6)
+        path = tmp_path / "capped.ckpt"
+        Universe(
+            star_protocol(5),
+            max_events=6,
+            max_configurations=100,
+            on_limit="truncate",
+            checkpoint=path,
+        )
+        resumed = Universe(star_protocol(5), max_events=6, checkpoint=path)
+        assert not resumed.is_complete  # max_events truncation preserved
+        assert_bit_identical(single, resumed)
+
+
+class TestShardedResume:
+    def test_sharded_interrupt_sharded_resume(self, tmp_path):
+        single = Universe(star_protocol(5))
+        _, resumed = interrupt_then_resume(
+            tmp_path, cap=200, workers=2, resume_workers=2
+        )
+        assert_bit_identical(single, resumed)
+
+    def test_cross_engine_resume(self, tmp_path):
+        """The file format is engine-neutral: kernel checkpoint resumed
+        sharded, sharded checkpoint resumed by the kernel."""
+        single = Universe(star_protocol(5))
+        (tmp_path / "a").mkdir()
+        _, kernel_to_sharded = interrupt_then_resume(
+            tmp_path / "a", cap=150, workers=None, resume_workers=3
+        )
+        assert_bit_identical(single, kernel_to_sharded)
+        (tmp_path / "b").mkdir()
+        _, sharded_to_kernel = interrupt_then_resume(
+            tmp_path / "b", cap=150, workers=2, resume_workers=None
+        )
+        assert_bit_identical(single, sharded_to_kernel)
+
+    def test_resume_with_fault_injection(self, tmp_path):
+        """Checkpoint resume composes with failover in the same run."""
+        single = Universe(star_protocol(5))
+        path = tmp_path / "both.ckpt"
+        partial = Universe(
+            star_protocol(5),
+            max_configurations=200,
+            on_limit="truncate",
+            checkpoint=path,
+            workers=2,
+        )
+        # Fault layers are absolute BFS layer indices; a resumed run
+        # starts at the checkpoint's layer, so target one past it.
+        resume_layer = partial._checkpoint_session.layers + 1
+        resumed = Universe(
+            star_protocol(5),
+            checkpoint=path,
+            workers=2,
+            fault_plan=FaultPlan.kill(0, resume_layer),
+            supervision=FAST,
+        )
+        assert resumed.recovery_log
+        assert_bit_identical(single, resumed)
+
+
+class TestStar7Acceptance:
+    def test_interrupted_star7_resumes_exactly(self, tmp_path):
+        """The acceptance case: a checkpointed star n=7 run interrupted
+        mid-exploration resumes to the same ids/CSR/completeness."""
+        single = Universe(star_protocol(7), max_configurations=None)
+        assert len(single) == 75_974
+        path = tmp_path / "star7.ckpt"
+        partial = Universe(
+            star_protocol(7),
+            max_configurations=30_000,
+            on_limit="truncate",
+            checkpoint=path,
+        )
+        assert not partial.is_complete
+        resumed = Universe(
+            star_protocol(7), max_configurations=None, checkpoint=path
+        )
+        assert resumed.is_complete
+        assert len(resumed) == len(single)
+        assert resumed._succ_offsets == single._succ_offsets
+        assert resumed._succ_ids == single._succ_ids
+        assert resumed._ids_by_hash == single._ids_by_hash
+        assert resumed._checkpoint_session.resumed_from is not None
+        assert resumed._checkpoint_session.resumed_from <= 30_000
+
+
+class TestFileFormat:
+    def build_checkpoint(self, tmp_path):
+        path = tmp_path / "u.ckpt"
+        Universe(
+            star_protocol(5),
+            max_configurations=100,
+            on_limit="truncate",
+            checkpoint=path,
+        )
+        return path
+
+    def test_wrong_protocol_rejected(self, tmp_path):
+        path = self.build_checkpoint(tmp_path)
+        with pytest.raises(CheckpointError, match="incompatible"):
+            Universe(star_protocol(6), checkpoint=path)
+        with pytest.raises(CheckpointError, match="incompatible"):
+            Universe(TokenBusProtocol(max_hops=4), checkpoint=path)
+
+    def test_wrong_max_events_rejected(self, tmp_path):
+        path = self.build_checkpoint(tmp_path)
+        with pytest.raises(CheckpointError, match="incompatible"):
+            Universe(star_protocol(5), max_events=4, checkpoint=path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(CheckpointError, match="bad magic"):
+            Universe(star_protocol(5), checkpoint=path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self.build_checkpoint(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            Universe(star_protocol(5), checkpoint=path)
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = self.build_checkpoint(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(CHECKPOINT_MAGIC) + 4] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError):
+            Universe(star_protocol(5), checkpoint=path)
+
+    def test_checkpoint_error_is_universe_error(self):
+        assert issubclass(CheckpointError, UniverseError)
+
+    def test_token_shape(self):
+        protocol = star_protocol(4)
+        token = compatibility_token(protocol, 7)
+        assert token[0] == 1  # format version leads the token
+        assert token[3] == 7
+        assert token == compatibility_token(star_protocol(4), 7)
+        assert token != compatibility_token(star_protocol(5), 7)
+
+    def test_session_validates_interval(self, tmp_path):
+        with pytest.raises(UniverseError, match=">= 1"):
+            CheckpointSession(
+                tmp_path / "x", star_protocol(4), None, every=0
+            )
+
+
+class TestRssWatchdog:
+    def test_process_rss_is_measurable(self):
+        rss = process_rss_mb()
+        assert rss is not None and rss > 1.0
+        assert process_rss_mb(os.getpid()) == pytest.approx(rss, rel=0.5)
+
+    def test_unknown_pid_is_none_not_error(self):
+        assert process_rss_mb(2**31 - 7) is None
+
+    def test_budget_validation(self):
+        with pytest.raises(UniverseError, match="positive"):
+            RssWatchdog(0)
+        with pytest.raises(UniverseError, match="positive"):
+            Universe(star_protocol(4), rss_budget_mb=-5)
+
+    def test_tiny_budget_truncates_gracefully(self):
+        """Crossing the budget degrades to truncate, not a crash."""
+        universe = Universe(star_protocol(5), rss_budget_mb=1)
+        assert not universe.is_complete
+        assert len(universe) < 634
+        # CSR padding: every configuration has a (possibly empty) row.
+        assert len(universe._succ_offsets) == len(universe) + 1
+
+    def test_tiny_budget_truncates_sharded(self):
+        universe = Universe(star_protocol(5), workers=2, rss_budget_mb=1)
+        assert not universe.is_complete
+        assert len(universe._succ_offsets) == len(universe) + 1
+
+    def test_generous_budget_changes_nothing(self):
+        single = Universe(star_protocol(5))
+        budgeted = Universe(star_protocol(5), rss_budget_mb=100_000)
+        assert budgeted.is_complete
+        assert_bit_identical(single, budgeted)
+
+    def test_rss_truncation_then_resume(self, tmp_path):
+        """The OOM-avoidance story end to end: budget trips, checkpoint
+        survives, resume without the budget finishes bit-identically."""
+        single = Universe(star_protocol(5))
+        path = tmp_path / "oom.ckpt"
+        partial = Universe(
+            star_protocol(5), rss_budget_mb=1, checkpoint=path
+        )
+        assert not partial.is_complete
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert resumed.is_complete
+        assert_bit_identical(single, resumed)

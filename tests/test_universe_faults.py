@@ -1,0 +1,481 @@
+"""Fault injection and recovery: the sharded engine under failure.
+
+The reliability contract of PR 6: killing, hanging or corrupting any
+worker at any BFS layer must (a) never deadlock the coordinator and
+(b) produce a universe bit-identical to the fault-free exploration —
+because shard expansion is a pure function of the merged discovery
+stream, failover (respawn-and-replay or fold-into-coordinator) cannot
+perturb the result.  The matrix below asserts exactly that, plus the
+supporting machinery: typed failures, structured worker-error
+propagation with original tracebacks, exception-safe teardown with no
+orphan processes or leaked descriptors, and the :class:`FaultPlan`
+delivery semantics.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.errors import UniverseError
+from repro.protocols.broadcast import BroadcastProtocol, tree_topology
+from repro.protocols.failure_monitor import SyncFailureMonitorProtocol
+from repro.protocols.token_bus import TokenBusProtocol
+from repro.universe.explorer import Universe
+from repro.universe.faults import FAULT_KINDS, Fault, FaultPlan
+from repro.universe.sharded import (
+    ShardedExplorer,
+    SupervisionPolicy,
+    WorkerError,
+    discovery_stream,
+)
+
+from test_universe_sharded import assert_bit_identical, star_protocol
+
+# Deterministic faults need no long grace periods; a tight poll keeps
+# the matrix fast while the 5 s heartbeat ceiling stays far above any
+# honest expansion gap at these sizes.
+FAST = SupervisionPolicy(heartbeat_timeout=5.0, poll_interval=0.02)
+
+
+def layer_count(universe: Universe) -> int:
+    """Number of BFS layers (= layer exchanges) of a universe."""
+    layers = 0
+    start, count = 0, 1
+    offsets = universe._succ_offsets
+    ids = universe._succ_ids
+    while start < count:
+        end = count
+        # children discovered by this layer = max id seen + 1
+        for parent in range(start, end):
+            for child in ids[offsets[parent]:offsets[parent + 1]]:
+                if child >= count:
+                    count = child + 1
+        layers += 1
+        start = end
+    return layers
+
+
+class TestKillMatrix:
+    """Kill each worker at each layer — the acceptance matrix."""
+
+    def test_star5_every_worker_every_layer(self):
+        single = Universe(star_protocol(5))
+        layers = layer_count(single)
+        assert layers == 10
+        for workers in (2, 3):
+            for layer in range(layers):
+                for shard in range(workers):
+                    recovered = Universe(
+                        star_protocol(5),
+                        workers=workers,
+                        fault_plan=FaultPlan.kill(shard, layer),
+                        supervision=FAST,
+                    )
+                    assert_bit_identical(single, recovered)
+                    assert recovered.recovery_log, (
+                        f"kill(w{shard}@L{layer}) never fired"
+                    )
+                    event = recovered.recovery_log[0]
+                    assert event["shard"] == shard
+                    assert event["layer"] == layer
+                    assert event["kind"] == "exit"
+
+    def test_star6_acceptance_scale(self):
+        """Star n=6 × workers 2–4: every layer at K=2, representative
+        layers at K=3 and K=4 (the full cube would dominate suite
+        time on a single-core runner without adding coverage)."""
+        single = Universe(star_protocol(6))
+        layers = layer_count(single)
+        assert layers == 12
+        cases = [(2, layer) for layer in range(layers)]
+        cases += [(3, layer) for layer in (0, 4, 8, layers - 1)]
+        cases += [(4, layer) for layer in (1, 6, layers - 1)]
+        for workers, layer in cases:
+            shard = layer % workers
+            recovered = Universe(
+                star_protocol(6),
+                workers=workers,
+                fault_plan=FaultPlan.kill(shard, layer),
+                supervision=FAST,
+            )
+            assert_bit_identical(single, recovered)
+            assert recovered.recovery_log
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(
+                lambda: BroadcastProtocol(
+                    tree_topology(tuple(f"t{i}" for i in range(7))), "t0"
+                ),
+                id="tree",
+            ),
+            pytest.param(lambda: TokenBusProtocol(max_hops=5), id="tokenbus"),
+            pytest.param(
+                lambda: SyncFailureMonitorProtocol(rounds=2),
+                id="custom-enabling",
+            ),
+        ],
+    )
+    def test_other_protocol_families(self, factory):
+        single = Universe(factory())
+        for workers, layer in ((2, 2), (3, 1)):
+            recovered = Universe(
+                factory(),
+                workers=workers,
+                fault_plan=FaultPlan.kill(layer % workers, layer),
+                supervision=FAST,
+            )
+            assert_bit_identical(single, recovered)
+            assert recovered.recovery_log
+
+
+class TestOtherFaultKinds:
+    def test_corrupt_batch_detected_before_unpickling(self):
+        single = Universe(star_protocol(5))
+        recovered = Universe(
+            star_protocol(5),
+            workers=2,
+            fault_plan=FaultPlan.corrupt_batch(1, 4),
+            supervision=FAST,
+        )
+        assert_bit_identical(single, recovered)
+        assert recovered.recovery_log[0]["kind"] == "corrupt"
+
+    def test_dropped_batch_times_out_and_recovers(self):
+        single = Universe(star_protocol(5))
+        policy = SupervisionPolicy(heartbeat_timeout=0.5, poll_interval=0.02)
+        start = time.monotonic()
+        recovered = Universe(
+            star_protocol(5),
+            workers=2,
+            fault_plan=FaultPlan.drop_batch(0, 3),
+            supervision=policy,
+        )
+        elapsed = time.monotonic() - start
+        assert_bit_identical(single, recovered)
+        assert recovered.recovery_log[0]["kind"] == "timeout"
+        # The wait was bounded: one timeout window plus exploration,
+        # nowhere near a hang.
+        assert elapsed < 10
+
+    def test_short_delay_is_absorbed(self):
+        single = Universe(star_protocol(5))
+        recovered = Universe(
+            star_protocol(5),
+            workers=2,
+            fault_plan=FaultPlan.delay_batch(0, 2, 0.1),
+            supervision=SupervisionPolicy(
+                heartbeat_timeout=5.0, poll_interval=0.02
+            ),
+        )
+        assert_bit_identical(single, recovered)
+        assert not recovered.recovery_log  # no failover needed
+
+    def test_long_delay_is_a_timeout(self):
+        single = Universe(star_protocol(5))
+        recovered = Universe(
+            star_protocol(5),
+            workers=2,
+            fault_plan=FaultPlan.delay_batch(1, 3, 1.5),
+            supervision=SupervisionPolicy(
+                heartbeat_timeout=0.4, poll_interval=0.02
+            ),
+        )
+        assert_bit_identical(single, recovered)
+        assert recovered.recovery_log[0]["kind"] == "timeout"
+
+    def test_multiple_faults_one_run(self):
+        single = Universe(star_protocol(5))
+        plan = FaultPlan(
+            (
+                Fault("kill", 0, 2),
+                Fault("corrupt_batch", 1, 5),
+            )
+        )
+        recovered = Universe(
+            star_protocol(5), workers=2, fault_plan=plan, supervision=FAST
+        )
+        assert_bit_identical(single, recovered)
+        assert len(recovered.recovery_log) == 2
+
+    def test_seeded_plan_is_reproducible(self):
+        first = FaultPlan.seeded(7, workers=3, max_layer=5, faults=2)
+        second = FaultPlan.seeded(7, workers=3, max_layer=5, faults=2)
+        assert first.faults == second.faults
+        assert FaultPlan.seeded(8, workers=3, max_layer=5).faults != (
+            first.faults[:1]
+        )
+
+
+class TestFoldPath:
+    """Respawn budget exhausted: the shard folds into the coordinator."""
+
+    def test_fold_is_bit_identical(self):
+        single = Universe(star_protocol(5))
+        recovered = Universe(
+            star_protocol(5),
+            workers=2,
+            fault_plan=FaultPlan.kill(1, 3),
+            supervision=SupervisionPolicy(
+                heartbeat_timeout=5.0, poll_interval=0.02, max_respawns=0
+            ),
+        )
+        assert_bit_identical(single, recovered)
+        assert recovered.recovery_log[0]["action"] == "fold"
+
+    def test_fold_at_first_layer(self):
+        single = Universe(star_protocol(5))
+        recovered = Universe(
+            star_protocol(5),
+            workers=3,
+            fault_plan=FaultPlan.kill(0, 0),
+            supervision=SupervisionPolicy(
+                heartbeat_timeout=5.0, poll_interval=0.02, max_respawns=0
+            ),
+        )
+        assert_bit_identical(single, recovered)
+
+    def test_every_worker_folded(self):
+        """Kill all workers: the coordinator finishes the run alone."""
+        single = Universe(star_protocol(5))
+        plan = FaultPlan((Fault("kill", 0, 1), Fault("kill", 1, 2)))
+        recovered = Universe(
+            star_protocol(5),
+            workers=2,
+            fault_plan=plan,
+            supervision=SupervisionPolicy(
+                heartbeat_timeout=5.0, poll_interval=0.02, max_respawns=0
+            ),
+        )
+        assert_bit_identical(single, recovered)
+        assert [event["action"] for event in recovered.recovery_log] == [
+            "fold",
+            "fold",
+        ]
+
+
+class TestFaultsWithBounds:
+    def test_truncation_survives_a_kill(self):
+        """Recovery composes with on_limit="truncate": same cut point."""
+        single = Universe(
+            star_protocol(6), max_configurations=500, on_limit="truncate"
+        )
+        recovered = Universe(
+            star_protocol(6),
+            max_configurations=500,
+            on_limit="truncate",
+            workers=2,
+            fault_plan=FaultPlan.kill(0, 4),
+            supervision=FAST,
+        )
+        assert not recovered.is_complete
+        assert_bit_identical(single, recovered)
+
+    def test_max_events_survives_a_kill(self):
+        single = Universe(star_protocol(5), max_events=6)
+        recovered = Universe(
+            star_protocol(5),
+            max_events=6,
+            workers=2,
+            fault_plan=FaultPlan.kill(1, 2),
+            supervision=FAST,
+        )
+        assert_bit_identical(single, recovered)
+
+
+class TestWorkerErrorPropagation:
+    def test_original_traceback_reaches_the_caller(self):
+        class Boom(SyncFailureMonitorProtocol):
+            def enabled_events(self, configuration):
+                if len(configuration) >= 2:
+                    raise RuntimeError("intentional worker explosion")
+                return super().enabled_events(configuration)
+
+        with pytest.raises(WorkerError) as excinfo:
+            Universe(Boom(rounds=2), workers=2)
+        error = excinfo.value
+        assert error.worker_type == "RuntimeError"
+        assert "intentional worker explosion" in error.worker_traceback
+        assert "enabled_events" in error.worker_traceback
+        assert "original worker traceback" in str(error)
+
+    def test_worker_error_is_a_universe_error(self):
+        assert issubclass(WorkerError, UniverseError)
+
+    def test_deterministic_errors_are_not_retried(self):
+        class Boom(SyncFailureMonitorProtocol):
+            def enabled_events(self, configuration):
+                if len(configuration) >= 1:
+                    raise ValueError("always fails")
+                return super().enabled_events(configuration)
+
+        try:
+            Universe(Boom(rounds=1), workers=2)
+        except WorkerError:
+            pass
+        # No respawn was attempted for an application error: spawning a
+        # replacement would deterministically fail the same way.
+
+
+class TestTeardownHygiene:
+    def test_no_orphan_processes_after_success(self):
+        Universe(star_protocol(5), workers=3)
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.02)
+        assert multiprocessing.active_children() == []
+
+    def test_no_orphans_after_recovery(self):
+        Universe(
+            star_protocol(5),
+            workers=2,
+            fault_plan=FaultPlan.kill(0, 3),
+            supervision=FAST,
+        )
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.02)
+        assert multiprocessing.active_children() == []
+
+    def test_no_orphans_after_worker_error(self):
+        class Boom(SyncFailureMonitorProtocol):
+            def enabled_events(self, configuration):
+                if len(configuration) >= 2:
+                    raise RuntimeError("boom")
+                return super().enabled_events(configuration)
+
+        with pytest.raises(WorkerError):
+            Universe(Boom(rounds=2), workers=3)
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.02)
+        assert multiprocessing.active_children() == []
+
+    def test_no_fd_leak_across_explorations(self):
+        def open_fds() -> int:
+            return len(os.listdir("/proc/self/fd"))
+
+        Universe(star_protocol(4), workers=2)  # warm imports / allocators
+        before = open_fds()
+        for _ in range(3):
+            Universe(star_protocol(4), workers=2)
+            Universe(
+                star_protocol(4),
+                workers=2,
+                fault_plan=FaultPlan.kill(0, 1),
+                supervision=FAST,
+            )
+        assert open_fds() <= before
+
+    def test_coordinator_exception_still_tears_down(self, monkeypatch):
+        """A coordinator-side exception mid-exploration (stand-in for
+        KeyboardInterrupt) must reach the caller with every child
+        reaped and both pipe ends closed."""
+        original = ShardedExplorer._exchange_layer
+        calls = {"count": 0}
+
+        def explode(self, *args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 3:
+                raise KeyboardInterrupt
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(ShardedExplorer, "_exchange_layer", explode)
+        with pytest.raises(KeyboardInterrupt):
+            Universe(star_protocol(5), workers=2)
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.02)
+        assert multiprocessing.active_children() == []
+
+
+class TestFaultPlanApi:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(UniverseError, match="unknown fault kind"):
+            Fault("explode", 0, 0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(UniverseError, match="shard must be >= 0"):
+            Fault("kill", -1, 0)
+        with pytest.raises(UniverseError, match="layer must be >= 0"):
+            Fault("kill", 0, -1)
+        with pytest.raises(UniverseError, match="delay must be >= 0"):
+            Fault("delay_batch", 0, 0, -1.0)
+
+    def test_plan_validates_shard_range(self):
+        with pytest.raises(UniverseError, match="only 2 workers"):
+            Universe(
+                star_protocol(4),
+                workers=2,
+                fault_plan=FaultPlan.kill(5, 0),
+            )
+
+    def test_plan_requires_sharded_engine(self):
+        with pytest.raises(UniverseError, match="workers >= 2"):
+            Universe(star_protocol(4), fault_plan=FaultPlan.kill(0, 0))
+        with pytest.raises(UniverseError, match="workers >= 2"):
+            Universe(star_protocol(4), supervision=FAST)
+
+    def test_faults_delivered_once(self):
+        plan = FaultPlan.kill(0, 2)
+        assert plan.take_for_shard(0) == [("kill", 2, 0.0)]
+        assert plan.take_for_shard(0) == []  # replacement: not re-armed
+        assert plan.take_for_shard(1) == []
+
+    def test_all_kinds_named(self):
+        assert set(FAULT_KINDS) == {
+            "kill",
+            "drop_batch",
+            "delay_batch",
+            "corrupt_batch",
+        }
+
+    def test_repr_names_targets(self):
+        assert "kill(w1@L3)" in repr(FaultPlan.kill(1, 3))
+
+
+class TestSupervisionPolicyApi:
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(UniverseError):
+            SupervisionPolicy(heartbeat_timeout=0)
+        with pytest.raises(UniverseError):
+            SupervisionPolicy(poll_interval=-1)
+        with pytest.raises(UniverseError):
+            SupervisionPolicy(max_respawns=-1)
+        with pytest.raises(UniverseError):
+            SupervisionPolicy(heartbeat_parents=0)
+
+    def test_default_respawn_budget_scales_with_workers(self):
+        assert SupervisionPolicy().resolve_respawns(4) == 4
+        assert SupervisionPolicy(max_respawns=1).resolve_respawns(4) == 1
+
+
+class TestDiscoveryStreamReconstruction:
+    def test_stream_replays_to_the_same_universe(self):
+        """The failover replay source: reconstructing the stream from
+        the CSR store and replaying it rebuilds the identical state."""
+        from repro.universe.sharded import _Replica
+
+        universe = Universe(star_protocol(5))
+        stream = discovery_stream(
+            universe._configurations,
+            universe._succ_offsets,
+            universe._succ_ids,
+        )
+        assert len(stream) == len(universe) - 1  # one record per discovery
+        replica = _Replica(universe.protocol, None)
+        replica.apply(stream)
+        assert len(replica.configurations) == len(universe)
+        for ours, theirs in zip(
+            replica.configurations, universe._configurations
+        ):
+            assert ours == theirs
+            assert ours._histories == theirs._histories
+        assert replica.ids_by_hash == universe._ids_by_hash
