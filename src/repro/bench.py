@@ -764,6 +764,109 @@ def run_benchmarks(
                 saves=resumed._checkpoint_session.saves,
                 repeats_used=1,
             )
+
+        # Incremental-vs-full save cost: the controlled pair behind the
+        # segmented format.  The same kernel exploration runs twice with
+        # --checkpoint-every 1 semantics; only the writer differs
+        # (append-one-delta-segment vs rewrite-the-whole-blob), so the
+        # per-save cost difference is the format's doing alone.  The
+        # steady-state figure (mean of the last three saves, where the
+        # monolithic stream is at its largest) is the acceptance metric.
+        pair_receivers = (
+            ("w", "x", "y", "z")
+            if quick
+            else ("u", "v", "w", "x", "y", "z")
+        )
+        pair_label = f"n{len(pair_receivers) + 1}"
+
+        def steady_save(seconds_list):
+            tail = seconds_list[-3:] or seconds_list
+            return sum(tail) / len(tail)
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            pair = {}
+            for fmt in ("monolithic", "segmented"):
+                path = _os.path.join(tmpdir, f"{fmt}.ckpt")
+                start = time.perf_counter()
+                universe = Universe(
+                    _star_protocol(pair_receivers),
+                    checkpoint=path,
+                    checkpoint_format=fmt,
+                )
+                total = time.perf_counter() - start
+                pair[fmt] = (universe, total, universe._checkpoint_session)
+            _assert_recovered_identical(
+                pair["monolithic"][0], pair["segmented"][0], "save-format-pair"
+            )
+            mono_steady = steady_save(pair["monolithic"][2].save_seconds)
+            seg_steady = steady_save(pair["segmented"][2].save_seconds)
+            for fmt in ("monolithic", "segmented"):
+                universe, total, session = pair[fmt]
+                extra = {
+                    "configurations": len(universe),
+                    "saves": session.saves,
+                    "steady_save_seconds": round(
+                        steady_save(session.save_seconds), 6
+                    ),
+                    "max_save_seconds": round(max(session.save_seconds), 6),
+                    "total_save_seconds": round(sum(session.save_seconds), 6),
+                    "explore_seconds": round(total, 6),
+                    "repeats_used": 1,
+                }
+                if fmt == "segmented":
+                    extra["steady_save_speedup_vs_monolithic"] = round(
+                        mono_steady / seg_steady, 2
+                    )
+                record(
+                    f"checkpoint_save_{fmt}_star_{pair_label}",
+                    sum(session.save_seconds),
+                    **extra,
+                )
+
+        # Corrupt-tail salvage: flip one byte in the newest committed
+        # segment of a truncated run, then measure the resume that
+        # detects it, truncates to the intact prefix, and re-explores.
+        from pathlib import Path as _Path
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            path = _Path(tmpdir) / "salvage.ckpt"
+            cap = 200 if quick else 2000
+            Universe(
+                _star_protocol(receivers),
+                max_configurations=cap,
+                on_limit="truncate",
+                checkpoint=path,
+            )
+            newest = sorted(path.parent.glob(f"{path.name}.g*-*.seg"))[-1]
+            damaged = bytearray(newest.read_bytes())
+            damaged[-1] ^= 0xFF
+            newest.write_bytes(bytes(damaged))
+            start = time.perf_counter()
+            salvaged = Universe(_star_protocol(receivers), checkpoint=path)
+            salvage_seconds = time.perf_counter() - start
+            _assert_recovered_identical(baseline, salvaged, "salvage-resume")
+            recoveries = [
+                event
+                for event in salvaged.recovery_log
+                if event["action"] == "salvage-truncate"
+            ]
+            if not recoveries:
+                raise BenchRecoveryMismatch(
+                    "salvage-resume: the corrupted segment was never "
+                    "detected — no salvage-truncate recovery recorded"
+                )
+            record(
+                f"checkpoint_salvage_resume_star_{size_label}",
+                salvage_seconds,
+                configurations=len(salvaged),
+                salvaged_layers=salvaged._checkpoint_session.layers,
+                resumed_from=salvaged._checkpoint_session.resumed_from,
+                recoveries=[
+                    f"{event['kind']}->{event['action']}@L{event['layer']}"
+                    for event in recoveries
+                ],
+                repeats_used=1,
+            )
     elif quick:
         universe_small = universe_benchmark(
             "universe_star_broadcast_n3", _star_protocol(("x", "y")), repeats

@@ -13,7 +13,10 @@ Four subcommands, each wrapping the corresponding library layer:
 * ``repro report`` — run every theorem checker and print a markdown
   verification report (exit status 1 on any failure);
 * ``repro bench`` — run the scaling benchmarks and write a
-  ``BENCH_<date>.json`` trajectory file (see :mod:`repro.bench`).
+  ``BENCH_<date>.json`` trajectory file (see :mod:`repro.bench`);
+* ``repro checkpoint verify|inspect PATH`` — report an exploration
+  checkpoint's format version, compatibility token, layer count and
+  per-segment integrity; ``verify`` exits non-zero on any damage.
 
 Usage::
 
@@ -34,7 +37,13 @@ from repro.isomorphism.diagram import IsomorphismDiagram
 from repro.isomorphism.fundamental import check_theorem_1
 from repro.knowledge.axioms import check_all_facts
 from repro.knowledge.predicates import event_count_at_least, has_received
-from repro.protocols.broadcast import BroadcastProtocol, line_topology
+from repro.protocols.broadcast import (
+    BroadcastProtocol,
+    line_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
 from repro.protocols.leader_election import ChangRobertsProtocol
 from repro.protocols.pingpong import PingPongProtocol
 from repro.protocols.snapshot import SnapshotTokenRingProtocol
@@ -65,6 +74,25 @@ EXPERIMENTS = [
 ]
 
 
+def broadcast_protocol(topology: str, size: int) -> BroadcastProtocol:
+    """A broadcast protocol over one of the named topologies, sized
+    ``size`` processes, rooted at ``n0``.  Shared with the chaos harness
+    (``tests/chaos.py``) so subprocess runs and in-process reference
+    runs build the identical protocol."""
+    names = tuple(f"n{i}" for i in range(size))
+    if topology == "line":
+        adjacency = line_topology(names)
+    elif topology == "star":
+        adjacency = star_topology(names[0], names[1:])
+    elif topology == "ring":
+        adjacency = ring_topology(names)
+    elif topology == "tree":
+        adjacency = tree_topology(names)
+    else:
+        raise SystemExit(f"unknown topology {topology!r}")
+    return BroadcastProtocol(adjacency, root=names[0])
+
+
 def build_protocol(name: str, args: argparse.Namespace) -> Protocol:
     """Instantiate one of the named example protocols."""
     if name == "pingpong":
@@ -72,8 +100,7 @@ def build_protocol(name: str, args: argparse.Namespace) -> Protocol:
     if name == "tokenbus":
         return TokenBusProtocol(max_hops=args.hops)
     if name == "broadcast":
-        names = tuple(f"n{i}" for i in range(args.size))
-        return BroadcastProtocol(line_topology(names), root=names[0])
+        return broadcast_protocol(getattr(args, "topology", "line"), args.size)
     if name == "toggle":
         return ToggleProtocol(max_flips=args.flips)
     if name == "election":
@@ -86,17 +113,31 @@ def build_protocol(name: str, args: argparse.Namespace) -> Protocol:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core.errors import UniverseError
+    from repro.universe.checkpoint import CheckpointError
+    from repro.universe.faults import FaultPlan
+
     protocol = build_protocol(args.protocol, args)
     on_limit = "truncate" if args.rss_budget is not None else "raise"
-    universe = Universe(
-        protocol,
-        max_configurations=args.limit,
-        on_limit=on_limit,
-        workers=args.workers,
-        checkpoint=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-        rss_budget_mb=args.rss_budget,
-    )
+    try:
+        fault_plan = FaultPlan.parse(args.fault) if args.fault else None
+        universe = Universe(
+            protocol,
+            max_configurations=args.limit,
+            on_limit=on_limit,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_strict=args.strict,
+            rss_budget_mb=args.rss_budget,
+            fault_plan=fault_plan,
+        )
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 2
+    except UniverseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     workers = f", workers: {args.workers}" if args.workers > 1 else ""
     print(f"{args.protocol}: {len(universe)} configurations "
           f"(complete: {universe.is_complete}{workers})")
@@ -112,10 +153,16 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"({session.layers} layers, {session.saves} saves)"
         )
     for event in universe.recovery_log:
-        print(
-            f"recovered worker {event['shard']} at layer {event['layer']} "
-            f"({event['kind']} -> {event['action']})"
-        )
+        if event.get("shard") is None or event.get("shard", -1) < 0:
+            print(
+                f"checkpoint {event['kind']} at layer {event['layer']} "
+                f"({event['action']}: {event.get('detail', '')})"
+            )
+        else:
+            print(
+                f"recovered worker {event['shard']} at layer "
+                f"{event['layer']} ({event['kind']} -> {event['action']})"
+            )
     if len(universe) <= args.diagram_limit:
         diagram = IsomorphismDiagram.of_universe(universe)
         print(diagram.render())
@@ -192,6 +239,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.universe.checkpoint import inspect_checkpoint
+
+    report = inspect_checkpoint(args.path)
+    print(f"checkpoint: {report['path']}")
+    if not report["exists"]:
+        print(f"  error: {report['error']}")
+        return 2
+    if report["error"] is not None:
+        print(f"  format version: {report['format_version']}")
+        print(f"  error: {report['error']}")
+        return 2
+    token = report["token"]
+    print(f"  format version: {report['format_version']}")
+    print(
+        f"  protocol: {token['protocol']} "
+        f"({len(token['processes'])} processes: "
+        f"{', '.join(str(p) for p in token['processes'])})"
+    )
+    print(f"  max_events: {token['max_events']}")
+    print(
+        f"  layers: {report['layers']}, configurations: {report['count']}, "
+        f"complete: {report['complete']}"
+    )
+    if report["format_version"] >= 2:
+        print(
+            f"  generation: {report['generation']}, "
+            f"segments: {len(report['segments'])}"
+        )
+        for row in report["segments"]:
+            print(
+                f"    {row['name']}: layers {row['layer_from']}"
+                f"..{row['layer_to']}, {row['records']} records, "
+                f"{row['size']} bytes — {row['status']}"
+            )
+        for orphan in report["orphans"]:
+            print(f"    {orphan}: orphan (uncommitted torn save)")
+    if not report["valid"]:
+        print(
+            f"  INTEGRITY: FAILED — salvageable prefix is "
+            f"{report['salvageable_layers']} layers"
+        )
+        return 1 if args.action == "verify" else 0
+    print("  INTEGRITY: ok")
+    return 0
+
+
 def cmd_experiments(_args: argparse.Namespace) -> int:
     print(f"{'id':>4}  {'artefact':40}  bench target")
     for exp_id, description, target in EXPERIMENTS:
@@ -218,6 +312,13 @@ def make_parser() -> argparse.ArgumentParser:
         sub.add_argument("--size", type=int, default=4)
         sub.add_argument("--flips", type=int, default=2)
         sub.add_argument("--limit", type=int, default=100_000)
+        sub.add_argument(
+            "--topology",
+            choices=["line", "star", "ring", "tree"],
+            default="line",
+            help="adjacency of the broadcast protocol (ignored by the "
+            "other protocols); star is the scale family of the benchmarks",
+        )
 
     explore = subparsers.add_parser("explore", help="explore a universe")
     add_protocol_options(explore)
@@ -253,7 +354,36 @@ def make_parser() -> argparse.ArgumentParser:
         "crossing it truncates the universe at the next layer boundary "
         "instead of risking an OOM kill",
     )
+    explore.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse to salvage a damaged checkpoint: exit non-zero "
+        "instead of truncating to the last valid layer boundary",
+    )
+    explore.add_argument(
+        "--fault",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="inject a deterministic fault, repeatable; worker kinds "
+        "need a shard (kill:0@3, drop_batch:1@2, delay_batch:1@2~0.5, "
+        "corrupt_batch:0@1), checkpoint kinds take none (torn_save@5, "
+        "corrupt_segment@2)",
+    )
     explore.set_defaults(handler=cmd_explore)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="verify or inspect an exploration checkpoint file",
+    )
+    checkpoint.add_argument(
+        "action",
+        choices=["verify", "inspect"],
+        help="verify exits non-zero on any integrity failure; inspect "
+        "prints the same report but only fails on an unreadable file",
+    )
+    checkpoint.add_argument("path", metavar="PATH")
+    checkpoint.set_defaults(handler=cmd_checkpoint)
 
     check = subparsers.add_parser("check", help="run theorem checkers")
     add_protocol_options(check)

@@ -45,6 +45,23 @@ def _cached_value_hash(self) -> int:
         return value
 
 
+def _value_object_getstate(self) -> dict:
+    """Pickle events/messages WITHOUT the cached hash.
+
+    ``hash()`` values are process-local (string hashing is salted per
+    interpreter, and some singleton hashes are address-derived), so a
+    cached hash shipped inside a pickle silently poisons the receiving
+    process: replayed objects would hash under the *writer's* salt while
+    freshly built ones hash under the reader's, and content-hash dedup
+    falls apart.  Stripping the cache forces every process to recompute
+    under its own salt — this is what makes checkpoints genuinely
+    portable across interpreter hash seeds.
+    """
+    state = dict(self.__dict__)
+    state.pop("_hash_cache", None)
+    return state
+
+
 @dataclass(frozen=True, order=True)
 class Message:
     """A distinguished message from ``sender`` to ``receiver``.
@@ -62,6 +79,7 @@ class Message:
     payload: Hashable = None
 
     __hash__ = _cached_value_hash
+    __getstate__ = _value_object_getstate
 
     def __str__(self) -> str:
         return f"{self.tag}#{self.seq}({self.sender}->{self.receiver})"
@@ -78,6 +96,7 @@ class Event:
     process: ProcessId
 
     __hash__ = _cached_value_hash
+    __getstate__ = _value_object_getstate
 
     @property
     def kind(self) -> EventKind:

@@ -1,10 +1,12 @@
-"""Layer-boundary checkpoint/resume for universe exploration.
+"""Durable checkpoint/resume for universe exploration.
 
 Long explorations (star n=8 is ~20 s, n=9 is ~11 min and ~26 GB) are
 lost in their entirety when the process dies — OOM kill, ^C, a worker
 crash that exhausts recovery.  This module makes exploration *resumable*
 at BFS layer boundaries, for both the in-process kernel and the sharded
-engine, with one file format shared by both.
+engine, with one on-disk format shared by both — and makes the
+checkpoint itself survive the failure modes long runs actually hit:
+whole-process SIGKILL mid-save, torn writes, and bit-flipped files.
 
 Design: the checkpoint does **not** store configurations or hashes.  It
 stores the *merged discovery stream* — the sequence ``[(parent_id,
@@ -16,7 +18,8 @@ list, the content-hash id table (including collision-bucket layout) and
 the rolling entry-hash memo *exactly*, so exploration continues from the
 first unexpanded layer as if it had never stopped; the finished universe
 is bit-identical to an uninterrupted run (asserted in
-``tests/test_universe_checkpoint.py``).
+``tests/test_universe_checkpoint.py`` and, across whole-process SIGKILLs,
+in ``tests/test_universe_chaos.py``).
 
 Because hashes are recomputed at load time, a checkpoint is **portable
 across interpreter hash seeds** — unlike the live sharded exchange,
@@ -25,29 +28,91 @@ The compatibility token therefore covers what replay genuinely depends
 on: the format version, the protocol identity (class and process set)
 and the ``max_events`` bound.
 
-Writes are atomic (write to a sibling temp file, fsync, ``os.replace``)
-so an interrupted save leaves the previous checkpoint intact, never a
-torn file.
+Segmented incremental format (version 2)
+----------------------------------------
+
+The PR 6 format was a single monolithic blob rewritten in full on every
+save — O(stream) per layer, which dominates checkpointing cost at large
+n.  Version 2 replaces it with a **manifest plus append-only per-layer
+delta segments**:
+
+* ``PATH`` is the *manifest*: magic ``REPRO-CKPT2\\n``, a CRC-32, and a
+  compressed pickle of ``{token, layers, frontier_start, count,
+  complete, generation, segments: [...]}`` — small (metadata only),
+  always written atomically (tmp + fsync + ``os.replace``);
+* each committed save appends one *segment* file
+  (``PATH.g<generation>-<index>.seg``): segment magic, a CRC-guarded
+  header (layer range, frontier, cumulative count/completeness), and a
+  CRC-guarded compressed payload holding that save's **delta** — the new
+  discovery records plus the CSR slice appended since the previous save.
+  ``commit_layer`` therefore writes O(new layers), not O(stream);
+* resume concatenates the segment deltas (CSR arrays are rebuilt by
+  concatenation, configurations by replaying the concatenated stream)
+  and verifies every CRC on the way;
+* when the segment count exceeds :data:`DEFAULT_COMPACT_SEGMENTS` the
+  session *compacts*: folds all committed segments into one under a new
+  generation, commits the manifest, then deletes the old files — so the
+  file count is bounded and the fold cost is amortised over the
+  compaction interval.
+
+**Crash anatomy.**  The manifest is the commit point.  A crash after the
+segment append but before the manifest replace leaves an *orphan*
+segment the manifest never references — discarded (and logged) on
+resume.  A crash mid-manifest-write is impossible to observe thanks to
+``os.replace``.  A bit flip or truncation inside a committed segment is
+caught by its CRC: resume **salvages** the longest valid prefix,
+truncating to the last intact layer boundary, records the event on the
+universe's ``recovery_log``, and re-explores the lost tail —
+``strict=True`` (``repro explore --strict``) turns salvage into a loud
+:class:`CheckpointError` instead, and ``repro checkpoint verify PATH``
+reports per-segment integrity with a non-zero exit on any damage.
+
+Version 1 monolithic checkpoints are still **readable**: resuming one
+migrates it in place to the segmented format (one folded segment).
+Writing v1 is retained behind ``format="monolithic"`` for the
+controlled incremental-vs-full benchmark pair
+(``repro bench --suite fault-recovery``).
 
 The module also hosts the RSS watchdog used by ``--rss-budget``: rather
 than being OOM-killed mid-layer (losing the run *and* the checkpoint
 window), exploration that crosses the budget degrades to the
 ``on_limit="truncate"`` behaviour at the next layer boundary — the
 partial universe is flagged incomplete, the checkpoint survives, and a
-resume on a bigger machine finishes the job.
+resume on a bigger machine finishes the job.  On hosts without a
+readable ``/proc`` the watchdog deactivates with a one-time warning
+(surfaced as :attr:`RssWatchdog.active`) instead of silently arming a
+check that can never fire.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+import warnings
 import zlib
+from array import array
 from pathlib import Path
 
 from repro.core.errors import UniverseError
 
 CHECKPOINT_MAGIC = b"REPRO-CKPT\n"
-CHECKPOINT_VERSION = 1
+"""Version-1 (monolithic) magic — still readable, migrated on resume."""
+
+MANIFEST_MAGIC = b"REPRO-CKPT2\n"
+"""Version-2 (segmented) manifest magic."""
+
+SEGMENT_MAGIC = b"RSEG"
+"""Leading magic of every segment file."""
+
+CHECKPOINT_VERSION = 2
+MIN_READABLE_VERSION = 1
+
+DEFAULT_COMPACT_SEGMENTS = 64
+"""Compaction threshold: when a manifest references more committed
+segments than this, the session folds them into a single segment under a
+new generation.  The fold costs O(stream) but runs once per threshold
+saves, so steady-state save cost stays O(delta) amortised."""
 
 
 class CheckpointError(UniverseError):
@@ -71,6 +136,26 @@ def compatibility_token(protocol, max_events) -> tuple:
     )
 
 
+def _parse_version(raw: bytes) -> int:
+    """The format version encoded in the magic line, or raise.
+
+    ``REPRO-CKPT\\n`` is version 1; ``REPRO-CKPT<digits>\\n`` is that
+    version.  Anything else is not a repro checkpoint.
+    """
+    prefix = b"REPRO-CKPT"
+    if not raw.startswith(prefix):
+        raise CheckpointError("not a repro checkpoint file (bad magic header)")
+    newline = raw.find(b"\n", len(prefix), len(prefix) + 8)
+    if newline < 0:
+        raise CheckpointError("not a repro checkpoint file (bad magic header)")
+    digits = raw[len(prefix):newline]
+    if digits == b"":
+        return 1
+    if digits.isdigit():
+        return int(digits)
+    raise CheckpointError("not a repro checkpoint file (bad magic header)")
+
+
 class ResumedExploration:
     """What :meth:`CheckpointSession.try_resume` hands back to an engine."""
 
@@ -83,31 +168,182 @@ class ResumedExploration:
         self.layers = layers
 
 
+class _SegmentInvalid(Exception):
+    """Internal: one segment failed verification (reason in ``args``)."""
+
+
+# ---------------------------------------------------------------------
+# Segment encode / decode
+# ---------------------------------------------------------------------
+def _encode_segment(header: dict, payload: bytes) -> bytes:
+    header_blob = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        SEGMENT_MAGIC
+        + len(header_blob).to_bytes(4, "little")
+        + zlib.crc32(header_blob).to_bytes(4, "little")
+        + header_blob
+        + payload
+    )
+
+
+def _decode_segment(raw: bytes) -> tuple[dict, bytes]:
+    """``(header, payload_bytes)`` of one segment file, or raise
+    :class:`_SegmentInvalid` with the reason."""
+    if not raw.startswith(SEGMENT_MAGIC):
+        raise _SegmentInvalid("bad segment magic")
+    base = len(SEGMENT_MAGIC)
+    if len(raw) < base + 8:
+        raise _SegmentInvalid("segment header truncated")
+    header_len = int.from_bytes(raw[base : base + 4], "little")
+    header_crc = int.from_bytes(raw[base + 4 : base + 8], "little")
+    header_blob = raw[base + 8 : base + 8 + header_len]
+    if len(header_blob) != header_len:
+        raise _SegmentInvalid("segment header truncated")
+    if zlib.crc32(header_blob) != header_crc:
+        raise _SegmentInvalid("segment header CRC mismatch")
+    try:
+        header = pickle.loads(header_blob)
+    except Exception as error:
+        raise _SegmentInvalid(f"segment header unreadable: {error}") from error
+    payload = raw[base + 8 + header_len :]
+    if len(payload) != header.get("payload_len"):
+        raise _SegmentInvalid(
+            f"segment payload truncated: {len(payload)} bytes, header "
+            f"records {header.get('payload_len')}"
+        )
+    if zlib.crc32(payload) != header.get("payload_crc"):
+        raise _SegmentInvalid("segment payload CRC mismatch")
+    return header, payload
+
+
+def _load_segment(path: Path, entry: dict) -> tuple[dict, dict]:
+    """Read and fully verify one committed segment against its manifest
+    entry.  Returns ``(header, payload_dict)``; raises
+    :class:`_SegmentInvalid` on any damage."""
+    seg_path = path.with_name(entry["name"])
+    try:
+        raw = seg_path.read_bytes()
+    except FileNotFoundError:
+        raise _SegmentInvalid("segment file missing") from None
+    except OSError as error:
+        raise _SegmentInvalid(f"segment file unreadable: {error}") from error
+    if len(raw) != entry["size"]:
+        raise _SegmentInvalid(
+            f"segment size {len(raw)} differs from the manifest's "
+            f"{entry['size']}"
+        )
+    header, payload = _decode_segment(raw)
+    if header["payload_crc"] != entry["payload_crc"]:
+        raise _SegmentInvalid("segment CRC differs from the manifest's")
+    for field in ("layer_from", "layer_to", "frontier_start", "count"):
+        if header[field] != entry[field]:
+            raise _SegmentInvalid(
+                f"segment {field} {header[field]} differs from the "
+                f"manifest's {entry[field]}"
+            )
+    try:
+        decoded = pickle.loads(zlib.decompress(payload))
+    except Exception as error:
+        raise _SegmentInvalid(
+            f"segment payload undecodable: {error}"
+        ) from error
+    if len(decoded.get("records", ())) != header["records"]:
+        raise _SegmentInvalid("segment record count differs from its header")
+    return header, decoded
+
+
 class CheckpointSession:
     """One exploration's checkpoint lifecycle: resume, commit, save.
 
     Created by :class:`~repro.universe.explorer.Universe` when a
     ``checkpoint`` path is given and threaded through whichever engine
-    runs the exploration.  ``every`` saves one file per ``every``
-    completed layers (the final state is always saved); each save
-    atomically replaces the previous one.
+    runs the exploration.  ``every`` saves once per ``every`` completed
+    layers (the final state is always saved).
+
+    ``format`` selects the on-disk writer: ``"segmented"`` (default,
+    version 2 — O(delta) incremental saves) or ``"monolithic"`` (the
+    retained PR 6 full-rewrite format, kept for the controlled
+    incremental-vs-full benchmark pair).  Both resume either format;
+    resuming a v1 file with a segmented session migrates it in place.
+
+    ``strict`` turns corrupt-tail salvage into a hard
+    :class:`CheckpointError`.  ``fault_actions`` is the checkpoint slice
+    of a :class:`~repro.universe.faults.FaultPlan` — ``(kind, layer)``
+    wire tuples, each fired at most once, for the chaos/recovery test
+    matrix; empty in production use.
     """
 
-    def __init__(self, path, protocol, max_events, every: int = 1) -> None:
+    def __init__(
+        self,
+        path,
+        protocol,
+        max_events,
+        every: int = 1,
+        *,
+        strict: bool = False,
+        format: str = "segmented",
+        compact_at: int | None = None,
+        fault_actions=(),
+    ) -> None:
         if every < 1:
             raise UniverseError(
                 f"checkpoint interval must be >= 1 layer, got {every}"
+            )
+        if format not in ("segmented", "monolithic"):
+            raise UniverseError(
+                f"checkpoint format must be 'segmented' or 'monolithic', "
+                f"got {format!r}"
             )
         self.path = Path(path)
         self.protocol = protocol
         self.max_events = max_events
         self.every = every
+        self.strict = strict
+        self.format = format
+        self.compact_at = (
+            DEFAULT_COMPACT_SEGMENTS if compact_at is None else compact_at
+        )
+        if self.compact_at < 2:
+            raise UniverseError(
+                f"checkpoint compaction threshold must be >= 2, got "
+                f"{self.compact_at}"
+            )
         self.token = compatibility_token(protocol, max_events)
-        # Cumulative discovery stream of all *completed* layers.
+        # Monolithic mode retains the cumulative stream (it rewrites the
+        # whole thing per save); segmented mode only buffers the delta.
         self.stream: list = []
+        self._pending_records: list = []
+        self._segments: list[dict] = []
+        self._generation = 0
+        self._saved_frontier = 0
+        self._saved_edges = 0
+        self._saved_count = 1
+        self._saved_layers = 0
+        self._complete_at_save = True
         self.layers = 0
         self.resumed_from: int | None = None
+        self.salvaged = False
         self.saves = 0
+        self.save_seconds: list[float] = []
+        self._faults: dict[int, list[str]] = {}
+        for kind, layer in fault_actions:
+            self._faults.setdefault(layer, []).append(kind)
+
+    # -- fault hooks ---------------------------------------------------
+    def _take_fault_actions(self) -> list[str]:
+        """Fault kinds armed for any layer covered by this save (each
+        fired at most once)."""
+        due = [layer for layer in self._faults if layer < self.layers]
+        actions: list[str] = []
+        for layer in sorted(due):
+            actions.extend(self._faults.pop(layer))
+        return actions
+
+    @staticmethod
+    def _hard_exit() -> None:  # pragma: no cover - exercised in chaos runs
+        """The ``torn_save`` fault: die the way SIGKILL/OOM would —
+        no cleanup, no manifest commit.  Monkeypatchable in-process."""
+        os._exit(23)
 
     # -- resume --------------------------------------------------------
     def try_resume(self, universe) -> ResumedExploration | None:
@@ -115,10 +351,10 @@ class CheckpointSession:
         stores from it.
 
         Returns the engine-facing resume state, or ``None`` when there
-        is no checkpoint file (a fresh run).  Raises
-        :class:`CheckpointError` on a torn, corrupt or incompatible
-        file — resuming from the wrong protocol must fail loudly, never
-        mis-merge.
+        is no checkpoint file (a fresh run) or salvage discarded
+        everything.  Raises :class:`CheckpointError` on an incompatible
+        file always, and on a corrupt one when ``strict`` — resuming
+        from the wrong protocol must fail loudly, never mis-merge.
         """
         try:
             raw = self.path.read_bytes()
@@ -128,65 +364,418 @@ class CheckpointSession:
             raise CheckpointError(
                 f"cannot read checkpoint {self.path}: {error}"
             ) from error
-        payload = self._decode(raw)
-        if payload["token"] != self.token:
+        version = _parse_version(raw)
+        if version == 1:
+            return self._resume_monolithic(universe, raw)
+        if version == CHECKPOINT_VERSION:
+            return self._resume_segmented(universe, raw)
+        raise CheckpointError(
+            f"checkpoint format version {version} is not supported (this "
+            f"build reads versions {MIN_READABLE_VERSION}"
+            f"..{CHECKPOINT_VERSION})"
+        )
+
+    def _check_token(self, theirs: tuple) -> None:
+        """Field-by-field compatibility check with actionable messages."""
+        ours = self.token
+        if theirs[1] != ours[1]:
             raise CheckpointError(
                 f"checkpoint {self.path} is incompatible: it records "
-                f"{payload['token']}, this exploration is {self.token}"
+                f"protocol {theirs[1]!r}, this exploration runs "
+                f"{ours[1]!r} — point --checkpoint at a fresh path or "
+                f"rebuild the matching protocol"
             )
-        # Rebuild configurations / id table / entry-hash memo by
-        # replaying the stream — the exact construction path the sharded
-        # replicas use, so the rebuilt state is bit-identical.
+        if tuple(theirs[2]) != ours[2]:
+            raise CheckpointError(
+                f"checkpoint {self.path} is incompatible: it records "
+                f"process set {list(theirs[2])}, this exploration has "
+                f"{list(ours[2])} — the protocol size/processes differ"
+            )
+        if theirs[3] != ours[3]:
+            raise CheckpointError(
+                f"checkpoint {self.path} is incompatible: it records "
+                f"max_events={theirs[3]}, this exploration uses "
+                f"max_events={ours[3]} — resume with the original bound"
+            )
+
+    def _resume_monolithic(self, universe, raw: bytes):
+        """Read a version-1 blob; migrate it to the segmented layout
+        when this session writes segmented."""
+        payload = self._decode_v1(raw)
+        self._check_token(payload["token"])
+        stream = payload["stream"]
+        offsets = array("q")
+        offsets.frombytes(payload["succ_offsets"])
+        resumed = self._install(
+            universe,
+            stream,
+            payload["succ_ids"],
+            offsets,
+            payload["count"],
+            payload["frontier_start"],
+            payload["complete"],
+            payload["layers"],
+        )
+        if self.format == "monolithic":
+            self.stream = list(stream)
+        else:
+            # Migrate in place: one folded segment + manifest covering
+            # the restored state, so subsequent saves append deltas.
+            # ``_install`` marked everything as already saved; rewind the
+            # watermarks so the fold captures the full stream and CSR.
+            self._pending_records = list(stream)
+            self._saved_frontier = 0
+            self._saved_edges = 0
+            self._saved_layers = 0
+            self._save_segmented(payload["frontier_start"], universe)
+        return resumed
+
+    def _resume_segmented(self, universe, raw: bytes):
+        manifest = self._decode_manifest(raw)
+        self._check_token(manifest["token"])
+        entries = manifest["segments"]
+        self._generation = manifest["generation"]
+        stream: list = []
+        succ_ids = array("q")
+        offsets = array("q", (0,))
+        kept: list[dict] = []
+        damage: tuple[int, str] | None = None
+        for index, entry in enumerate(entries):
+            try:
+                _, decoded = _load_segment(self.path, entry)
+            except _SegmentInvalid as error:
+                damage = (index, str(error))
+                break
+            stream.extend(decoded["records"])
+            succ_ids.frombytes(decoded["succ_ids"])
+            offsets.frombytes(decoded["succ_offsets"])
+            kept.append(entry)
+        if damage is not None:
+            index, reason = damage
+            name = entries[index]["name"]
+            if self.strict:
+                raise CheckpointError(
+                    f"checkpoint {self.path} segment {name} is corrupt "
+                    f"({reason}); {index} of {len(entries)} segments are "
+                    f"intact — resume without --strict to salvage that "
+                    f"prefix"
+                )
+            self.salvaged = True
+            universe._recovery_log.append(
+                {
+                    "kind": "corrupt_segment",
+                    "layer": entries[index]["layer_from"],
+                    "action": "salvage-truncate" if kept else "restart",
+                    "detail": f"{name}: {reason}",
+                }
+            )
+        self._discard_orphans(
+            universe, {entry["name"] for entry in entries}
+        )
+        self._segments = kept
+        if not kept:
+            # Nothing salvageable: a fresh run (the first save overwrites
+            # the damaged segment names and recommits the manifest).
+            return None
+        last = kept[-1]
+        if damage is None and (
+            manifest["layers"] != last["layer_to"]
+            or manifest["count"] != last["count"]
+            or manifest["frontier_start"] != last["frontier_start"]
+        ):
+            raise CheckpointError(
+                f"checkpoint {self.path} manifest totals disagree with "
+                f"its own segments — the file is corrupt"
+            )
+        return self._install(
+            universe,
+            stream,
+            succ_ids.tobytes(),
+            offsets,
+            last["count"],
+            last["frontier_start"],
+            last["complete"] if damage is not None else manifest["complete"],
+            last["layer_to"],
+        )
+
+    def _discard_orphans(self, universe, referenced: set[str]) -> None:
+        """Remove (and log) segment files the manifest never committed —
+        the torn tail of a crash between segment append and manifest
+        replace."""
+        pattern = f"{self.path.name}.g*-*.seg"
+        for stray in sorted(self.path.parent.glob(pattern)):
+            if stray.name in referenced:
+                continue
+            universe._recovery_log.append(
+                {
+                    "kind": "torn_save",
+                    "layer": self.layers,
+                    "action": "discard-orphan",
+                    "detail": stray.name,
+                }
+            )
+            try:
+                stray.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _install(
+        self,
+        universe,
+        stream,
+        succ_ids_bytes,
+        offsets,
+        count,
+        frontier_start,
+        complete,
+        layers,
+    ) -> ResumedExploration:
+        """Rebuild ``universe``'s stores from a verified stream + CSR.
+
+        Replays the stream through the exact construction path the
+        sharded replicas use, so the rebuilt state is bit-identical.
+        """
         from repro.universe.sharded import _Replica
 
-        stream = payload["stream"]
         replica = _Replica(self.protocol, self.max_events)
         replica.apply(stream)
-        if len(replica.configurations) != payload["count"]:
+        if len(replica.configurations) != count:
             raise CheckpointError(
                 f"checkpoint {self.path} replay desync: rebuilt "
                 f"{len(replica.configurations)} configurations, file "
-                f"records {payload['count']}"
+                f"records {count}"
+            )
+        if len(offsets) != frontier_start + 1:
+            raise CheckpointError(
+                f"checkpoint {self.path} CSR desync: {len(offsets)} "
+                f"offsets for a frontier at {frontier_start}"
             )
         universe._configurations.clear()
         universe._configurations.extend(replica.configurations)
         universe._ids_by_hash.clear()
         universe._ids_by_hash.update(replica.ids_by_hash)
         del universe._succ_ids[:]
-        universe._succ_ids.frombytes(payload["succ_ids"])
+        universe._succ_ids.frombytes(succ_ids_bytes)
         del universe._succ_offsets[:]
-        universe._succ_offsets.frombytes(payload["succ_offsets"])
-        universe._complete = payload["complete"]
-        frontier_start = payload["frontier_start"]
-        if len(universe._succ_offsets) != frontier_start + 1:
-            raise CheckpointError(
-                f"checkpoint {self.path} CSR desync: "
-                f"{len(universe._succ_offsets)} offsets for a frontier "
-                f"at {frontier_start}"
-            )
-        self.stream = list(stream)
-        self.layers = payload["layers"]
+        universe._succ_offsets.extend(offsets)
+        universe._complete = complete
+        self.layers = layers
+        self._saved_layers = layers
+        self._saved_frontier = frontier_start
+        self._saved_edges = len(universe._succ_ids)
+        self._saved_count = count
+        self._complete_at_save = complete
         self.resumed_from = frontier_start
         return ResumedExploration(
-            frontier_start, stream, replica.entry_hash_of, payload["layers"]
+            frontier_start, stream, replica.entry_hash_of, layers
         )
 
     # -- commit --------------------------------------------------------
     def commit_layer(
         self, records, frontier_start, universe, final: bool = False
     ) -> None:
-        """Fold one completed layer's discovery records into the stream
-        and save if the interval (or ``final``) says so."""
+        """Fold one completed layer's discovery records into the pending
+        delta and save if the interval (or ``final``) says so."""
         if records:
-            self.stream.extend(records)
+            self._pending_records.extend(records)
         self.layers += 1
         if final or self.layers % self.every == 0:
             self.save(frontier_start, universe)
 
     def save(self, frontier_start: int, universe) -> None:
-        """Atomically write the current state to ``self.path``."""
-        payload = {
+        """Persist the state up to ``frontier_start`` (format-dispatch)."""
+        start = time.perf_counter()
+        if self.format == "monolithic":
+            self._save_monolithic(frontier_start, universe)
+        else:
+            self._save_segmented(frontier_start, universe)
+        self.saves += 1
+        self.save_seconds.append(time.perf_counter() - start)
+
+    # -- segmented writer ----------------------------------------------
+    def _segment_name(self, generation: int, index: int) -> str:
+        return f"{self.path.name}.g{generation}-{index:06d}.seg"
+
+    def _save_segmented(self, frontier_start: int, universe) -> None:
+        actions = self._take_fault_actions()
+        succ_ids = universe._succ_ids
+        offsets = universe._succ_offsets
+        records = self._pending_records
+        payload = zlib.compress(
+            pickle.dumps(
+                {
+                    "records": records,
+                    "succ_ids": succ_ids[self._saved_edges :].tobytes(),
+                    "succ_offsets": offsets[
+                        self._saved_frontier + 1 : frontier_start + 1
+                    ].tobytes(),
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ),
+            1,
+        )
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "generation": self._generation,
+            "index": len(self._segments),
+            "layer_from": self._saved_layers,
+            "layer_to": self.layers,
+            "frontier_start": frontier_start,
+            "count": len(universe._configurations),
+            "complete": universe._complete,
+            "records": len(records),
+            "payload_len": len(payload),
+            "payload_crc": zlib.crc32(payload),
+        }
+        blob = _encode_segment(header, payload)
+        name = self._segment_name(self._generation, len(self._segments))
+        seg_path = self.path.with_name(name)
+        with open(seg_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if "torn_save" in actions:
+            # Chaos hook: die between segment append and manifest commit
+            # — the archetypal torn save the orphan-discard path heals.
+            self._hard_exit()
+        entry = {
+            "name": name,
+            "size": len(blob),
+            "payload_crc": header["payload_crc"],
+            "layer_from": header["layer_from"],
+            "layer_to": header["layer_to"],
+            "frontier_start": frontier_start,
+            "count": header["count"],
+            "complete": header["complete"],
+            "records": header["records"],
+        }
+        self._segments.append(entry)
+        self._saved_frontier = frontier_start
+        self._saved_edges = len(succ_ids)
+        self._saved_count = header["count"]
+        self._saved_layers = self.layers
+        self._complete_at_save = universe._complete
+        self._pending_records = []
+        self._write_manifest()
+        if "corrupt_segment" in actions:
+            # Chaos hook: flip one committed payload byte *after* the
+            # CRC was recorded — the next resume must detect + salvage.
+            damaged = bytearray(seg_path.read_bytes())
+            damaged[-1] ^= 0xFF
+            seg_path.write_bytes(bytes(damaged))
+        if len(self._segments) > self.compact_at:
+            self._compact(universe)
+
+    def _write_manifest(self) -> None:
+        manifest = {
             "token": self.token,
+            "layers": self._saved_layers,
+            "frontier_start": self._saved_frontier,
+            "count": self._saved_count,
+            "complete": self._complete_at_save,
+            "generation": self._generation,
+            "segments": self._segments,
+        }
+        blob = zlib.compress(
+            pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL), 1
+        )
+        raw = MANIFEST_MAGIC + zlib.crc32(blob).to_bytes(4, "little") + blob
+        temp = self.path.with_name(self.path.name + ".tmp")
+        with open(temp, "wb") as handle:
+            handle.write(raw)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+
+    def _compact(self, universe) -> None:
+        """Fold every committed segment into one under a new generation.
+
+        Crash-safe by construction: the fold is written under names the
+        current manifest does not reference, the manifest replace is the
+        commit point, and only then are the old generation's files
+        removed (a crash in between leaves orphans, discarded on the
+        next resume).
+        """
+        records: list = []
+        succ_ids_parts: list[bytes] = []
+        offsets_parts: list[bytes] = []
+        for entry in self._segments:
+            try:
+                _, decoded = _load_segment(self.path, entry)
+            except _SegmentInvalid as error:  # pragma: no cover - defensive
+                # A just-committed segment went bad under us: skip the
+                # fold, keep the (still consistent) multi-segment layout.
+                warnings.warn(
+                    f"checkpoint compaction skipped: {entry['name']} "
+                    f"failed verification ({error})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return
+            records.extend(decoded["records"])
+            succ_ids_parts.append(decoded["succ_ids"])
+            offsets_parts.append(decoded["succ_offsets"])
+        last = self._segments[-1]
+        payload = zlib.compress(
+            pickle.dumps(
+                {
+                    "records": records,
+                    "succ_ids": b"".join(succ_ids_parts),
+                    "succ_offsets": b"".join(offsets_parts),
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ),
+            1,
+        )
+        generation = self._generation + 1
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "generation": generation,
+            "index": 0,
+            "layer_from": 0,
+            "layer_to": last["layer_to"],
+            "frontier_start": last["frontier_start"],
+            "count": last["count"],
+            "complete": last["complete"],
+            "records": len(records),
+            "payload_len": len(payload),
+            "payload_crc": zlib.crc32(payload),
+        }
+        blob = _encode_segment(header, payload)
+        name = self._segment_name(generation, 0)
+        with open(self.path.with_name(name), "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        stale = [entry["name"] for entry in self._segments]
+        self._segments = [
+            {
+                "name": name,
+                "size": len(blob),
+                "payload_crc": header["payload_crc"],
+                "layer_from": 0,
+                "layer_to": last["layer_to"],
+                "frontier_start": last["frontier_start"],
+                "count": last["count"],
+                "complete": last["complete"],
+                "records": len(records),
+            }
+        ]
+        self._generation = generation
+        self._write_manifest()
+        for old in stale:
+            try:
+                self.path.with_name(old).unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # -- monolithic (v1) writer ----------------------------------------
+    def _save_monolithic(self, frontier_start: int, universe) -> None:
+        """The retained PR 6 full-rewrite save: one blob, O(stream)."""
+        self.stream.extend(self._pending_records)
+        self._pending_records = []
+        payload = {
+            "token": (1,) + self.token[1:],
             "stream": self.stream,
             "count": len(universe._configurations),
             "frontier_start": frontier_start,
@@ -204,28 +793,176 @@ class CheckpointSession:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp, self.path)
-        self.saves += 1
 
+    # -- decoding ------------------------------------------------------
     @staticmethod
-    def _decode(raw: bytes) -> dict:
-        if not raw.startswith(CHECKPOINT_MAGIC):
-            raise CheckpointError(
-                "not a repro checkpoint file (bad magic header)"
-            )
+    def _decode_v1(raw: bytes) -> dict:
         try:
-            payload = pickle.loads(zlib.decompress(raw[len(CHECKPOINT_MAGIC):]))
+            payload = pickle.loads(
+                zlib.decompress(raw[len(CHECKPOINT_MAGIC):])
+            )
         except Exception as error:
             raise CheckpointError(
                 f"checkpoint is corrupt or truncated: {error}"
             ) from error
         if not isinstance(payload, dict) or "token" not in payload:
             raise CheckpointError("checkpoint payload is malformed")
-        if payload["token"][0] != CHECKPOINT_VERSION:
-            raise CheckpointError(
-                f"checkpoint format version {payload['token'][0]} is not "
-                f"supported (this build reads version {CHECKPOINT_VERSION})"
-            )
         return payload
+
+    def _decode_manifest(self, raw: bytes) -> dict:
+        return decode_manifest(raw)
+
+
+def decode_manifest(raw: bytes) -> dict:
+    """Decode + CRC-verify a version-2 manifest blob, or raise
+    :class:`CheckpointError`."""
+    base = len(MANIFEST_MAGIC)
+    if len(raw) < base + 4:
+        raise CheckpointError("checkpoint manifest is corrupt or truncated")
+    crc = int.from_bytes(raw[base : base + 4], "little")
+    blob = raw[base + 4 :]
+    if zlib.crc32(blob) != crc:
+        raise CheckpointError(
+            "checkpoint manifest is corrupt or truncated (CRC mismatch)"
+        )
+    try:
+        manifest = pickle.loads(zlib.decompress(blob))
+    except Exception as error:
+        raise CheckpointError(
+            f"checkpoint manifest is corrupt or truncated: {error}"
+        ) from error
+    if not isinstance(manifest, dict) or "token" not in manifest:
+        raise CheckpointError("checkpoint payload is malformed")
+    return manifest
+
+
+# ---------------------------------------------------------------------
+# Inspection (``repro checkpoint verify|inspect``)
+# ---------------------------------------------------------------------
+def inspect_checkpoint(path, verify_segments: bool = True) -> dict:
+    """Integrity/metadata report of a checkpoint — never raises.
+
+    Returns a dict with ``exists``, ``format_version``, the decoded
+    compatibility ``token`` (as a readable mapping), ``layers``/
+    ``count``/``complete``/``frontier_start``, a per-segment status list
+    (``ok`` / ``missing`` / ``corrupt: <reason>`` / ``unverified``),
+    the unreferenced ``orphans``, ``salvageable_layers`` (the valid
+    prefix), and ``valid`` — True iff every byte needed for a full
+    resume checks out.  ``verify_segments=False`` skips reading segment
+    payloads (a cheap progress probe).
+    """
+    path = Path(path)
+    report: dict = {
+        "path": str(path),
+        "exists": True,
+        "format_version": None,
+        "error": None,
+        "token": None,
+        "layers": None,
+        "count": None,
+        "complete": None,
+        "frontier_start": None,
+        "generation": None,
+        "segments": [],
+        "orphans": [],
+        "salvageable_layers": 0,
+        "valid": False,
+    }
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        report["exists"] = False
+        report["error"] = "no such file"
+        return report
+    except OSError as error:
+        report["exists"] = False
+        report["error"] = str(error)
+        return report
+    try:
+        version = _parse_version(raw)
+    except CheckpointError as error:
+        report["error"] = str(error)
+        return report
+    report["format_version"] = version
+
+    def token_view(token) -> dict:
+        return {
+            "format_version": token[0],
+            "protocol": token[1],
+            "processes": list(token[2]),
+            "max_events": token[3],
+        }
+
+    if version == 1:
+        try:
+            payload = CheckpointSession._decode_v1(raw)
+        except CheckpointError as error:
+            report["error"] = str(error)
+            return report
+        report["token"] = token_view(payload["token"])
+        report["layers"] = payload["layers"]
+        report["count"] = payload["count"]
+        report["complete"] = payload["complete"]
+        report["frontier_start"] = payload["frontier_start"]
+        report["salvageable_layers"] = payload["layers"]
+        report["valid"] = True
+        return report
+    if version != CHECKPOINT_VERSION:
+        report["error"] = (
+            f"format version {version} is not supported (this build reads "
+            f"versions {MIN_READABLE_VERSION}..{CHECKPOINT_VERSION})"
+        )
+        return report
+    try:
+        manifest = decode_manifest(raw)
+    except CheckpointError as error:
+        report["error"] = str(error)
+        return report
+    report["token"] = token_view(manifest["token"])
+    report["layers"] = manifest["layers"]
+    report["count"] = manifest["count"]
+    report["complete"] = manifest["complete"]
+    report["frontier_start"] = manifest["frontier_start"]
+    report["generation"] = manifest["generation"]
+    prefix_intact = True
+    for entry in manifest["segments"]:
+        row = {
+            "name": entry["name"],
+            "layer_from": entry["layer_from"],
+            "layer_to": entry["layer_to"],
+            "records": entry["records"],
+            "size": entry["size"],
+            "status": "unverified",
+        }
+        if verify_segments:
+            try:
+                _load_segment(path, entry)
+            except _SegmentInvalid as error:
+                row["status"] = (
+                    "missing"
+                    if str(error) == "segment file missing"
+                    else f"corrupt: {error}"
+                )
+                prefix_intact = False
+            else:
+                row["status"] = "ok"
+                if prefix_intact:
+                    report["salvageable_layers"] = entry["layer_to"]
+        report["segments"].append(row)
+    referenced = {entry["name"] for entry in manifest["segments"]}
+    report["orphans"] = sorted(
+        stray.name
+        for stray in path.parent.glob(f"{path.name}.g*-*.seg")
+        if stray.name not in referenced
+    )
+    if verify_segments:
+        report["valid"] = prefix_intact and all(
+            row["status"] == "ok" for row in report["segments"]
+        )
+    else:
+        report["salvageable_layers"] = manifest["layers"]
+        report["valid"] = True  # manifest-level only
+    return report
 
 
 # ---------------------------------------------------------------------
@@ -266,6 +1003,11 @@ class RssWatchdog:
     ``worker_pids`` (a zero-argument callable) lets the sharded engine
     include its live workers — each holds a full replica, so coordinator
     RSS alone understates the footprint (K+1)×.
+
+    On hosts where RSS cannot be measured at all (no readable ``/proc``
+    and no ``resource`` fallback) the watchdog *deactivates* with a
+    one-time :class:`RuntimeWarning` instead of silently never firing;
+    callers can observe the degradation via :attr:`active`.
     """
 
     def __init__(self, budget_mb: float, worker_pids=None) -> None:
@@ -276,10 +1018,20 @@ class RssWatchdog:
         self.budget_mb = float(budget_mb)
         self.worker_pids = worker_pids
         self.last_mb: float | None = None
+        self.active = True
 
     def exceeded(self) -> bool:
         total = process_rss_mb()
         if total is None:
+            if self.active:
+                self.active = False
+                warnings.warn(
+                    "RSS watchdog disabled: this host exposes no way to "
+                    "measure resident memory (no readable /proc, no "
+                    "resource.getrusage) — --rss-budget will not truncate",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return False
         if self.worker_pids is not None:
             for pid in self.worker_pids():
@@ -293,10 +1045,15 @@ class RssWatchdog:
 __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "DEFAULT_COMPACT_SEGMENTS",
+    "MANIFEST_MAGIC",
+    "SEGMENT_MAGIC",
     "CheckpointError",
     "CheckpointSession",
     "ResumedExploration",
     "RssWatchdog",
     "compatibility_token",
+    "decode_manifest",
+    "inspect_checkpoint",
     "process_rss_mb",
 ]

@@ -403,17 +403,32 @@ class Universe:
         (:mod:`repro.universe.checkpoint`): if the file exists, the
         exploration *resumes* from its last completed BFS layer; the
         finished universe is bit-identical to an uninterrupted run.
-        Saved every ``checkpoint_every`` layers (atomic
-        write-then-rename) and at the end.
+        Saved every ``checkpoint_every`` layers in the segmented
+        incremental format (append one delta segment, atomically replace
+        the manifest) and at the end.  A corrupt tail is salvaged to the
+        last valid layer boundary (logged on :attr:`recovery_log`)
+        unless ``checkpoint_strict``.
+    checkpoint_strict:
+        Refuse to salvage a damaged checkpoint: raise
+        :class:`~repro.universe.checkpoint.CheckpointError` instead of
+        truncating to the valid prefix.
+    checkpoint_format:
+        ``"segmented"`` (default) or ``"monolithic"`` (the PR 6
+        full-rewrite format, retained for the controlled
+        incremental-vs-full benchmark pair).
     rss_budget_mb:
         Optional resident-memory budget (MiB, coordinator plus live
         workers).  When exploration crosses it at a layer boundary it
         degrades to the ``on_limit="truncate"`` behaviour — partial
         universe, :attr:`is_complete` ``False`` — instead of being
-        OOM-killed (pair with ``checkpoint`` to resume elsewhere).
+        OOM-killed (pair with ``checkpoint`` to resume elsewhere).  On
+        hosts where RSS cannot be measured the watchdog deactivates
+        with a one-time warning (see :attr:`rss_watchdog_active`).
     fault_plan:
-        Deterministic fault injection for the sharded engine
-        (:mod:`repro.universe.faults`); requires ``workers >= 2``.
+        Deterministic fault injection (:mod:`repro.universe.faults`).
+        Worker fault kinds require ``workers >= 2``; checkpoint fault
+        kinds (``torn_save``, ``corrupt_segment``) require a
+        ``checkpoint`` path and run on either engine.
     supervision:
         :class:`~repro.universe.sharded.SupervisionPolicy` overriding
         the coordinator's heartbeat/respawn tunables; ``workers >= 2``
@@ -429,6 +444,8 @@ class Universe:
         workers: int | None = None,
         checkpoint=None,
         checkpoint_every: int = 1,
+        checkpoint_strict: bool = False,
+        checkpoint_format: str = "segmented",
         rss_budget_mb: float | None = None,
         fault_plan=None,
         supervision=None,
@@ -458,7 +475,7 @@ class Universe:
 
         worker_count = resolve_workers(workers)
         if worker_count <= 1:
-            if fault_plan is not None:
+            if fault_plan is not None and fault_plan.has_worker_faults:
                 raise UniverseError(
                     "fault injection requires the sharded engine "
                     "(workers >= 2); the in-process kernel has no workers "
@@ -469,14 +486,34 @@ class Universe:
                     "supervision policies apply to the sharded engine only "
                     "(workers >= 2)"
                 )
+        if (
+            fault_plan is not None
+            and fault_plan.has_checkpoint_faults
+            and checkpoint is None
+        ):
+            raise UniverseError(
+                "checkpoint fault injection (torn_save/corrupt_segment) "
+                "requires a checkpoint path"
+            )
         session = None
         if checkpoint is not None:
             from repro.universe.checkpoint import CheckpointSession
 
             session = CheckpointSession(
-                checkpoint, protocol, max_events, every=checkpoint_every
+                checkpoint,
+                protocol,
+                max_events,
+                every=checkpoint_every,
+                strict=checkpoint_strict,
+                format=checkpoint_format,
+                fault_actions=(
+                    fault_plan.take_checkpoint_faults()
+                    if fault_plan is not None
+                    else ()
+                ),
             )
         self._checkpoint_session = session
+        self._rss_watchdog = None
         if worker_count > 1:
             ShardedExplorer(
                 protocol,
@@ -582,6 +619,7 @@ class Universe:
             from repro.universe.checkpoint import RssWatchdog
 
             watchdog = RssWatchdog(rss_budget_mb)
+        self._rss_watchdog = watchdog
         resumed = session.try_resume(self) if session is not None else None
         if resumed is not None:
             # try_resume rebuilt the stores in place; adopt its state and
@@ -809,12 +847,24 @@ class Universe:
 
     @property
     def recovery_log(self) -> tuple[dict, ...]:
-        """Failover events the sharded engine survived while building
-        this universe (empty for in-process exploration): one dict per
-        recovered :class:`~repro.universe.sharded.WorkerFailure` with
-        ``layer``, ``shard``, ``kind`` and the ``action`` taken
-        (``"respawn"`` or ``"fold"``)."""
+        """Recovery events survived while building this universe: one
+        dict per recovered :class:`~repro.universe.sharded.WorkerFailure`
+        (``layer``, ``shard``, ``kind``, ``action`` — ``"respawn"`` or
+        ``"fold"``) and per checkpoint salvage event (``layer``,
+        ``kind``, ``action`` — ``"salvage-truncate"``, ``"restart"`` or
+        ``"discard-orphan"`` — no ``shard``)."""
         return tuple(getattr(self, "_recovery_log", ()))
+
+    @property
+    def rss_watchdog_active(self) -> bool | None:
+        """Whether the ``rss_budget_mb`` watchdog could actually measure
+        RSS on this host: ``None`` when no budget was set, ``False``
+        when the host exposes no measurement (the watchdog warned once
+        and will never truncate), ``True`` otherwise."""
+        watchdog = getattr(self, "_rss_watchdog", None)
+        if watchdog is None:
+            return None
+        return watchdog.active
 
     @property
     def configurations(self) -> Sequence[Configuration]:

@@ -30,6 +30,19 @@ Supported fault kinds, and the recovery path each exercises:
     frame checksum.  The coordinator's CRC verification rejects the
     frame and the worker is replaced — the payload is never unpickled.
 
+Two further kinds target the **checkpoint** layer rather than a worker
+(their ``shard`` is the sentinel ``-1``; they work on the kernel engine
+too, where there are no workers at all):
+
+``torn_save``
+    The saving process hard-exits between the segment append and the
+    manifest replace — the archetypal torn write.  The orphan segment is
+    discarded (and logged) on the next resume.
+``corrupt_segment``
+    One byte of the just-committed segment is flipped *after* its CRC
+    was recorded.  The next resume detects the mismatch and salvages the
+    valid prefix (or raises under ``strict``).
+
 Faults are delivered to a worker at spawn time as plain tuples (no
 module state crosses the fork), so a plan is reproducible regardless of
 scheduling.  Because shard expansion is a pure function of the merged
@@ -45,7 +58,9 @@ from dataclasses import dataclass
 
 from repro.core.errors import UniverseError
 
-FAULT_KINDS = ("kill", "drop_batch", "delay_batch", "corrupt_batch")
+WORKER_FAULT_KINDS = ("kill", "drop_batch", "delay_batch", "corrupt_batch")
+CHECKPOINT_FAULT_KINDS = ("torn_save", "corrupt_segment")
+FAULT_KINDS = WORKER_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -66,7 +81,11 @@ class Fault:
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{', '.join(FAULT_KINDS)}"
             )
-        if self.shard < 0:
+        if self.is_checkpoint:
+            # Checkpoint faults target the saving process, not a worker;
+            # normalise the shard to the -1 sentinel.
+            object.__setattr__(self, "shard", -1)
+        elif self.shard < 0:
             raise UniverseError(f"fault shard must be >= 0, got {self.shard}")
         if self.layer < 0:
             raise UniverseError(f"fault layer must be >= 0, got {self.layer}")
@@ -74,6 +93,12 @@ class Fault:
             raise UniverseError(
                 f"fault delay must be >= 0, got {self.seconds}"
             )
+
+    @property
+    def is_checkpoint(self) -> bool:
+        """True for faults that fire in the checkpoint writer rather
+        than in a worker."""
+        return self.kind in CHECKPOINT_FAULT_KINDS
 
     def as_wire(self) -> tuple:
         """The fault as a plain tuple for the worker spawn arguments."""
@@ -124,6 +149,18 @@ class FaultPlan:
         return cls((Fault("corrupt_batch", shard, layer),))
 
     @classmethod
+    def torn_save(cls, layer: int) -> "FaultPlan":
+        """Hard-exit the saving process between segment append and
+        manifest replace at the save covering ``layer``."""
+        return cls((Fault("torn_save", -1, layer),))
+
+    @classmethod
+    def corrupt_segment(cls, layer: int) -> "FaultPlan":
+        """Flip a byte of the segment committed at ``layer`` after its
+        CRC was recorded."""
+        return cls((Fault("corrupt_segment", -1, layer),))
+
+    @classmethod
     def seeded(
         cls,
         seed: int,
@@ -133,41 +170,119 @@ class FaultPlan:
         kinds: tuple[str, ...] = ("kill",),
     ) -> "FaultPlan":
         """A reproducible random plan: ``faults`` draws of (kind, shard,
-        layer) from a :class:`random.Random` seeded with ``seed``."""
+        layer) from a :class:`random.Random` seeded with ``seed``.
+
+        ``kinds`` may mix worker and checkpoint kinds; a checkpoint draw
+        ignores the shard draw (the rng is still advanced, so the layer
+        sequence is stable across kind mixes).
+        """
         if workers < 1:
             raise UniverseError(f"workers must be >= 1, got {workers}")
         if max_layer < 0:
             raise UniverseError(f"max_layer must be >= 0, got {max_layer}")
         rng = random.Random(seed)
-        drawn = tuple(
-            Fault(
-                rng.choice(kinds),
-                rng.randrange(workers),
-                rng.randint(0, max_layer),
-                seconds=rng.uniform(0.05, 0.2),
-            )
-            for _ in range(faults)
-        )
-        return cls(drawn)
+        drawn = []
+        for _ in range(faults):
+            kind = rng.choice(kinds)
+            shard = rng.randrange(workers)
+            layer = rng.randint(0, max_layer)
+            seconds = rng.uniform(0.05, 0.2)
+            if kind in CHECKPOINT_FAULT_KINDS:
+                shard = -1
+            drawn.append(Fault(kind, shard, layer, seconds=seconds))
+        return cls(tuple(drawn))
+
+    @classmethod
+    def parse(cls, specs) -> "FaultPlan":
+        """Build a plan from CLI specs: ``kind[:shard]@layer[~seconds]``.
+
+        Worker kinds require the shard (``kill:0@3``); checkpoint kinds
+        forbid it (``torn_save@5``).  ``~seconds`` is the
+        ``delay_batch`` delay (``delay_batch:1@2~0.5``).
+        """
+        faults = []
+        for spec in specs:
+            text = spec.strip()
+            seconds = 0.0
+            if "~" in text:
+                text, _, tail = text.partition("~")
+                try:
+                    seconds = float(tail)
+                except ValueError:
+                    raise UniverseError(
+                        f"bad fault spec {spec!r}: delay {tail!r} is not "
+                        f"a number"
+                    ) from None
+            head, sep, layer_text = text.partition("@")
+            if not sep or not layer_text.isdigit():
+                raise UniverseError(
+                    f"bad fault spec {spec!r}: expected "
+                    f"kind[:shard]@layer[~seconds]"
+                )
+            layer = int(layer_text)
+            kind, sep, shard_text = head.partition(":")
+            if kind in CHECKPOINT_FAULT_KINDS:
+                if sep:
+                    raise UniverseError(
+                        f"bad fault spec {spec!r}: {kind} is a checkpoint "
+                        f"fault and takes no shard"
+                    )
+                faults.append(Fault(kind, -1, layer, seconds=seconds))
+                continue
+            if not sep or not shard_text.isdigit():
+                raise UniverseError(
+                    f"bad fault spec {spec!r}: worker fault {kind!r} "
+                    f"needs a shard, e.g. {kind}:0@{layer}"
+                )
+            faults.append(Fault(kind, int(shard_text), layer, seconds=seconds))
+        return cls(tuple(faults))
 
     # -- coordinator-side delivery -------------------------------------
     @property
     def faults(self) -> tuple[Fault, ...]:
         return self._faults
 
+    @property
+    def has_worker_faults(self) -> bool:
+        """True if any fault targets a worker (needs the sharded engine)."""
+        return any(not fault.is_checkpoint for fault in self._faults)
+
+    @property
+    def has_checkpoint_faults(self) -> bool:
+        """True if any fault targets the checkpoint writer (needs a
+        ``checkpoint`` path)."""
+        return any(fault.is_checkpoint for fault in self._faults)
+
     def take_for_shard(self, shard: int) -> list[tuple]:
-        """Wire tuples of the not-yet-delivered faults for ``shard``,
-        marking them delivered.  Called once per worker spawn."""
+        """Wire tuples of the not-yet-delivered worker faults for
+        ``shard``, marking them delivered.  Called once per worker
+        spawn."""
         taken: list[tuple] = []
         for index, fault in enumerate(self._faults):
+            if fault.is_checkpoint:
+                continue
             if fault.shard == shard and index not in self._delivered:
                 self._delivered.add(index)
                 taken.append(fault.as_wire())
         return taken
 
+    def take_checkpoint_faults(self) -> list[tuple]:
+        """``(kind, layer)`` tuples of the not-yet-delivered checkpoint
+        faults, marking them delivered.  Called once per checkpoint
+        session (each fires at most once, like worker faults)."""
+        taken: list[tuple] = []
+        for index, fault in enumerate(self._faults):
+            if fault.is_checkpoint and index not in self._delivered:
+                self._delivered.add(index)
+                taken.append((fault.kind, fault.layer))
+        return taken
+
     def validate(self, workers: int) -> None:
-        """Reject plans naming shards the exploration does not have."""
+        """Reject plans naming shards the exploration does not have.
+        Checkpoint faults carry no shard and always pass."""
         for fault in self._faults:
+            if fault.is_checkpoint:
+                continue
             if fault.shard >= workers:
                 raise UniverseError(
                     f"fault targets shard {fault.shard} but the "
@@ -179,10 +294,18 @@ class FaultPlan:
 
     def __repr__(self) -> str:
         inner = ", ".join(
-            f"{fault.kind}(w{fault.shard}@L{fault.layer})"
+            f"{fault.kind}(@L{fault.layer})"
+            if fault.is_checkpoint
+            else f"{fault.kind}(w{fault.shard}@L{fault.layer})"
             for fault in self._faults
         )
         return f"FaultPlan({inner})"
 
 
-__all__ = ["FAULT_KINDS", "Fault", "FaultPlan"]
+__all__ = [
+    "CHECKPOINT_FAULT_KINDS",
+    "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+]

@@ -89,6 +89,7 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import errno
 import pickle
 import time
 import traceback
@@ -131,6 +132,21 @@ def resolve_workers(workers: int | None) -> int:
     return max(workers, 1)
 
 
+_TRANSIENT_SPAWN_ERRNOS = frozenset(
+    {errno.EAGAIN, errno.EWOULDBLOCK, errno.ENOMEM}
+)
+
+
+def _transient_spawn_error(error: OSError) -> bool:
+    """True for ``Process.start``/``os.fork`` failures worth retrying:
+    resource pressure that may clear in milliseconds (EAGAIN — pid or
+    rlimit exhaustion — and transient ENOMEM), as opposed to persistent
+    configuration errors."""
+    if error.errno in _TRANSIENT_SPAWN_ERRNOS:
+        return True
+    return "temporarily unavailable" in str(error).lower()
+
+
 @dataclass(frozen=True)
 class SupervisionPolicy:
     """Tunables of the coordinator's worker supervision.
@@ -144,6 +160,13 @@ class SupervisionPolicy:
     exploration (``None`` means one per worker); once spent, further
     failures fold the shard into the coordinator.  ``poll_interval``
     bounds every coordinator wait; ``join_timeout`` bounds teardown.
+
+    ``spawn_attempts``/``spawn_backoff`` make worker *starts* resilient:
+    a transient ``Process.start`` failure (fork EAGAIN under pid/memory
+    pressure, "resource temporarily unavailable") is retried up to
+    ``spawn_attempts`` times with exponential backoff starting at
+    ``spawn_backoff`` seconds before the failure counts — at initial
+    spawn it then raises, at respawn it folds the shard.
     """
 
     heartbeat_timeout: float = 30.0
@@ -152,6 +175,8 @@ class SupervisionPolicy:
     heartbeat_records: int = 200_000
     max_respawns: int | None = None
     join_timeout: float = 5.0
+    spawn_attempts: int = 3
+    spawn_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.heartbeat_timeout <= 0:
@@ -162,6 +187,10 @@ class SupervisionPolicy:
             raise UniverseError("heartbeat chunk sizes must be >= 1")
         if self.max_respawns is not None and self.max_respawns < 0:
             raise UniverseError("max_respawns must be >= 0")
+        if self.spawn_attempts < 1:
+            raise UniverseError("spawn_attempts must be >= 1")
+        if self.spawn_backoff < 0:
+            raise UniverseError("spawn_backoff must be >= 0")
 
     def resolve_respawns(self, workers: int) -> int:
         return workers if self.max_respawns is None else self.max_respawns
@@ -678,29 +707,64 @@ class ShardedExplorer:
 
     # -- process lifecycle ---------------------------------------------
     def _spawn(self, shard: int) -> None:
-        """Start (or restart) the worker for ``shard`` on a fresh pipe."""
+        """Start (or restart) the worker for ``shard`` on a fresh pipe.
+
+        Transient start failures (fork EAGAIN under pid/memory pressure)
+        are retried with bounded backoff per
+        ``SupervisionPolicy.spawn_attempts``/``spawn_backoff``; a
+        persistent or non-transient ``OSError`` propagates to the caller
+        (initial spawn raises, :meth:`_recover` folds the shard).
+        """
         actions = (
             self._fault_plan.take_for_shard(shard)
             if self._fault_plan is not None
             else []
         )
         parent_end, child_end = self._context.Pipe(duplex=True)
-        process = self._context.Process(
-            target=_worker_main,
-            args=(
-                child_end,
-                self._protocol,
-                shard,
-                self._workers,
-                self._max_events,
-                self._token,
-                self._policy.heartbeat_parents,
-                self._policy.heartbeat_records,
-                actions,
-            ),
-            daemon=True,
+        worker_args = (
+            child_end,
+            self._protocol,
+            shard,
+            self._workers,
+            self._max_events,
+            self._token,
+            self._policy.heartbeat_parents,
+            self._policy.heartbeat_records,
+            actions,
         )
-        process.start()
+        delay = self._policy.spawn_backoff
+        try:
+            for attempt in range(1, self._policy.spawn_attempts + 1):
+                process = self._context.Process(
+                    target=_worker_main, args=worker_args, daemon=True
+                )
+                try:
+                    process.start()
+                    break
+                except OSError as error:
+                    if (
+                        not _transient_spawn_error(error)
+                        or attempt == self._policy.spawn_attempts
+                    ):
+                        raise
+                    self.recovery_log.append(
+                        {
+                            "shard": shard,
+                            "layer": None,
+                            "kind": "spawn",
+                            "action": "retry",
+                            "detail": (
+                                f"attempt {attempt}/"
+                                f"{self._policy.spawn_attempts}: {error}"
+                            ),
+                        }
+                    )
+                    time.sleep(delay)
+                    delay *= 2
+        except OSError:
+            parent_end.close()
+            child_end.close()
+            raise
         child_end.close()
         self._connections[shard] = parent_end
         self._processes[shard] = process
@@ -801,7 +865,29 @@ class ShardedExplorer:
         self._discard_worker(shard)
         if self._respawns_left > 0:
             self._respawns_left -= 1
-            self._spawn(shard)
+            try:
+                self._spawn(shard)
+            except OSError as error:
+                # The host refused us a replacement process even after
+                # the bounded retries; fold the shard instead of dying.
+                self.recovery_log.append(
+                    {
+                        "layer": layer,
+                        "shard": shard,
+                        "kind": failure.kind,
+                        "action": "respawn-failed",
+                        "detail": f"spawn: {error}",
+                    }
+                )
+                self._recover(
+                    universe,
+                    WorkerFailure(shard, "exit", f"spawn failed: {error}"),
+                    state,
+                    layer_start,
+                    layer_end,
+                    layer,
+                )
+                return
             try:
                 self._connections[shard].send(
                     (
@@ -1013,6 +1099,7 @@ class ShardedExplorer:
             from repro.universe.checkpoint import RssWatchdog
 
             watchdog = RssWatchdog(rss_budget_mb, self._worker_pids)
+        universe._rss_watchdog = watchdog
         resumed = checkpoint.try_resume(universe) if checkpoint else None
         try:
             for shard in range(self._workers):

@@ -1,0 +1,339 @@
+"""Whole-process crash chaos harness for checkpointed exploration.
+
+The strongest durability claim the checkpoint subsystem makes is not
+"survives a polite KeyboardInterrupt" but "survives the machine going
+away mid-write".  This harness proves it the only honest way: it runs
+``repro explore --checkpoint`` as a real subprocess, SIGKILLs it at
+seeded layer targets (no cleanup handlers run), resumes it — possibly
+under a different engine and a different interpreter hash seed — and
+repeats until the exploration completes.  The surviving checkpoint must
+reconstruct a universe bit-identical to an uninterrupted in-process run.
+
+Torn writes are covered by the ``torn_save`` checkpoint fault: the
+subprocess hard-exits (``os._exit``) between appending a segment and
+publishing the manifest, leaving a genuinely torn on-disk state (an
+orphan segment the next resume must discard).
+
+Usable as a library (``tests/test_universe_chaos.py``) and as a CLI for
+the CI smoke::
+
+    python tests/chaos.py --size 5 --kills 3 --seed 7
+    python tests/chaos.py --size 6 --kills 3 --workers 2 --seed 1
+    python tests/chaos.py --size 6 --kills 4 --workers-schedule 1,2,1,3
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.universe.checkpoint import inspect_checkpoint  # noqa: E402
+
+TORN_SAVE_EXIT = 23  # os._exit status of the torn_save checkpoint fault
+POLL_INTERVAL = 0.001  # star explorations save layers every few ms
+DEFAULT_TIMEOUT = 180.0
+
+
+@dataclass
+class ChaosAttempt:
+    """One subprocess run: how it started and how it ended."""
+
+    workers: int
+    hash_seed: int
+    outcome: str  # "sigkill" | "torn_save" | "complete"
+    target_layer: int | None
+    layers_on_disk: int
+    returncode: int | None
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of a full kill/resume campaign."""
+
+    size: int
+    seed: int
+    attempts: list[ChaosAttempt] = field(default_factory=list)
+    completed: bool = False
+
+    @property
+    def kills(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome == "sigkill")
+
+    @property
+    def torn_saves(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome == "torn_save")
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos campaign: star n={self.size}, seed={self.seed}, "
+            f"{len(self.attempts)} attempts "
+            f"({self.kills} SIGKILLs, {self.torn_saves} torn saves)"
+        ]
+        for i, a in enumerate(self.attempts):
+            where = (
+                f"targeting layer {a.target_layer}"
+                if a.target_layer is not None
+                else "running to completion"
+            )
+            lines.append(
+                f"  attempt {i}: workers={a.workers} "
+                f"PYTHONHASHSEED={a.hash_seed} {where} -> {a.outcome} "
+                f"(rc={a.returncode}, {a.layers_on_disk} layers on disk)"
+            )
+        lines.append(f"  completed: {self.completed}")
+        return "\n".join(lines)
+
+
+def explore_command(
+    path: pathlib.Path,
+    size: int,
+    workers: int,
+    fault_specs: tuple[str, ...] = (),
+) -> list[str]:
+    """The exact ``repro explore`` invocation the campaign crashes."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "explore",
+        "broadcast",
+        "--topology",
+        "star",
+        "--size",
+        str(size),
+        "--checkpoint",
+        str(path),
+        "--checkpoint-every",
+        "1",
+    ]
+    if workers > 1:
+        cmd += ["--workers", str(workers)]
+    for spec in fault_specs:
+        cmd += ["--fault", spec]
+    return cmd
+
+
+def _subprocess_env(hash_seed: int) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    # Every attempt runs in a different hash domain: resume must not
+    # depend on the writer's interpreter hash seed.
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    return env
+
+
+def layers_on_disk(path: pathlib.Path) -> int:
+    """Current layer count per the manifest (0 if absent/unreadable)."""
+    report = inspect_checkpoint(path, verify_segments=False)
+    if not report.get("exists") or report.get("error"):
+        return 0
+    return int(report.get("layers") or 0)
+
+
+def _run_and_kill(
+    cmd: list[str],
+    path: pathlib.Path,
+    target_layer: int | None,
+    hash_seed: int,
+    timeout: float,
+) -> tuple[str, int | None]:
+    """Run the explorer; SIGKILL it once the checkpoint reaches the
+    target layer.  Returns (outcome, returncode)."""
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=_subprocess_env(hash_seed),
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while proc.poll() is None:
+            if time.monotonic() > deadline:
+                proc.kill()
+                proc.wait()
+                raise TimeoutError(f"chaos subprocess exceeded {timeout}s: {cmd}")
+            if target_layer is not None and layers_on_disk(path) >= target_layer:
+                # No warning, no cleanup: the process is simply gone.
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait()
+                return "sigkill", proc.returncode
+            time.sleep(POLL_INTERVAL)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    if proc.returncode == TORN_SAVE_EXIT:
+        return "torn_save", proc.returncode
+    if proc.returncode == 0:
+        return "complete", proc.returncode
+    return f"error:{proc.returncode}", proc.returncode
+
+
+def run_campaign(
+    path: pathlib.Path,
+    size: int = 6,
+    kills: int = 3,
+    seed: int = 0,
+    workers_schedule: tuple[int, ...] = (1,),
+    torn_save: bool = True,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> ChaosResult:
+    """Crash/resume until the exploration completes.
+
+    ``kills`` counts forced deaths before the final clean run; when
+    ``torn_save`` is true the first death is a mid-save hard exit (torn
+    write) rather than an external SIGKILL.  ``workers_schedule`` cycles
+    across attempts, so mixed schedules exercise kernel<->sharded
+    resume of the same file.
+    """
+    rng = random.Random(seed)
+    result = ChaosResult(size=size, seed=seed)
+    path = pathlib.Path(path)
+
+    deaths = 0
+    attempt = 0
+    while True:
+        workers = workers_schedule[attempt % len(workers_schedule)]
+        hash_seed = rng.randrange(1, 2**31)
+        faults: tuple[str, ...] = ()
+        target_layer: int | None = None
+        if deaths < kills:
+            # Aim a little past whatever is already on disk so every
+            # death forfeits real progress.  A star-n broadcast universe
+            # has exactly 2n layers; clamping the target below that
+            # guarantees the run cannot complete before its kill lands.
+            base = layers_on_disk(path)
+            target_layer = min(base + rng.randint(1, 3), 2 * size - 2)
+            if torn_save and deaths == 0:
+                faults = (f"torn_save@{target_layer}",)
+                target_layer = None  # the fault itself is the killer
+        outcome, returncode = _run_and_kill(
+            explore_command(path, size, workers, faults),
+            path,
+            target_layer,
+            hash_seed,
+            timeout,
+        )
+        result.attempts.append(
+            ChaosAttempt(
+                workers=workers,
+                hash_seed=hash_seed,
+                outcome=outcome,
+                target_layer=target_layer,
+                layers_on_disk=layers_on_disk(path),
+                returncode=returncode,
+            )
+        )
+        if outcome in ("sigkill", "torn_save"):
+            deaths += 1
+        elif outcome == "complete":
+            result.completed = True
+            return result
+        else:
+            raise RuntimeError(
+                f"chaos subprocess failed unexpectedly ({outcome}):\n"
+                + result.describe()
+            )
+        attempt += 1
+        if attempt > kills * 6 + 10:
+            raise RuntimeError(
+                "chaos campaign failed to converge:\n" + result.describe()
+            )
+
+
+def verify_bit_identical(path: pathlib.Path, size: int) -> int:
+    """Resume the survivor in-process and compare it with an
+    uninterrupted run; returns the universe size."""
+    from repro.cli import broadcast_protocol
+    from repro.universe.explorer import Universe
+
+    single = Universe(broadcast_protocol("star", size))
+    survivor = Universe(broadcast_protocol("star", size), checkpoint=path)
+    if not survivor.is_complete:
+        raise AssertionError("surviving checkpoint is not complete")
+    if len(survivor) != len(single):
+        raise AssertionError(
+            f"survivor has {len(survivor)} configurations, "
+            f"uninterrupted run has {len(single)}"
+        )
+    if survivor._configurations != single._configurations:
+        raise AssertionError("survivor differs from clean run in dense ids")
+    for attr in ("_succ_offsets", "_succ_ids", "_ids_by_hash"):
+        if getattr(survivor, attr) != getattr(single, attr):
+            raise AssertionError(f"survivor differs from clean run in {attr}")
+    return len(survivor)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="crash a checkpointed exploration until it gives up or wins"
+    )
+    parser.add_argument("--size", type=int, default=6, help="star protocol size")
+    parser.add_argument("--kills", type=int, default=3, help="forced deaths")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for every attempt (shorthand for a flat schedule)",
+    )
+    parser.add_argument(
+        "--workers-schedule",
+        type=str,
+        default=None,
+        help="comma-separated worker counts cycled across attempts, e.g. 1,2,1",
+    )
+    parser.add_argument(
+        "--no-torn-save",
+        action="store_true",
+        help="use only external SIGKILLs (skip the mid-save torn write)",
+    )
+    parser.add_argument(
+        "--keep-checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the checkpoint here and keep it (default: temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.workers_schedule:
+        schedule = tuple(int(w) for w in args.workers_schedule.split(","))
+    else:
+        schedule = (args.workers,)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        path = (
+            pathlib.Path(args.keep_checkpoint)
+            if args.keep_checkpoint
+            else pathlib.Path(tmp) / "chaos.ckpt"
+        )
+        result = run_campaign(
+            path,
+            size=args.size,
+            kills=args.kills,
+            seed=args.seed,
+            workers_schedule=schedule,
+            torn_save=not args.no_torn_save,
+        )
+        print(result.describe())
+        count = verify_bit_identical(path, args.size)
+        print(f"survivor is bit-identical to an uninterrupted run ({count} configurations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,3 +93,133 @@ class TestBuildProtocol:
                      "election", "snapshot"):
             args = parser.parse_args(["explore", name])
             assert build_protocol(name, args) is not None
+
+    def test_broadcast_topologies(self, capsys):
+        for topology, count in (("line", 6), ("star", 14), ("ring", 66)):
+            assert main(
+                ["explore", "broadcast", "--topology", topology, "--size", "3"]
+            ) == 0
+            assert f"{count} configurations" in capsys.readouterr().out
+
+
+def build_checkpoint(tmp_path, *extra):
+    """A complete star n=4 checkpointed exploration via the CLI."""
+    path = tmp_path / "u.ckpt"
+    assert main(
+        ["explore", "broadcast", "--topology", "star", "--size", "4",
+         "--checkpoint", str(path), *extra]
+    ) == 0
+    return path
+
+
+def corrupt_tail(path):
+    seg = sorted(path.parent.glob(f"{path.name}.g*-*.seg"))[-1]
+    raw = bytearray(seg.read_bytes())
+    raw[-1] ^= 0xFF
+    seg.write_bytes(bytes(raw))
+    return seg
+
+
+class TestCheckpointCommand:
+    def test_verify_ok(self, capsys, tmp_path):
+        path = build_checkpoint(tmp_path)
+        capsys.readouterr()
+        assert main(["checkpoint", "verify", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "INTEGRITY: ok" in output
+        assert "format version: 2" in output
+
+    def test_verify_corrupt_exits_nonzero(self, capsys, tmp_path):
+        path = build_checkpoint(tmp_path)
+        corrupt_tail(path)
+        capsys.readouterr()
+        assert main(["checkpoint", "verify", str(path)]) == 1
+        output = capsys.readouterr().out
+        assert "INTEGRITY: FAILED" in output
+        assert "salvageable" in output
+
+    def test_inspect_corrupt_reports_but_exits_zero(self, capsys, tmp_path):
+        path = build_checkpoint(tmp_path)
+        corrupt_tail(path)
+        capsys.readouterr()
+        assert main(["checkpoint", "inspect", str(path)]) == 0
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        assert main(["checkpoint", "verify", str(tmp_path / "no.ckpt")]) == 2
+        assert "no such file" in capsys.readouterr().out
+
+    def test_resume_via_cli_round_trip(self, capsys, tmp_path):
+        path = build_checkpoint(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--checkpoint", str(path)]
+        ) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().out
+
+
+class TestExploreRobustnessFlags:
+    def test_strict_resume_of_corrupt_checkpoint_exits_two(
+        self, capsys, tmp_path
+    ):
+        path = build_checkpoint(tmp_path)
+        corrupt_tail(path)
+        capsys.readouterr()
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--checkpoint", str(path), "--strict"]
+        ) == 2
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_salvage_resume_prints_recovery(self, capsys, tmp_path):
+        path = build_checkpoint(tmp_path)
+        corrupt_tail(path)
+        capsys.readouterr()
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--checkpoint", str(path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "checkpoint corrupt_segment" in output
+        assert "salvage-truncate" in output
+
+    def test_incompatible_checkpoint_exits_two(self, capsys, tmp_path):
+        path = build_checkpoint(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "5",
+             "--checkpoint", str(path)]
+        ) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_fault_spec_torn_save_needs_checkpoint(self, capsys):
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--fault", "torn_save@2"]
+        ) == 2
+        assert "requires a checkpoint" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_two(self, capsys):
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--fault", "torn_save:0@2"]
+        ) == 2
+        assert "takes no shard" in capsys.readouterr().err
+
+    def test_corrupt_segment_fault_round_trip(self, capsys, tmp_path):
+        """Inject the fault via the CLI, then verify + salvage via the
+        CLI: the full operator workflow."""
+        path = tmp_path / "u.ckpt"
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--checkpoint", str(path), "--fault", "corrupt_segment@2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["checkpoint", "verify", str(path)]) == 1
+        capsys.readouterr()
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--checkpoint", str(path)]
+        ) == 0
+        assert "salvage-truncate" in capsys.readouterr().out

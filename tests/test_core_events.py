@@ -99,3 +99,36 @@ class TestCorrespondence:
         snd, rcv = message_pair("p", "q", "hello")
         assert not corresponds(internal("p"), rcv)
         assert not corresponds(snd, internal("q"))
+
+
+class TestPicklePortability:
+    """Cached hashes must never travel inside a pickle.
+
+    ``hash()`` is process-local (per-interpreter string salt, and some
+    singleton hashes are address-derived), so a pickled ``_hash_cache``
+    would make a replayed event hash under the *writer's* salt while
+    fresh events hash under the reader's — silently breaking dedup on
+    checkpoint resume in another process.
+    """
+
+    def test_pickled_events_drop_the_hash_cache(self):
+        import pickle
+
+        snd, rcv = message_pair("p", "q", "hello", seq=2, payload=None)
+        evt = internal("p", tag="learn", seq=1)
+        for obj in (snd, rcv, evt, snd.message):
+            hash(obj)  # warm the cache
+            assert "_hash_cache" in obj.__dict__
+            back = pickle.loads(pickle.dumps(obj))
+            assert back == obj
+            assert "_hash_cache" not in back.__dict__
+            # Hashing the copy recomputes locally and matches.
+            assert hash(back) == hash(obj)
+
+    def test_nested_message_cache_is_dropped_too(self):
+        import pickle
+
+        snd, _ = message_pair("p", "q", "hello")
+        hash(snd.message)
+        back = pickle.loads(pickle.dumps(snd))
+        assert "_hash_cache" not in back.message.__dict__

@@ -10,17 +10,23 @@ the merged discovery stream rather than engine-specific state.
 """
 
 import os
+import pathlib
+import warnings
 
 import pytest
 
+import repro.universe.checkpoint as checkpoint_module
 from repro.core.errors import UniverseError
 from repro.protocols.token_bus import TokenBusProtocol
 from repro.universe.checkpoint import (
     CHECKPOINT_MAGIC,
+    MANIFEST_MAGIC,
+    SEGMENT_MAGIC,
     CheckpointError,
     CheckpointSession,
     RssWatchdog,
     compatibility_token,
+    inspect_checkpoint,
     process_rss_mb,
 )
 from repro.universe.explorer import Universe
@@ -28,6 +34,30 @@ from repro.universe.faults import FaultPlan
 from repro.universe.sharded import SupervisionPolicy
 
 from test_universe_sharded import assert_bit_identical, star_protocol
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def segment_files(path):
+    return sorted(path.parent.glob(f"{path.name}.g*-*.seg"))
+
+
+def flip_last_byte(path):
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+def partial_checkpoint(tmp_path, cap=300, name="u.ckpt", **kwargs):
+    path = tmp_path / name
+    Universe(
+        star_protocol(5),
+        max_configurations=cap,
+        on_limit="truncate",
+        checkpoint=path,
+        **kwargs,
+    )
+    return path
 
 FAST = SupervisionPolicy(heartbeat_timeout=5.0, poll_interval=0.02)
 
@@ -254,7 +284,7 @@ class TestFileFormat:
     def test_token_shape(self):
         protocol = star_protocol(4)
         token = compatibility_token(protocol, 7)
-        assert token[0] == 1  # format version leads the token
+        assert token[0] == 2  # format version (segmented) leads the token
         assert token[3] == 7
         assert token == compatibility_token(star_protocol(4), 7)
         assert token != compatibility_token(star_protocol(5), 7)
@@ -312,3 +342,350 @@ class TestRssWatchdog:
         resumed = Universe(star_protocol(5), checkpoint=path)
         assert resumed.is_complete
         assert_bit_identical(single, resumed)
+
+
+class TestRssWatchdogDegraded:
+    """Hosts with no way to measure RSS must degrade loudly, not arm a
+    check that silently never fires."""
+
+    def test_unmeasurable_rss_warns_once_and_deactivates(self, monkeypatch):
+        monkeypatch.setattr(checkpoint_module, "process_rss_mb", lambda pid=None: None)
+        watchdog = RssWatchdog(100)
+        assert watchdog.active
+        with pytest.warns(RuntimeWarning, match="RSS watchdog disabled"):
+            assert watchdog.exceeded() is False
+        assert not watchdog.active
+        # Second crossing attempt: silent, still inactive, still False.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert watchdog.exceeded() is False
+        assert not watchdog.active
+
+    def test_degraded_watchdog_never_truncates(self, monkeypatch):
+        monkeypatch.setattr(checkpoint_module, "process_rss_mb", lambda pid=None: None)
+        with pytest.warns(RuntimeWarning, match="RSS watchdog disabled"):
+            universe = Universe(star_protocol(5), rss_budget_mb=1)
+        # A 1 MiB budget would normally truncate immediately; without a
+        # measurement the run completes and the degradation is visible.
+        assert universe.is_complete
+        assert universe.rss_watchdog_active is False
+
+    def test_healthy_watchdog_is_observable(self):
+        universe = Universe(star_protocol(4), rss_budget_mb=100_000)
+        assert universe.rss_watchdog_active is True
+        assert Universe(star_protocol(4)).rss_watchdog_active is None
+
+
+class TestSegmentedLayout:
+    """On-disk anatomy of the version-2 format."""
+
+    def test_manifest_plus_segments(self, tmp_path):
+        path = partial_checkpoint(tmp_path)
+        assert path.read_bytes().startswith(MANIFEST_MAGIC)
+        segments = segment_files(path)
+        assert len(segments) >= 2  # one delta per layer save
+        for seg in segments:
+            assert seg.read_bytes().startswith(SEGMENT_MAGIC)
+        report = inspect_checkpoint(path)
+        assert [row["name"] for row in report["segments"]] == [
+            seg.name for seg in segments
+        ]
+
+    def test_saves_append_not_rewrite(self, tmp_path):
+        """Each layer save appends one segment; earlier segment files
+        are never touched again (byte-for-byte)."""
+        path = tmp_path / "u.ckpt"
+        Universe(
+            star_protocol(5),
+            max_configurations=100,
+            on_limit="truncate",
+            checkpoint=path,
+        )
+        early = {seg.name: seg.read_bytes() for seg in segment_files(path)}
+        Universe(star_protocol(5), checkpoint=path)
+        late = {seg.name: seg.read_bytes() for seg in segment_files(path)}
+        assert set(early) < set(late)
+        for name, blob in early.items():
+            assert late[name] == blob
+
+    def test_compaction_bounds_file_count(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(checkpoint_module, "DEFAULT_COMPACT_SEGMENTS", 3)
+        single = Universe(star_protocol(5))
+        path = tmp_path / "u.ckpt"
+        universe = Universe(star_protocol(5), checkpoint=path)
+        session = universe._checkpoint_session
+        assert session.saves >= 9  # ten layers, saved every layer
+        assert len(segment_files(path)) <= 4  # folded, not accumulated
+        assert session._generation >= 1
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert_bit_identical(single, resumed)
+
+    def test_compaction_threshold_validation(self, tmp_path):
+        with pytest.raises(UniverseError, match=">= 2"):
+            CheckpointSession(
+                tmp_path / "x", star_protocol(4), None, compact_at=1
+            )
+
+    def test_format_validation(self, tmp_path):
+        with pytest.raises(UniverseError, match="segmented.*monolithic"):
+            CheckpointSession(
+                tmp_path / "x", star_protocol(4), None, format="yaml"
+            )
+
+
+class TestCorruptionSalvage:
+    """Damaged checkpoints resume from the longest intact prefix."""
+
+    def test_corrupt_tail_salvages_and_completes(self, tmp_path):
+        single = Universe(star_protocol(5))
+        path = partial_checkpoint(tmp_path)
+        flip_last_byte(segment_files(path)[-1])
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert resumed.is_complete
+        assert_bit_identical(single, resumed)
+        session = resumed._checkpoint_session
+        assert session.salvaged
+        events = [
+            entry
+            for entry in resumed.recovery_log
+            if entry["action"] == "salvage-truncate"
+        ]
+        assert len(events) == 1
+        assert events[0]["kind"] == "corrupt_segment"
+        assert "CRC mismatch" in events[0]["detail"]
+
+    def test_deleted_tail_segment_salvages(self, tmp_path):
+        single = Universe(star_protocol(5))
+        path = partial_checkpoint(tmp_path)
+        segment_files(path)[-1].unlink()
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert resumed.is_complete
+        assert_bit_identical(single, resumed)
+        events = [
+            entry
+            for entry in resumed.recovery_log
+            if entry["action"] == "salvage-truncate"
+        ]
+        assert "missing" in events[0]["detail"]
+
+    def test_corrupt_first_segment_restarts(self, tmp_path):
+        """No salvageable prefix at all: the run restarts from scratch
+        (logged) and still finishes correctly."""
+        single = Universe(star_protocol(5))
+        path = partial_checkpoint(tmp_path)
+        flip_last_byte(segment_files(path)[0])
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert resumed.is_complete
+        assert_bit_identical(single, resumed)
+        assert resumed._checkpoint_session.resumed_from is None
+        assert any(
+            entry["action"] == "restart" for entry in resumed.recovery_log
+        )
+
+    def test_strict_mode_raises_instead(self, tmp_path):
+        path = partial_checkpoint(tmp_path)
+        flip_last_byte(segment_files(path)[-1])
+        with pytest.raises(CheckpointError, match="salvage"):
+            Universe(star_protocol(5), checkpoint=path, checkpoint_strict=True)
+
+    def test_strict_on_intact_file_is_inert(self, tmp_path):
+        single = Universe(star_protocol(5))
+        path = partial_checkpoint(tmp_path)
+        resumed = Universe(
+            star_protocol(5), checkpoint=path, checkpoint_strict=True
+        )
+        assert_bit_identical(single, resumed)
+
+    def test_orphan_segment_discarded_and_logged(self, tmp_path):
+        """A segment file the manifest never committed (torn save) is
+        removed on resume, not merged."""
+        single = Universe(star_protocol(5))
+        path = partial_checkpoint(tmp_path)
+        orphan = path.with_name(f"{path.name}.g0-000099.seg")
+        orphan.write_bytes(SEGMENT_MAGIC + b"torn half-written segment")
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert not orphan.exists()
+        assert_bit_identical(single, resumed)
+        torn = [
+            entry
+            for entry in resumed.recovery_log
+            if entry["action"] == "discard-orphan"
+        ]
+        assert torn and torn[0]["detail"] == orphan.name
+
+    def test_salvage_overwrites_damaged_names(self, tmp_path):
+        """After salvage, continued saves reuse the truncated segment
+        names; a later resume sees a fully healthy file again."""
+        path = partial_checkpoint(tmp_path)
+        flip_last_byte(segment_files(path)[-1])
+        Universe(star_protocol(5), checkpoint=path)
+        report = inspect_checkpoint(path)
+        assert report["valid"], report
+        again = Universe(star_protocol(5), checkpoint=path)
+        assert not again.recovery_log
+
+
+class TestCheckpointFaultInjection:
+    """The torn_save / corrupt_segment chaos hooks, in-process."""
+
+    def test_torn_save_dies_between_segment_and_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        class TornDeath(BaseException):
+            pass
+
+        def die():
+            raise TornDeath
+
+        monkeypatch.setattr(CheckpointSession, "_hard_exit", staticmethod(die))
+        path = tmp_path / "u.ckpt"
+        with pytest.raises(TornDeath):
+            Universe(
+                star_protocol(5),
+                checkpoint=path,
+                fault_plan=FaultPlan.torn_save(3),
+            )
+        # The segment append outran the manifest: that is the torn state.
+        report = inspect_checkpoint(path)
+        assert report["orphans"], report
+        single = Universe(star_protocol(5))
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert_bit_identical(single, resumed)
+        assert any(
+            entry["action"] == "discard-orphan"
+            for entry in resumed.recovery_log
+        )
+
+    def test_corrupt_segment_fault_round_trip(self, tmp_path):
+        """The fault bit-flips a committed segment after its manifest
+        commit; the next resume must salvage exactly there."""
+        single = Universe(star_protocol(5))
+        path = tmp_path / "u.ckpt"
+        Universe(
+            star_protocol(5),
+            checkpoint=path,
+            fault_plan=FaultPlan.corrupt_segment(4),
+        )
+        report = inspect_checkpoint(path)
+        assert not report["valid"]
+        assert any("corrupt" in row["status"] for row in report["segments"])
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert_bit_identical(single, resumed)
+        assert resumed._checkpoint_session.salvaged
+
+    def test_checkpoint_fault_requires_checkpoint_path(self):
+        with pytest.raises(UniverseError, match="requires a checkpoint"):
+            Universe(star_protocol(4), fault_plan=FaultPlan.torn_save(2))
+
+    def test_fault_fires_at_most_once(self, tmp_path):
+        """A corrupt_segment fault fires on one save only; the session
+        keeps saving clean segments afterwards."""
+        path = tmp_path / "u.ckpt"
+        Universe(
+            star_protocol(5),
+            checkpoint=path,
+            fault_plan=FaultPlan.corrupt_segment(2),
+        )
+        report = inspect_checkpoint(path)
+        bad = [r for r in report["segments"] if r["status"] != "ok"]
+        assert len(bad) == 1
+
+
+class TestVersioning:
+    """v1 read-compatibility, migration, and future-version refusal."""
+
+    def test_monolithic_writer_still_produces_v1(self, tmp_path):
+        path = partial_checkpoint(tmp_path, checkpoint_format="monolithic")
+        raw = path.read_bytes()
+        assert raw.startswith(CHECKPOINT_MAGIC)
+        assert not raw.startswith(MANIFEST_MAGIC)
+        assert not segment_files(path)
+
+    def test_v1_resume_migrates_to_segmented(self, tmp_path):
+        single = Universe(star_protocol(5))
+        path = partial_checkpoint(tmp_path, checkpoint_format="monolithic")
+        resumed = Universe(star_protocol(5), checkpoint=path)
+        assert_bit_identical(single, resumed)
+        assert path.read_bytes().startswith(MANIFEST_MAGIC)
+        assert segment_files(path)
+        # And the migrated file itself resumes cleanly.
+        again = Universe(star_protocol(5), checkpoint=path)
+        assert_bit_identical(single, again)
+
+    def test_monolithic_round_trip_stays_v1(self, tmp_path):
+        single = Universe(star_protocol(5))
+        path = partial_checkpoint(tmp_path, checkpoint_format="monolithic")
+        resumed = Universe(
+            star_protocol(5), checkpoint=path, checkpoint_format="monolithic"
+        )
+        assert_bit_identical(single, resumed)
+        assert path.read_bytes().startswith(CHECKPOINT_MAGIC)
+        assert not segment_files(path)
+
+    def test_future_version_fixture_rejected(self, tmp_path):
+        fixture = FIXTURES / "checkpoint_v99.ckpt"
+        path = tmp_path / "u.ckpt"
+        path.write_bytes(fixture.read_bytes())
+        with pytest.raises(
+            CheckpointError, match=r"version 99 is not supported.*1\.\.2"
+        ):
+            Universe(star_protocol(5), checkpoint=path)
+        report = inspect_checkpoint(path)
+        assert report["format_version"] == 99
+        assert not report["valid"]
+        assert "not supported" in report["error"]
+
+    def test_token_mismatch_messages_name_the_field(self, tmp_path):
+        path = partial_checkpoint(tmp_path)
+        with pytest.raises(CheckpointError, match="protocol"):
+            Universe(TokenBusProtocol(max_hops=4), checkpoint=path)
+        with pytest.raises(CheckpointError, match="process set"):
+            Universe(star_protocol(6), checkpoint=path)
+        with pytest.raises(CheckpointError, match="max_events="):
+            Universe(star_protocol(5), max_events=4, checkpoint=path)
+
+
+class TestInspectCheckpoint:
+    def test_valid_report(self, tmp_path):
+        path = partial_checkpoint(tmp_path)
+        report = inspect_checkpoint(path)
+        assert report["valid"]
+        assert report["format_version"] == 2
+        assert report["token"]["protocol"].endswith("BroadcastProtocol")
+        assert len(report["token"]["processes"]) == 5
+        assert report["layers"] == report["salvageable_layers"]
+        assert all(row["status"] == "ok" for row in report["segments"])
+        assert report["orphans"] == []
+
+    def test_quick_probe_skips_payloads(self, tmp_path):
+        path = partial_checkpoint(tmp_path)
+        report = inspect_checkpoint(path, verify_segments=False)
+        assert all(row["status"] == "unverified" for row in report["segments"])
+        assert report["layers"] == report["salvageable_layers"]
+
+    def test_missing_file_report(self, tmp_path):
+        report = inspect_checkpoint(tmp_path / "nope.ckpt")
+        assert not report["exists"]
+        assert not report["valid"]
+
+    def test_corrupt_tail_report(self, tmp_path):
+        path = partial_checkpoint(tmp_path)
+        flip_last_byte(segment_files(path)[-1])
+        report = inspect_checkpoint(path)
+        assert not report["valid"]
+        assert report["salvageable_layers"] < report["layers"]
+        assert "corrupt" in report["segments"][-1]["status"]
+
+    def test_never_raises_on_garbage(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"complete nonsense")
+        report = inspect_checkpoint(path)
+        assert not report["valid"]
+        assert "bad magic" in report["error"]
+
+    def test_v1_report(self, tmp_path):
+        path = partial_checkpoint(tmp_path, checkpoint_format="monolithic")
+        report = inspect_checkpoint(path)
+        assert report["format_version"] == 1
+        assert report["valid"]
+        assert report["segments"] == []

@@ -435,6 +435,8 @@ class TestFaultPlanApi:
             "drop_batch",
             "delay_batch",
             "corrupt_batch",
+            "torn_save",
+            "corrupt_segment",
         }
 
     def test_repr_names_targets(self):
@@ -479,3 +481,188 @@ class TestDiscoveryStreamReconstruction:
             assert ours == theirs
             assert ours._histories == theirs._histories
         assert replica.ids_by_hash == universe._ids_by_hash
+
+
+class TestFaultSpecParsing:
+    """The CLI grammar: ``kind[:shard]@layer[~seconds]``."""
+
+    def test_worker_spec(self):
+        plan = FaultPlan.parse(["kill:1@3"])
+        (fault,) = plan.faults
+        assert (fault.kind, fault.shard, fault.layer) == ("kill", 1, 3)
+
+    def test_delay_spec_with_seconds(self):
+        plan = FaultPlan.parse(["delay_batch:0@2~0.25"])
+        (fault,) = plan.faults
+        assert fault.kind == "delay_batch"
+        assert fault.seconds == 0.25
+
+    def test_checkpoint_spec_has_no_shard(self):
+        plan = FaultPlan.parse(["torn_save@5", "corrupt_segment@2"])
+        assert all(f.is_checkpoint and f.shard == -1 for f in plan.faults)
+        assert [f.layer for f in plan.faults] == [5, 2]
+
+    def test_missing_layer_rejected(self):
+        with pytest.raises(UniverseError, match="bad fault spec"):
+            FaultPlan.parse(["kill:0"])
+        with pytest.raises(UniverseError, match="bad fault spec"):
+            FaultPlan.parse(["kill:0@x"])
+
+    def test_checkpoint_spec_with_shard_rejected(self):
+        with pytest.raises(UniverseError, match="takes no shard"):
+            FaultPlan.parse(["torn_save:0@5"])
+
+    def test_worker_spec_without_shard_rejected(self):
+        with pytest.raises(UniverseError, match="needs a shard"):
+            FaultPlan.parse(["kill@3"])
+
+    def test_bad_seconds_rejected(self):
+        with pytest.raises(UniverseError, match="not a number"):
+            FaultPlan.parse(["delay_batch:0@2~soon"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(UniverseError, match="unknown fault kind"):
+            FaultPlan.parse(["explode:0@1"])
+
+
+class TestCheckpointFaultPlans:
+    def test_constructors_target_the_session_not_a_shard(self):
+        for plan in (FaultPlan.torn_save(5), FaultPlan.corrupt_segment(3)):
+            (fault,) = plan.faults
+            assert fault.is_checkpoint
+            assert fault.shard == -1
+        assert "torn_save(@L5)" in repr(FaultPlan.torn_save(5))
+
+    def test_kind_partition(self):
+        mixed = FaultPlan.parse(["kill:0@1", "torn_save@2"])
+        assert mixed.has_worker_faults
+        assert mixed.has_checkpoint_faults
+        assert not FaultPlan.torn_save(1).has_worker_faults
+        assert not FaultPlan.kill(0, 1).has_checkpoint_faults
+
+    def test_checkpoint_faults_fire_once(self):
+        plan = FaultPlan.parse(["torn_save@2", "corrupt_segment@4"])
+        assert sorted(plan.take_checkpoint_faults()) == [
+            ("corrupt_segment", 4),
+            ("torn_save", 2),
+        ]
+        assert plan.take_checkpoint_faults() == []  # not re-armed
+
+    def test_worker_delivery_skips_checkpoint_faults(self):
+        plan = FaultPlan.parse(["kill:0@1", "torn_save@2"])
+        assert plan.take_for_shard(0) == [("kill", 1, 0.0)]
+        assert plan.take_checkpoint_faults() == [("torn_save", 2)]
+
+    def test_seeded_draws_checkpoint_kinds(self):
+        plan = FaultPlan.seeded(
+            7, workers=2, max_layer=5, faults=4, kinds=("torn_save",)
+        )
+        assert len(plan) == 4
+        assert all(f.is_checkpoint and f.shard == -1 for f in plan.faults)
+        again = FaultPlan.seeded(
+            7, workers=2, max_layer=5, faults=4, kinds=("torn_save",)
+        )
+        assert [f.as_wire() for f in plan.faults] == [
+            f.as_wire() for f in again.faults
+        ]
+
+    def test_seeded_layer_sequence_stable_across_kinds(self):
+        """Swapping the kind pool (same size) must not shift the seeded
+        layer sequence — campaigns stay comparable across fault mixes."""
+        kills = FaultPlan.seeded(3, workers=2, max_layer=9, faults=5)
+        torn = FaultPlan.seeded(
+            3, workers=2, max_layer=9, faults=5, kinds=("torn_save",)
+        )
+        assert [f.layer for f in kills.faults] == [f.layer for f in torn.faults]
+
+    def test_checkpoint_fault_validation_ignores_workers(self):
+        FaultPlan.torn_save(3).validate(workers=1)  # no shard to range-check
+
+
+class TestSpawnRetry:
+    """Transient worker-start failures retry with backoff."""
+
+    RETRY_POLICY = SupervisionPolicy(
+        heartbeat_timeout=5.0, poll_interval=0.02, spawn_backoff=0.001
+    )
+
+    @staticmethod
+    def flaky_start(monkeypatch, failures, error_factory):
+        """Patch fork-context Process.start to fail ``failures`` times."""
+        from multiprocessing.context import ForkProcess
+
+        original = ForkProcess.start
+        calls = {"n": 0}
+
+        def start(self):
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise error_factory()
+            return original(self)
+
+        monkeypatch.setattr(ForkProcess, "start", start)
+        return calls
+
+    def test_transient_error_classification(self):
+        import errno
+
+        from repro.universe.sharded import _transient_spawn_error
+
+        assert _transient_spawn_error(OSError(errno.EAGAIN, "try again"))
+        assert _transient_spawn_error(
+            OSError(12345, "resource temporarily unavailable")
+        )
+        assert not _transient_spawn_error(OSError(errno.EPERM, "no"))
+
+    def test_eagain_is_retried_and_logged(self, monkeypatch):
+        import errno
+
+        calls = self.flaky_start(
+            monkeypatch,
+            2,
+            lambda: OSError(errno.EAGAIN, "Resource temporarily unavailable"),
+        )
+        single = Universe(star_protocol(5))
+        universe = Universe(
+            star_protocol(5), workers=2, supervision=self.RETRY_POLICY
+        )
+        assert_bit_identical(single, universe)
+        retries = [
+            entry
+            for entry in universe.recovery_log
+            if entry["kind"] == "spawn" and entry["action"] == "retry"
+        ]
+        assert len(retries) == 2
+        assert calls["n"] >= 3
+
+    def test_persistent_eagain_exhausts_the_budget(self, monkeypatch):
+        import errno
+
+        calls = self.flaky_start(
+            monkeypatch,
+            10**6,
+            lambda: OSError(errno.EAGAIN, "Resource temporarily unavailable"),
+        )
+        with pytest.raises(OSError):
+            Universe(
+                star_protocol(4), workers=2, supervision=self.RETRY_POLICY
+            )
+        assert calls["n"] == self.RETRY_POLICY.spawn_attempts
+
+    def test_non_transient_error_is_not_retried(self, monkeypatch):
+        import errno
+
+        calls = self.flaky_start(
+            monkeypatch, 10**6, lambda: OSError(errno.EPERM, "denied")
+        )
+        with pytest.raises(OSError):
+            Universe(
+                star_protocol(4), workers=2, supervision=self.RETRY_POLICY
+            )
+        assert calls["n"] == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(UniverseError, match="spawn_attempts"):
+            SupervisionPolicy(spawn_attempts=0)
+        with pytest.raises(UniverseError, match="spawn_backoff"):
+            SupervisionPolicy(spawn_backoff=-0.1)
