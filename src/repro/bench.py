@@ -36,14 +36,27 @@ checkpoint resume): each entry injects one deterministic fault
 (:mod:`repro.universe.faults`), asserts the recovered universe is
 bit-identical to the fault-free baseline of the same run, and records
 the recovery overhead.  ``--quick`` is the CI smoke mode.
+
+The exploration-scale suite also carries the memory axis: each
+``explore_rss_*`` pair explores the same protocol twice in *fresh
+subprocess interpreters* (``ru_maxrss`` is a high-water mark, so peak
+RSS is only attributable when the process did nothing else), once with
+the object store and once with the compact arena store, recording
+``peak_rss_mb`` / ``bytes_per_configuration`` and the arena's
+compression telemetry.  ``--store arena`` re-runs the suite's
+exploration entries themselves on the arena store (the CI smoke uses
+this to keep the packed path exercised).
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime
+import itertools
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from collections.abc import Callable, Sequence
@@ -122,6 +135,72 @@ class BenchRecoveryMismatch(RuntimeError):
     from an injected fault (or resumed from a checkpoint) is not
     bit-identical to the fault-free baseline built in the same run —
     the whole point of the reliability layer, so always on."""
+
+
+class BenchStoreMismatch(RuntimeError):
+    """Raised by the memory axis when the arena-store exploration does
+    not reproduce the object-store universe explored in the same pair
+    (always on — a wrong universe invalidates the memory comparison)."""
+
+
+_SRC_DIR = str(Path(__file__).resolve().parents[1])
+
+_RSS_CHILD = """\
+import json, resource, sys, time
+from repro.protocols.broadcast import BroadcastProtocol, star_topology
+from repro.universe.explorer import Universe
+
+receivers = tuple(sys.argv[1].split(","))
+store = sys.argv[2]
+spill_dir = sys.argv[3] or None
+start = time.perf_counter()
+universe = Universe(
+    BroadcastProtocol(star_topology("hub", receivers), "hub"),
+    store=store,
+    spill_dir=spill_dir,
+    max_configurations=None,
+)
+report = {
+    "configurations": len(universe),
+    "explore_seconds": time.perf_counter() - start,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+}
+if store == "arena":
+    report["arena"] = universe._configurations.stats()
+print(json.dumps(report))
+"""
+"""Child script of the memory axis: explores one star protocol in a
+fresh interpreter and prints its own ``ru_maxrss`` as JSON.  A fresh
+``subprocess`` (never ``fork`` — a forked child inherits the parent's
+high-water mark) is the only way peak RSS is attributable to the
+exploration being measured."""
+
+
+def _explore_in_subprocess(
+    receivers: tuple[str, ...], store: str, spill_dir: str | None = None
+) -> dict:
+    """Explore a star protocol in a fresh interpreter; return its report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _RSS_CHILD,
+            ",".join(receivers),
+            store,
+            spill_dir or "",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if completed.returncode != 0:
+        raise BenchStoreMismatch(
+            f"memory-axis child ({store}, n={len(receivers) + 1}) failed: "
+            f"{completed.stderr.strip().splitlines()[-1:]}"
+        )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
 
 
 def _assert_recovered_identical(baseline, recovered, label: str) -> None:
@@ -298,6 +377,7 @@ def run_benchmarks(
     suite: str = "core",
     budget: float | None = None,
     workers: int = 1,
+    store: str = "objects",
 ) -> dict:
     """Run a benchmark suite; returns the result document (JSON-ready).
 
@@ -329,6 +409,11 @@ def run_benchmarks(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if suite not in ("core", "exploration-scale", "fault-recovery"):
         raise ValueError(f"unknown suite {suite!r}")
+    if store not in ("objects", "arena"):
+        raise ValueError(f"unknown store {store!r}")
+    # The exploration entries of the scale suite run on the selected
+    # store; the explore_rss_* pairs always measure both stores.
+    store_kwargs = {"store": store} if store != "objects" else {}
     if quick:
         repeats = 1
     guard = _BudgetGuard(budget)
@@ -514,11 +599,11 @@ def run_benchmarks(
             repeats_used=1,
         )
 
-    def truncated_benchmark(name: str, protocol, cap: int) -> None:
+    def truncated_benchmark(name: str, protocol, cap: int, **kwargs) -> None:
         """Streaming mode at scale: a capped universe must stay usable."""
         start = time.perf_counter()
         universe = Universe(
-            protocol, max_configurations=cap, on_limit="truncate"
+            protocol, max_configurations=cap, on_limit="truncate", **kwargs
         )
         seconds = time.perf_counter() - start
         assert not universe.is_complete and len(universe) == cap
@@ -532,6 +617,137 @@ def run_benchmarks(
             repeats_used=1,
         )
 
+    def memory_pair_benchmark(
+        label: str, receivers: tuple[str, ...], spill: bool = False
+    ) -> None:
+        """The peak-RSS axis: one protocol, two fresh interpreters.
+
+        Each half of the pair explores the same star protocol in its own
+        subprocess (``_RSS_CHILD``) so ``ru_maxrss`` measures exactly one
+        exploration with one store — a controlled arena-vs-objects pair
+        under identical load.  The arena entry records the reduction and
+        the wall-clock ratio against its object-store twin, plus the
+        arena's own compression/spill telemetry.
+        """
+        import tempfile
+
+        reports: dict[str, dict] = {}
+        with tempfile.TemporaryDirectory() as tmpdir:
+            for kind in ("objects", "arena"):
+                spill_dir = tmpdir if (spill and kind == "arena") else None
+                reports[kind] = _explore_in_subprocess(
+                    receivers, kind, spill_dir
+                )
+                guard.check(f"explore_rss_{label}_{kind}")
+        if reports["arena"]["configurations"] != reports["objects"][
+            "configurations"
+        ]:
+            raise BenchStoreMismatch(
+                f"{label}: arena explored "
+                f"{reports['arena']['configurations']} configurations, "
+                f"object store {reports['objects']['configurations']}"
+            )
+        for kind in ("objects", "arena"):
+            report = reports[kind]
+            extra = {
+                "configurations": report["configurations"],
+                "peak_rss_mb": round(report["peak_rss_mb"], 1),
+                "bytes_per_configuration": round(
+                    report["peak_rss_mb"]
+                    * 1024.0
+                    * 1024.0
+                    / report["configurations"],
+                    1,
+                ),
+                "measured_in": "fresh subprocess (ru_maxrss)",
+                "repeats_used": 1,
+            }
+            if kind == "arena":
+                extra["rss_reduction_vs_objects"] = round(
+                    reports["objects"]["peak_rss_mb"] / report["peak_rss_mb"],
+                    2,
+                )
+                extra["wallclock_ratio_vs_objects"] = round(
+                    report["explore_seconds"]
+                    / reports["objects"]["explore_seconds"],
+                    2,
+                )
+                stats = report.get("arena", {})
+                if stats.get("raw_bytes"):
+                    extra["arena_raw_bytes"] = stats["raw_bytes"]
+                    extra["arena_compressed_bytes"] = stats["compressed_bytes"]
+                    if stats["compressed_bytes"]:
+                        extra["arena_compression_ratio"] = round(
+                            stats["raw_bytes"] / stats["compressed_bytes"], 2
+                        )
+                    extra["arena_spilled_bytes"] = stats.get(
+                        "spilled_bytes", 0
+                    )
+            record(f"explore_rss_{label}_{kind}", report["explore_seconds"], **extra)
+
+    def frontier_memo_benchmark(
+        name: str, universe: Universe, max_sets: int
+    ) -> None:
+        """The per-universe frontier-class memo, paired against itself
+        switched off.
+
+        The inversion + concatenation sweep recomputes the same
+        ``[P1 … Pn]`` frontier decompositions across property checkers;
+        the memo shares them per (universe, set-sequence).  The "off"
+        half replaces the memo with a never-hit dict — exactly the
+        pre-memo behaviour — so the speedup is the memo's doing alone.
+        """
+        from repro.isomorphism.algebra import (
+            check_concatenation,
+            check_inversion,
+        )
+
+        processes = sorted(universe.processes)
+        subsets: list[frozenset] = []
+        for size in range(len(processes) + 1):
+            for combo in itertools.combinations(processes, size):
+                subsets.append(frozenset(combo))
+        subsets = subsets[:max_sets]
+
+        def sweep() -> bool:
+            inversion = all(
+                check_inversion(universe, [first, second])
+                for first in subsets
+                for second in subsets
+            )
+            concatenation = all(
+                check_concatenation(universe, [first], [second])
+                for first in subsets
+                for second in subsets
+            )
+            return inversion and concatenation
+
+        class _NoMemo(dict):
+            """Every lookup misses, every store is dropped."""
+
+            def get(self, key, default=None):
+                return None
+
+            def __setitem__(self, key, value):
+                return None
+
+        universe._frontier_class_memo = _NoMemo()
+        memo_off = _timed_once(sweep)
+        universe._frontier_class_memo = {}
+        cold = _timed_once(sweep)  # cold memo: populated during the run
+        warm = _best_of(sweep, repeats)  # memo fully shared across checkers
+        record(
+            name,
+            cold,
+            configurations=len(universe),
+            max_sets=max_sets,
+            subset_pairs=len(subsets) ** 2,
+            memo_off_seconds=round(memo_off, 6),
+            warm_seconds=round(warm, 6),
+            speedup_vs_no_memo=round(memo_off / cold, 2),
+            repeats_used=1,
+        )
+
     if suite == "exploration-scale":
         # The frontier-kernel scale suite: exploration is the benchmark.
         # Fresh protocol instances per entry keep first_seconds honest
@@ -542,6 +758,7 @@ def run_benchmarks(
                 "universe_star_broadcast_n5",
                 _star_protocol(("w", "x", "y", "z")),
                 repeats,
+                **store_kwargs,
             )
             if workers > 1:
                 sharded_universe_benchmark(
@@ -549,6 +766,7 @@ def run_benchmarks(
                     lambda: _star_protocol(("w", "x", "y", "z")),
                     first_n5,
                     size_n5,
+                    **store_kwargs,
                 )
             scale_universe_benchmark(
                 "universe_tree_broadcast_d2",
@@ -556,6 +774,7 @@ def run_benchmarks(
                     tree_topology(tuple(f"t{i}" for i in range(7))), "t0"
                 ),
                 repeats,
+                **store_kwargs,
             )
             scale_universe_benchmark(
                 "universe_ring_broadcast_n5",
@@ -563,23 +782,36 @@ def run_benchmarks(
                     ring_topology(tuple(f"r{i}" for i in range(5))), "r0"
                 ),
                 repeats,
+                **store_kwargs,
             )
             truncated_benchmark(
                 "universe_star_broadcast_n5_truncated",
                 _star_protocol(("w", "x", "y", "z")),
                 cap=200,
+                **store_kwargs,
             )
+            universe_n4 = Universe(_star_protocol(("x", "y", "z")), **store_kwargs)
             properties_benchmark(
                 "iso_properties_star_n4",
-                Universe(_star_protocol(("x", "y", "z"))),
+                universe_n4,
                 max_sets=4,
                 sweep_repeats=repeats,
+            )
+            frontier_memo_benchmark(
+                "iso_frontier_memo_star_n4", universe_n4, max_sets=4
+            )
+            # Memory axis smoke: tiny pair, spill path exercised.  At
+            # this size RSS is interpreter baseline, so the reduction
+            # ratio is recorded but carries no acceptance meaning.
+            memory_pair_benchmark(
+                "star_n5", ("w", "x", "y", "z"), spill=True
             )
         else:
             first_n7, size_n7 = scale_universe_benchmark(
                 "universe_star_broadcast_n7",
                 _star_protocol(("u", "v", "w", "x", "y", "z")),
                 min(repeats, 2),
+                **store_kwargs,
             )
             if workers > 1:
                 sharded_universe_benchmark(
@@ -588,12 +820,14 @@ def run_benchmarks(
                     first_n7,
                     size_n7,
                     max_configurations=None,
+                    **store_kwargs,
                 )
             first_n8, size_n8 = scale_universe_benchmark(
                 "universe_star_broadcast_n8",
                 _star_protocol(("t", "u", "v", "w", "x", "y", "z")),
                 1,
                 max_configurations=None,
+                **store_kwargs,
             )
             if workers > 1:
                 sharded_universe_benchmark(
@@ -602,7 +836,14 @@ def run_benchmarks(
                     first_n8,
                     size_n8,
                     max_configurations=None,
+                    **store_kwargs,
                 )
+            # The memory axis headline: the arena acceptance pair at
+            # star n=8 (~10^6 configurations), each half in its own
+            # interpreter so peak RSS is attributable.
+            memory_pair_benchmark(
+                "star_n8", ("t", "u", "v", "w", "x", "y", "z")
+            )
             if budget is not None and budget >= _N9_BUDGET_FLOOR:
                 # The n=9 wall (~1.6e7 configurations): explored with the
                 # truncation-streaming guard so a RAM-capped machine still
@@ -613,6 +854,7 @@ def run_benchmarks(
                     max_configurations=_N9_CONFIGURATION_CAP,
                     on_limit="truncate",
                     workers=workers if workers > 1 else None,
+                    **store_kwargs,
                 )
                 seconds = time.perf_counter() - start
                 record(
@@ -632,6 +874,7 @@ def run_benchmarks(
                 ),
                 1,
                 max_configurations=None,
+                **store_kwargs,
             )
             scale_universe_benchmark(
                 "universe_ring_broadcast_n8",
@@ -639,17 +882,25 @@ def run_benchmarks(
                     ring_topology(tuple(f"r{i}" for i in range(8))), "r0"
                 ),
                 repeats,
+                **store_kwargs,
             )
             truncated_benchmark(
                 "universe_star_broadcast_n8_truncated_500k",
                 _star_protocol(("t", "u", "v", "w", "x", "y", "z")),
                 cap=500_000,
+                **store_kwargs,
+            )
+            universe_n7 = Universe(
+                _star_protocol(("u", "v", "w", "x", "y", "z")), **store_kwargs
             )
             properties_benchmark(
                 "iso_properties_star_n7",
-                Universe(_star_protocol(("u", "v", "w", "x", "y", "z"))),
+                universe_n7,
                 max_sets=8,
                 sweep_repeats=1,
+            )
+            frontier_memo_benchmark(
+                "iso_frontier_memo_star_n7", universe_n7, max_sets=6
             )
     elif suite == "fault-recovery":
         # Recovery-overhead axis: every entry re-explores the same
@@ -1042,12 +1293,22 @@ def run_benchmarks(
             "recovery_* entries inject one fault and record "
             "recovery_overhead_seconds against the fault-free sharded "
             "exploration of the same run, with the recovered universe "
-            "asserted bit-identical"
+            "asserted bit-identical; explore_rss_* pairs explore the same "
+            "protocol in fresh subprocess interpreters (objects then arena "
+            "store) and record each child's own ru_maxrss as peak_rss_mb / "
+            "bytes_per_configuration — rss_reduction_vs_objects and "
+            "wallclock_ratio_vs_objects pair the arena against its "
+            "object-store twin measured in the same run; "
+            "iso_frontier_memo_* entries time the inversion+concatenation "
+            "sweep with the per-universe frontier-class memo disabled "
+            "(memo_off_seconds, the pre-memo behaviour), cold, and warm"
         ),
         "benchmarks": results,
     }
     if workers > 1:
         document["workers"] = workers
+    if store != "objects":
+        document["store"] = store
     if budget is not None:
         document["budget_seconds"] = budget
         document["elapsed_seconds"] = round(guard.elapsed(), 3)
@@ -1102,6 +1363,7 @@ def run_and_report(
     suite: str = "core",
     budget: float | None = None,
     workers: int = 1,
+    store: str = "objects",
 ) -> int:
     """Run the benchmarks, print the summary, optionally write the
     trajectory file.  Shared by ``repro bench`` and ``run_bench.py``."""
@@ -1117,12 +1379,16 @@ def run_and_report(
             suite=suite,
             budget=budget,
             workers=workers,
+            store=store,
         )
     except BenchCheckFailure as failure:
         print(f"repro bench --check FAILED: {failure}")
         return 1
     except BenchShardMismatch as mismatch:
         print(f"repro bench --workers FAILED: {mismatch}")
+        return 1
+    except BenchStoreMismatch as mismatch:
+        print(f"repro bench memory axis FAILED: {mismatch}")
         return 1
     except BenchBudgetExceeded as overrun:
         print(f"repro bench --budget FAILED: {overrun}")
@@ -1185,6 +1451,15 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "re-explores the scale targets with N multiprocess worker shards, "
         "paired against the single-process times of the same run",
     )
+    parser.add_argument(
+        "--store",
+        choices=("objects", "arena"),
+        default="objects",
+        help="configuration store for the exploration-scale suite's "
+        "exploration entries (the explore_rss_* memory pairs always "
+        "measure both stores); 'arena' is the packed "
+        "compressed-cold-layer store",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -1204,6 +1479,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         suite=args.suite,
         budget=args.budget,
         workers=args.workers,
+        store=args.store,
     )
 
 

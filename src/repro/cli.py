@@ -14,9 +14,12 @@ Four subcommands, each wrapping the corresponding library layer:
   verification report (exit status 1 on any failure);
 * ``repro bench`` — run the scaling benchmarks and write a
   ``BENCH_<date>.json`` trajectory file (see :mod:`repro.bench`);
-* ``repro checkpoint verify|inspect PATH`` — report an exploration
-  checkpoint's format version, compatibility token, layer count and
-  per-segment integrity; ``verify`` exits non-zero on any damage.
+* ``repro checkpoint verify|inspect|compact PATH`` — report an
+  exploration checkpoint's format version, compatibility token, layer
+  count and per-segment integrity (``verify`` exits non-zero on any
+  damage), or fold all of its segments into one under a bumped
+  generation (``compact`` — the operator-driven counterpart of the
+  in-session auto-compaction).
 
 Usage::
 
@@ -131,6 +134,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
             checkpoint_strict=args.strict,
             rss_budget_mb=args.rss_budget,
             fault_plan=fault_plan,
+            store=args.store,
+            spill_dir=args.spill_dir,
         )
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
@@ -139,8 +144,17 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     workers = f", workers: {args.workers}" if args.workers > 1 else ""
+    store = f", store: {args.store}" if args.store != "objects" else ""
     print(f"{args.protocol}: {len(universe)} configurations "
-          f"(complete: {universe.is_complete}{workers})")
+          f"(complete: {universe.is_complete}{workers}{store})")
+    if args.store == "arena":
+        stats = universe._configurations.stats()
+        print(
+            f"arena: {stats['sealed_chunks']} sealed chunks "
+            f"({stats['raw_bytes']} raw -> {stats['compressed_bytes']} "
+            f"compressed bytes), {stats['spilled_chunks']} spilled "
+            f"({stats['spilled_bytes']} bytes on disk)"
+        )
     session = universe._checkpoint_session
     if session is not None:
         if session.resumed_from is not None:
@@ -236,11 +250,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suite=args.suite,
         budget=args.budget,
         workers=args.workers,
+        store=args.store,
     )
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
-    from repro.universe.checkpoint import inspect_checkpoint
+    from repro.universe.checkpoint import (
+        CheckpointError,
+        compact_checkpoint,
+        inspect_checkpoint,
+    )
+
+    if args.action == "compact":
+        try:
+            result = compact_checkpoint(args.path)
+        except CheckpointError as error:
+            print(f"checkpoint error: {error}", file=sys.stderr)
+            return 2
+        print(f"checkpoint: {result['path']}")
+        if not result["compacted"]:
+            print(f"  not compacted: {result['reason']}")
+            return 0
+        print(
+            f"  compacted {result['segments_before']} segments into 1 "
+            f"(generation {result['generation']}): "
+            f"{result['bytes_before']} -> {result['bytes_after']} bytes"
+        )
+        print(
+            f"  layers: {result['layers']}, "
+            f"configurations: {result['count']}"
+        )
+        return 0
 
     report = inspect_checkpoint(args.path)
     print(f"checkpoint: {report['path']}")
@@ -355,6 +395,24 @@ def make_parser() -> argparse.ArgumentParser:
         "instead of risking an OOM kill",
     )
     explore.add_argument(
+        "--store",
+        choices=["objects", "arena"],
+        default="objects",
+        help="configuration store: 'objects' keeps every Configuration "
+        "materialised (fastest for small universes); 'arena' packs "
+        "(parent id, event, hash) columns with lazy materialisation and "
+        "compressed cold layers — same result bit-for-bit, a fraction "
+        "of the memory at scale",
+    )
+    explore.add_argument(
+        "--spill-dir",
+        metavar="PATH",
+        default=None,
+        help="directory for the arena's on-disk cold tier (requires "
+        "--store arena); sealed layers stream to an mmap-backed spill "
+        "file, and the --rss-budget watchdog spills before it truncates",
+    )
+    explore.add_argument(
         "--strict",
         action="store_true",
         help="refuse to salvage a damaged checkpoint: exit non-zero "
@@ -378,9 +436,10 @@ def make_parser() -> argparse.ArgumentParser:
     )
     checkpoint.add_argument(
         "action",
-        choices=["verify", "inspect"],
+        choices=["verify", "inspect", "compact"],
         help="verify exits non-zero on any integrity failure; inspect "
-        "prints the same report but only fails on an unreadable file",
+        "prints the same report but only fails on an unreadable file; "
+        "compact folds all segments into one under a bumped generation",
     )
     checkpoint.add_argument("path", metavar="PATH")
     checkpoint.set_defaults(handler=cmd_checkpoint)

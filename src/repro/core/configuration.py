@@ -253,6 +253,28 @@ class Configuration:
             self._length = length
         return length
 
+    def __getstate__(self):
+        """Pickle state without the ``histories`` mapping-proxy cache.
+
+        The view is a pure cache over ``_histories`` and mapping proxies
+        cannot be pickled; it rebuilds lazily on first access after a
+        round-trip.  (The shared ``EMPTY_CONFIGURATION`` singleton sits
+        pinned at id 0 of every arena store, so a polluted cache on it
+        would otherwise make whole stores unpicklable.)
+        """
+        cache = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "histories"
+        }
+        slots = {
+            "_histories": self._histories,
+            "_hash": self._hash,
+            "_entry_hashes": self._entry_hashes,
+            "_length": self._length,
+        }
+        return (cache or None, slots)
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------

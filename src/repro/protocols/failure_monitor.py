@@ -161,16 +161,25 @@ class SyncFailureMonitorProtocol(Protocol):
                 )
                 yield self.send_of(message)
 
-    def enabled_events(self, configuration: Configuration) -> list[Event]:
-        """Apply the synchrony restrictions on top of the base enabling."""
+    def filter_enabled_events(
+        self, configuration: Configuration, events
+    ) -> list[Event]:
+        """Apply the synchrony restrictions on top of the base enabling.
+
+        Expressed as a declarative *filter* (not an ``enabled_events``
+        override) so the protocol rides the compiled step tables and the
+        exploration kernel's fast path; the step-table suite
+        equivalence-tests the filtered kernel against the
+        ``enabled_events`` oracle.
+        """
         worker_history = configuration.history(self.worker)
         heartbeats_sent = self._sends(worker_history, HEARTBEAT_TAG)
         worker_crashed = self.crashed(worker_history)
         monitor_history = configuration.history(self.monitor)
         heartbeats_received = self._receives(monitor_history, HEARTBEAT_TAG)
 
-        events = []
-        for event in super().enabled_events(configuration):
+        filtered = []
+        for event in events:
             if isinstance(event, SendEvent) and event.message.tag == TICK_TAG:
                 round_index = event.message.payload
                 # tick r only after heartbeat r exists or never will.
@@ -185,8 +194,8 @@ class SyncFailureMonitorProtocol(Protocol):
                     or heartbeats_sent <= round_index
                 ):
                     continue
-            events.append(event)
-        return events
+            filtered.append(event)
+        return filtered
 
     def crashed_atom(self):
         """``the worker has crashed`` — local to the worker."""

@@ -1,0 +1,618 @@
+"""Compact arena configuration store: packed histories, lazy objects.
+
+The exploration kernel discovers every configuration as *one parent plus
+one event*.  The arena persists exactly that — three packed
+struct-of-arrays columns (parent dense id, interned event index, rolling
+content hash; 20 bytes per configuration) — and materialises
+:class:`~repro.core.configuration.Configuration` objects lazily, behind
+the same sequence interface the object store exposed:
+
+* a **hot window** keeps the current BFS frontier and the layer under
+  construction as real objects (the only ids the kernel dereferences,
+  thanks to the layer-uniform event count of BFS layers);
+* everything colder is reached by a **chain walk** up the parent column
+  to the nearest materialised ancestor, rebuilding descendants through a
+  bounded LRU — property sweeps and spot lookups never pay for objects
+  they don't touch;
+* sealed **cold chunks** (whole column slices below the hot window)
+  compress with zlib at batch level and, when a ``spill_dir`` is given,
+  stream to an mmap-backed on-disk arena so resident memory stays
+  O(frontier), not O(universe).
+
+:func:`compress_batch`/:func:`decompress_batch` are the batch codec the
+cold tier shares with the sharded engine's per-layer successor exchange
+and the checkpoint segment payloads (identical bytes to the historical
+``zlib(pickle(...))`` segment idiom, so on-disk checkpoints are
+unaffected).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import tempfile
+import zlib
+from array import array
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event
+
+
+def compress_batch(payload: object) -> bytes:
+    """Pickle + zlib(level 1) a batch payload.
+
+    One codec for every bulk transfer in the system: checkpoint segment
+    payloads, the sharded engine's layer exchange and full-stream respawn
+    blobs, and the arena's spilled metadata.  Level 1 because every call
+    site is latency-sensitive and the pickled streams are highly
+    repetitive (ratios of 3-6x at negligible CPU).
+    """
+    return zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), 1)
+
+
+def decompress_batch(blob: bytes) -> object:
+    """Inverse of :func:`compress_batch`."""
+    return pickle.loads(zlib.decompress(blob))
+
+
+_CHUNK_BITS = 16
+_CHUNK_SIZE = 1 << _CHUNK_BITS
+_CHUNK_MASK = _CHUNK_SIZE - 1
+_PARENT_BYTES = 8 * _CHUNK_SIZE
+_EVENT_BYTES = 4 * _CHUNK_SIZE
+_RAW_CHUNK_BYTES = _PARENT_BYTES + _EVENT_BYTES + 8 * _CHUNK_SIZE
+
+
+def _materialise_child(
+    parent: Configuration, event: Event, content_hash: int
+) -> Configuration:
+    """Rebuild the child ``parent + event`` with its recorded hash.
+
+    Mirrors the kernel's first-discovery construction exactly (same
+    sorted-insert items layout, same trusted constructor, same cache
+    propagation), so a lazily rematerialised configuration is
+    structurally identical to the object the kernel once held.
+    """
+    process = event.process
+    parent_histories = parent._histories
+    old_history = parent_histories.get(process)
+    if old_history is not None:
+        items = dict(parent_histories)
+        items[process] = old_history + (event,)
+    else:
+        items = {}
+        placed = False
+        for existing_process, history in parent_histories.items():
+            if not placed and process < existing_process:
+                items[process] = (event,)
+                placed = True
+            items[existing_process] = history
+        if not placed:
+            items[process] = (event,)
+    child = Configuration._from_trusted(items, content_hash, None)
+    if parent._length is not None:
+        child._length = parent._length + 1
+    parent._propagate_caches(child, event)
+    return child
+
+
+class _Chunk:
+    """One sealed column slice of ``_CHUNK_SIZE`` configurations."""
+
+    __slots__ = ("state", "blob", "offset", "length")
+
+    def __init__(self, blob: bytes) -> None:
+        self.state = "zlib"  # "zlib" (blob in RAM) | "spilled" (on disk)
+        self.blob: bytes | None = blob
+        self.offset = 0
+        self.length = len(blob)
+
+
+def _rebuild_pinned(configurations: list[Configuration]) -> "ArenaStore":
+    store = ArenaStore()
+    for configuration in configurations:
+        store.append(configuration)
+    return store
+
+
+class ArenaStore:
+    """Packed ``(parent_id, event, hash)`` store behind a sequence API.
+
+    Drop-in for the explorer's ``_configurations`` list: supports
+    ``len``, indexing (lazy materialisation), iteration (streaming, two
+    layers of transient objects), equality against any configuration
+    sequence, and ``append``/``clear``/``extend`` for the seeding and
+    checkpoint-install paths.
+    """
+
+    def __init__(
+        self,
+        spill_dir: str | os.PathLike | None = None,
+        lru_size: int = 4096,
+        chunk_cache_size: int = 8,
+    ) -> None:
+        self._spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        self._lru_size = lru_size
+        self._chunk_cache_size = chunk_cache_size
+        self._count = 0
+        # Interned event vocabulary: protocols have a small finite event
+        # set, so the 4-byte column index replaces a per-history pointer.
+        self._events: list[Event] = []
+        self._event_index: dict[Event, int] = {}
+        # Sealed cold chunks + the growing uncompressed tail columns.
+        self._chunks: list[_Chunk] = []
+        self._tail_parent = array("q")
+        self._tail_event = array("i")
+        self._tail_hash = array("q")
+        # Hot window: materialised objects for the ids the kernel still
+        # dereferences (current frontier + layer under construction).
+        self._window: dict[int, Configuration] = {}
+        self._window_floor = 0
+        # Roots appended directly (no parent) stay pinned forever.
+        self._pinned: dict[int, Configuration] = {}
+        self._lru: OrderedDict[int, Configuration] = OrderedDict()
+        self._chunk_cache: OrderedDict[int, tuple[array, array, array]] = (
+            OrderedDict()
+        )
+        self._spill_file = None
+        self._spill_path: str | None = None
+        self._spill_mmap = None
+        self._spill_offset = 0
+        # Telemetry for bench/PERFORMANCE.md.
+        self.raw_bytes = 0
+        self.compressed_bytes = 0
+        self.spilled_bytes = 0
+        self.materialisations = 0
+        self.chain_walks = 0
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def _chunk_arrays(self, chunk_index: int) -> tuple[array, array, array]:
+        cache = self._chunk_cache
+        cached = cache.get(chunk_index)
+        if cached is not None:
+            cache.move_to_end(chunk_index)
+            return cached
+        chunk = self._chunks[chunk_index]
+        if chunk.state == "zlib":
+            raw = zlib.decompress(chunk.blob)
+        else:
+            raw = zlib.decompress(
+                self._read_spill(chunk.offset, chunk.length)
+            )
+        parents = array("q")
+        parents.frombytes(raw[:_PARENT_BYTES])
+        events = array("i")
+        events.frombytes(raw[_PARENT_BYTES : _PARENT_BYTES + _EVENT_BYTES])
+        hashes = array("q")
+        hashes.frombytes(raw[_PARENT_BYTES + _EVENT_BYTES :])
+        columns = (parents, events, hashes)
+        cache[chunk_index] = columns
+        while len(cache) > self._chunk_cache_size:
+            cache.popitem(last=False)
+        return columns
+
+    def _entry(self, index: int) -> tuple[int, int, int]:
+        """``(parent_id, event_index, content_hash)`` of one id."""
+        chunk_index = index >> _CHUNK_BITS
+        if chunk_index < len(self._chunks):
+            parents, events, hashes = self._chunk_arrays(chunk_index)
+            offset = index & _CHUNK_MASK
+            return parents[offset], events[offset], hashes[offset]
+        offset = index - (len(self._chunks) << _CHUNK_BITS)
+        return (
+            self._tail_parent[offset],
+            self._tail_event[offset],
+            self._tail_hash[offset],
+        )
+
+    def parent_id(self, index: int) -> int:
+        """Parent dense id of ``index`` (-1 for roots)."""
+        return self._entry(index)[0]
+
+    def content_hash(self, index: int) -> int:
+        """Stored rolling content hash of ``index``."""
+        return self._entry(index)[2]
+
+    def records(self, start: int, end: int) -> list[tuple[int, Event]]:
+        """Discovery records ``(parent_id, event)`` for ids in [start, end).
+
+        Read straight off the columns — the arena *is* the discovery
+        stream, so worker respawn and checkpointing never reconstruct it
+        from CSR walks or object identity.
+        """
+        events = self._events
+        out: list[tuple[int, Event]] = []
+        for index in range(start, end):
+            parent, event_index, _ = self._entry(index)
+            if parent < 0:
+                continue
+            out.append((parent, events[event_index]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Growth (exploration hot path)
+    # ------------------------------------------------------------------
+    def append(self, configuration: Configuration) -> int:
+        """Append a root configuration (no parent); pinned permanently."""
+        index = self._count
+        self._tail_parent.append(-1)
+        self._tail_event.append(-1)
+        self._tail_hash.append(hash(configuration))
+        self._count += 1
+        self._pinned[index] = configuration
+        return index
+
+    def append_child(
+        self,
+        parent_id: int,
+        event: Event,
+        content_hash: int,
+        child: Configuration | None,
+    ) -> int:
+        """Record a first discovery: pack the columns, keep the object hot.
+
+        ``child`` may be ``None``: the packed exploration kernel tracks
+        its own window of history rows and never builds child objects,
+        so only the columns are written and any later read materialises
+        through the cold tiers.
+        """
+        event_index = self._event_index.get(event)
+        if event_index is None:
+            event_index = len(self._events)
+            self._event_index[event] = event_index
+            self._events.append(event)
+        index = self._count
+        self._tail_parent.append(parent_id)
+        self._tail_event.append(event_index)
+        self._tail_hash.append(content_hash)
+        self._count += 1
+        if child is not None:
+            self._window[index] = child
+        return index
+
+    def extend(self, configurations) -> None:
+        """Append arbitrary configurations as pinned roots.
+
+        Compatibility fallback (generic install paths); the kernel and
+        checkpoint replay use :meth:`append_child`/:meth:`replay`, which
+        keep the store packed.
+        """
+        for configuration in configurations:
+            self.append(configuration)
+
+    def retire(self, new_floor: int) -> None:
+        """Evict the consumed layer(s) below ``new_floor`` and seal cold
+        chunks.  Called at BFS layer boundaries with the id where the
+        next frontier starts."""
+        window = self._window
+        stop = min(new_floor, self._count)
+        for index in range(self._window_floor, stop):
+            window.pop(index, None)
+        if new_floor > self._window_floor:
+            self._window_floor = new_floor
+        self._seal_cold()
+
+    def _seal_cold(self) -> None:
+        while True:
+            base = len(self._chunks) << _CHUNK_BITS
+            if base + _CHUNK_SIZE > self._window_floor:
+                break
+            if base + _CHUNK_SIZE > self._count:
+                break
+            raw = (
+                self._tail_parent[:_CHUNK_SIZE].tobytes()
+                + self._tail_event[:_CHUNK_SIZE].tobytes()
+                + self._tail_hash[:_CHUNK_SIZE].tobytes()
+            )
+            del self._tail_parent[:_CHUNK_SIZE]
+            del self._tail_event[:_CHUNK_SIZE]
+            del self._tail_hash[:_CHUNK_SIZE]
+            chunk = _Chunk(zlib.compress(raw, 1))
+            self.raw_bytes += len(raw)
+            self.compressed_bytes += chunk.length
+            if self._spill_dir is not None:
+                self._spill_chunk(chunk)
+            self._chunks.append(chunk)
+
+    # ------------------------------------------------------------------
+    # Spill tier
+    # ------------------------------------------------------------------
+    def _ensure_spill_file(self):
+        if self._spill_file is None:
+            os.makedirs(self._spill_dir, exist_ok=True)
+            handle, path = tempfile.mkstemp(
+                prefix="arena-", suffix=".spill", dir=self._spill_dir
+            )
+            self._spill_file = os.fdopen(handle, "r+b")
+            self._spill_path = path
+        return self._spill_file
+
+    def _spill_chunk(self, chunk: _Chunk) -> int:
+        spill = self._ensure_spill_file()
+        spill.seek(self._spill_offset)
+        spill.write(chunk.blob)
+        chunk.offset = self._spill_offset
+        self._spill_offset += chunk.length
+        self.spilled_bytes += chunk.length
+        chunk.blob = None
+        chunk.state = "spilled"
+        return chunk.length
+
+    def _read_spill(self, offset: int, length: int) -> bytes:
+        mapped = self._spill_mmap
+        if mapped is None or offset + length > len(mapped):
+            if mapped is not None:
+                mapped.close()
+            self._spill_file.flush()
+            mapped = mmap.mmap(
+                self._spill_file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+            self._spill_mmap = mapped
+        return mapped[offset : offset + length]
+
+    def spill_cold(self) -> int:
+        """Push every sealed chunk to disk and drop materialisation caches.
+
+        The RSS watchdog's *first* response to memory pressure — before
+        it falls back to truncating the exploration.  Returns the number
+        of freed bytes (0 when there is no spill directory or nothing
+        cold remains in RAM).
+        """
+        freed = 0
+        self._seal_cold()
+        if self._spill_dir is not None:
+            for chunk in self._chunks:
+                if chunk.state == "zlib":
+                    freed += self._spill_chunk(chunk)
+            if self._spill_file is not None:
+                self._spill_file.flush()
+        if self._chunk_cache:
+            freed += _RAW_CHUNK_BYTES * len(self._chunk_cache)
+            self._chunk_cache.clear()
+        if self._lru:
+            self._lru.clear()
+        return freed
+
+    # ------------------------------------------------------------------
+    # Sequence protocol + lazy materialisation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def _get_hot(self, index: int) -> Configuration:
+        """Kernel fast path: hot window first, full lookup on miss."""
+        configuration = self._window.get(index)
+        if configuration is not None:
+            return configuration
+        return self[index]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError("arena index out of range")
+        configuration = self._window.get(index)
+        if configuration is not None:
+            return configuration
+        configuration = self._pinned.get(index)
+        if configuration is not None:
+            return configuration
+        lru = self._lru
+        configuration = lru.get(index)
+        if configuration is not None:
+            lru.move_to_end(index)
+            return configuration
+        return self._materialise(index)
+
+    def _materialise(self, index: int) -> Configuration:
+        """Chain-walk up the parent column to the nearest live ancestor,
+        then rebuild downwards through the LRU."""
+        self.chain_walks += 1
+        window = self._window
+        pinned = self._pinned
+        lru = self._lru
+        chain: list[tuple[int, int, int]] = []
+        cursor = index
+        while True:
+            parent, event_index, content_hash = self._entry(cursor)
+            if parent < 0:
+                current = pinned[cursor]
+                break
+            chain.append((cursor, event_index, content_hash))
+            cursor = parent
+            current = window.get(cursor)
+            if current is None:
+                current = pinned.get(cursor)
+            if current is None:
+                current = lru.get(cursor)
+                if current is not None:
+                    lru.move_to_end(cursor)
+            if current is not None:
+                break
+        events = self._events
+        lru_size = self._lru_size
+        for child_id, event_index, content_hash in reversed(chain):
+            current = _materialise_child(
+                current, events[event_index], content_hash
+            )
+            self.materialisations += 1
+            lru[child_id] = current
+            if len(lru) > lru_size:
+                lru.popitem(last=False)
+        return current
+
+    def __iter__(self) -> Iterator[Configuration]:
+        """Stream all configurations in id order.
+
+        BFS parent ids are non-decreasing along the id order, so one
+        rolling two-layer cache gives every child an O(1) parent lookup;
+        resident transient objects stay bounded by two BFS layers no
+        matter the universe size.
+        """
+        cache: dict[int, Configuration] = {}
+        floor = 0
+        events = self._events
+        for index in range(self._count):
+            parent_id, event_index, content_hash = self._entry(index)
+            if parent_id < 0:
+                current = self._pinned[index]
+            else:
+                while floor < parent_id:
+                    cache.pop(floor, None)
+                    floor += 1
+                parent = cache.get(parent_id)
+                if parent is None:
+                    parent = self[parent_id]
+                current = _materialise_child(
+                    parent, events[event_index], content_hash
+                )
+            cache[index] = current
+            yield current
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if isinstance(other, (ArenaStore, list, tuple)):
+            if len(other) != self._count:
+                return False
+            return all(ours == theirs for ours, theirs in zip(self, other))
+        return NotImplemented
+
+    __hash__ = None  # mutable container semantics, like list
+
+    def __reduce__(self):
+        # Pickling materialises: arenas hold OS resources (spill file)
+        # and pickle only for small diagnostic universes.
+        return (_rebuild_pinned, (list(self),))
+
+    # ------------------------------------------------------------------
+    # Checkpoint replay
+    # ------------------------------------------------------------------
+    def replay(self, stream) -> dict[int, int | list[int]]:
+        """Rebuild the arena from checkpoint discovery records.
+
+        ``stream`` is the saved ``(parent_id, event)`` record list in
+        discovery order.  Parents arrive in non-decreasing order, so the
+        hot window advances exactly as it did during live exploration —
+        resident objects stay bounded by two BFS layers instead of the
+        full-universe replica the object store instantiates.  Returns the
+        content-hash -> dense id dedup table (with collision buckets),
+        ready to install on the universe.
+        """
+        if self._count:
+            self.clear()
+        from repro.core.configuration import EMPTY_CONFIGURATION
+
+        self.append(EMPTY_CONFIGURATION)
+        ids_by_hash: dict[int, int | list[int]] = {
+            hash(EMPTY_CONFIGURATION): 0
+        }
+        window = self._window
+        for parent_id, event in stream:
+            while self._window_floor < parent_id:
+                window.pop(self._window_floor, None)
+                self._window_floor += 1
+            parent = window.get(parent_id)
+            if parent is None:
+                parent = self[parent_id]
+            child = parent.extend_unregistered(event)
+            child_hash = hash(child)
+            child_id = self.append_child(parent_id, event, child_hash, child)
+            entry = ids_by_hash.get(child_hash)
+            if entry is None:
+                ids_by_hash[child_hash] = child_id
+            elif type(entry) is int:
+                ids_by_hash[child_hash] = [entry, child_id]
+            else:
+                entry.append(child_id)
+        self._seal_cold()
+        return ids_by_hash
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._count = 0
+        self._events.clear()
+        self._event_index.clear()
+        self._chunks.clear()
+        del self._tail_parent[:]
+        del self._tail_event[:]
+        del self._tail_hash[:]
+        self._window.clear()
+        self._window_floor = 0
+        self._pinned.clear()
+        self._lru.clear()
+        self._chunk_cache.clear()
+        if self._spill_mmap is not None:
+            self._spill_mmap.close()
+            self._spill_mmap = None
+        self._spill_offset = 0
+        if self._spill_file is not None:
+            self._spill_file.truncate(0)
+
+    def stats(self) -> dict:
+        """Layout/compression/spill telemetry for bench and docs."""
+        tail_bytes = (
+            len(self._tail_parent) * 8
+            + len(self._tail_event) * 4
+            + len(self._tail_hash) * 8
+        )
+        resident_blob_bytes = sum(
+            chunk.length for chunk in self._chunks if chunk.state == "zlib"
+        )
+        return {
+            "configurations": self._count,
+            "event_table": len(self._events),
+            "sealed_chunks": len(self._chunks),
+            "spilled_chunks": sum(
+                1 for chunk in self._chunks if chunk.state == "spilled"
+            ),
+            "tail_bytes": tail_bytes,
+            "raw_bytes": self.raw_bytes,
+            "compressed_bytes": self.compressed_bytes,
+            "resident_blob_bytes": resident_blob_bytes,
+            "spilled_bytes": self.spilled_bytes,
+            "window": len(self._window),
+            "lru": len(self._lru),
+            "materialisations": self.materialisations,
+            "chain_walks": self.chain_walks,
+        }
+
+    def close(self) -> None:
+        """Release the spill file (idempotent)."""
+        if self._spill_mmap is not None:
+            self._spill_mmap.close()
+            self._spill_mmap = None
+        if self._spill_file is not None:
+            self._spill_file.close()
+            self._spill_file = None
+        if self._spill_path is not None:
+            try:
+                os.unlink(self._spill_path)
+            except OSError:
+                pass
+            self._spill_path = None
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown order
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = [
+    "ArenaStore",
+    "compress_batch",
+    "decompress_batch",
+]

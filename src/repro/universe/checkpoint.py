@@ -95,6 +95,7 @@ from array import array
 from pathlib import Path
 
 from repro.core.errors import UniverseError
+from repro.universe.arena import ArenaStore, compress_batch, decompress_batch
 
 CHECKPOINT_MAGIC = b"REPRO-CKPT\n"
 """Version-1 (monolithic) magic — still readable, migrated on resume."""
@@ -242,7 +243,7 @@ def _load_segment(path: Path, entry: dict) -> tuple[dict, dict]:
                 f"manifest's {entry[field]}"
             )
     try:
-        decoded = pickle.loads(zlib.decompress(payload))
+        decoded = decompress_batch(payload)
     except Exception as error:
         raise _SegmentInvalid(
             f"segment payload undecodable: {error}"
@@ -534,26 +535,45 @@ class CheckpointSession:
 
         Replays the stream through the exact construction path the
         sharded replicas use, so the rebuilt state is bit-identical.
+        Under the arena store the replay goes straight into the packed
+        columns (:meth:`~repro.universe.arena.ArenaStore.replay`) — the
+        hot window advances with the stream, so resume memory stays
+        O(two layers) instead of a full object replica.
         """
-        from repro.universe.sharded import _Replica
-
-        replica = _Replica(self.protocol, self.max_events)
-        replica.apply(stream)
-        if len(replica.configurations) != count:
-            raise CheckpointError(
-                f"checkpoint {self.path} replay desync: rebuilt "
-                f"{len(replica.configurations)} configurations, file "
-                f"records {count}"
-            )
         if len(offsets) != frontier_start + 1:
             raise CheckpointError(
                 f"checkpoint {self.path} CSR desync: {len(offsets)} "
                 f"offsets for a frontier at {frontier_start}"
             )
-        universe._configurations.clear()
-        universe._configurations.extend(replica.configurations)
+        configurations = universe._configurations
+        if isinstance(configurations, ArenaStore):
+            ids_by_hash = configurations.replay(stream)
+            if len(configurations) != count:
+                raise CheckpointError(
+                    f"checkpoint {self.path} replay desync: rebuilt "
+                    f"{len(configurations)} configurations, file "
+                    f"records {count}"
+                )
+            # The kernel's entry memo recomputes on miss, so an empty
+            # memo is correct (the arena evicted the cold histories).
+            entry_hash_of: dict[int, int] = {}
+        else:
+            from repro.universe.sharded import _Replica
+
+            replica = _Replica(self.protocol, self.max_events)
+            replica.apply(stream)
+            if len(replica.configurations) != count:
+                raise CheckpointError(
+                    f"checkpoint {self.path} replay desync: rebuilt "
+                    f"{len(replica.configurations)} configurations, file "
+                    f"records {count}"
+                )
+            configurations.clear()
+            configurations.extend(replica.configurations)
+            entry_hash_of = replica.entry_hash_of
+            ids_by_hash = replica.ids_by_hash
         universe._ids_by_hash.clear()
-        universe._ids_by_hash.update(replica.ids_by_hash)
+        universe._ids_by_hash.update(ids_by_hash)
         del universe._succ_ids[:]
         universe._succ_ids.frombytes(succ_ids_bytes)
         del universe._succ_offsets[:]
@@ -566,9 +586,7 @@ class CheckpointSession:
         self._saved_count = count
         self._complete_at_save = complete
         self.resumed_from = frontier_start
-        return ResumedExploration(
-            frontier_start, stream, replica.entry_hash_of, layers
-        )
+        return ResumedExploration(frontier_start, stream, entry_hash_of, layers)
 
     # -- commit --------------------------------------------------------
     def commit_layer(
@@ -601,18 +619,14 @@ class CheckpointSession:
         succ_ids = universe._succ_ids
         offsets = universe._succ_offsets
         records = self._pending_records
-        payload = zlib.compress(
-            pickle.dumps(
-                {
-                    "records": records,
-                    "succ_ids": succ_ids[self._saved_edges :].tobytes(),
-                    "succ_offsets": offsets[
-                        self._saved_frontier + 1 : frontier_start + 1
-                    ].tobytes(),
-                },
-                protocol=pickle.HIGHEST_PROTOCOL,
-            ),
-            1,
+        payload = compress_batch(
+            {
+                "records": records,
+                "succ_ids": succ_ids[self._saved_edges :].tobytes(),
+                "succ_offsets": offsets[
+                    self._saved_frontier + 1 : frontier_start + 1
+                ].tobytes(),
+            }
         )
         header = {
             "version": CHECKPOINT_VERSION,
@@ -667,25 +681,18 @@ class CheckpointSession:
             self._compact(universe)
 
     def _write_manifest(self) -> None:
-        manifest = {
-            "token": self.token,
-            "layers": self._saved_layers,
-            "frontier_start": self._saved_frontier,
-            "count": self._saved_count,
-            "complete": self._complete_at_save,
-            "generation": self._generation,
-            "segments": self._segments,
-        }
-        blob = zlib.compress(
-            pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL), 1
+        _commit_manifest(
+            self.path,
+            {
+                "token": self.token,
+                "layers": self._saved_layers,
+                "frontier_start": self._saved_frontier,
+                "count": self._saved_count,
+                "complete": self._complete_at_save,
+                "generation": self._generation,
+                "segments": self._segments,
+            },
         )
-        raw = MANIFEST_MAGIC + zlib.crc32(blob).to_bytes(4, "little") + blob
-        temp = self.path.with_name(self.path.name + ".tmp")
-        with open(temp, "wb") as handle:
-            handle.write(raw)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, self.path)
 
     def _compact(self, universe) -> None:
         """Fold every committed segment into one under a new generation.
@@ -716,16 +723,12 @@ class CheckpointSession:
             succ_ids_parts.append(decoded["succ_ids"])
             offsets_parts.append(decoded["succ_offsets"])
         last = self._segments[-1]
-        payload = zlib.compress(
-            pickle.dumps(
-                {
-                    "records": records,
-                    "succ_ids": b"".join(succ_ids_parts),
-                    "succ_offsets": b"".join(offsets_parts),
-                },
-                protocol=pickle.HIGHEST_PROTOCOL,
-            ),
-            1,
+        payload = compress_batch(
+            {
+                "records": records,
+                "succ_ids": b"".join(succ_ids_parts),
+                "succ_offsets": b"".join(offsets_parts),
+            }
         )
         generation = self._generation + 1
         header = {
@@ -784,9 +787,7 @@ class CheckpointSession:
             "complete": universe._complete,
             "layers": self.layers,
         }
-        blob = CHECKPOINT_MAGIC + zlib.compress(
-            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), 1
-        )
+        blob = CHECKPOINT_MAGIC + compress_batch(payload)
         temp = self.path.with_name(self.path.name + ".tmp")
         with open(temp, "wb") as handle:
             handle.write(blob)
@@ -798,9 +799,7 @@ class CheckpointSession:
     @staticmethod
     def _decode_v1(raw: bytes) -> dict:
         try:
-            payload = pickle.loads(
-                zlib.decompress(raw[len(CHECKPOINT_MAGIC):])
-            )
+            payload = decompress_batch(raw[len(CHECKPOINT_MAGIC):])
         except Exception as error:
             raise CheckpointError(
                 f"checkpoint is corrupt or truncated: {error}"
@@ -834,6 +833,155 @@ def decode_manifest(raw: bytes) -> dict:
     if not isinstance(manifest, dict) or "token" not in manifest:
         raise CheckpointError("checkpoint payload is malformed")
     return manifest
+
+
+def _commit_manifest(path: Path, manifest: dict) -> None:
+    """Atomically write a version-2 manifest (tmp + fsync + replace)."""
+    blob = compress_batch(manifest)
+    raw = MANIFEST_MAGIC + zlib.crc32(blob).to_bytes(4, "little") + blob
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(raw)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def compact_checkpoint(path) -> dict:
+    """Fold every committed segment of a checkpoint into one — the
+    ``repro checkpoint compact PATH`` operator verb.
+
+    Works offline on the files alone (no protocol object needed): every
+    segment is read and fully CRC-verified, their deltas are
+    concatenated into a single folded segment written under a **bumped
+    generation**, the manifest replace is the commit point, and only
+    then are the old generation's files unlinked — the same crash-safe
+    dance the in-session auto-compaction performs, so a kill at any
+    point leaves either the old layout or the new one plus discardable
+    orphans.  A damaged segment aborts with :class:`CheckpointError`
+    (run ``repro checkpoint verify`` / a non-strict resume to salvage
+    first).  Returns a report dict (segment and byte counts before and
+    after, the new generation).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"no such checkpoint: {path}") from None
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    version = _parse_version(raw)
+    if version == 1:
+        return {
+            "path": str(path),
+            "compacted": False,
+            "reason": "version-1 checkpoints are a single blob already",
+            "segments_before": 1,
+            "segments_after": 1,
+        }
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format version {version} is not supported (this "
+            f"build reads versions {MIN_READABLE_VERSION}"
+            f"..{CHECKPOINT_VERSION})"
+        )
+    manifest = decode_manifest(raw)
+    entries = manifest["segments"]
+    bytes_before = sum(entry["size"] for entry in entries)
+    if len(entries) <= 1:
+        return {
+            "path": str(path),
+            "compacted": False,
+            "reason": "already a single segment",
+            "segments_before": len(entries),
+            "segments_after": len(entries),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_before,
+            "generation": manifest["generation"],
+        }
+    records: list = []
+    succ_ids_parts: list[bytes] = []
+    offsets_parts: list[bytes] = []
+    for entry in entries:
+        try:
+            _, decoded = _load_segment(path, entry)
+        except _SegmentInvalid as error:
+            raise CheckpointError(
+                f"cannot compact {path}: segment {entry['name']} is "
+                f"damaged ({error}) — verify/salvage before compacting"
+            ) from error
+        records.extend(decoded["records"])
+        succ_ids_parts.append(decoded["succ_ids"])
+        offsets_parts.append(decoded["succ_offsets"])
+    last = entries[-1]
+    payload = compress_batch(
+        {
+            "records": records,
+            "succ_ids": b"".join(succ_ids_parts),
+            "succ_offsets": b"".join(offsets_parts),
+        }
+    )
+    generation = manifest["generation"] + 1
+    header = {
+        "version": CHECKPOINT_VERSION,
+        "generation": generation,
+        "index": 0,
+        "layer_from": 0,
+        "layer_to": last["layer_to"],
+        "frontier_start": last["frontier_start"],
+        "count": last["count"],
+        "complete": last["complete"],
+        "records": len(records),
+        "payload_len": len(payload),
+        "payload_crc": zlib.crc32(payload),
+    }
+    blob = _encode_segment(header, payload)
+    name = f"{path.name}.g{generation}-{0:06d}.seg"
+    with open(path.with_name(name), "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    folded = {
+        "name": name,
+        "size": len(blob),
+        "payload_crc": header["payload_crc"],
+        "layer_from": 0,
+        "layer_to": last["layer_to"],
+        "frontier_start": last["frontier_start"],
+        "count": last["count"],
+        "complete": last["complete"],
+        "records": len(records),
+    }
+    _commit_manifest(
+        path,
+        {
+            "token": manifest["token"],
+            "layers": manifest["layers"],
+            "frontier_start": manifest["frontier_start"],
+            "count": manifest["count"],
+            "complete": manifest["complete"],
+            "generation": generation,
+            "segments": [folded],
+        },
+    )
+    for entry in entries:
+        try:
+            path.with_name(entry["name"]).unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    return {
+        "path": str(path),
+        "compacted": True,
+        "segments_before": len(entries),
+        "segments_after": 1,
+        "bytes_before": bytes_before,
+        "bytes_after": len(blob),
+        "generation": generation,
+        "layers": manifest["layers"],
+        "count": manifest["count"],
+    }
 
 
 # ---------------------------------------------------------------------
@@ -1052,6 +1200,7 @@ __all__ = [
     "CheckpointSession",
     "ResumedExploration",
     "RssWatchdog",
+    "compact_checkpoint",
     "compatibility_token",
     "decode_manifest",
     "inspect_checkpoint",

@@ -47,6 +47,7 @@ from repro.core.configuration import (
 from repro.core.errors import UniverseError
 from repro.core.events import Event, ReceiveEvent, SendEvent
 from repro.core.process import ProcessId, ProcessSetLike, as_process_set
+from repro.universe.arena import ArenaStore
 from repro.universe.protocol import Protocol
 
 ProjectionKey = tuple
@@ -370,6 +371,9 @@ _BOUND_MESSAGE = (
     "the protocol"
 )
 
+_EMPTY_ENTRY_MEMO: dict[int, int] = {}
+"""Permanent previous-generation entry-hash memo of the object store."""
+
 
 class Universe:
     """All reachable configurations of a protocol, with isomorphism indexes.
@@ -433,6 +437,18 @@ class Universe:
         :class:`~repro.universe.sharded.SupervisionPolicy` overriding
         the coordinator's heartbeat/respawn tunables; ``workers >= 2``
         only.
+    store:
+        Configuration storage backend.  ``"objects"`` (default) keeps
+        every configuration as a live Python object; ``"arena"`` keeps
+        packed ``(parent id, event, hash)`` columns
+        (:class:`~repro.universe.arena.ArenaStore`) and materialises
+        objects lazily — same dense ids, CSR arrays and hash buckets,
+        at a fraction of the resident memory.
+    spill_dir:
+        Directory for the arena's on-disk cold tier (``store="arena"``
+        only): sealed cold chunks stream to an mmap-backed spill file
+        there as layers retire, and the ``rss_budget_mb`` watchdog
+        force-spills before it ever truncates.
     """
 
     def __init__(
@@ -449,15 +465,28 @@ class Universe:
         rss_budget_mb: float | None = None,
         fault_plan=None,
         supervision=None,
+        store: str = "objects",
+        spill_dir=None,
     ) -> None:
         if on_limit not in ("raise", "truncate"):
             raise UniverseError(
                 f"on_limit must be 'raise' or 'truncate', got {on_limit!r}"
             )
+        if store not in ("objects", "arena"):
+            raise UniverseError(
+                f"store must be 'objects' or 'arena', got {store!r}"
+            )
+        if spill_dir is not None and store != "arena":
+            raise UniverseError("spill_dir requires store='arena'")
         self._protocol = protocol
         self._max_events = max_events
         self._recovery_log: list[dict] = []
-        self._configurations: list[Configuration] = []
+        if store == "arena":
+            self._configurations: list[Configuration] | ArenaStore = (
+                ArenaStore(spill_dir=spill_dir)
+            )
+        else:
+            self._configurations = []
         # Content hash -> dense id (or list of ids on hash collision).
         # This is both the BFS dedup table and, after exploration, the
         # public configuration -> id index: one table, no second
@@ -553,6 +582,14 @@ class Universe:
             tuple[tuple[int, int, int], tuple[int, int, int]],
             tuple[array, array, PartitionTable, list[tuple[int, int]]],
         ] = {}
+        # Composed-relation frontier memo, shared across the property
+        # checkers (inversion, concatenation, reflexivity, equality all
+        # fold the same class graphs): sequence of process sets ->
+        # (base table, final table, per-base-class final-class frontiers).
+        # Owned by the universe so one sweep's folds serve the next.
+        self._frontier_class_memo: dict[
+            tuple[frozenset[ProcessId], ...], tuple
+        ] = {}
 
     def _explore(
         self,
@@ -575,6 +612,16 @@ class Universe:
         exploration, never incrementally inside this loop.
         """
         configurations = self._configurations
+        if isinstance(configurations, ArenaStore):
+            # The arena runs its own kernel over packed window rows —
+            # no child objects at all; see :meth:`_explore_packed`.
+            return self._explore_packed(
+                max_configurations,
+                on_limit,
+                session=session,
+                rss_budget_mb=rss_budget_mb,
+            )
+        lookup = configurations.__getitem__
         ids_by_hash = self._ids_by_hash
         succ_ids = self._succ_ids
         succ_offsets = self._succ_offsets
@@ -588,6 +635,11 @@ class Universe:
         ordered = protocol.ordered_processes
         selective = protocol.is_selective
         custom_enabling = protocol.has_custom_enabling
+        enabling_filter = (
+            protocol.filter_enabled_events
+            if protocol.has_enabling_filter
+            else None
+        )
         receive_sets = protocol.receive_events_for
         selective_receives = protocol.selective_receive_events
         compiled_enabled = protocol.compiled_enabled_events
@@ -610,8 +662,13 @@ class Universe:
         # exploration, every child shares its unchanged histories with its
         # parent, and the kernel creates exactly one tuple per discovered
         # child — so this one memo replaces the per-child entry-hash dict
-        # copy (and its ~360 bytes/configuration) entirely.
+        # copy (and its ~360 bytes/configuration) entirely.  The object
+        # store pins every tuple forever, so the memo never rotates and
+        # the previous generation stays the shared empty dict.  (The
+        # packed kernel evicts tuples and must rotate — see
+        # :meth:`_explore_packed`.)
         entry_hash_of: dict[int, int] = {}
+        entry_prev_get = _EMPTY_ENTRY_MEMO.get
         from_trusted = Configuration._from_trusted
 
         watchdog = None
@@ -648,7 +705,7 @@ class Universe:
                 batch_end = count  # one BFS frontier batch
                 layer_records = [] if track else None
                 while cursor < batch_end:
-                    current = configurations[cursor]
+                    current = lookup(cursor)
                     cursor += 1
                     if max_events is not None and len(current) >= max_events:
                         if compiled_enabled(current):
@@ -683,6 +740,12 @@ class Universe:
                                 enabled += selective_receives(
                                     history_of, in_flight
                                 )
+                        if enabling_filter is not None:
+                            # Declarative system-level restriction on top
+                            # of the compiled local steps + receives —
+                            # the hook that keeps filter-only protocols
+                            # on this fast path.
+                            enabled = enabling_filter(current, enabled)
                     # Inlined Configuration._extension_parts, with the
                     # parent's content hash loop-invariant across this
                     # configuration's edges and rolling entry hashes read
@@ -706,10 +769,15 @@ class Universe:
                             ) % modulus
                             child_hash = (parent_hash + new_entry) % modulus
                         else:
-                            old_entry = entry_memo_get(id(old_history))
+                            key = id(old_history)
+                            old_entry = entry_memo_get(key)
                             if old_entry is None:
-                                old_entry = _entry_hash(process, old_history)
-                                entry_hash_of[id(old_history)] = old_entry
+                                old_entry = entry_prev_get(key)
+                                if old_entry is None:
+                                    old_entry = _entry_hash(
+                                        process, old_history
+                                    )
+                                entry_hash_of[key] = old_entry
                             new_history = old_history + (event,)
                             new_entry = (
                                 old_entry * multiplier + event_hash
@@ -725,7 +793,7 @@ class Universe:
                             child_id = count
                         elif type(existing) is int:
                             if matches(
-                                configurations[existing], process, new_history
+                                lookup(existing), process, new_history
                             ):
                                 succ_ids.append(existing)
                                 edges += 1
@@ -739,7 +807,7 @@ class Universe:
                         else:
                             for candidate_id in existing:
                                 if matches(
-                                    configurations[candidate_id],
+                                    lookup(candidate_id),
                                     process,
                                     new_history,
                                 ):
@@ -800,6 +868,16 @@ class Universe:
                         final=cursor >= count,
                     )
                 if watchdog is not None and cursor < count and watchdog.exceeded():
+                    # The object store has no cold tier to spill; truncate
+                    # is the only rung of the degradation ladder here.
+                    self._recovery_log.append(
+                        {
+                            "layer": None,
+                            "kind": "rss_budget",
+                            "action": "truncate",
+                            "detail": f"{count} configurations",
+                        }
+                    )
                     rss_truncated = True
                     break
         finally:
@@ -811,6 +889,410 @@ class Universe:
             self._complete = False
             # Unexpanded frontier configurations keep empty successor rows.
             while len(succ_offsets) < len(configurations) + 1:
+                succ_offsets.append(len(succ_ids))
+
+    def _explore_packed(
+        self,
+        max_configurations: int | None,
+        on_limit: str,
+        session=None,
+        rss_budget_mb: float | None = None,
+    ) -> None:
+        """The arena kernel: frontier BFS over *packed window rows*.
+
+        Mirror of :meth:`_explore` for the arena store.  The object
+        kernel keeps two full layers of ``Configuration`` objects alive
+        — frontier plus the layer under construction — and at star n=8
+        that window peaks at ~474k objects of ~1.1 KB each, dominating
+        peak RSS.  This kernel never builds child objects at all.  A
+        window entry is the 4-tuple
+
+            ``(row, content_hash, received, in_flight)``
+
+        where ``row`` is a fixed-width tuple of per-process histories in
+        ``ordered_processes`` order (``()`` for absent processes) and
+        the two message frozensets are interned per layer, so siblings
+        with equal channel contents share one set object.  Parents are
+        materialised transiently only on the slow paths (custom
+        enabling, enabling filters, ``max_events`` probes), and each
+        window entry is popped the moment its expansion completes, so a
+        consumed frontier prefix stops counting toward peak RSS
+        mid-layer instead of at the next boundary.  Dedup compares rows
+        elementwise — shared history tuples make those identity hits —
+        and the rare cross-layer content-hash collision falls back to
+        the arena's chain-walk materialisation.
+
+        Mid-layer eviction cannot alias the id-keyed entry memo: every
+        history tuple a parent can look up is held by a live window row,
+        and any tuple that reuses a freed address was itself a freshly
+        discovered child's ``new_history``, whose memo entry is
+        overwritten at creation.  The memo still rotates generations at
+        layer boundaries exactly like the old arena path.
+
+        Keep the dedup/bounds/checkpoint semantics in lockstep with
+        :meth:`_explore`: the suite in ``tests/test_universe_arena.py``
+        holds the two kernels bit-identical (ids, CSR arrays, hash
+        buckets) on every bundled protocol and both engines.
+        """
+        arena: ArenaStore = self._configurations
+        ids_by_hash = self._ids_by_hash
+        succ_ids = self._succ_ids
+        succ_offsets = self._succ_offsets
+        protocol = self._protocol
+        max_events = self._max_events
+        bound_error: str | None = None
+
+        table = protocol.step_table
+        steps_for = table.steps
+        by_history = table._by_history
+        ordered = protocol.ordered_processes
+        width = len(ordered)
+        index_of = {process: i for i, process in enumerate(ordered)}
+        selective = protocol.is_selective
+        custom_enabling = protocol.has_custom_enabling
+        enabling_filter = (
+            protocol.filter_enabled_events
+            if protocol.has_enabling_filter
+            else None
+        )
+        receive_sets = protocol.receive_events_for
+        selective_receives = protocol.selective_receive_events
+        compiled_enabled = protocol.compiled_enabled_events
+        initial_steps = {
+            process: steps_for(process, ()) for process in ordered
+        }
+        limit = max_configurations if max_configurations is not None else inf
+        modulus = _HASH_MODULUS
+        multiplier = _ROLL_MULTIPLIER
+        seed_of = {
+            process: hash(process) % modulus for process in ordered
+        }
+        entry_hash_of: dict[int, int] = {}
+        entry_prev_get = _EMPTY_ENTRY_MEMO.get
+        from_trusted = Configuration._from_trusted
+        # Per-layer frozenset intern table: channel contents repeat
+        # heavily across siblings, so the per-child ``received`` /
+        # ``in_flight`` sets collapse to a handful of shared objects.
+        # Rotated with the memo so it never outlives the rows that
+        # reference its sets.
+        interned: dict[frozenset, frozenset] = {}
+        intern = interned.setdefault
+
+        window: dict[int, tuple] = {}
+        empty_set: frozenset = frozenset()
+
+        def row_of(configuration: Configuration) -> tuple:
+            histories_get = configuration._histories.get
+            return tuple(histories_get(process, ()) for process in ordered)
+
+        def transient(entry: tuple) -> Configuration:
+            """A throwaway ``Configuration`` for the slow-path hooks."""
+            row, content_hash, received, in_flight = entry
+            items = {
+                process: history
+                for process, history in zip(ordered, row)
+                if history
+            }
+            configuration = from_trusted(items, content_hash, None)
+            cache = configuration.__dict__
+            cache["received_messages"] = received
+            cache["in_flight_messages"] = in_flight
+            return configuration
+
+        def row_matches(
+            candidate_id: int,
+            row: tuple,
+            position: int,
+            new_history: tuple,
+        ) -> bool:
+            """``candidate == parent`` with ``position → new_history``."""
+            entry = window.get(candidate_id)
+            if entry is not None:
+                candidate_row = entry[0]
+            else:
+                # Cross-layer content-hash collision: same-depth
+                # duplicates always live in the window, so this is the
+                # rare modulus collision — chain-walk the packed
+                # columns.
+                candidate_row = row_of(arena._get_hot(candidate_id))
+            theirs = candidate_row[position]
+            if theirs is not new_history and theirs != new_history:
+                return False
+            for j in range(width):
+                if j == position:
+                    continue
+                theirs = candidate_row[j]
+                ours = row[j]
+                if theirs is not ours and theirs != ours:
+                    return False
+            return True
+
+        watchdog = None
+        if rss_budget_mb is not None:
+            from repro.universe.checkpoint import RssWatchdog
+
+            watchdog = RssWatchdog(rss_budget_mb)
+        self._rss_watchdog = watchdog
+        resumed = session.try_resume(self) if session is not None else None
+        if resumed is not None:
+            # try_resume replayed the stream into the packed columns;
+            # rebuild the kernel's row window for the open frontier and
+            # continue from the first unexpanded layer.  (The entry memo
+            # resumes empty and recomputes on miss.)
+            entry_hash_of = resumed.entry_hash_of
+            count = len(arena)
+            edges = len(succ_ids)
+            cursor = resumed.frontier_start
+            depth = 0
+            for index in range(cursor, count):
+                configuration = arena[index]
+                if index == cursor:
+                    # Every BFS edge appends one event, so the layer
+                    # depth is any frontier member's event count.
+                    depth = len(configuration)
+                received = configuration.received_messages
+                in_flight = configuration.in_flight_messages
+                window[index] = (
+                    row_of(configuration),
+                    hash(configuration),
+                    intern(received, received),
+                    intern(in_flight, in_flight),
+                )
+            # The replay's materialised objects are now redundant: the
+            # rows above carry the frontier from here on.
+            arena.retire(count)
+        else:
+            arena.append(EMPTY_CONFIGURATION)
+            root_hash = hash(EMPTY_CONFIGURATION)
+            ids_by_hash[root_hash] = 0
+            window[0] = (((),) * width, root_hash, empty_set, empty_set)
+            count = 1
+            edges = 0
+            cursor = 0
+            depth = 0
+        entry_memo_get = entry_hash_of.get
+        track = session is not None
+        rss_truncated = False
+        # Same GC stance as the object kernel: acyclic long-lived data,
+        # no cycles of our own — stop the generational rescans.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while cursor < count:
+                batch_end = count  # one BFS frontier batch
+                layer_records = [] if track else None
+                while cursor < batch_end:
+                    entry = window.pop(cursor)
+                    parent_id = cursor
+                    cursor += 1
+                    if max_events is not None and depth >= max_events:
+                        if compiled_enabled(transient(entry)):
+                            self._complete = False
+                        succ_offsets.append(edges)
+                        continue
+                    row, parent_hash, received, in_flight = entry
+                    if custom_enabling:
+                        # The protocol restricts system-level enabling
+                        # beyond local steps + willing receives; its
+                        # override is authoritative.
+                        enabled = list(
+                            protocol.enabled_events(transient(entry))
+                        )
+                    else:
+                        enabled = []
+                        for position, process in enumerate(ordered):
+                            history = row[position]
+                            if not history:
+                                enabled += initial_steps[process]
+                            else:
+                                steps = by_history[process].get(history)
+                                enabled += (
+                                    steps
+                                    if steps is not None
+                                    else steps_for(process, history)
+                                )
+                        if in_flight:
+                            if not selective:
+                                enabled += receive_sets(in_flight)
+                            else:
+                                items = {
+                                    process: history
+                                    for process, history in zip(ordered, row)
+                                    if history
+                                }
+                                enabled += selective_receives(
+                                    items.get, in_flight
+                                )
+                        if enabling_filter is not None:
+                            enabled = enabling_filter(
+                                transient(entry), enabled
+                            )
+                    for event in enabled:
+                        process = event.process
+                        position = index_of[process]
+                        try:
+                            event_hash = event._hash_cache
+                        except AttributeError:
+                            event_hash = hash(event)
+                        old_history = row[position]
+                        if not old_history:
+                            new_history = (event,)
+                            new_entry = (
+                                seed_of[process] * multiplier + event_hash
+                            ) % modulus
+                            child_hash = (parent_hash + new_entry) % modulus
+                        else:
+                            key = id(old_history)
+                            old_entry = entry_memo_get(key)
+                            if old_entry is None:
+                                old_entry = entry_prev_get(key)
+                                if old_entry is None:
+                                    old_entry = _entry_hash(
+                                        process, old_history
+                                    )
+                                entry_hash_of[key] = old_entry
+                            new_history = old_history + (event,)
+                            new_entry = (
+                                old_entry * multiplier + event_hash
+                            ) % modulus
+                            child_hash = (
+                                parent_hash - old_entry + new_entry
+                            ) % modulus
+                        existing = ids_by_hash.get(child_hash)
+                        if existing is None:
+                            if count >= limit:
+                                bound_error = _BOUND_MESSAGE % max_configurations
+                                break
+                            child_id = count
+                        elif type(existing) is int:
+                            if row_matches(
+                                existing, row, position, new_history
+                            ):
+                                succ_ids.append(existing)
+                                edges += 1
+                                continue
+                            # content-hash collision: open the bucket
+                            if count >= limit:
+                                bound_error = _BOUND_MESSAGE % max_configurations
+                                break
+                            child_id = count
+                            ids_by_hash[child_hash] = [existing, child_id]
+                        else:
+                            for candidate_id in existing:
+                                if row_matches(
+                                    candidate_id, row, position, new_history
+                                ):
+                                    child_id = candidate_id
+                                    break
+                            else:
+                                if count >= limit:
+                                    bound_error = (
+                                        _BOUND_MESSAGE % max_configurations
+                                    )
+                                    break
+                                child_id = count
+                                existing.append(child_id)
+                            if child_id != count:
+                                succ_ids.append(child_id)
+                                edges += 1
+                                continue
+                        # First discovery: pack the columns, keep only the
+                        # row + message sets hot — no child object.
+                        if existing is None:
+                            ids_by_hash[child_hash] = child_id
+                        count += 1
+                        entry_hash_of[id(new_history)] = new_entry
+                        child_row = (
+                            row[:position] + (new_history,) + row[position + 1:]
+                        )
+                        # Inlined Configuration._propagate_caches over the
+                        # interned frozensets, kept exactly equal to the
+                        # lazy definitions (including the degenerate
+                        # re-send of an already-received message).
+                        if isinstance(event, SendEvent):
+                            message = event.message
+                            child_received = received
+                            if message in received:
+                                child_in_flight = in_flight
+                            else:
+                                new_set = in_flight | {message}
+                                child_in_flight = intern(new_set, new_set)
+                        elif isinstance(event, ReceiveEvent):
+                            message = event.message
+                            new_set = received | {message}
+                            child_received = intern(new_set, new_set)
+                            new_set = in_flight - {message}
+                            child_in_flight = intern(new_set, new_set)
+                        else:
+                            child_received = received
+                            child_in_flight = in_flight
+                        window[child_id] = (
+                            child_row,
+                            child_hash,
+                            child_received,
+                            child_in_flight,
+                        )
+                        arena.append_child(parent_id, event, child_hash, None)
+                        succ_ids.append(child_id)
+                        edges += 1
+                        if track:
+                            layer_records.append((parent_id, event))
+                    succ_offsets.append(edges)
+                    if bound_error is not None:
+                        break
+                if bound_error is not None:
+                    # Mid-layer stop: the checkpoint keeps the previous
+                    # (complete) layer boundary, never a torn layer.
+                    break
+                if track:
+                    session.commit_layer(
+                        layer_records,
+                        batch_end,
+                        self,
+                        final=cursor >= count,
+                    )
+                # Advance the arena floor (seals + compresses full cold
+                # chunks) and rotate the generation-scoped memos.
+                arena.retire(batch_end)
+                entry_prev_get = entry_hash_of.get
+                entry_hash_of = {}
+                entry_memo_get = entry_hash_of.get
+                interned = {}
+                intern = interned.setdefault
+                depth += 1
+                if watchdog is not None and cursor < count and watchdog.exceeded():
+                    # Graceful degradation ladder: spill the cold tier to
+                    # disk first; only truncate if that doesn't bring RSS
+                    # back under budget.
+                    if arena.spill_cold() and not watchdog.exceeded():
+                        self._recovery_log.append(
+                            {
+                                "layer": None,
+                                "kind": "rss_budget",
+                                "action": "spill",
+                                "detail": f"{count} configurations",
+                            }
+                        )
+                        continue
+                    self._recovery_log.append(
+                        {
+                            "layer": None,
+                            "kind": "rss_budget",
+                            "action": "truncate",
+                            "detail": f"{count} configurations",
+                        }
+                    )
+                    rss_truncated = True
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if bound_error is not None and on_limit == "raise":
+            raise UniverseError(bound_error)
+        if bound_error is not None or rss_truncated:
+            self._complete = False
+            # Unexpanded frontier configurations keep empty successor rows.
+            while len(succ_offsets) < len(arena) + 1:
                 succ_offsets.append(len(succ_ids))
 
     def _id_of(self, configuration: Configuration) -> int | None:
@@ -850,9 +1332,11 @@ class Universe:
         """Recovery events survived while building this universe: one
         dict per recovered :class:`~repro.universe.sharded.WorkerFailure`
         (``layer``, ``shard``, ``kind``, ``action`` — ``"respawn"`` or
-        ``"fold"``) and per checkpoint salvage event (``layer``,
-        ``kind``, ``action`` — ``"salvage-truncate"``, ``"restart"`` or
-        ``"discard-orphan"`` — no ``shard``)."""
+        ``"fold"``), per checkpoint salvage event (``layer``, ``kind``,
+        ``action`` — ``"salvage-truncate"``, ``"restart"`` or
+        ``"discard-orphan"`` — no ``shard``), and per RSS-watchdog
+        degradation (``kind`` ``"rss_budget"``, ``action`` ``"spill"``
+        or ``"truncate"``)."""
         return tuple(getattr(self, "_recovery_log", ()))
 
     @property

@@ -229,9 +229,20 @@ class Protocol(abc.ABC):
         Protocols may restrict the system-level enabling relation beyond
         local steps + willing receives (e.g. synchrony assumptions).  The
         exploration kernel checks this and routes every configuration
-        through the override instead of the compiled fast path.
+        through the override instead of the compiled fast path.  Most
+        restrictions are *filters* over the default enabled set; those
+        should override :meth:`filter_enabled_events` instead, which
+        keeps the protocol on the compiled step tables.
         """
         return type(self).enabled_events is not Protocol.enabled_events
+
+    @property
+    def has_enabling_filter(self) -> bool:
+        """Whether this protocol overrides :meth:`filter_enabled_events`."""
+        return (
+            type(self).filter_enabled_events
+            is not Protocol.filter_enabled_events
+        )
 
     def complement(self, processes: ProcessSetLike) -> frozenset[ProcessId]:
         """``P̄ = D - P``."""
@@ -357,6 +368,25 @@ class Protocol(abc.ABC):
     # ------------------------------------------------------------------
     # System-level enabling
     # ------------------------------------------------------------------
+    def filter_enabled_events(
+        self, configuration: Configuration, events: Sequence[Event]
+    ) -> Sequence[Event]:
+        """Declarative system-level restriction of the enabled set.
+
+        ``events`` is the default enabled set (compiled local steps plus
+        willing receives, deterministically ordered); the override
+        returns the sub-sequence actually enabled — *order must be
+        preserved* and no new events may be introduced.  Unlike a full
+        :meth:`enabled_events` override, a filter keeps the protocol on
+        the compiled step tables and the exploration kernel's fast path:
+        the kernel assembles the default set from its tables and applies
+        the filter per configuration.  Synchrony-style protocols (e.g.
+        the sync failure monitor) express their round gating this way.
+
+        Default: no restriction.
+        """
+        return events
+
     def enabled_events(self, configuration: Configuration) -> Sequence[Event]:
         """All events that may extend ``configuration`` by one step.
 
@@ -433,7 +463,12 @@ class Protocol(abc.ABC):
                         event = receive(message)
                         receive_cache[message] = event
                     enabled.append(event)
-        result = tuple(enabled)
+        if self.has_enabling_filter:
+            # The filter is part of the enabling semantics, so the oracle
+            # applies (and memoises) it exactly like the kernel does.
+            result = tuple(self.filter_enabled_events(configuration, enabled))
+        else:
+            result = tuple(enabled)
         if cacheable and len(enabled_cache) < _ENABLED_CACHE_MAX_ENTRIES:
             enabled_cache[configuration] = result
         return result
@@ -470,6 +505,8 @@ class Protocol(abc.ABC):
                 enabled.extend(
                     self.selective_receive_events(history_of, in_flight)
                 )
+        if self.has_enabling_filter:
+            return tuple(self.filter_enabled_events(configuration, enabled))
         return tuple(enabled)
 
     # ------------------------------------------------------------------

@@ -18,18 +18,19 @@ what makes the frontier partitionable:
   detected exactly, not probabilistically);
 * workers ship per-parent **edge batches** — a duplicate edge is one
   ``int`` (the index of the worker-local candidate it collapsed into), a
-  candidate-new edge is ``(event, child_hash)``; the batch is pickled in
-  the worker and framed with a CRC-32 so a corrupted payload is rejected
-  before it is ever unpickled;
+  candidate-new edge is ``(event, child_hash)``; the batch is packed with
+  the shared batch codec (:func:`repro.universe.arena.compress_batch`)
+  in the worker and framed with a CRC-32 so a corrupted payload is
+  rejected before it is ever inflated or unpickled;
 * the coordinator merges the batches *in global BFS order* (ascending
   parent id, original enabled-event order within a parent), resolving
   cross-worker duplicates against its authoritative id table with the
   kernel's own dedup logic, constructing each first-discovered child
   exactly once, and appending the CSR successor rows;
 * the merged discovery stream ``[(parent_id, event), ...]`` is broadcast
-  back (pickled once, sent ``K`` times) and every worker replays it to
-  keep its replica — configurations, id table, rolling entry-hash memo —
-  bit-identical to the coordinator's.
+  back (batch-compressed once, sent ``K`` times) and every worker replays
+  it to keep its replica — configurations, id table, rolling entry-hash
+  memo — bit-identical to the coordinator's.
 
 Determinism: the coordinator replay *is* the kernel's inner loop fed by a
 pre-computed enabled-event stream, so the resulting universe — dense ids,
@@ -90,7 +91,6 @@ import gc
 import multiprocessing
 import os
 import errno
-import pickle
 import time
 import traceback
 import zlib
@@ -107,6 +107,7 @@ from repro.core.configuration import (
     hash_domain_token,
 )
 from repro.core.errors import UniverseError
+from repro.universe.arena import ArenaStore, compress_batch, decompress_batch
 
 _BOUND_MESSAGE = (
     "exploration exceeded %s configurations; raise the bound or shrink "
@@ -402,6 +403,11 @@ class _Replica:
         ordered = protocol.ordered_processes
         selective = protocol.is_selective
         custom_enabling = protocol.has_custom_enabling
+        enabling_filter = (
+            protocol.filter_enabled_events
+            if protocol.has_enabling_filter
+            else None
+        )
         receive_sets = protocol.receive_events_for
         selective_receives = protocol.selective_receive_events
         compiled_enabled = protocol.compiled_enabled_events
@@ -459,6 +465,8 @@ class _Replica:
                         enabled += selective_receives(
                             current._histories.get, in_flight
                         )
+                if enabling_filter is not None:
+                    enabled = enabling_filter(current, enabled)
             matches = current._matches_extension
             edges: list = []
             for event in enabled:
@@ -609,7 +617,7 @@ def _worker_main(
                     os._exit(17)
             heartbeat()
             replica.apply(
-                pickle.loads(blob),
+                decompress_batch(blob),
                 progress=heartbeat,
                 progress_every=heartbeat_records,
             )
@@ -629,9 +637,10 @@ def _worker_main(
                 progress=heartbeat,
                 progress_every=heartbeat_parents,
             )
-            frame = pickle.dumps(
-                (batch, incomplete), protocol=pickle.HIGHEST_PROTOCOL
-            )
+            # Batch-compressed with the shared codec: the CRC guards the
+            # compressed frame, so corruption is rejected before either
+            # inflate or unpickle sees the bytes.
+            frame = compress_batch((batch, incomplete))
             crc = zlib.crc32(frame)
             drop = False
             for fault_kind, seconds in actions:
@@ -815,18 +824,24 @@ class ShardedExplorer:
 
     # -- failover -------------------------------------------------------
     def _full_stream_blob(self, universe, layer_end: int) -> bytes:
-        """The pickled full discovery stream up to ``layer_end`` —
-        reconstructed from the CSR store, cached per layer (several
-        failures in one layer replay the same stream)."""
+        """The compressed full discovery stream up to ``layer_end``,
+        cached per layer (several failures in one layer replay the same
+        stream).  Under the arena store the columns *are* the stream
+        (:meth:`~repro.universe.arena.ArenaStore.records`); under the
+        object store it is reconstructed from the CSR walk."""
         cached = self._stream_blob
         if cached is not None and cached[0] == layer_end:
             return cached[1]
-        stream = discovery_stream(
-            universe._configurations,
-            universe._succ_offsets,
-            universe._succ_ids,
-        )
-        blob = pickle.dumps(stream, protocol=pickle.HIGHEST_PROTOCOL)
+        configurations = universe._configurations
+        if isinstance(configurations, ArenaStore):
+            stream = configurations.records(1, len(configurations))
+        else:
+            stream = discovery_stream(
+                configurations,
+                universe._succ_offsets,
+                universe._succ_ids,
+            )
+        blob = compress_batch(stream)
         self._stream_blob = (layer_end, blob)
         return blob
 
@@ -842,6 +857,13 @@ class ShardedExplorer:
             self._fallback = _Replica.attached(
                 self._protocol, self._max_events, universe._configurations
             )
+        if isinstance(universe._configurations, ArenaStore):
+            # The arena evicts cold layers (freeing their history tuples),
+            # so the id-keyed entry memo cannot persist across layers
+            # without aliasing risk.  Frontier parents stay alive in the
+            # hot window for the whole expand call, so a per-call memo is
+            # both safe and still O(1) per edge within the layer.
+            self._fallback.entry_hash_of.clear()
         return self._fallback.expand(
             layer_start, layer_end, shard, self._workers
         )
@@ -960,7 +982,7 @@ class ShardedExplorer:
         """
         policy = self._policy
         state = _GatherState(self._workers)
-        blob = pickle.dumps(replay, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = compress_batch(replay)
         now = time.monotonic()
         for shard in range(self._workers):
             if not self._alive[shard]:
@@ -1040,7 +1062,7 @@ class ShardedExplorer:
                         layer,
                     )
                     continue
-                records, incomplete = pickle.loads(frame)
+                records, incomplete = decompress_batch(frame)
                 state.batches[shard] = records
                 state.incomplete |= incomplete
                 state.pending.discard(shard)
@@ -1133,6 +1155,12 @@ class ShardedExplorer:
         """The coordinator side: broadcast, gather, merge, repeat."""
         workers = self._workers
         configurations = universe._configurations
+        arena = (
+            configurations if isinstance(configurations, ArenaStore) else None
+        )
+        lookup = (
+            arena._get_hot if arena is not None else configurations.__getitem__
+        )
         ids_by_hash = universe._ids_by_hash
         succ_ids = universe._succ_ids
         succ_offsets = universe._succ_offsets
@@ -1175,7 +1203,7 @@ class ShardedExplorer:
                 # in batch order as the merge walks the layer.
                 candidate_ids: list[list[int]] = [[] for _ in range(workers)]
                 for parent_id in range(layer_start, layer_end):
-                    parent = configurations[parent_id]
+                    parent = lookup(parent_id)
                     parent_hash = parent._hash
                     if parent_hash is None:
                         parent_hash = hash(parent)
@@ -1217,7 +1245,7 @@ class ShardedExplorer:
                             child_id = count
                         elif type(existing) is int:
                             if matches(
-                                configurations[existing], process, new_history
+                                lookup(existing), process, new_history
                             ):
                                 resolved.append(existing)
                                 succ_ids.append(existing)
@@ -1234,7 +1262,7 @@ class ShardedExplorer:
                         else:
                             for candidate_id in existing:
                                 if matches(
-                                    configurations[candidate_id],
+                                    lookup(candidate_id),
                                     process,
                                     new_history,
                                 ):
@@ -1263,7 +1291,12 @@ class ShardedExplorer:
                             None,
                         )
                         propagate(child, event)
-                        configurations.append(child)
+                        if arena is None:
+                            configurations.append(child)
+                        else:
+                            arena.append_child(
+                                parent_id, event, child_hash, child
+                            )
                         replay.append((parent_id, event))
                         resolved.append(child_id)
                         succ_ids.append(child_id)
@@ -1278,11 +1311,40 @@ class ShardedExplorer:
                     checkpoint.commit_layer(
                         replay, layer_end, universe, final=done
                     )
+                if arena is not None:
+                    # The consumed frontier is cold now: evict its window
+                    # objects and seal/compress whole chunks below it.
+                    arena.retire(layer_end)
                 layer_start = layer_end
                 layer += 1
                 if done:
                     break
                 if watchdog is not None and watchdog.exceeded():
+                    if (
+                        arena is not None
+                        and arena.spill_cold()
+                        and not watchdog.exceeded()
+                    ):
+                        # Graceful spill bought headroom; keep exploring.
+                        self.recovery_log.append(
+                            {
+                                "layer": layer,
+                                "shard": None,
+                                "kind": "rss_budget",
+                                "action": "spill",
+                                "detail": f"{count} configurations",
+                            }
+                        )
+                        continue
+                    self.recovery_log.append(
+                        {
+                            "layer": layer,
+                            "shard": None,
+                            "kind": "rss_budget",
+                            "action": "truncate",
+                            "detail": f"{count} configurations",
+                        }
+                    )
                     rss_truncated = True
                     break
         finally:

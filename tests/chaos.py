@@ -20,6 +20,7 @@ the CI smoke::
     python tests/chaos.py --size 5 --kills 3 --seed 7
     python tests/chaos.py --size 6 --kills 3 --workers 2 --seed 1
     python tests/chaos.py --size 6 --kills 4 --workers-schedule 1,2,1,3
+    python tests/chaos.py --size 6 --kills 3 --store arena --seed 2
 """
 
 from __future__ import annotations
@@ -102,6 +103,8 @@ def explore_command(
     size: int,
     workers: int,
     fault_specs: tuple[str, ...] = (),
+    store: str = "objects",
+    spill_dir: pathlib.Path | None = None,
 ) -> list[str]:
     """The exact ``repro explore`` invocation the campaign crashes."""
     cmd = [
@@ -121,6 +124,10 @@ def explore_command(
     ]
     if workers > 1:
         cmd += ["--workers", str(workers)]
+    if store != "objects":
+        cmd += ["--store", store]
+    if spill_dir is not None:
+        cmd += ["--spill-dir", str(spill_dir)]
     for spec in fault_specs:
         cmd += ["--fault", spec]
     return cmd
@@ -190,6 +197,8 @@ def run_campaign(
     workers_schedule: tuple[int, ...] = (1,),
     torn_save: bool = True,
     timeout: float = DEFAULT_TIMEOUT,
+    store: str = "objects",
+    spill_dir: pathlib.Path | None = None,
 ) -> ChaosResult:
     """Crash/resume until the exploration completes.
 
@@ -197,7 +206,10 @@ def run_campaign(
     ``torn_save`` is true the first death is a mid-save hard exit (torn
     write) rather than an external SIGKILL.  ``workers_schedule`` cycles
     across attempts, so mixed schedules exercise kernel<->sharded
-    resume of the same file.
+    resume of the same file.  ``store``/``spill_dir`` select the
+    configuration store of every crashed attempt (the arena with spill
+    enabled must survive SIGKILL mid-spill exactly like the object
+    store — spilled chunks are a cache, never checkpoint state).
     """
     rng = random.Random(seed)
     result = ChaosResult(size=size, seed=seed)
@@ -221,7 +233,9 @@ def run_campaign(
                 faults = (f"torn_save@{target_layer}",)
                 target_layer = None  # the fault itself is the killer
         outcome, returncode = _run_and_kill(
-            explore_command(path, size, workers, faults),
+            explore_command(
+                path, size, workers, faults, store=store, spill_dir=spill_dir
+            ),
             path,
             target_layer,
             hash_seed,
@@ -254,14 +268,22 @@ def run_campaign(
             )
 
 
-def verify_bit_identical(path: pathlib.Path, size: int) -> int:
+def verify_bit_identical(
+    path: pathlib.Path, size: int, store: str = "objects"
+) -> int:
     """Resume the survivor in-process and compare it with an
-    uninterrupted run; returns the universe size."""
+    uninterrupted run; returns the universe size.
+
+    The clean reference always uses the object store, so an arena
+    campaign's final comparison is also a cross-store identity check.
+    """
     from repro.cli import broadcast_protocol
     from repro.universe.explorer import Universe
 
     single = Universe(broadcast_protocol("star", size))
-    survivor = Universe(broadcast_protocol("star", size), checkpoint=path)
+    survivor = Universe(
+        broadcast_protocol("star", size), checkpoint=path, store=store
+    )
     if not survivor.is_complete:
         raise AssertionError("surviving checkpoint is not complete")
     if len(survivor) != len(single):
@@ -308,6 +330,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the checkpoint here and keep it (default: temp dir)",
     )
+    parser.add_argument(
+        "--store",
+        choices=("objects", "arena"),
+        default="objects",
+        help="configuration store for every crashed attempt (the final "
+        "bit-identity check always compares against an object-store run)",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="arena cold-chunk spill directory (default with --store "
+        "arena: a directory inside the campaign's temp dir, so kills "
+        "land while spill files exist)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers_schedule:
@@ -321,6 +359,13 @@ def main(argv: list[str] | None = None) -> int:
             if args.keep_checkpoint
             else pathlib.Path(tmp) / "chaos.ckpt"
         )
+        if args.spill_dir is not None:
+            spill_dir = pathlib.Path(args.spill_dir)
+        elif args.store == "arena":
+            spill_dir = pathlib.Path(tmp) / "spill"
+            spill_dir.mkdir()
+        else:
+            spill_dir = None
         result = run_campaign(
             path,
             size=args.size,
@@ -328,9 +373,11 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             workers_schedule=schedule,
             torn_save=not args.no_torn_save,
+            store=args.store,
+            spill_dir=spill_dir,
         )
         print(result.describe())
-        count = verify_bit_identical(path, args.size)
+        count = verify_bit_identical(path, args.size, store=args.store)
         print(f"survivor is bit-identical to an uninterrupted run ({count} configurations)")
     return 0
 

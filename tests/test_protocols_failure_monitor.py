@@ -111,11 +111,9 @@ class TestSyncProtocol:
         protocol = sync_universe.protocol
 
         class Unrestricted(SyncFailureMonitorProtocol):
-            def enabled_events(self, configuration):
+            def filter_enabled_events(self, configuration, events):
                 # Base Protocol enabling, without the synchrony filter.
-                return super(SyncFailureMonitorProtocol, self).enabled_events(
-                    configuration
-                )
+                return events
 
         free = Universe(
             Unrestricted(

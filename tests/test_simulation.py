@@ -192,14 +192,28 @@ class TestNonInterningStep:
         assert hash(final.configuration) == hash(replayed)
 
     def test_step_leaves_the_registry_alone(self):
+        import gc
+
         from repro.core.configuration import registry_size
         from repro.protocols.token_bus import TokenBusProtocol
 
         simulator = Simulator(TokenBusProtocol(max_hops=8), RandomScheduler(3))
+        # The registry is weak: a generational collection landing inside
+        # the loop can expire members interned by *earlier tests* and
+        # shrink the count for reasons unrelated to step().  Collect
+        # first and pause GC so the equality below measures only what
+        # step() does (unregistered construction allocates no cycles).
+        gc.collect()
         before = registry_size()
-        steps = 0
-        while simulator.step() is not None:
-            steps += 1
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            steps = 0
+            while simulator.step() is not None:
+                steps += 1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         assert steps > 0
         assert registry_size() == before
 

@@ -20,7 +20,9 @@ def run_and_check(tmp_path, **kwargs):
     path = tmp_path / "chaos.ckpt"
     result = run_campaign(path, **kwargs)
     assert result.completed, result.describe()
-    count = verify_bit_identical(path, result.size)
+    count = verify_bit_identical(
+        path, result.size, store=kwargs.get("store", "objects")
+    )
     return result, count
 
 
@@ -49,6 +51,29 @@ class TestShardedChaos:
     def test_three_deaths_including_torn_save(self, tmp_path):
         result, count = run_and_check(
             tmp_path, size=6, kills=3, seed=3, workers_schedule=(2,)
+        )
+        assert count == STAR6
+        assert result.kills + result.torn_saves >= 3, result.describe()
+        assert result.torn_saves >= 1, result.describe()
+
+
+class TestArenaChaos:
+    def test_arena_with_spill_survives_kills(self, tmp_path):
+        """The packed arena store with disk spill enabled dies and
+        resumes like the object store: spilled chunks are a read cache,
+        never checkpoint state, so a kill while spill files exist (and a
+        resume that never sees them again) must still reconstruct
+        bit-identically — verified against an object-store clean run."""
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        result, count = run_and_check(
+            tmp_path,
+            size=6,
+            kills=3,
+            seed=7,
+            workers_schedule=(1,),
+            store="arena",
+            spill_dir=spill,
         )
         assert count == STAR6
         assert result.kills + result.torn_saves >= 3, result.describe()

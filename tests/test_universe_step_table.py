@@ -126,18 +126,35 @@ class TestCompiledStepTableOracle:
         assert table.build_seconds >= 0.0
         assert table.compiled_entries > 0
 
-    def test_custom_enabling_protocols_bypass_the_table(self):
-        """Protocols overriding enabled_events (synchrony restrictions)
-        must be explored through their override."""
+    def test_enabling_filter_protocols_ride_the_table(self):
+        """The sync failure monitor expresses its synchrony restriction
+        as a declarative enabling *filter*, so it is no longer a
+        custom-enabling protocol — it rides the compiled step tables,
+        and the compiled path stays equivalent to the ``enabled_events``
+        oracle on every configuration."""
         from repro.protocols.failure_monitor import SyncFailureMonitorProtocol
 
         protocol = SyncFailureMonitorProtocol(rounds=1)
-        assert protocol.has_custom_enabling
+        assert not protocol.has_custom_enabling
+        assert protocol.has_enabling_filter
         universe = Universe(protocol)
         for configuration in universe:
             assert protocol.compiled_enabled_events(configuration) == tuple(
                 protocol.enabled_events(configuration)
             )
+
+    def test_enabling_filter_universe_matches_pre_filter_exploration(self):
+        """The filtered kernel fast path discovers exactly the universe
+        the enabled_events oracle defines (size + successor structure),
+        in both engines and both stores."""
+        from repro.protocols.failure_monitor import SyncFailureMonitorProtocol
+
+        reference = Universe(SyncFailureMonitorProtocol(rounds=2))
+        for kwargs in ({"store": "arena"}, {"workers": 2}):
+            other = Universe(SyncFailureMonitorProtocol(rounds=2), **kwargs)
+            assert len(other) == len(reference)
+            assert other._succ_offsets == reference._succ_offsets
+            assert other._succ_ids == reference._succ_ids
 
 
 class TestCSRSuccessorStore:
