@@ -35,15 +35,23 @@ paths (worker kill, corrupt frame, heartbeat timeout, shard fold,
 checkpoint resume): each entry injects one deterministic fault
 (:mod:`repro.universe.faults`), asserts the recovered universe is
 bit-identical to the fault-free baseline of the same run, and records
-the recovery overhead.  ``--quick`` is the CI smoke mode.
+the recovery overhead plus each worker's farewell-frame peak RSS.
+``--quick`` is the CI smoke mode.
 
 The exploration-scale suite also carries the memory axis: each
 ``explore_rss_*`` pair explores the same protocol twice in *fresh
-subprocess interpreters* (``ru_maxrss`` is a high-water mark, so peak
+subprocess interpreters* (``VmHWM`` is a high-water mark, so peak
 RSS is only attributable when the process did nothing else), once with
 the object store and once with the compact arena store, recording
 ``peak_rss_mb`` / ``bytes_per_configuration`` and the arena's
-compression telemetry.  ``--store arena`` re-runs the suite's
+compression telemetry.  The ``sharded_rss_*`` pairs do the same for
+the sharded engine's worker replicas: the same protocol explored twice
+in fresh subprocess *trees* — once as the pre-packed engine (object
+coordinator store, object-store replica per worker), once in the
+memory-frugal configuration (arena coordinator store, packed frontier
+window per worker) — summing the coordinator's ``VmHWM`` with
+every worker's farewell-frame peak, the controlled pair behind the
+packed-replica memory claim.  ``--store arena`` re-runs the suite's
 exploration entries themselves on the arena store (the CI smoke uses
 this to keep the packed path exercised).
 """
@@ -145,11 +153,35 @@ class BenchStoreMismatch(RuntimeError):
 
 _SRC_DIR = str(Path(__file__).resolve().parents[1])
 
-_RSS_CHILD = """\
-import json, resource, sys, time
+_PEAK_RSS_SNIPPET = '''\
+def _peak_rss_mb():
+    # VmHWM, not ru_maxrss: Linux carries ru_maxrss across fork+exec,
+    # so an exec'd child spawned after its parent peaked reports the
+    # parent's high-water mark.  VmHWM belongs to the mm, which exec
+    # replaces, so it is always this exploration's own peak.
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+'''
+"""Peak-RSS probe shared by both measurement child scripts."""
+
+
+_RSS_CHILD = (
+    """\
+import json, sys, time
 from repro.protocols.broadcast import BroadcastProtocol, star_topology
 from repro.universe.explorer import Universe
 
+"""
+    + _PEAK_RSS_SNIPPET
+    + """
 receivers = tuple(sys.argv[1].split(","))
 store = sys.argv[2]
 spill_dir = sys.argv[3] or None
@@ -163,17 +195,63 @@ universe = Universe(
 report = {
     "configurations": len(universe),
     "explore_seconds": time.perf_counter() - start,
-    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+    "peak_rss_mb": _peak_rss_mb(),
 }
 if store == "arena":
     report["arena"] = universe._configurations.stats()
 print(json.dumps(report))
 """
+)
 """Child script of the memory axis: explores one star protocol in a
-fresh interpreter and prints its own ``ru_maxrss`` as JSON.  A fresh
+fresh interpreter and prints its own peak RSS as JSON.  A fresh
 ``subprocess`` (never ``fork`` — a forked child inherits the parent's
 high-water mark) is the only way peak RSS is attributable to the
 exploration being measured."""
+
+
+_SHARDED_RSS_CHILD = (
+    """\
+import json, sys, time
+from repro.protocols.broadcast import BroadcastProtocol, star_topology
+from repro.universe import sharded
+from repro.universe.explorer import Universe
+from repro.universe.options import ExplorationOptions, Limits, Sharding
+
+"""
+    + _PEAK_RSS_SNIPPET
+    + """
+receivers = tuple(sys.argv[1].split(","))
+workers = int(sys.argv[2])
+# The replica representation is an engine implementation detail, not a
+# Universe knob; the bench pins it per child to build the controlled
+# packed-vs-objects pair.
+sharded._DEFAULT_REPLICA = sys.argv[3]
+store = sys.argv[4]
+start = time.perf_counter()
+universe = Universe(
+    BroadcastProtocol(star_topology("hub", receivers), "hub"),
+    options=ExplorationOptions(
+        limits=Limits(max_configurations=None),
+        sharding=Sharding(workers=workers),
+        store=store,
+    ),
+)
+report = {
+    "configurations": len(universe),
+    "explore_seconds": time.perf_counter() - start,
+    "coordinator_rss_mb": _peak_rss_mb(),
+    "worker_rss_mb": universe.worker_peak_rss_mb,
+}
+print(json.dumps(report))
+"""
+)
+"""Child script of the sharded-memory axis: explores one star protocol
+with the sharded engine in a fresh interpreter and prints the
+coordinator's own ``VmHWM`` plus every worker's farewell-frame peak
+as JSON.  Both halves of the packed-vs-objects pair fork their workers
+from the same-sized parent at the same point, so the summed
+process-tree peak is a controlled comparison of the replica
+representations alone."""
 
 
 def _explore_in_subprocess(
@@ -201,6 +279,42 @@ def _explore_in_subprocess(
             f"{completed.stderr.strip().splitlines()[-1:]}"
         )
     return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def _sharded_explore_in_subprocess(
+    receivers: tuple[str, ...], workers: int, replica: str, store: str
+) -> dict:
+    """Explore a star protocol with the sharded engine in a fresh
+    interpreter; return its report (coordinator + per-worker peaks)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _SHARDED_RSS_CHILD,
+            ",".join(receivers),
+            str(workers),
+            replica,
+            store,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if completed.returncode != 0:
+        raise BenchShardMismatch(
+            f"sharded-rss child ({replica}, n={len(receivers) + 1}) failed: "
+            f"{completed.stderr.strip().splitlines()[-1:]}"
+        )
+    report = json.loads(completed.stdout.strip().splitlines()[-1])
+    if len(report["worker_rss_mb"]) != workers:
+        raise BenchShardMismatch(
+            f"sharded-rss child ({replica}): only "
+            f"{len(report['worker_rss_mb'])} of {workers} workers sent "
+            f"farewell frames — summed RSS would undercount"
+        )
+    return report
 
 
 def _assert_recovered_identical(baseline, recovered, label: str) -> None:
@@ -623,7 +737,7 @@ def run_benchmarks(
         """The peak-RSS axis: one protocol, two fresh interpreters.
 
         Each half of the pair explores the same star protocol in its own
-        subprocess (``_RSS_CHILD``) so ``ru_maxrss`` measures exactly one
+        subprocess (``_RSS_CHILD``) so ``VmHWM`` measures exactly one
         exploration with one store — a controlled arena-vs-objects pair
         under identical load.  The arena entry records the reduction and
         the wall-clock ratio against its object-store twin, plus the
@@ -659,7 +773,7 @@ def run_benchmarks(
                     / report["configurations"],
                     1,
                 ),
-                "measured_in": "fresh subprocess (ru_maxrss)",
+                "measured_in": "fresh subprocess (VmHWM)",
                 "repeats_used": 1,
             }
             if kind == "arena":
@@ -684,6 +798,87 @@ def run_benchmarks(
                         "spilled_bytes", 0
                     )
             record(f"explore_rss_{label}_{kind}", report["explore_seconds"], **extra)
+
+    def sharded_rss_pair_benchmark(
+        label: str, receivers: tuple[str, ...]
+    ) -> None:
+        """The sharded-memory axis: the PR 9 engine against the
+        object-replica engine it replaced.
+
+        Each half explores the same star protocol with the same worker
+        count in a fresh subprocess tree and sums the coordinator's
+        ``VmHWM`` with every worker's farewell-frame peak.  The
+        ``objects`` half is the pre-PR-9 engine as it actually ran —
+        object coordinator store, full object-store replica per worker;
+        the ``packed`` half is the engine's memory-frugal configuration
+        — arena coordinator store, one packed frontier window per
+        worker (the same arena representation, which is the point of
+        "arena-backed worker replicas").  Measured the same way in the
+        same run: ``rss_fraction_vs_objects`` is the controlled pair
+        behind the acceptance bar (summed sharded RSS at most 40% of
+        the object-replica baseline), and the recorded
+        ``coordinator_rss_mb`` / ``worker_rss_mb`` split attributes the
+        win per side (``worker_rss_fraction_vs_objects`` isolates the
+        replica representation; the coordinator's own store pair is the
+        ``explore_rss_*`` axis).
+        """
+        pair_workers = workers if workers > 1 else 2
+        halves = (("objects", "objects"), ("packed", "arena"))
+        reports: dict[str, dict] = {}
+        for replica, pair_store in halves:
+            reports[replica] = _sharded_explore_in_subprocess(
+                receivers, pair_workers, replica, pair_store
+            )
+            guard.check(f"sharded_rss_{label}_{replica}")
+        if (
+            reports["packed"]["configurations"]
+            != reports["objects"]["configurations"]
+        ):
+            raise BenchShardMismatch(
+                f"{label}: packed replicas explored "
+                f"{reports['packed']['configurations']} configurations, "
+                f"object replicas {reports['objects']['configurations']}"
+            )
+        summed: dict[str, float] = {}
+        worker_sums: dict[str, float] = {}
+        for replica, pair_store in halves:
+            report = reports[replica]
+            worker_sums[replica] = sum(report["worker_rss_mb"].values())
+            total = report["coordinator_rss_mb"] + worker_sums[replica]
+            summed[replica] = total
+            extra = {
+                "configurations": report["configurations"],
+                "workers": pair_workers,
+                "replica": replica,
+                "store": pair_store,
+                "coordinator_rss_mb": round(report["coordinator_rss_mb"], 1),
+                "worker_rss_mb": [
+                    round(mb, 1)
+                    for _, mb in sorted(report["worker_rss_mb"].items())
+                ],
+                "summed_rss_mb": round(total, 1),
+                "measured_in": (
+                    "fresh subprocess tree (VmHWM + farewell frames)"
+                ),
+                "repeats_used": 1,
+            }
+            if replica == "packed":
+                extra["rss_fraction_vs_objects"] = round(
+                    total / summed["objects"], 3
+                )
+                extra["worker_rss_fraction_vs_objects"] = round(
+                    worker_sums["packed"] / worker_sums["objects"], 3
+                )
+                extra["wallclock_ratio_vs_objects"] = round(
+                    report["explore_seconds"]
+                    / reports["objects"]["explore_seconds"],
+                    2,
+                )
+            record(
+                f"sharded_rss_{label}_workers{pair_workers}_{replica}",
+                report["explore_seconds"],
+                **extra,
+            )
 
     def frontier_memo_benchmark(
         name: str, universe: Universe, max_sets: int
@@ -806,6 +1001,10 @@ def run_benchmarks(
             memory_pair_benchmark(
                 "star_n5", ("w", "x", "y", "z"), spill=True
             )
+            # Sharded-memory smoke: same caveat — at this size the
+            # summed tree RSS is interpreter baseline, so the fraction
+            # is recorded but carries no acceptance meaning.
+            sharded_rss_pair_benchmark("star_n5", ("w", "x", "y", "z"))
         else:
             first_n7, size_n7 = scale_universe_benchmark(
                 "universe_star_broadcast_n7",
@@ -842,6 +1041,12 @@ def run_benchmarks(
             # star n=8 (~10^6 configurations), each half in its own
             # interpreter so peak RSS is attributable.
             memory_pair_benchmark(
+                "star_n8", ("t", "u", "v", "w", "x", "y", "z")
+            )
+            # The packed-replica acceptance pair: summed process-tree
+            # peak RSS of the sharded engine at star n=8, packed window
+            # replicas against the retained object-store replicas.
+            sharded_rss_pair_benchmark(
                 "star_n8", ("t", "u", "v", "w", "x", "y", "z")
             )
             if budget is not None and budget >= _N9_BUDGET_FLOOR:
@@ -929,12 +1134,25 @@ def run_benchmarks(
             )
             return universe, time.perf_counter() - start
 
+        def worker_rss(universe):
+            """Per-shard farewell-frame peaks, keyed for the JSON file.
+
+            Workers forked mid-suite inherit the bench process's
+            high-water mark, so these are ceilings for spotting
+            replica-size regressions across PRs — the attributable
+            pair is ``sharded_rss_*`` in the exploration-scale suite."""
+            return {
+                f"shard{shard}": round(mb, 1)
+                for shard, mb in sorted(universe.worker_peak_rss_mb.items())
+            }
+
         baseline, base_seconds = timed_sharded(supervision=fast)
         record(
             f"fault_free_star_{size_label}_workers{shards}",
             base_seconds,
             configurations=len(baseline),
             workers=shards,
+            worker_peak_rss_mb=worker_rss(baseline),
             repeats_used=1,
         )
 
@@ -976,6 +1194,7 @@ def run_benchmarks(
                 seconds,
                 configurations=len(recovered),
                 workers=shards,
+                worker_peak_rss_mb=worker_rss(recovered),
                 fault_free_seconds=round(base_seconds, 6),
                 recovery_overhead_seconds=round(seconds - base_seconds, 6),
                 recoveries=[
@@ -1293,12 +1512,21 @@ def run_benchmarks(
             "recovery_* entries inject one fault and record "
             "recovery_overhead_seconds against the fault-free sharded "
             "exploration of the same run, with the recovered universe "
-            "asserted bit-identical; explore_rss_* pairs explore the same "
+            "asserted bit-identical (worker_peak_rss_mb lists each worker's "
+            "farewell-frame peak); explore_rss_* pairs explore the same "
             "protocol in fresh subprocess interpreters (objects then arena "
-            "store) and record each child's own ru_maxrss as peak_rss_mb / "
+            "store) and record each child's own VmHWM as peak_rss_mb / "
             "bytes_per_configuration — rss_reduction_vs_objects and "
             "wallclock_ratio_vs_objects pair the arena against its "
-            "object-store twin measured in the same run; "
+            "object-store twin measured in the same run; sharded_rss_* "
+            "pairs run the sharded engine twice in fresh subprocess trees "
+            "with the same worker count (object coordinator store + object "
+            "replicas = the pre-packed engine, then arena coordinator "
+            "store + packed window replicas) and sum the coordinator's "
+            "VmHWM with every worker's farewell-frame peak — "
+            "rss_fraction_vs_objects is the acceptance ratio and "
+            "worker_rss_fraction_vs_objects isolates the replica "
+            "representation; "
             "iso_frontier_memo_* entries time the inversion+concatenation "
             "sweep with the per-universe frontier-class memo disabled "
             "(memo_off_seconds, the pre-memo behaviour), cold, and warm"

@@ -118,25 +118,11 @@ def build_protocol(name: str, args: argparse.Namespace) -> Protocol:
 def cmd_explore(args: argparse.Namespace) -> int:
     from repro.core.errors import UniverseError
     from repro.universe.checkpoint import CheckpointError
-    from repro.universe.faults import FaultPlan
+    from repro.universe.options import options_from_args
 
     protocol = build_protocol(args.protocol, args)
-    on_limit = "truncate" if args.rss_budget is not None else "raise"
     try:
-        fault_plan = FaultPlan.parse(args.fault) if args.fault else None
-        universe = Universe(
-            protocol,
-            max_configurations=args.limit,
-            on_limit=on_limit,
-            workers=args.workers,
-            checkpoint=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_strict=args.strict,
-            rss_budget_mb=args.rss_budget,
-            fault_plan=fault_plan,
-            store=args.store,
-            spill_dir=args.spill_dir,
-        )
+        universe = Universe(protocol, options=options_from_args(args))
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
         return 2
@@ -364,13 +350,45 @@ def make_parser() -> argparse.ArgumentParser:
     add_protocol_options(explore)
     explore.add_argument("--diagram-limit", type=int, default=30)
     explore.add_argument(
+        "--store",
+        choices=["objects", "arena"],
+        default="objects",
+        help="configuration store (ExplorationOptions.store): 'objects' "
+        "keeps every Configuration materialised (fastest for small "
+        "universes); 'arena' packs (parent id, event, hash) columns with "
+        "lazy materialisation and compressed cold layers — same result "
+        "bit-for-bit, a fraction of the memory at scale",
+    )
+
+    # Flag groups mirror the ExplorationOptions dataclasses one-to-one;
+    # options_from_args() is the single mapping between the two.
+    sharding = explore.add_argument_group(
+        "sharding (Sharding)",
+        "multiprocess sharded exploration and its fault injection",
+    )
+    sharding.add_argument(
         "--workers",
         type=int,
         default=1,
         help="exploration processes: 1 runs the in-process kernel, N>1 "
         "the multiprocess sharded frontier engine (bit-identical result)",
     )
-    explore.add_argument(
+    sharding.add_argument(
+        "--fault",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="inject a deterministic fault, repeatable; worker kinds "
+        "need a shard (kill:0@3, drop_batch:1@2, delay_batch:1@2~0.5, "
+        "corrupt_batch:0@1), checkpoint kinds take none (torn_save@5, "
+        "corrupt_segment@2, stall_write@3~1.0)",
+    )
+
+    ckpt = explore.add_argument_group(
+        "checkpointing (CheckpointPolicy)",
+        "durable layer-boundary saves and crash/resume behaviour",
+    )
+    ckpt.add_argument(
         "--checkpoint",
         metavar="PATH",
         default=None,
@@ -378,14 +396,33 @@ def make_parser() -> argparse.ArgumentParser:
         "write-then-rename) and resume from it if it already exists; "
         "the resumed universe is bit-identical to an uninterrupted run",
     )
-    explore.add_argument(
+    ckpt.add_argument(
         "--checkpoint-every",
         type=int,
         default=1,
         metavar="N",
         help="save the checkpoint every N completed layers (default 1)",
     )
-    explore.add_argument(
+    ckpt.add_argument(
+        "--checkpoint-format",
+        choices=["segmented", "monolithic"],
+        default="segmented",
+        help="on-disk writer: 'segmented' appends O(delta) segment files "
+        "from a background thread; 'monolithic' rewrites one v1 blob "
+        "per save (the retained baseline format)",
+    )
+    ckpt.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse to salvage a damaged checkpoint: exit non-zero "
+        "instead of truncating to the last valid layer boundary",
+    )
+
+    budget = explore.add_argument_group(
+        "resource budget (ResourceBudget)",
+        "memory ceilings and the arena's disk spill",
+    )
+    budget.add_argument(
         "--rss-budget",
         type=float,
         default=None,
@@ -394,39 +431,13 @@ def make_parser() -> argparse.ArgumentParser:
         "crossing it truncates the universe at the next layer boundary "
         "instead of risking an OOM kill",
     )
-    explore.add_argument(
-        "--store",
-        choices=["objects", "arena"],
-        default="objects",
-        help="configuration store: 'objects' keeps every Configuration "
-        "materialised (fastest for small universes); 'arena' packs "
-        "(parent id, event, hash) columns with lazy materialisation and "
-        "compressed cold layers — same result bit-for-bit, a fraction "
-        "of the memory at scale",
-    )
-    explore.add_argument(
+    budget.add_argument(
         "--spill-dir",
         metavar="PATH",
         default=None,
         help="directory for the arena's on-disk cold tier (requires "
         "--store arena); sealed layers stream to an mmap-backed spill "
         "file, and the --rss-budget watchdog spills before it truncates",
-    )
-    explore.add_argument(
-        "--strict",
-        action="store_true",
-        help="refuse to salvage a damaged checkpoint: exit non-zero "
-        "instead of truncating to the last valid layer boundary",
-    )
-    explore.add_argument(
-        "--fault",
-        action="append",
-        metavar="SPEC",
-        default=None,
-        help="inject a deterministic fault, repeatable; worker kinds "
-        "need a shard (kill:0@3, drop_batch:1@2, delay_batch:1@2~0.5, "
-        "corrupt_batch:0@1), checkpoint kinds take none (torn_save@5, "
-        "corrupt_segment@2)",
     )
     explore.set_defaults(handler=cmd_explore)
 

@@ -67,6 +67,25 @@ universe's ``recovery_log``, and re-explores the lost tail —
 :class:`CheckpointError` instead, and ``repro checkpoint verify PATH``
 reports per-segment integrity with a non-zero exit on any damage.
 
+**Background writes.**  Segmented saves run on a dedicated writer
+thread: ``save`` snapshots the delta synchronously (the pending records
+list is handed off wholesale and the CSR slices are copied with
+``tobytes()``) and returns, so the exploration thread never waits on
+compression or ``fsync``.  The crash-safety argument is unchanged
+because the *ordering* is unchanged: jobs drain FIFO through one
+writer, each job appends its segment (write + fsync) before the
+manifest replace, and the manifest replace remains the only commit
+point.  A crash at any moment therefore leaves either the previous
+manifest (plus discardable orphan segments) or the new one — exactly
+the two states the resume path already heals.  ``flush()`` blocks until
+the queue drains; the final save flushes implicitly, so a completed
+exploration always returns with its checkpoint committed, and
+compaction only runs against a drained queue.  A writer-thread failure
+is sticky: the stored exception re-raises on the next ``save``/
+``flush`` on the exploration thread.  The ``stall_write`` fault kind
+makes the writer sleep *inside* the append→commit window, giving the
+chaos harness a deterministic target for SIGKILL-mid-background-write.
+
 Version 1 monolithic checkpoints are still **readable**: resuming one
 migrates it in place to the segmented format (one folded segment).
 Writing v1 is retained behind ``format="monolithic"`` for the
@@ -88,10 +107,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 import warnings
 import zlib
 from array import array
+from collections import deque
 from pathlib import Path
 
 from repro.core.errors import UniverseError
@@ -269,9 +290,14 @@ class CheckpointSession:
 
     ``strict`` turns corrupt-tail salvage into a hard
     :class:`CheckpointError`.  ``fault_actions`` is the checkpoint slice
-    of a :class:`~repro.universe.faults.FaultPlan` — ``(kind, layer)``
-    wire tuples, each fired at most once, for the chaos/recovery test
-    matrix; empty in production use.
+    of a :class:`~repro.universe.faults.FaultPlan` — ``(kind, layer,
+    seconds)`` wire tuples, each fired at most once, for the
+    chaos/recovery test matrix; empty in production use.
+
+    ``background`` (default on) runs segmented saves on the writer
+    thread; ``background=False`` keeps them on the calling thread — the
+    knob exists for the synchronous-cost benchmark pair and for tests
+    that need deterministic interleaving.
     """
 
     def __init__(
@@ -285,6 +311,7 @@ class CheckpointSession:
         format: str = "segmented",
         compact_at: int | None = None,
         fault_actions=(),
+        background: bool = True,
     ) -> None:
         if every < 1:
             raise UniverseError(
@@ -326,16 +353,26 @@ class CheckpointSession:
         self.salvaged = False
         self.saves = 0
         self.save_seconds: list[float] = []
-        self._faults: dict[int, list[str]] = {}
-        for kind, layer in fault_actions:
-            self._faults.setdefault(layer, []).append(kind)
+        self.writer_seconds: list[float] = []
+        self.background = background
+        self._segment_index = 0
+        self._writer_thread: threading.Thread | None = None
+        self._writer_cv = threading.Condition()
+        self._writer_queue: deque = deque()
+        self._writer_inflight = 0
+        self._writer_error: BaseException | None = None
+        self._faults: dict[int, list[tuple[str, float]]] = {}
+        for action in fault_actions:
+            kind, layer = action[0], action[1]
+            seconds = action[2] if len(action) > 2 else 0.0
+            self._faults.setdefault(layer, []).append((kind, seconds))
 
     # -- fault hooks ---------------------------------------------------
-    def _take_fault_actions(self) -> list[str]:
-        """Fault kinds armed for any layer covered by this save (each
-        fired at most once)."""
+    def _take_fault_actions(self) -> list[tuple[str, float]]:
+        """``(kind, seconds)`` pairs armed for any layer covered by this
+        save (each fired at most once)."""
         due = [layer for layer in self._faults if layer < self.layers]
-        actions: list[str] = []
+        actions: list[tuple[str, float]] = []
         for layer in sorted(due):
             actions.extend(self._faults.pop(layer))
         return actions
@@ -429,6 +466,9 @@ class CheckpointSession:
             self._saved_edges = 0
             self._saved_layers = 0
             self._save_segmented(payload["frontier_start"], universe)
+            # Migration must be durable before the resumed exploration
+            # starts appending deltas on top of it.
+            self.flush()
         return resumed
 
     def _resume_segmented(self, universe, raw: bytes):
@@ -474,6 +514,7 @@ class CheckpointSession:
             universe, {entry["name"] for entry in entries}
         )
         self._segments = kept
+        self._segment_index = len(kept)
         if not kept:
             # Nothing salvageable: a fresh run (the first save overwrites
             # the damaged segment names and recommits the manifest).
@@ -598,15 +639,22 @@ class CheckpointSession:
             self._pending_records.extend(records)
         self.layers += 1
         if final or self.layers % self.every == 0:
-            self.save(frontier_start, universe)
+            self.save(frontier_start, universe, final=final)
 
-    def save(self, frontier_start: int, universe) -> None:
-        """Persist the state up to ``frontier_start`` (format-dispatch)."""
+    def save(self, frontier_start: int, universe, final: bool = False) -> None:
+        """Persist the state up to ``frontier_start`` (format-dispatch).
+
+        Segmented saves hand the delta to the background writer and
+        return; the ``final`` save additionally :meth:`flush`\\ es so a
+        finished exploration never returns with uncommitted state.
+        """
         start = time.perf_counter()
         if self.format == "monolithic":
             self._save_monolithic(frontier_start, universe)
         else:
             self._save_segmented(frontier_start, universe)
+            if final:
+                self.flush()
         self.saves += 1
         self.save_seconds.append(time.perf_counter() - start)
 
@@ -615,40 +663,146 @@ class CheckpointSession:
         return f"{self.path.name}.g{generation}-{index:06d}.seg"
 
     def _save_segmented(self, frontier_start: int, universe) -> None:
-        actions = self._take_fault_actions()
+        """Snapshot this save's delta and hand it to the writer.
+
+        Everything the writer needs is copied (or ownership-transferred)
+        here, on the exploration thread: the pending-records list is
+        handed off wholesale, the CSR slices are materialised with
+        ``tobytes()``, and the header counters are plain values — the
+        universe is free to mutate the moment this returns.  Watermarks
+        advance immediately so the *next* delta starts where this one
+        ended, regardless of when the write lands on disk.
+        """
         succ_ids = universe._succ_ids
         offsets = universe._succ_offsets
         records = self._pending_records
-        payload = compress_batch(
-            {
-                "records": records,
-                "succ_ids": succ_ids[self._saved_edges :].tobytes(),
-                "succ_offsets": offsets[
-                    self._saved_frontier + 1 : frontier_start + 1
-                ].tobytes(),
-            }
-        )
-        header = {
-            "version": CHECKPOINT_VERSION,
+        job = {
+            "records": records,
+            "succ_ids": succ_ids[self._saved_edges :].tobytes(),
+            "succ_offsets": offsets[
+                self._saved_frontier + 1 : frontier_start + 1
+            ].tobytes(),
             "generation": self._generation,
-            "index": len(self._segments),
+            "index": self._segment_index,
             "layer_from": self._saved_layers,
             "layer_to": self.layers,
             "frontier_start": frontier_start,
             "count": len(universe._configurations),
             "complete": universe._complete,
-            "records": len(records),
+            "actions": self._take_fault_actions(),
+        }
+        self._segment_index += 1
+        self._saved_frontier = frontier_start
+        self._saved_edges = len(succ_ids)
+        self._saved_count = job["count"]
+        self._saved_layers = self.layers
+        self._complete_at_save = job["complete"]
+        self._pending_records = []
+        if self.background:
+            self._enqueue(job)
+        else:
+            self._write_segment_job(job)
+        if self._segment_index > self.compact_at:
+            self.flush()
+            self._compact(universe)
+            self._segment_index = len(self._segments)
+
+    def _enqueue(self, job: dict) -> None:
+        self._raise_writer_error()
+        with self._writer_cv:
+            self._writer_queue.append(job)
+            self._writer_inflight += 1
+            if self._writer_thread is None:
+                # Daemonic on purpose: an exploration that dies mid-queue
+                # behaves like any other crash — orphan segments, previous
+                # manifest — which resume already heals.  Graceful runs
+                # always end in a flushing final save.
+                self._writer_thread = threading.Thread(
+                    target=self._writer_loop,
+                    name="repro-checkpoint-writer",
+                    daemon=True,
+                )
+                self._writer_thread.start()
+            self._writer_cv.notify_all()
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._writer_cv:
+                if not self._writer_queue:
+                    # Idle: retire rather than park — _enqueue respawns
+                    # under this same lock, so no job can slip between
+                    # this check and the thread's exit.
+                    self._writer_thread = None
+                    return
+                job = self._writer_queue.popleft()
+            try:
+                self._write_segment_job(job)
+            except BaseException as error:  # noqa: BLE001 - re-raised later
+                with self._writer_cv:
+                    self._writer_error = error
+                    self._writer_queue.clear()
+                    self._writer_inflight = 0
+                    self._writer_thread = None
+                    self._writer_cv.notify_all()
+                return
+            with self._writer_cv:
+                self._writer_inflight -= 1
+                self._writer_cv.notify_all()
+
+    def flush(self) -> None:
+        """Block until every queued segment write has committed (or
+        re-raise the writer's stored failure)."""
+        with self._writer_cv:
+            while self._writer_inflight and self._writer_error is None:
+                self._writer_cv.wait()
+        self._raise_writer_error()
+
+    def _raise_writer_error(self) -> None:
+        error = self._writer_error
+        if error is not None:
+            # Sticky: the session is dead once its writer failed — every
+            # later save/flush re-raises rather than committing a
+            # manifest past a hole in the segment sequence.
+            raise error
+
+    def _write_segment_job(self, job: dict) -> None:
+        """Compress, append, and commit one segment (writer thread, or
+        the calling thread when ``background=False``)."""
+        start = time.perf_counter()
+        actions = job["actions"]
+        payload = compress_batch(
+            {
+                "records": job["records"],
+                "succ_ids": job["succ_ids"],
+                "succ_offsets": job["succ_offsets"],
+            }
+        )
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "generation": job["generation"],
+            "index": job["index"],
+            "layer_from": job["layer_from"],
+            "layer_to": job["layer_to"],
+            "frontier_start": job["frontier_start"],
+            "count": job["count"],
+            "complete": job["complete"],
+            "records": len(job["records"]),
             "payload_len": len(payload),
             "payload_crc": zlib.crc32(payload),
         }
         blob = _encode_segment(header, payload)
-        name = self._segment_name(self._generation, len(self._segments))
+        name = self._segment_name(job["generation"], job["index"])
         seg_path = self.path.with_name(name)
         with open(seg_path, "wb") as handle:
             handle.write(blob)
             handle.flush()
             os.fsync(handle.fileno())
-        if "torn_save" in actions:
+        for kind, seconds in actions:
+            if kind == "stall_write":
+                # Chaos hook: hold the append→commit window open so an
+                # external SIGKILL lands mid-background-write.
+                time.sleep(seconds)
+        if any(kind == "torn_save" for kind, _ in actions):
             # Chaos hook: die between segment append and manifest commit
             # — the archetypal torn save the orphan-discard path heals.
             self._hard_exit()
@@ -658,37 +812,39 @@ class CheckpointSession:
             "payload_crc": header["payload_crc"],
             "layer_from": header["layer_from"],
             "layer_to": header["layer_to"],
-            "frontier_start": frontier_start,
+            "frontier_start": header["frontier_start"],
             "count": header["count"],
             "complete": header["complete"],
             "records": header["records"],
         }
         self._segments.append(entry)
-        self._saved_frontier = frontier_start
-        self._saved_edges = len(succ_ids)
-        self._saved_count = header["count"]
-        self._saved_layers = self.layers
-        self._complete_at_save = universe._complete
-        self._pending_records = []
         self._write_manifest()
-        if "corrupt_segment" in actions:
+        if any(kind == "corrupt_segment" for kind, _ in actions):
             # Chaos hook: flip one committed payload byte *after* the
             # CRC was recorded — the next resume must detect + salvage.
             damaged = bytearray(seg_path.read_bytes())
             damaged[-1] ^= 0xFF
             seg_path.write_bytes(bytes(damaged))
-        if len(self._segments) > self.compact_at:
-            self._compact(universe)
+        self.writer_seconds.append(time.perf_counter() - start)
 
     def _write_manifest(self) -> None:
+        # Totals come from the last *committed* segment, not the live
+        # watermarks: with queued background saves the watermarks run
+        # ahead of the disk state, and the manifest must describe
+        # exactly what its segment list can rebuild.
+        last = self._segments[-1] if self._segments else None
         _commit_manifest(
             self.path,
             {
                 "token": self.token,
-                "layers": self._saved_layers,
-                "frontier_start": self._saved_frontier,
-                "count": self._saved_count,
-                "complete": self._complete_at_save,
+                "layers": last["layer_to"] if last else self._saved_layers,
+                "frontier_start": (
+                    last["frontier_start"] if last else self._saved_frontier
+                ),
+                "count": last["count"] if last else self._saved_count,
+                "complete": (
+                    last["complete"] if last else self._complete_at_save
+                ),
                 "generation": self._generation,
                 "segments": self._segments,
             },

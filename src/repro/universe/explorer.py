@@ -48,6 +48,7 @@ from repro.core.errors import UniverseError
 from repro.core.events import Event, ReceiveEvent, SendEvent
 from repro.core.process import ProcessId, ProcessSetLike, as_process_set
 from repro.universe.arena import ArenaStore
+from repro.universe.options import UNSET, ExplorationOptions, resolve_options
 from repro.universe.protocol import Protocol
 
 ProjectionKey = tuple
@@ -449,25 +450,67 @@ class Universe:
         only): sealed cold chunks stream to an mmap-backed spill file
         there as layers retire, and the ``rss_budget_mb`` watchdog
         force-spills before it ever truncates.
+    options:
+        The grouped form of everything above
+        (:class:`~repro.universe.options.ExplorationOptions`, bundling
+        :class:`~repro.universe.options.Limits`,
+        :class:`~repro.universe.options.CheckpointPolicy`,
+        :class:`~repro.universe.options.ResourceBudget` and
+        :class:`~repro.universe.options.Sharding`) — the preferred
+        calling style.  The flat keyword arguments remain as a
+        compatibility shim normalised into the same dataclasses; a
+        ``DeprecationWarning`` fires only when the same knob is set
+        through both paths with different values (the explicit kwarg
+        wins).
     """
 
     def __init__(
         self,
         protocol: Protocol,
-        max_events: int | None = None,
-        max_configurations: int | None = 1_000_000,
-        on_limit: str = "raise",
-        workers: int | None = None,
-        checkpoint=None,
-        checkpoint_every: int = 1,
-        checkpoint_strict: bool = False,
-        checkpoint_format: str = "segmented",
-        rss_budget_mb: float | None = None,
-        fault_plan=None,
-        supervision=None,
-        store: str = "objects",
-        spill_dir=None,
+        max_events=UNSET,
+        max_configurations=UNSET,
+        on_limit=UNSET,
+        workers=UNSET,
+        checkpoint=UNSET,
+        checkpoint_every=UNSET,
+        checkpoint_strict=UNSET,
+        checkpoint_format=UNSET,
+        rss_budget_mb=UNSET,
+        fault_plan=UNSET,
+        supervision=UNSET,
+        store=UNSET,
+        spill_dir=UNSET,
+        options: ExplorationOptions | None = None,
     ) -> None:
+        opts = resolve_options(
+            options,
+            {
+                "max_events": max_events,
+                "max_configurations": max_configurations,
+                "on_limit": on_limit,
+                "workers": workers,
+                "checkpoint": checkpoint,
+                "checkpoint_every": checkpoint_every,
+                "checkpoint_strict": checkpoint_strict,
+                "checkpoint_format": checkpoint_format,
+                "rss_budget_mb": rss_budget_mb,
+                "fault_plan": fault_plan,
+                "supervision": supervision,
+                "store": store,
+                "spill_dir": spill_dir,
+            },
+        )
+        self._options = opts
+        max_events = opts.limits.max_events
+        max_configurations = opts.limits.max_configurations
+        on_limit = opts.limits.on_limit
+        workers = opts.sharding.workers
+        supervision = opts.sharding.supervision
+        fault_plan = opts.sharding.fault_plan
+        checkpoint = opts.checkpoint.path
+        rss_budget_mb = opts.budget.rss_budget_mb
+        spill_dir = opts.budget.spill_dir
+        store = opts.store
         if on_limit not in ("raise", "truncate"):
             raise UniverseError(
                 f"on_limit must be 'raise' or 'truncate', got {on_limit!r}"
@@ -532,9 +575,9 @@ class Universe:
                 checkpoint,
                 protocol,
                 max_events,
-                every=checkpoint_every,
-                strict=checkpoint_strict,
-                format=checkpoint_format,
+                every=opts.checkpoint.every,
+                strict=opts.checkpoint.strict,
+                format=opts.checkpoint.format,
                 fault_actions=(
                     fault_plan.take_checkpoint_faults()
                     if fault_plan is not None
@@ -543,27 +586,35 @@ class Universe:
             )
         self._checkpoint_session = session
         self._rss_watchdog = None
-        if worker_count > 1:
-            ShardedExplorer(
-                protocol,
-                max_events,
-                worker_count,
-                supervision=supervision,
-                fault_plan=fault_plan,
-            ).explore_into(
-                self,
-                max_configurations,
-                on_limit,
-                checkpoint=session,
-                rss_budget_mb=rss_budget_mb,
-            )
-        else:
-            self._explore(
-                max_configurations,
-                on_limit,
-                session=session,
-                rss_budget_mb=rss_budget_mb,
-            )
+        try:
+            if worker_count > 1:
+                ShardedExplorer(
+                    protocol,
+                    max_events,
+                    worker_count,
+                    supervision=supervision,
+                    fault_plan=fault_plan,
+                ).explore_into(
+                    self,
+                    max_configurations,
+                    on_limit,
+                    checkpoint=session,
+                    rss_budget_mb=rss_budget_mb,
+                )
+            else:
+                self._explore(
+                    max_configurations,
+                    on_limit,
+                    session=session,
+                    rss_budget_mb=rss_budget_mb,
+                )
+        finally:
+            if session is not None:
+                # Exploration may exit early (truncation, bound errors)
+                # between interval saves; drain the background writer so
+                # every handed-off segment is committed — or its stored
+                # failure surfaces — before the universe is usable.
+                session.flush()
 
     def _init_relation_caches(self) -> None:
         self._partition_tables: dict[frozenset[ProcessId], PartitionTable] = {}
@@ -1338,6 +1389,19 @@ class Universe:
         degradation (``kind`` ``"rss_budget"``, ``action`` ``"spill"``
         or ``"truncate"``)."""
         return tuple(getattr(self, "_recovery_log", ()))
+
+    @property
+    def worker_peak_rss_mb(self) -> dict[int, float]:
+        """Per-shard peak RSS (MiB) of the sharded engine's workers,
+        collected from their farewell frames; empty for single-process
+        exploration or workers that died before answering."""
+        return dict(getattr(self, "_worker_peak_rss_mb", {}))
+
+    @property
+    def options(self) -> ExplorationOptions:
+        """The resolved exploration options this universe was built with
+        (legacy kwargs are normalised into the same dataclasses)."""
+        return getattr(self, "_options", None) or ExplorationOptions()
 
     @property
     def rss_watchdog_active(self) -> bool | None:

@@ -42,6 +42,12 @@ too, where there are no workers at all):
     One byte of the just-committed segment is flipped *after* its CRC
     was recorded.  The next resume detects the mismatch and salvages the
     valid prefix (or raises under ``strict``).
+``stall_write``
+    The background checkpoint writer sleeps ``seconds`` between the
+    segment append and the manifest replace — a deterministic window in
+    the exact spot a torn save happens, so the chaos harness can SIGKILL
+    the whole process mid-background-write and assert the orphan-discard
+    recovery path.
 
 Faults are delivered to a worker at spawn time as plain tuples (no
 module state crosses the fork), so a plan is reproducible regardless of
@@ -59,7 +65,7 @@ from dataclasses import dataclass
 from repro.core.errors import UniverseError
 
 WORKER_FAULT_KINDS = ("kill", "drop_batch", "delay_batch", "corrupt_batch")
-CHECKPOINT_FAULT_KINDS = ("torn_save", "corrupt_segment")
+CHECKPOINT_FAULT_KINDS = ("torn_save", "corrupt_segment", "stall_write")
 FAULT_KINDS = WORKER_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
 
 
@@ -68,7 +74,7 @@ class Fault:
     """One injected fault: ``kind`` fires on worker ``shard`` when it
     handles the expand request for BFS layer ``layer`` (0-based index of
     the coordinator's layer exchanges).  ``seconds`` is only meaningful
-    for ``delay_batch``."""
+    for ``delay_batch`` and ``stall_write``."""
 
     kind: str
     shard: int
@@ -159,6 +165,13 @@ class FaultPlan:
         """Flip a byte of the segment committed at ``layer`` after its
         CRC was recorded."""
         return cls((Fault("corrupt_segment", -1, layer),))
+
+    @classmethod
+    def stall_write(cls, layer: int, seconds: float) -> "FaultPlan":
+        """Stall the background checkpoint writer for ``seconds``
+        between segment append and manifest replace at the save covering
+        ``layer`` — the chaos harness's SIGKILL window."""
+        return cls((Fault("stall_write", -1, layer, seconds),))
 
     @classmethod
     def seeded(
@@ -267,14 +280,15 @@ class FaultPlan:
         return taken
 
     def take_checkpoint_faults(self) -> list[tuple]:
-        """``(kind, layer)`` tuples of the not-yet-delivered checkpoint
-        faults, marking them delivered.  Called once per checkpoint
-        session (each fires at most once, like worker faults)."""
+        """``(kind, layer, seconds)`` tuples of the not-yet-delivered
+        checkpoint faults, marking them delivered.  Called once per
+        checkpoint session (each fires at most once, like worker
+        faults)."""
         taken: list[tuple] = []
         for index, fault in enumerate(self._faults):
             if fault.is_checkpoint and index not in self._delivered:
                 self._delivered.add(index)
-                taken.append((fault.kind, fault.layer))
+                taken.append((fault.kind, fault.layer, fault.seconds))
         return taken
 
     def validate(self, workers: int) -> None:

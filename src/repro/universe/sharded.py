@@ -29,8 +29,23 @@ what makes the frontier partitionable:
   exactly once, and appending the CSR successor rows;
 * the merged discovery stream ``[(parent_id, event), ...]`` is broadcast
   back (batch-compressed once, sent ``K`` times) and every worker replays
-  it to keep its replica — configurations, id table, rolling entry-hash
-  memo — bit-identical to the coordinator's.
+  it to keep its replica bit-identical to the coordinator's frontier.
+
+Worker replicas are **packed** (PR 9, :class:`_PackedReplica`): because
+shard expansion only ever reads the *current* frontier layer — batch
+dedup is layer-local by the uniform-event-count argument above, and
+cross-layer collisions are resolved coordinator-side — a worker keeps no
+``Configuration`` objects and no id table at all.  Its state is one
+window of packed history rows (fixed-width tuples in
+``ordered_processes`` order, exactly the representation of the arena
+kernel ``Universe._explore_packed``) plus per-layer-interned
+received/in-flight message frozensets; replaying the discovery stream
+advances the window floor parent-by-parent, so replaying the *full*
+stream after a respawn still peaks at one layer of rows.  That removes
+the (K+1)× object-store replication that made sharded n≥8 RAM-infeasible.
+The object-store replica (:class:`_Replica`) survives as the
+coordinator's fold-in fallback and as the measured baseline of the
+``sharded_rss_*`` bench pair.
 
 Determinism: the coordinator replay *is* the kernel's inner loop fed by a
 pre-computed enabled-event stream, so the resulting universe — dense ids,
@@ -107,6 +122,7 @@ from repro.core.configuration import (
     hash_domain_token,
 )
 from repro.core.errors import UniverseError
+from repro.core.events import ReceiveEvent, SendEvent
 from repro.universe.arena import ArenaStore, compress_batch, decompress_batch
 
 _BOUND_MESSAGE = (
@@ -115,7 +131,13 @@ _BOUND_MESSAGE = (
 )
 
 _MAX_WORKERS = 64
-"""Safety cap on the worker count (each worker replicates the universe)."""
+"""Safety cap on the worker count (each worker replicates the frontier)."""
+
+_DEFAULT_REPLICA = "packed"
+"""Worker replica representation: ``"packed"`` (window of packed history
+rows, the production default) or ``"objects"`` (full Configuration-list
+replica — retained as the measured memory baseline of the
+``sharded_rss_*`` bench pair)."""
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -498,6 +520,383 @@ class _Replica:
         return records, incomplete
 
 
+class _PackedReplica:
+    """A worker's *packed window* replica of the frontier.
+
+    The object replica above keeps every configuration of the universe
+    alive per worker — (K+1)× the coordinator's RSS.  But a shard worker
+    only ever reads the layer it is expanding: batch dedup is layer-local
+    (every edge adds one event, so duplicates collide within a layer),
+    and the rare cross-layer content-hash collision is resolved on the
+    coordinator, which owns the id table.  So this replica keeps exactly
+    one window of packed entries
+
+        ``id -> (row, content_hash, received, in_flight)``
+
+    in the representation of the arena kernel
+    (:meth:`repro.universe.explorer.Universe._explore_packed`): ``row``
+    is a fixed-width tuple of per-process histories in
+    ``ordered_processes`` order (``()`` for absent processes), and the
+    message frozensets are interned per layer so siblings share set
+    objects.  :meth:`apply` replays the coordinator's merged discovery
+    stream into packed form, advancing the window floor as the stream's
+    (non-decreasing) parent ids move past entries — a full-stream replay
+    after a respawn therefore still peaks at one layer of rows.
+    :meth:`expand` produces **bit-identical batches** to the object
+    replica: same enabled-event enumeration (compiled tables, selective
+    receives, enabling filters via transient materialisation), same
+    rolling child hashes, same batch-local candidate ordering.
+
+    The rolling entry-hash memo is id-keyed on history tuples and
+    rotates per :meth:`apply` generation, exactly as in the packed
+    kernel: every tuple a lookup can name is held by a live window row,
+    and a freshly allocated tuple that reuses a freed address has its
+    memo entry overwritten at creation, so eviction cannot alias.
+    """
+
+    __slots__ = (
+        "protocol",
+        "max_events",
+        "count",
+        "window",
+        "floor",
+        "entry_hash_of",
+        "entry_prev_get",
+        "interned",
+        "seed_of",
+        "initial_steps",
+        "ordered",
+        "index_of",
+        "width",
+    )
+
+    def __init__(self, protocol, max_events) -> None:
+        self.protocol = protocol
+        self.max_events = max_events
+        self.ordered = protocol.ordered_processes
+        self.width = len(self.ordered)
+        self.index_of = {
+            process: i for i, process in enumerate(self.ordered)
+        }
+        self.seed_of = {
+            process: hash(process) % _HASH_MODULUS
+            for process in self.ordered
+        }
+        table = protocol.step_table
+        self.initial_steps = {
+            process: table.steps(process, ()) for process in self.ordered
+        }
+        root_hash = hash(EMPTY_CONFIGURATION)
+        empty = frozenset()
+        self.window: dict[int, tuple] = {
+            0: (((),) * self.width, root_hash, empty, empty)
+        }
+        self.floor = 0
+        self.count = 1
+        self.entry_hash_of: dict[int, int] = {}
+        self.entry_prev_get = {}.get
+        self.interned: dict[frozenset, frozenset] = {}
+
+    def _transient(self, entry: tuple) -> Configuration:
+        """A throwaway ``Configuration`` for the slow-path hooks
+        (custom enabling, enabling filters, ``max_events`` probes)."""
+        row, content_hash, received, in_flight = entry
+        items = {
+            process: history
+            for process, history in zip(self.ordered, row)
+            if history
+        }
+        configuration = Configuration._from_trusted(items, content_hash, None)
+        cache = configuration.__dict__
+        cache["received_messages"] = received
+        cache["in_flight_messages"] = in_flight
+        return configuration
+
+    # -- replay ---------------------------------------------------------
+    def apply(self, records, progress=None, progress_every: int = 0) -> None:
+        """Replay a merged discovery stream ``[(parent_id, event), ...]``
+        into packed window entries.
+
+        Parent ids are non-decreasing in any discovery stream (children
+        are appended in global BFS order), so entries strictly below the
+        current parent can never be referenced again and are dropped as
+        the replay advances — the window floor.  Rotates the entry-hash
+        memo and the frozenset intern table: one ``apply`` + the
+        following ``expand`` form one generation.
+        """
+        window = self.window
+        index_of = self.index_of
+        seed_of = self.seed_of
+        modulus = _HASH_MODULUS
+        multiplier = _ROLL_MULTIPLIER
+        # Rotate the generation-scoped memos (see class docstring).
+        self.entry_prev_get = self.entry_hash_of.get
+        entry_prev_get = self.entry_prev_get
+        entry_hash_of: dict[int, int] = {}
+        self.entry_hash_of = entry_hash_of
+        entry_memo_get = entry_hash_of.get
+        interned: dict[frozenset, frozenset] = {}
+        self.interned = interned
+        intern = interned.setdefault
+        floor = self.floor
+        count = self.count
+        since_progress = 0
+        # Layer tracking for full-stream replays (respawn recovery): a
+        # parent at or past `boundary` was itself created by this call,
+        # i.e. the stream crossed a BFS layer — rotate the memos there
+        # too, so a whole-universe replay keeps per-layer memo footprint.
+        boundary = count
+        for parent_id, event in records:
+            if parent_id >= boundary:
+                boundary = count
+                self.entry_prev_get = entry_hash_of.get
+                entry_prev_get = self.entry_prev_get
+                entry_hash_of = {}
+                self.entry_hash_of = entry_hash_of
+                entry_memo_get = entry_hash_of.get
+                interned = {}
+                self.interned = interned
+                intern = interned.setdefault
+            while floor < parent_id:
+                window.pop(floor, None)
+                floor += 1
+            row, parent_hash, received, in_flight = window[parent_id]
+            process = event.process
+            position = index_of[process]
+            try:
+                event_hash = event._hash_cache
+            except AttributeError:
+                event_hash = hash(event)
+            old_history = row[position]
+            if not old_history:
+                new_history = (event,)
+                new_entry = (
+                    seed_of[process] * multiplier + event_hash
+                ) % modulus
+                child_hash = (parent_hash + new_entry) % modulus
+            else:
+                key = id(old_history)
+                old_entry = entry_memo_get(key)
+                if old_entry is None:
+                    old_entry = entry_prev_get(key)
+                    if old_entry is None:
+                        old_entry = _entry_hash(process, old_history)
+                    entry_hash_of[key] = old_entry
+                new_history = old_history + (event,)
+                new_entry = (
+                    old_entry * multiplier + event_hash
+                ) % modulus
+                child_hash = (parent_hash - old_entry + new_entry) % modulus
+            entry_hash_of[id(new_history)] = new_entry
+            child_row = row[:position] + (new_history,) + row[position + 1:]
+            # Inlined Configuration._propagate_caches over the interned
+            # frozensets, exactly as in the packed kernel (including the
+            # degenerate re-send of an already-received message).
+            if isinstance(event, SendEvent):
+                message = event.message
+                child_received = received
+                if message in received:
+                    child_in_flight = in_flight
+                else:
+                    new_set = in_flight | {message}
+                    child_in_flight = intern(new_set, new_set)
+            elif isinstance(event, ReceiveEvent):
+                message = event.message
+                new_set = received | {message}
+                child_received = intern(new_set, new_set)
+                new_set = in_flight - {message}
+                child_in_flight = intern(new_set, new_set)
+            else:
+                child_received = received
+                child_in_flight = in_flight
+            window[count] = (
+                child_row,
+                child_hash,
+                child_received,
+                child_in_flight,
+            )
+            count += 1
+            if progress is not None:
+                since_progress += 1
+                if since_progress >= progress_every:
+                    since_progress = 0
+                    progress()
+        self.floor = floor
+        self.count = count
+
+    # -- expansion ------------------------------------------------------
+    def expand(
+        self,
+        layer_start: int,
+        layer_end: int,
+        shard: int,
+        shards: int,
+        progress=None,
+        progress_every: int = 0,
+    ):
+        """Expand this shard's parents of one frontier layer.
+
+        Same contract and bit-identical output as
+        :meth:`_Replica.expand`; operates on packed rows, materialising
+        transient configurations only on the slow paths.
+        """
+        protocol = self.protocol
+        max_events = self.max_events
+        window = self.window
+        # Entries below the frontier are dead (their children are built);
+        # drop any stragglers the last replay's floor left behind.
+        floor = self.floor
+        while floor < layer_start:
+            window.pop(floor, None)
+            floor += 1
+        self.floor = floor
+        table = protocol.step_table
+        steps_for = table.steps
+        by_history = table._by_history
+        ordered = self.ordered
+        width = self.width
+        index_of = self.index_of
+        selective = protocol.is_selective
+        custom_enabling = protocol.has_custom_enabling
+        enabling_filter = (
+            protocol.filter_enabled_events
+            if protocol.has_enabling_filter
+            else None
+        )
+        receive_sets = protocol.receive_events_for
+        selective_receives = protocol.selective_receive_events
+        compiled_enabled = protocol.compiled_enabled_events
+        initial_steps = self.initial_steps
+        transient = self._transient
+        seed_of = self.seed_of
+        modulus = _HASH_MODULUS
+        multiplier = _ROLL_MULTIPLIER
+        entry_hash_of = self.entry_hash_of
+        entry_memo_get = entry_hash_of.get
+        entry_prev_get = self.entry_prev_get
+
+        # Every BFS edge appends one event, so the layer depth is any
+        # frontier member's total event count.
+        depth = None
+        if max_events is not None and layer_start < layer_end:
+            depth = sum(map(len, window[layer_start][0]))
+
+        records = []
+        incomplete = False
+        candidates = 0
+        since_progress = 0
+        # Batch-local candidate table: child_hash -> [(index, row)].
+        # Candidate rows are compared elementwise — shared history tuples
+        # make those identity hits — so local duplicate edges get the
+        # kernel's structural check, not a hash-only equality.
+        layer_candidates: dict[int, list] = {}
+        for parent_id in range(layer_start, layer_end):
+            entry = window[parent_id]
+            row, parent_hash, received, in_flight = entry
+            if parent_hash % shards != shard:
+                continue
+            if progress is not None:
+                since_progress += 1
+                if since_progress >= progress_every:
+                    since_progress = 0
+                    progress()
+            if depth is not None and depth >= max_events:
+                if compiled_enabled(transient(entry)):
+                    incomplete = True
+                records.append((parent_id, None))
+                continue
+            if custom_enabling:
+                enabled = list(protocol.enabled_events(transient(entry)))
+            else:
+                enabled = []
+                for position, process in enumerate(ordered):
+                    history = row[position]
+                    if not history:
+                        enabled += initial_steps[process]
+                    else:
+                        steps = by_history[process].get(history)
+                        enabled += (
+                            steps
+                            if steps is not None
+                            else steps_for(process, history)
+                        )
+                if in_flight:
+                    if not selective:
+                        enabled += receive_sets(in_flight)
+                    else:
+                        items = {
+                            process: history
+                            for process, history in zip(ordered, row)
+                            if history
+                        }
+                        enabled += selective_receives(items.get, in_flight)
+                if enabling_filter is not None:
+                    enabled = enabling_filter(transient(entry), enabled)
+            edges: list = []
+            for event in enabled:
+                process = event.process
+                position = index_of[process]
+                try:
+                    event_hash = event._hash_cache
+                except AttributeError:
+                    event_hash = hash(event)
+                old_history = row[position]
+                if not old_history:
+                    new_history = (event,)
+                    new_entry = (
+                        seed_of[process] * multiplier + event_hash
+                    ) % modulus
+                    child_hash = (parent_hash + new_entry) % modulus
+                else:
+                    key = id(old_history)
+                    old_entry = entry_memo_get(key)
+                    if old_entry is None:
+                        old_entry = entry_prev_get(key)
+                        if old_entry is None:
+                            old_entry = _entry_hash(process, old_history)
+                        entry_hash_of[key] = old_entry
+                    new_history = old_history + (event,)
+                    new_entry = (
+                        old_entry * multiplier + event_hash
+                    ) % modulus
+                    child_hash = (
+                        parent_hash - old_entry + new_entry
+                    ) % modulus
+                bucket = layer_candidates.get(child_hash)
+                if bucket is not None:
+                    resolved = None
+                    for candidate_index, candidate_row in bucket:
+                        theirs = candidate_row[position]
+                        if theirs is not new_history and theirs != new_history:
+                            continue
+                        for j in range(width):
+                            if j == position:
+                                continue
+                            theirs = candidate_row[j]
+                            ours = row[j]
+                            if theirs is not ours and theirs != ours:
+                                break
+                        else:
+                            resolved = candidate_index
+                            break
+                    if resolved is not None:
+                        edges.append(resolved)
+                        continue
+                candidate_row = (
+                    row[:position] + (new_history,) + row[position + 1:]
+                )
+                if bucket is None:
+                    layer_candidates[child_hash] = [
+                        (candidates, candidate_row)
+                    ]
+                else:
+                    bucket.append((candidates, candidate_row))
+                edges.append((event, child_hash))
+                candidates += 1
+            records.append((parent_id, edges))
+        return records, incomplete
+
+
 # ---------------------------------------------------------------------
 # Discovery-stream reconstruction (the failover replay source)
 # ---------------------------------------------------------------------
@@ -562,6 +961,22 @@ def _send_error(connection, error: BaseException | None, message: str) -> None:
         pass
 
 
+def _worker_peak_rss_mb() -> float | None:
+    """This process's peak RSS in MiB (``ru_maxrss``), ``None`` where
+    the platform does not report it."""
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception:  # pragma: no cover - non-POSIX only
+        return None
+    if peak <= 0:  # pragma: no cover - platform-defensive
+        return None
+    # Linux reports KiB; macOS reports bytes.
+    divisor = 1024.0 if os.uname().sysname != "Darwin" else 1024.0 * 1024.0
+    return peak / divisor
+
+
 def _worker_main(
     connection,
     protocol,
@@ -572,12 +987,14 @@ def _worker_main(
     heartbeat_parents,
     heartbeat_records,
     fault_actions,
+    packed=True,
 ):
     """Body of one shard worker process.
 
     ``fault_actions`` is a list of :meth:`repro.universe.faults.Fault.as_wire`
     tuples scoped to this worker — deterministic fault injection for the
-    recovery test matrix; empty in production use.
+    recovery test matrix; empty in production use.  ``packed`` selects
+    the replica representation (see :data:`_DEFAULT_REPLICA`).
     """
     gc.disable()
     faults_by_layer: dict[int, list] = {}
@@ -600,11 +1017,23 @@ def _worker_main(
                 "or a pinned PYTHONHASHSEED)",
             )
             return
-        replica = _Replica(protocol, max_events)
+        replica = (
+            _PackedReplica(protocol, max_events)
+            if packed
+            else _Replica(protocol, max_events)
+        )
         while True:
             message = connection.recv()
             kind = message[0]
             if kind == "stop":
+                # Farewell frame: this worker's peak RSS, so the
+                # coordinator can attribute sharded memory per process
+                # (the `sharded_rss_*` bench pair and the fault-recovery
+                # suite's per-worker axis).
+                try:
+                    connection.send(("stopped", shard, _worker_peak_rss_mb()))
+                except (BrokenPipeError, OSError):
+                    pass
                 return
             # ("expand", records_blob, layer_start, layer_end, layer)
             _, blob, layer_start, layer_end, layer = message
@@ -621,11 +1050,14 @@ def _worker_main(
                 progress=heartbeat,
                 progress_every=heartbeat_records,
             )
-            if len(replica.configurations) != layer_end:
+            replica_count = (
+                replica.count if packed else len(replica.configurations)
+            )
+            if replica_count != layer_end:
                 _send_error(
                     connection,
                     None,
-                    f"replica desync: {len(replica.configurations)} "
+                    f"replica desync: {replica_count} "
                     f"configurations, expected {layer_end}",
                 )
                 return
@@ -692,16 +1124,23 @@ class ShardedExplorer:
         workers: int,
         supervision: SupervisionPolicy | None = None,
         fault_plan=None,
+        replica: str | None = None,
     ) -> None:
         if workers < 2:
             raise UniverseError(
                 f"sharded exploration needs at least 2 workers, got {workers}"
+            )
+        replica = replica if replica is not None else _DEFAULT_REPLICA
+        if replica not in ("packed", "objects"):
+            raise UniverseError(
+                f"replica must be 'packed' or 'objects', got {replica!r}"
             )
         self._protocol = protocol
         self._max_events = max_events
         self._workers = workers
         self._policy = supervision or SupervisionPolicy()
         self._fault_plan = fault_plan
+        self._packed_replicas = replica == "packed"
         if fault_plan is not None:
             fault_plan.validate(workers)
         self._connections: list = [None] * workers
@@ -713,6 +1152,7 @@ class ShardedExplorer:
         self._context = None
         self._token = None
         self.recovery_log: list[dict] = []
+        self.worker_peak_rss_mb: dict[int, float] = {}
 
     # -- process lifecycle ---------------------------------------------
     def _spawn(self, shard: int) -> None:
@@ -740,6 +1180,7 @@ class ShardedExplorer:
             self._policy.heartbeat_parents,
             self._policy.heartbeat_records,
             actions,
+            self._packed_replicas,
         )
         delay = self._policy.spawn_backoff
         try:
@@ -1140,8 +1581,36 @@ class ShardedExplorer:
                         self._connections[shard].send(("stop",))
                     except (BrokenPipeError, OSError):
                         pass
+            self._collect_farewells()
+            universe._worker_peak_rss_mb = dict(self.worker_peak_rss_mb)
         finally:
             self._teardown()
+
+    def _collect_farewells(self) -> None:
+        """Drain each live worker's ``("stopped", shard, peak_rss_mb)``
+        farewell, bounded by ``join_timeout`` — per-process peak memory
+        attribution for the bench suites.  Best-effort: a worker that
+        dies instead of answering is simply missing from the map."""
+        deadline = time.monotonic() + self._policy.join_timeout
+        for shard in range(self._workers):
+            if not self._alive[shard]:
+                continue
+            connection = self._connections[shard]
+            if connection is None:
+                continue
+            try:
+                while time.monotonic() < deadline:
+                    remaining = deadline - time.monotonic()
+                    if not connection.poll(max(remaining, 0.0)):
+                        break
+                    message = connection.recv()
+                    if message[0] == "stopped":
+                        rss = message[2]
+                        if rss is not None:
+                            self.worker_peak_rss_mb[shard] = rss
+                        break
+            except (EOFError, BrokenPipeError, OSError):
+                continue
 
     def _explore_loop(
         self,

@@ -14,6 +14,13 @@ subprocess hard-exits (``os._exit``) between appending a segment and
 publishing the manifest, leaving a genuinely torn on-disk state (an
 orphan segment the next resume must discard).
 
+Since checkpoint writes moved to a background thread, the same window
+can also be hit *externally*: the ``stall_write`` fault holds the
+writer open between segment append and manifest replace, the harness
+watches the filesystem for the uncommitted segment to appear, and
+SIGKILLs the whole process mid-background-write — no cooperation from
+the dying process beyond the stall itself (``--stall-kill``).
+
 Usable as a library (``tests/test_universe_chaos.py``) and as a CLI for
 the CI smoke::
 
@@ -21,6 +28,7 @@ the CI smoke::
     python tests/chaos.py --size 6 --kills 3 --workers 2 --seed 1
     python tests/chaos.py --size 6 --kills 4 --workers-schedule 1,2,1,3
     python tests/chaos.py --size 6 --kills 3 --store arena --seed 2
+    python tests/chaos.py --size 5 --kills 3 --stall-kill --seed 4
 """
 
 from __future__ import annotations
@@ -54,7 +62,7 @@ class ChaosAttempt:
 
     workers: int
     hash_seed: int
-    outcome: str  # "sigkill" | "torn_save" | "complete"
+    outcome: str  # "sigkill" | "stall_kill" | "torn_save" | "complete"
     target_layer: int | None
     layers_on_disk: int
     returncode: int | None
@@ -71,7 +79,13 @@ class ChaosResult:
 
     @property
     def kills(self) -> int:
-        return sum(1 for a in self.attempts if a.outcome == "sigkill")
+        return sum(
+            1 for a in self.attempts if a.outcome in ("sigkill", "stall_kill")
+        )
+
+    @property
+    def stall_kills(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome == "stall_kill")
 
     @property
     def torn_saves(self) -> int:
@@ -81,7 +95,8 @@ class ChaosResult:
         lines = [
             f"chaos campaign: star n={self.size}, seed={self.seed}, "
             f"{len(self.attempts)} attempts "
-            f"({self.kills} SIGKILLs, {self.torn_saves} torn saves)"
+            f"({self.kills} SIGKILLs, of which {self.stall_kills} "
+            f"mid-background-write, {self.torn_saves} torn saves)"
         ]
         for i, a in enumerate(self.attempts):
             where = (
@@ -150,15 +165,27 @@ def layers_on_disk(path: pathlib.Path) -> int:
     return int(report.get("layers") or 0)
 
 
+def orphan_on_disk(path: pathlib.Path) -> bool:
+    """True when a segment file exists that the manifest never
+    committed — i.e. some writer is (or died) between segment append
+    and manifest replace."""
+    report = inspect_checkpoint(path, verify_segments=False)
+    return bool(report.get("orphans"))
+
+
 def _run_and_kill(
     cmd: list[str],
     path: pathlib.Path,
     target_layer: int | None,
     hash_seed: int,
     timeout: float,
+    kill_on_orphan: bool = False,
 ) -> tuple[str, int | None]:
     """Run the explorer; SIGKILL it once the checkpoint reaches the
-    target layer.  Returns (outcome, returncode)."""
+    target layer — or, with ``kill_on_orphan``, the instant an
+    uncommitted segment appears on disk (the stalled background writer
+    sitting between append and manifest commit).  Returns (outcome,
+    returncode)."""
     proc = subprocess.Popen(
         cmd,
         stdout=subprocess.DEVNULL,
@@ -172,6 +199,12 @@ def _run_and_kill(
                 proc.kill()
                 proc.wait()
                 raise TimeoutError(f"chaos subprocess exceeded {timeout}s: {cmd}")
+            if kill_on_orphan and orphan_on_disk(path):
+                # The writer is inside the append->commit window: this
+                # SIGKILL lands mid-background-write by construction.
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait()
+                return "stall_kill", proc.returncode
             if target_layer is not None and layers_on_disk(path) >= target_layer:
                 # No warning, no cleanup: the process is simply gone.
                 os.kill(proc.pid, signal.SIGKILL)
@@ -196,6 +229,7 @@ def run_campaign(
     seed: int = 0,
     workers_schedule: tuple[int, ...] = (1,),
     torn_save: bool = True,
+    stall_kill: bool = False,
     timeout: float = DEFAULT_TIMEOUT,
     store: str = "objects",
     spill_dir: pathlib.Path | None = None,
@@ -203,13 +237,18 @@ def run_campaign(
     """Crash/resume until the exploration completes.
 
     ``kills`` counts forced deaths before the final clean run; when
-    ``torn_save`` is true the first death is a mid-save hard exit (torn
-    write) rather than an external SIGKILL.  ``workers_schedule`` cycles
-    across attempts, so mixed schedules exercise kernel<->sharded
-    resume of the same file.  ``store``/``spill_dir`` select the
-    configuration store of every crashed attempt (the arena with spill
-    enabled must survive SIGKILL mid-spill exactly like the object
-    store — spilled chunks are a cache, never checkpoint state).
+    ``torn_save`` is true one death is a mid-save hard exit (torn
+    write) rather than an external SIGKILL.  ``stall_kill`` makes the
+    campaign's *first* death an external SIGKILL landed while the
+    background checkpoint writer is provably between segment append and
+    manifest replace (held open by the ``stall_write`` fault; first so
+    the fresh file guarantees the watched-for orphan is ours).
+    ``workers_schedule`` cycles across attempts, so mixed schedules
+    exercise kernel<->sharded resume of the same file.
+    ``store``/``spill_dir`` select the configuration store of every
+    crashed attempt (the arena with spill enabled must survive SIGKILL
+    mid-spill exactly like the object store — spilled chunks are a
+    cache, never checkpoint state).
     """
     rng = random.Random(seed)
     result = ChaosResult(size=size, seed=seed)
@@ -222,6 +261,7 @@ def run_campaign(
         hash_seed = rng.randrange(1, 2**31)
         faults: tuple[str, ...] = ()
         target_layer: int | None = None
+        kill_on_orphan = False
         if deaths < kills:
             # Aim a little past whatever is already on disk so every
             # death forfeits real progress.  A star-n broadcast universe
@@ -229,7 +269,13 @@ def run_campaign(
             # guarantees the run cannot complete before its kill lands.
             base = layers_on_disk(path)
             target_layer = min(base + rng.randint(1, 3), 2 * size - 2)
-            if torn_save and deaths == 0:
+            if stall_kill and deaths == 0:
+                # Hold the append->commit window open long enough for
+                # the 1 ms orphan poll to land a kill inside it.
+                faults = (f"stall_write@{target_layer}~2.0",)
+                target_layer = None
+                kill_on_orphan = True
+            elif torn_save and deaths == (1 if stall_kill else 0):
                 faults = (f"torn_save@{target_layer}",)
                 target_layer = None  # the fault itself is the killer
         outcome, returncode = _run_and_kill(
@@ -240,6 +286,7 @@ def run_campaign(
             target_layer,
             hash_seed,
             timeout,
+            kill_on_orphan=kill_on_orphan,
         )
         result.attempts.append(
             ChaosAttempt(
@@ -251,7 +298,7 @@ def run_campaign(
                 returncode=returncode,
             )
         )
-        if outcome in ("sigkill", "torn_save"):
+        if outcome in ("sigkill", "stall_kill", "torn_save"):
             deaths += 1
         elif outcome == "complete":
             result.completed = True
@@ -324,6 +371,13 @@ def main(argv: list[str] | None = None) -> int:
         help="use only external SIGKILLs (skip the mid-save torn write)",
     )
     parser.add_argument(
+        "--stall-kill",
+        action="store_true",
+        help="make the first death a SIGKILL landed while the background "
+        "checkpoint writer is between segment append and manifest commit "
+        "(held open by the stall_write fault)",
+    )
+    parser.add_argument(
         "--keep-checkpoint",
         type=str,
         default=None,
@@ -373,10 +427,16 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             workers_schedule=schedule,
             torn_save=not args.no_torn_save,
+            stall_kill=args.stall_kill,
             store=args.store,
             spill_dir=spill_dir,
         )
         print(result.describe())
+        if args.stall_kill and not result.stall_kills:
+            raise RuntimeError(
+                "no kill landed inside the background-write window:\n"
+                + result.describe()
+            )
         count = verify_bit_identical(path, args.size, store=args.store)
         print(f"survivor is bit-identical to an uninterrupted run ({count} configurations)")
     return 0

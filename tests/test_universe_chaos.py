@@ -46,6 +46,21 @@ class TestKernelChaos:
         assert count == STAR6
         assert result.kills >= 3, result.describe()
 
+    def test_sigkill_mid_background_write(self, tmp_path):
+        """An external SIGKILL lands while the background checkpoint
+        writer is provably between segment append and manifest replace
+        (held there by the ``stall_write`` fault): the orphan segment is
+        discarded on resume and the survivor stays bit-identical."""
+        result, count = run_and_check(
+            tmp_path, size=5, kills=2, seed=13, workers_schedule=(1,),
+            stall_kill=True,
+        )
+        assert count == 634
+        assert result.stall_kills >= 1, result.describe()
+        stalled = [a for a in result.attempts if a.outcome == "stall_kill"]
+        # SIGKILL, not a cooperative exit: no returncode ever written.
+        assert stalled[0].returncode == -9
+
 
 class TestShardedChaos:
     def test_three_deaths_including_torn_save(self, tmp_path):

@@ -437,6 +437,7 @@ class TestFaultPlanApi:
             "corrupt_batch",
             "torn_save",
             "corrupt_segment",
+            "stall_write",
         }
 
     def test_repr_names_targets(self):
@@ -543,15 +544,15 @@ class TestCheckpointFaultPlans:
     def test_checkpoint_faults_fire_once(self):
         plan = FaultPlan.parse(["torn_save@2", "corrupt_segment@4"])
         assert sorted(plan.take_checkpoint_faults()) == [
-            ("corrupt_segment", 4),
-            ("torn_save", 2),
+            ("corrupt_segment", 4, 0.0),
+            ("torn_save", 2, 0.0),
         ]
         assert plan.take_checkpoint_faults() == []  # not re-armed
 
     def test_worker_delivery_skips_checkpoint_faults(self):
         plan = FaultPlan.parse(["kill:0@1", "torn_save@2"])
         assert plan.take_for_shard(0) == [("kill", 1, 0.0)]
-        assert plan.take_checkpoint_faults() == [("torn_save", 2)]
+        assert plan.take_checkpoint_faults() == [("torn_save", 2, 0.0)]
 
     def test_seeded_draws_checkpoint_kinds(self):
         plan = FaultPlan.seeded(
