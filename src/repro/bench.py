@@ -1337,6 +1337,53 @@ def run_benchmarks(
                 ],
                 repeats_used=1,
             )
+
+        # Degraded-mode overhead: the same checkpointed kernel run
+        # twice — once healthy, once hit by a permanent ENOSPC at an
+        # early layer so most of the exploration runs with
+        # checkpointing disabled.  The pair bounds what the
+        # degradation ladder costs (detect, log, stop saving) relative
+        # to a healthy checkpointed run; identity against the sharded
+        # baseline proves degradation never touches results.
+        import warnings as _warnings
+
+        with tempfile.TemporaryDirectory() as tmpdir:
+            start = time.perf_counter()
+            healthy = Universe(
+                _star_protocol(receivers),
+                checkpoint=_os.path.join(tmpdir, "healthy.ckpt"),
+            )
+            healthy_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", RuntimeWarning)
+                degraded = Universe(
+                    _star_protocol(receivers),
+                    checkpoint=_os.path.join(tmpdir, "degraded.ckpt"),
+                    fault_plan=FaultPlan.parse(
+                        [f"enospc@{1 if quick else 2}"]
+                    ),
+                )
+            degraded_seconds = time.perf_counter() - start
+            _assert_recovered_identical(baseline, degraded, "degraded-enospc")
+            if not degraded.checkpoint_degraded:
+                raise BenchRecoveryMismatch(
+                    "degraded-enospc: the injected ENOSPC never degraded "
+                    "the checkpoint session"
+                )
+            record(
+                f"checkpoint_degraded_star_{size_label}",
+                degraded_seconds,
+                configurations=len(degraded),
+                healthy_seconds=round(healthy_seconds, 6),
+                degraded_overhead_seconds=round(
+                    degraded_seconds - healthy_seconds, 6
+                ),
+                recoveries=[
+                    f"{event['kind']}->{event['action']}" for event in degraded.recovery_log
+                ],
+                repeats_used=1,
+            )
     elif quick:
         universe_small = universe_benchmark(
             "universe_star_broadcast_n3", _star_protocol(("x", "y")), repeats

@@ -32,6 +32,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -152,16 +153,28 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"checkpoint: {session.path} "
             f"({session.layers} layers, {session.saves} saves)"
         )
-    for event in universe.recovery_log:
-        if event.get("shard") is None or event.get("shard", -1) < 0:
+        if universe.checkpoint_degraded:
             print(
-                f"checkpoint {event['kind']} at layer {event['layer']} "
-                f"({event['action']}: {event.get('detail', '')})"
+                f"checkpoint DEGRADED: persistent storage failure "
+                f"({session.degraded_reason}); the last committed "
+                f"manifest is still valid, later layers were not saved",
+                file=sys.stderr,
+            )
+    for event in universe.recovery_log:
+        shard = event.get("shard")
+        layer = event.get("layer")
+        where = f" at layer {layer}" if layer is not None else ""
+        if shard is None or shard < 0:
+            detail = event.get("detail", "")
+            suffix = f": {detail}" if detail else ""
+            print(
+                f"recovery: {event['kind']} -> {event['action']}"
+                f"{where}{suffix}"
             )
         else:
             print(
-                f"recovered worker {event['shard']} at layer "
-                f"{event['layer']} ({event['kind']} -> {event['action']})"
+                f"recovered worker {shard}{where} "
+                f"({event['kind']} -> {event['action']})"
             )
     if len(universe) <= args.diagram_limit:
         diagram = IsomorphismDiagram.of_universe(universe)
@@ -253,6 +266,9 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         except CheckpointError as error:
             print(f"checkpoint error: {error}", file=sys.stderr)
             return 2
+        if args.json:
+            print(json.dumps(result, indent=2, default=str))
+            return 0
         print(f"checkpoint: {result['path']}")
         if not result["compacted"]:
             print(f"  not compacted: {result['reason']}")
@@ -269,6 +285,17 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         return 0
 
     report = inspect_checkpoint(args.path)
+    if args.json:
+        # Machine-readable report: same keys as the Python API —
+        # per-segment status rows, orphans, and the manifest's
+        # persisted recovery/degradation events.  Exit codes match the
+        # text mode (0 ok, 1 verify-integrity failure, 2 unreadable).
+        print(json.dumps(report, indent=2, default=str))
+        if not report["exists"] or report["error"] is not None:
+            return 2
+        if not report["valid"]:
+            return 1 if args.action == "verify" else 0
+        return 0
     print(f"checkpoint: {report['path']}")
     if not report["exists"]:
         print(f"  error: {report['error']}")
@@ -302,6 +329,15 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
             )
         for orphan in report["orphans"]:
             print(f"    {orphan}: orphan (uncommitted torn save)")
+    for event in report.get("recovery", ()):
+        layer = event.get("layer")
+        where = f" at layer {layer}" if layer is not None else ""
+        detail = event.get("detail", "")
+        suffix = f": {detail}" if detail else ""
+        print(
+            f"  recovery: {event.get('kind')} -> "
+            f"{event.get('rung', event.get('action'))}{where}{suffix}"
+        )
     if not report["valid"]:
         print(
             f"  INTEGRITY: FAILED — salvageable prefix is "
@@ -381,7 +417,10 @@ def make_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault, repeatable; worker kinds "
         "need a shard (kill:0@3, drop_batch:1@2, delay_batch:1@2~0.5, "
         "corrupt_batch:0@1), checkpoint kinds take none (torn_save@5, "
-        "corrupt_segment@2, stall_write@3~1.0)",
+        "corrupt_segment@2, stall_write@3~1.0), storage kinds take "
+        "none and hit the next checkpoint/spill filesystem call after "
+        "their layer (enospc@2, eio_write@1, eio_read@0, fsync_fail@3, "
+        "slow_io@2~0.2, fd_exhaust@1)",
     )
 
     ckpt = explore.add_argument_group(
@@ -453,6 +492,13 @@ def make_parser() -> argparse.ArgumentParser:
         "compact folds all segments into one under a bumped generation",
     )
     checkpoint.add_argument("path", metavar="PATH")
+    checkpoint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full machine-readable report (per-segment "
+        "status, orphans, persisted recovery/degradation events) as "
+        "JSON; exit codes are unchanged",
+    )
     checkpoint.set_defaults(handler=cmd_checkpoint)
 
     check = subparsers.add_parser("check", help="run theorem checkers")

@@ -28,10 +28,9 @@ unaffected).
 
 from __future__ import annotations
 
-import mmap
 import os
 import pickle
-import tempfile
+import warnings
 import zlib
 from array import array
 from collections import OrderedDict
@@ -39,6 +38,8 @@ from collections.abc import Iterator
 
 from repro.core.configuration import Configuration
 from repro.core.events import Event
+from repro.universe.fileops import DEFAULT_FILEOPS
+from repro.universe.retry import classify_storage_error, retry_io
 
 
 def compress_batch(payload: object) -> bytes:
@@ -133,10 +134,15 @@ class ArenaStore:
         spill_dir: str | os.PathLike | None = None,
         lru_size: int = 4096,
         chunk_cache_size: int = 8,
+        fileops=None,
+        recovery_log=None,
     ) -> None:
         self._spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
         self._lru_size = lru_size
         self._chunk_cache_size = chunk_cache_size
+        self._fileops = fileops if fileops is not None else DEFAULT_FILEOPS
+        self._recovery_log = recovery_log
+        self._spill_disabled = False
         self._count = 0
         # Interned event vocabulary: protocols have a small finite event
         # set, so the 4-byte column index replaces a per-history pointer.
@@ -315,27 +321,81 @@ class ArenaStore:
             chunk = _Chunk(zlib.compress(raw, 1))
             self.raw_bytes += len(raw)
             self.compressed_bytes += chunk.length
-            if self._spill_dir is not None:
+            if self._spill_dir is not None and not self._spill_disabled:
                 self._spill_chunk(chunk)
             self._chunks.append(chunk)
 
     # ------------------------------------------------------------------
     # Spill tier
     # ------------------------------------------------------------------
+    @property
+    def spill_disabled(self) -> bool:
+        """True once a persistent storage failure sealed the cold tier
+        in RAM (the ``spill_degraded`` rung); chunks stay compressed
+        in-memory from then on and the RSS watchdog's only remaining
+        rung is truncation."""
+        return self._spill_disabled
+
+    def _log_retry(self, operation, attempt, error, delay) -> None:
+        if self._recovery_log is not None:
+            self._recovery_log.record(
+                "storage_retry",
+                "retry",
+                detail=(
+                    f"{operation}: {error} (attempt {attempt}, "
+                    f"backing off {delay:.3f}s)"
+                ),
+            )
+
+    def _disable_spill(self, error: BaseException) -> None:
+        """Sealed-in-RAM rung of the degradation ladder: the spill tier
+        is gone (disk full, I/O errors beyond the retry budget) but the
+        cold chunks are still intact as in-RAM zlib blobs, so
+        exploration continues; if memory pressure persists, the RSS
+        watchdog's graceful truncate is the next (and last) rung."""
+        if self._spill_disabled:
+            return
+        self._spill_disabled = True
+        if self._recovery_log is not None:
+            self._recovery_log.record(
+                "spill_degraded", "sealed-in-ram", detail=str(error)
+            )
+        warnings.warn(
+            f"arena spill disabled after a persistent storage failure "
+            f"({error}); cold chunks stay sealed in RAM — if the RSS "
+            f"budget is exceeded the exploration will truncate instead "
+            f"of spilling",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def _ensure_spill_file(self):
         if self._spill_file is None:
-            os.makedirs(self._spill_dir, exist_ok=True)
-            handle, path = tempfile.mkstemp(
+            fileops = self._fileops
+            fileops.makedirs(self._spill_dir)
+            handle, path = fileops.mkstemp(
                 prefix="arena-", suffix=".spill", dir=self._spill_dir
             )
-            self._spill_file = os.fdopen(handle, "r+b")
+            self._spill_file = fileops.fdopen(handle, "r+b")
             self._spill_path = path
         return self._spill_file
 
     def _spill_chunk(self, chunk: _Chunk) -> int:
-        spill = self._ensure_spill_file()
-        spill.seek(self._spill_offset)
-        spill.write(chunk.blob)
+        def write() -> None:
+            # Idempotent retry unit: seek to the chunk's reserved offset
+            # and rewrite the whole blob from RAM — a half-applied
+            # attempt is simply overwritten.
+            spill = self._ensure_spill_file()
+            self._fileops.seek(spill, self._spill_offset)
+            self._fileops.write(spill, chunk.blob)
+
+        try:
+            retry_io("spill write", write, on_retry=self._log_retry)
+        except Exception as error:
+            if classify_storage_error(error) is None:
+                raise
+            self._disable_spill(error)
+            return 0
         chunk.offset = self._spill_offset
         self._spill_offset += chunk.length
         self.spilled_bytes += chunk.length
@@ -344,33 +404,39 @@ class ArenaStore:
         return chunk.length
 
     def _read_spill(self, offset: int, length: int) -> bytes:
-        mapped = self._spill_mmap
-        if mapped is None or offset + length > len(mapped):
-            if mapped is not None:
-                mapped.close()
-            self._spill_file.flush()
-            mapped = mmap.mmap(
-                self._spill_file.fileno(), 0, access=mmap.ACCESS_READ
-            )
-            self._spill_mmap = mapped
-        return mapped[offset : offset + length]
+        def read() -> bytes:
+            mapped = self._spill_mmap
+            if mapped is None or offset + length > len(mapped):
+                if mapped is not None:
+                    mapped.close()
+                    self._spill_mmap = None
+                self._fileops.flush(self._spill_file)
+                mapped = self._fileops.mmap_read(self._spill_file)
+                self._spill_mmap = mapped
+            return self._fileops.mmap_slice(mapped, offset, length)
+
+        # Transient read errors retry (the blob is zlib-framed, so a bad
+        # read fails loudly downstream rather than silently corrupting).
+        return retry_io("spill read", read, on_retry=self._log_retry)
 
     def spill_cold(self) -> int:
         """Push every sealed chunk to disk and drop materialisation caches.
 
         The RSS watchdog's *first* response to memory pressure — before
         it falls back to truncating the exploration.  Returns the number
-        of freed bytes (0 when there is no spill directory or nothing
-        cold remains in RAM).
+        of freed bytes (0 when there is no spill directory, the spill
+        tier is degraded, or nothing cold remains in RAM).
         """
         freed = 0
         self._seal_cold()
-        if self._spill_dir is not None:
+        if self._spill_dir is not None and not self._spill_disabled:
             for chunk in self._chunks:
+                if self._spill_disabled:
+                    break  # sealed-in-RAM mid-sweep: keep the rest hot
                 if chunk.state == "zlib":
                     freed += self._spill_chunk(chunk)
             if self._spill_file is not None:
-                self._spill_file.flush()
+                self._fileops.flush(self._spill_file)
         if self._chunk_cache:
             freed += _RAW_CHUNK_BYTES * len(self._chunk_cache)
             self._chunk_cache.clear()
@@ -559,7 +625,7 @@ class ArenaStore:
             self._spill_mmap = None
         self._spill_offset = 0
         if self._spill_file is not None:
-            self._spill_file.truncate(0)
+            self._fileops.truncate(self._spill_file, 0)
 
     def stats(self) -> dict:
         """Layout/compression/spill telemetry for bench and docs."""
@@ -583,6 +649,7 @@ class ArenaStore:
             "compressed_bytes": self.compressed_bytes,
             "resident_blob_bytes": resident_blob_bytes,
             "spilled_bytes": self.spilled_bytes,
+            "spill_disabled": self._spill_disabled,
             "window": len(self._window),
             "lru": len(self._lru),
             "materialisations": self.materialisations,
@@ -599,7 +666,7 @@ class ArenaStore:
             self._spill_file = None
         if self._spill_path is not None:
             try:
-                os.unlink(self._spill_path)
+                self._fileops.unlink(self._spill_path)
             except OSError:
                 pass
             self._spill_path = None

@@ -117,6 +117,13 @@ from pathlib import Path
 
 from repro.core.errors import UniverseError
 from repro.universe.arena import ArenaStore, compress_batch, decompress_batch
+from repro.universe.fileops import DEFAULT_FILEOPS
+from repro.universe.recovery import RecoveryLog
+from repro.universe.retry import (
+    DEFAULT_RETRY_POLICY,
+    classify_storage_error,
+    retry_io,
+)
 
 CHECKPOINT_MAGIC = b"REPRO-CKPT\n"
 """Version-1 (monolithic) magic — still readable, migrated on resume."""
@@ -238,13 +245,24 @@ def _decode_segment(raw: bytes) -> tuple[dict, bytes]:
     return header, payload
 
 
-def _load_segment(path: Path, entry: dict) -> tuple[dict, dict]:
+def _load_segment(
+    path: Path, entry: dict, fileops=DEFAULT_FILEOPS, on_retry=None
+) -> tuple[dict, dict]:
     """Read and fully verify one committed segment against its manifest
     entry.  Returns ``(header, payload_dict)``; raises
-    :class:`_SegmentInvalid` on any damage."""
+    :class:`_SegmentInvalid` on any damage.
+
+    The read goes through the file-ops shim and the typed retry policy:
+    a transient ``EIO`` is re-read with backoff and the result is CRC
+    re-verified below — exactly the contract that makes ``EIO``-on-read
+    safe to retry at all."""
     seg_path = path.with_name(entry["name"])
     try:
-        raw = seg_path.read_bytes()
+        raw = retry_io(
+            "segment read",
+            lambda: fileops.read_bytes(seg_path),
+            on_retry=on_retry,
+        )
     except FileNotFoundError:
         raise _SegmentInvalid("segment file missing") from None
     except OSError as error:
@@ -298,6 +316,21 @@ class CheckpointSession:
     thread; ``background=False`` keeps them on the calling thread — the
     knob exists for the synchronous-cost benchmark pair and for tests
     that need deterministic interleaving.
+
+    ``fileops`` is the file-operations shim every filesystem call routes
+    through (fault-injecting under chaos, passthrough otherwise);
+    ``recovery_log`` is the shared :class:`RecoveryLog` structured
+    events land on (the universe's own, when the session belongs to
+    one).  Storage failures follow the typed retry policy: transient
+    errors are retried with bounded backoff (logged as ``storage_retry``
+    events); a *permanent* error (``ENOSPC``/``EROFS``) or an exhausted
+    retry **degrades** the session instead of killing the exploration —
+    checkpointing is disabled with a single loud warning and a
+    ``checkpoint_degraded`` event, later ``save``/``flush`` calls no-op,
+    and the last committed manifest remains valid on disk
+    (:attr:`degraded` is surfaced as ``Universe.checkpoint_degraded``).
+    Unclassified writer errors stay **sticky** and re-raise verbatim on
+    the exploration thread, exactly as before.
     """
 
     def __init__(
@@ -312,6 +345,9 @@ class CheckpointSession:
         compact_at: int | None = None,
         fault_actions=(),
         background: bool = True,
+        fileops=None,
+        recovery_log: RecoveryLog | None = None,
+        retry_policy=None,
     ) -> None:
         if every < 1:
             raise UniverseError(
@@ -361,6 +397,15 @@ class CheckpointSession:
         self._writer_queue: deque = deque()
         self._writer_inflight = 0
         self._writer_error: BaseException | None = None
+        self._fileops = fileops if fileops is not None else DEFAULT_FILEOPS
+        self.recovery_log = (
+            recovery_log if recovery_log is not None else RecoveryLog()
+        )
+        self._retry = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
+        self.degraded = False
+        self.degraded_reason: str | None = None
         self._faults: dict[int, list[tuple[str, float]]] = {}
         for action in fault_actions:
             kind, layer = action[0], action[1]
@@ -383,6 +428,49 @@ class CheckpointSession:
         no cleanup, no manifest commit.  Monkeypatchable in-process."""
         os._exit(23)
 
+    # -- storage degradation ladder ------------------------------------
+    def _log_retry(self, operation, attempt, error, delay) -> None:
+        """The typed-retry logging hook: every absorbed transient
+        failure leaves a ``storage_retry`` event."""
+        self.recovery_log.record(
+            "storage_retry",
+            "retry",
+            layer=self.layers,
+            detail=(
+                f"{operation}: {error} (attempt {attempt}, backing off "
+                f"{delay:.3f}s)"
+            ),
+        )
+
+    def _degrade(self, error: BaseException) -> None:
+        """Persistent checkpoint-write failure: disable checkpointing
+        loudly and let the exploration continue.
+
+        One warning, one ``checkpoint_degraded`` recovery event; every
+        later ``save``/``flush`` no-ops.  The last committed manifest is
+        untouched (the manifest replace is atomic and a failed segment
+        write is never referenced by it), so ``repro checkpoint verify``
+        still passes on whatever was durable before the storage went
+        hostile."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_reason = str(error)
+        self.recovery_log.record(
+            "checkpoint_degraded",
+            "disable-checkpointing",
+            layer=self.layers,
+            detail=str(error),
+        )
+        warnings.warn(
+            f"checkpointing disabled after a persistent storage failure "
+            f"({error}); exploration continues WITHOUT further "
+            f"checkpoints — the last committed manifest at {self.path} "
+            f"is still valid",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     # -- resume --------------------------------------------------------
     def try_resume(self, universe) -> ResumedExploration | None:
         """Load ``self.path`` if it exists and rebuild ``universe``'s
@@ -395,7 +483,12 @@ class CheckpointSession:
         from the wrong protocol must fail loudly, never mis-merge.
         """
         try:
-            raw = self.path.read_bytes()
+            raw = retry_io(
+                "manifest read",
+                lambda: self._fileops.read_bytes(self.path),
+                policy=self._retry,
+                on_retry=self._log_retry,
+            )
         except FileNotFoundError:
             return None
         except OSError as error:
@@ -483,7 +576,9 @@ class CheckpointSession:
         damage: tuple[int, str] | None = None
         for index, entry in enumerate(entries):
             try:
-                _, decoded = _load_segment(self.path, entry)
+                _, decoded = _load_segment(
+                    self.path, entry, self._fileops, self._log_retry
+                )
             except _SegmentInvalid as error:
                 damage = (index, str(error))
                 break
@@ -502,13 +597,11 @@ class CheckpointSession:
                     f"prefix"
                 )
             self.salvaged = True
-            universe._recovery_log.append(
-                {
-                    "kind": "corrupt_segment",
-                    "layer": entries[index]["layer_from"],
-                    "action": "salvage-truncate" if kept else "restart",
-                    "detail": f"{name}: {reason}",
-                }
+            self.recovery_log.record(
+                "corrupt_segment",
+                "salvage-truncate" if kept else "restart",
+                layer=entries[index]["layer_from"],
+                detail=f"{name}: {reason}",
             )
         self._discard_orphans(
             universe, {entry["name"] for entry in entries}
@@ -548,16 +641,14 @@ class CheckpointSession:
         for stray in sorted(self.path.parent.glob(pattern)):
             if stray.name in referenced:
                 continue
-            universe._recovery_log.append(
-                {
-                    "kind": "torn_save",
-                    "layer": self.layers,
-                    "action": "discard-orphan",
-                    "detail": stray.name,
-                }
+            self.recovery_log.record(
+                "torn_save",
+                "discard-orphan",
+                layer=self.layers,
+                detail=stray.name,
             )
             try:
-                stray.unlink()
+                self._fileops.unlink(stray)
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
 
@@ -634,10 +725,18 @@ class CheckpointSession:
         self, records, frontier_start, universe, final: bool = False
     ) -> None:
         """Fold one completed layer's discovery records into the pending
-        delta and save if the interval (or ``final``) says so."""
+        delta and save if the interval (or ``final``) says so.
+
+        A degraded session keeps counting layers (the clock other
+        recovery events are stamped with) but buffers nothing — the
+        delta could never be written, so holding it would just leak the
+        memory the run may already be short on."""
+        self.layers += 1
+        if self.degraded:
+            self._pending_records = []
+            return
         if records:
             self._pending_records.extend(records)
-        self.layers += 1
         if final or self.layers % self.every == 0:
             self.save(frontier_start, universe, final=final)
 
@@ -647,14 +746,27 @@ class CheckpointSession:
         Segmented saves hand the delta to the background writer and
         return; the ``final`` save additionally :meth:`flush`\\ es so a
         finished exploration never returns with uncommitted state.
+
+        A degraded session no-ops; a storage-classified failure on the
+        synchronous paths degrades the session here (the background
+        writer degrades inside its own loop).  Unclassified errors —
+        including a sticky writer error — re-raise verbatim.
         """
+        if self.degraded:
+            return
         start = time.perf_counter()
-        if self.format == "monolithic":
-            self._save_monolithic(frontier_start, universe)
-        else:
-            self._save_segmented(frontier_start, universe)
-            if final:
-                self.flush()
+        try:
+            if self.format == "monolithic":
+                self._save_monolithic(frontier_start, universe)
+            else:
+                self._save_segmented(frontier_start, universe)
+                if final:
+                    self.flush()
+        except Exception as error:
+            if classify_storage_error(error) is None:
+                raise
+            self._degrade(error)
+            return
         self.saves += 1
         self.save_seconds.append(time.perf_counter() - start)
 
@@ -707,6 +819,25 @@ class CheckpointSession:
             self._compact(universe)
             self._segment_index = len(self._segments)
 
+    def arm_storage_faults(self, actions) -> bool:
+        """Queue write-fault arming *behind* every save already handed
+        to the background writer, so an armed fault can only land on
+        this layer boundary's own (or a later) filesystem operation —
+        never retroactively on a still-queued earlier save, whose
+        manifest must stay committable.  Returns ``False`` when the
+        session cannot order the arming (foreground writes, monolithic
+        format, degraded, or an idle drained writer — all of which make
+        the caller's direct arming already ordered)."""
+        if self.degraded or self.format != "segmented" or not self.background:
+            return False
+        with self._writer_cv:
+            if self._writer_thread is None and not self._writer_queue:
+                return False
+            self._writer_queue.append({"arm": list(actions)})
+            self._writer_inflight += 1
+            self._writer_cv.notify_all()
+        return True
+
     def _enqueue(self, job: dict) -> None:
         self._raise_writer_error()
         with self._writer_cv:
@@ -738,8 +869,16 @@ class CheckpointSession:
             try:
                 self._write_segment_job(job)
             except BaseException as error:  # noqa: BLE001 - re-raised later
+                storage = classify_storage_error(error) is not None
+                if storage:
+                    # Hostile storage, not a bug: take the degradation
+                    # ladder (checkpointing off, exploration continues)
+                    # instead of poisoning the session with a sticky
+                    # error the exploration thread would die on.
+                    self._degrade(error)
                 with self._writer_cv:
-                    self._writer_error = error
+                    if not storage:
+                        self._writer_error = error
                     self._writer_queue.clear()
                     self._writer_inflight = 0
                     self._writer_thread = None
@@ -751,9 +890,17 @@ class CheckpointSession:
 
     def flush(self) -> None:
         """Block until every queued segment write has committed (or
-        re-raise the writer's stored failure)."""
+        re-raise the writer's stored failure).
+
+        Never deadlocks after a failure: a degrading or sticky writer
+        zeroes the in-flight count and notifies before retiring, and a
+        degraded session returns immediately."""
         with self._writer_cv:
-            while self._writer_inflight and self._writer_error is None:
+            while (
+                self._writer_inflight
+                and self._writer_error is None
+                and not self.degraded
+            ):
                 self._writer_cv.wait()
         self._raise_writer_error()
 
@@ -768,6 +915,13 @@ class CheckpointSession:
     def _write_segment_job(self, job: dict) -> None:
         """Compress, append, and commit one segment (writer thread, or
         the calling thread when ``background=False``)."""
+        arm = job.get("arm")
+        if arm is not None:
+            # Queue-ordered fault arming marker, not a segment: every
+            # save enqueued before it has committed by now.
+            for kind, seconds in arm:
+                self._fileops.arm(kind, seconds)
+            return
         start = time.perf_counter()
         actions = job["actions"]
         payload = compress_batch(
@@ -793,10 +947,12 @@ class CheckpointSession:
         blob = _encode_segment(header, payload)
         name = self._segment_name(job["generation"], job["index"])
         seg_path = self.path.with_name(name)
-        with open(seg_path, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
+        retry_io(
+            "segment append",
+            lambda: self._fileops.write_durable(seg_path, blob),
+            policy=self._retry,
+            on_retry=self._log_retry,
+        )
         for kind, seconds in actions:
             if kind == "stall_write":
                 # Chaos hook: hold the append→commit window open so an
@@ -847,7 +1003,13 @@ class CheckpointSession:
                 ),
                 "generation": self._generation,
                 "segments": self._segments,
+                "recovery": [
+                    event.as_dict() for event in self.recovery_log
+                ],
             },
+            fileops=self._fileops,
+            policy=self._retry,
+            on_retry=self._log_retry,
         )
 
     def _compact(self, universe) -> None:
@@ -864,7 +1026,9 @@ class CheckpointSession:
         offsets_parts: list[bytes] = []
         for entry in self._segments:
             try:
-                _, decoded = _load_segment(self.path, entry)
+                _, decoded = _load_segment(
+                    self.path, entry, self._fileops, self._log_retry
+                )
             except _SegmentInvalid as error:  # pragma: no cover - defensive
                 # A just-committed segment went bad under us: skip the
                 # fold, keep the (still consistent) multi-segment layout.
@@ -902,10 +1066,12 @@ class CheckpointSession:
         }
         blob = _encode_segment(header, payload)
         name = self._segment_name(generation, 0)
-        with open(self.path.with_name(name), "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
+        retry_io(
+            "compaction fold write",
+            lambda: self._fileops.write_durable(self.path.with_name(name), blob),
+            policy=self._retry,
+            on_retry=self._log_retry,
+        )
         stale = [entry["name"] for entry in self._segments]
         self._segments = [
             {
@@ -924,7 +1090,7 @@ class CheckpointSession:
         self._write_manifest()
         for old in stale:
             try:
-                self.path.with_name(old).unlink()
+                self._fileops.unlink(self.path.with_name(old))
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
 
@@ -945,11 +1111,17 @@ class CheckpointSession:
         }
         blob = CHECKPOINT_MAGIC + compress_batch(payload)
         temp = self.path.with_name(self.path.name + ".tmp")
-        with open(temp, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, self.path)
+
+        def commit() -> None:
+            self._fileops.write_durable(temp, blob)
+            self._fileops.replace(temp, self.path)
+
+        retry_io(
+            "monolithic save",
+            commit,
+            policy=self._retry,
+            on_retry=self._log_retry,
+        )
 
     # -- decoding ------------------------------------------------------
     @staticmethod
@@ -991,16 +1163,28 @@ def decode_manifest(raw: bytes) -> dict:
     return manifest
 
 
-def _commit_manifest(path: Path, manifest: dict) -> None:
-    """Atomically write a version-2 manifest (tmp + fsync + replace)."""
+def _commit_manifest(
+    path: Path,
+    manifest: dict,
+    fileops=DEFAULT_FILEOPS,
+    policy=DEFAULT_RETRY_POLICY,
+    on_retry=None,
+) -> None:
+    """Atomically write a version-2 manifest (tmp + fsync + replace).
+
+    The whole tmp-write-replace sequence is one retry unit: it restarts
+    from the in-memory blob, and ``os.replace`` stays the sole commit
+    point, so a transient failure anywhere re-runs cleanly and a
+    permanent one leaves the previous manifest untouched."""
     blob = compress_batch(manifest)
     raw = MANIFEST_MAGIC + zlib.crc32(blob).to_bytes(4, "little") + blob
     temp = path.with_name(path.name + ".tmp")
-    with open(temp, "wb") as handle:
-        handle.write(raw)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
+
+    def commit() -> None:
+        fileops.write_durable(temp, raw)
+        fileops.replace(temp, path)
+
+    retry_io("manifest commit", commit, policy=policy, on_retry=on_retry)
 
 
 def compact_checkpoint(path) -> dict:
@@ -1020,8 +1204,9 @@ def compact_checkpoint(path) -> dict:
     after, the new generation).
     """
     path = Path(path)
+    fileops = DEFAULT_FILEOPS
     try:
-        raw = path.read_bytes()
+        raw = retry_io("manifest read", lambda: fileops.read_bytes(path))
     except FileNotFoundError:
         raise CheckpointError(f"no such checkpoint: {path}") from None
     except OSError as error:
@@ -1095,10 +1280,10 @@ def compact_checkpoint(path) -> dict:
     }
     blob = _encode_segment(header, payload)
     name = f"{path.name}.g{generation}-{0:06d}.seg"
-    with open(path.with_name(name), "wb") as handle:
-        handle.write(blob)
-        handle.flush()
-        os.fsync(handle.fileno())
+    retry_io(
+        "compaction fold write",
+        lambda: fileops.write_durable(path.with_name(name), blob),
+    )
     folded = {
         "name": name,
         "size": len(blob),
@@ -1120,11 +1305,13 @@ def compact_checkpoint(path) -> dict:
             "complete": manifest["complete"],
             "generation": generation,
             "segments": [folded],
+            "recovery": manifest.get("recovery", []),
         },
+        fileops=fileops,
     )
     for entry in entries:
         try:
-            path.with_name(entry["name"]).unlink()
+            fileops.unlink(path.with_name(entry["name"]))
         except OSError:  # pragma: no cover - best-effort cleanup
             pass
     return {
@@ -1169,11 +1356,14 @@ def inspect_checkpoint(path, verify_segments: bool = True) -> dict:
         "generation": None,
         "segments": [],
         "orphans": [],
+        "recovery": [],
         "salvageable_layers": 0,
         "valid": False,
     }
     try:
-        raw = path.read_bytes()
+        raw = retry_io(
+            "manifest read", lambda: DEFAULT_FILEOPS.read_bytes(path)
+        )
     except FileNotFoundError:
         report["exists"] = False
         report["error"] = "no such file"
@@ -1228,6 +1418,9 @@ def inspect_checkpoint(path, verify_segments: bool = True) -> dict:
     report["complete"] = manifest["complete"]
     report["frontier_start"] = manifest["frontier_start"]
     report["generation"] = manifest["generation"]
+    # Recovery/degradation events recorded up to the committing save
+    # (structured RecoveryEvent dicts persisted with the manifest).
+    report["recovery"] = list(manifest.get("recovery", []))
     prefix_intact = True
     for entry in manifest["segments"]:
         row = {

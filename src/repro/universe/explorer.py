@@ -30,6 +30,7 @@ PERFORMANCE.md for the architecture.
 from __future__ import annotations
 
 import gc
+import os
 import sys
 import zlib
 from math import inf
@@ -48,7 +49,9 @@ from repro.core.errors import UniverseError
 from repro.core.events import Event, ReceiveEvent, SendEvent
 from repro.core.process import ProcessId, ProcessSetLike, as_process_set
 from repro.universe.arena import ArenaStore
+from repro.universe.fileops import DEFAULT_FILEOPS, FaultInjectingFileOps
 from repro.universe.options import UNSET, ExplorationOptions, resolve_options
+from repro.universe.recovery import RecoveryLog
 from repro.universe.protocol import Protocol
 
 ProjectionKey = tuple
@@ -523,10 +526,33 @@ class Universe:
             raise UniverseError("spill_dir requires store='arena'")
         self._protocol = protocol
         self._max_events = max_events
-        self._recovery_log: list[dict] = []
+        self._recovery_log = RecoveryLog()
+        # Storage fault delivery: every checkpoint/spill filesystem call
+        # routes through one shared file-ops shim; write-targeting kinds
+        # arm at the BFS layer boundary covering their layer, eio_read
+        # arms immediately so it can land on the resume read path.
+        storage_actions = (
+            fault_plan.take_storage_faults() if fault_plan is not None else []
+        )
+        if storage_actions:
+            self._fileops = FaultInjectingFileOps()
+        else:
+            self._fileops = DEFAULT_FILEOPS
+        self._storage_faults: dict[int, list[tuple[str, float]]] = {}
+        for kind, layer, seconds in storage_actions:
+            if kind == "eio_read":
+                self._fileops.arm(kind, seconds)
+            else:
+                self._storage_faults.setdefault(layer, []).append(
+                    (kind, seconds)
+                )
         if store == "arena":
             self._configurations: list[Configuration] | ArenaStore = (
-                ArenaStore(spill_dir=spill_dir)
+                ArenaStore(
+                    spill_dir=spill_dir,
+                    fileops=self._fileops,
+                    recovery_log=self._recovery_log,
+                )
             )
         else:
             self._configurations = []
@@ -567,6 +593,19 @@ class Universe:
                 "checkpoint fault injection (torn_save/corrupt_segment) "
                 "requires a checkpoint path"
             )
+        if storage_actions and checkpoint is None and spill_dir is None:
+            raise UniverseError(
+                "storage fault injection (enospc/eio_read/eio_write/"
+                "fsync_fail/slow_io/fd_exhaust) requires a checkpoint "
+                "path or a spill_dir — there are no filesystem calls to "
+                "land on otherwise"
+            )
+        if checkpoint is not None and spill_dir is not None:
+            # A killed predecessor's spill file is unreachable (spill
+            # offsets live only in its process memory); our own store
+            # has not spilled yet (creation is lazy), so every existing
+            # arena-*.spill here is an orphan.
+            self._clean_orphan_spills(spill_dir)
         session = None
         if checkpoint is not None:
             from repro.universe.checkpoint import CheckpointSession
@@ -583,6 +622,8 @@ class Universe:
                     if fault_plan is not None
                     else ()
                 ),
+                fileops=self._fileops,
+                recovery_log=self._recovery_log,
             )
         self._checkpoint_session = session
         self._rss_watchdog = None
@@ -744,6 +785,8 @@ class Universe:
             cursor = 0
         entry_memo_get = entry_hash_of.get
         track = session is not None
+        layers_done = resumed.layers if resumed is not None else 0
+        self._arm_storage_faults(layers_done)
         rss_truncated = False
         # The kernel allocates millions of acyclic, long-lived objects and
         # creates no reference cycles of its own; CPython's generational
@@ -911,6 +954,8 @@ class Universe:
                     # Mid-layer stop: the checkpoint keeps the previous
                     # (complete) layer boundary, never a torn layer.
                     break
+                layers_done += 1
+                self._arm_storage_faults(layers_done)
                 if track:
                     session.commit_layer(
                         layer_records,
@@ -921,13 +966,10 @@ class Universe:
                 if watchdog is not None and cursor < count and watchdog.exceeded():
                     # The object store has no cold tier to spill; truncate
                     # is the only rung of the degradation ladder here.
-                    self._recovery_log.append(
-                        {
-                            "layer": None,
-                            "kind": "rss_budget",
-                            "action": "truncate",
-                            "detail": f"{count} configurations",
-                        }
+                    self._recovery_log.record(
+                        "rss_budget",
+                        "truncate",
+                        detail=f"{count} configurations",
                     )
                     rss_truncated = True
                     break
@@ -1123,6 +1165,8 @@ class Universe:
             depth = 0
         entry_memo_get = entry_hash_of.get
         track = session is not None
+        layers_done = resumed.layers if resumed is not None else 0
+        self._arm_storage_faults(layers_done)
         rss_truncated = False
         # Same GC stance as the object kernel: acyclic long-lived data,
         # no cycles of our own — stop the generational rescans.
@@ -1295,6 +1339,8 @@ class Universe:
                     # Mid-layer stop: the checkpoint keeps the previous
                     # (complete) layer boundary, never a torn layer.
                     break
+                layers_done += 1
+                self._arm_storage_faults(layers_done)
                 if track:
                     session.commit_layer(
                         layer_records,
@@ -1316,22 +1362,16 @@ class Universe:
                     # disk first; only truncate if that doesn't bring RSS
                     # back under budget.
                     if arena.spill_cold() and not watchdog.exceeded():
-                        self._recovery_log.append(
-                            {
-                                "layer": None,
-                                "kind": "rss_budget",
-                                "action": "spill",
-                                "detail": f"{count} configurations",
-                            }
+                        self._recovery_log.record(
+                            "rss_budget",
+                            "spill",
+                            detail=f"{count} configurations",
                         )
                         continue
-                    self._recovery_log.append(
-                        {
-                            "layer": None,
-                            "kind": "rss_budget",
-                            "action": "truncate",
-                            "detail": f"{count} configurations",
-                        }
+                    self._recovery_log.record(
+                        "rss_budget",
+                        "truncate",
+                        detail=f"{count} configurations",
                     )
                     rss_truncated = True
                     break
@@ -1379,16 +1419,76 @@ class Universe:
         return self._complete
 
     @property
-    def recovery_log(self) -> tuple[dict, ...]:
-        """Recovery events survived while building this universe: one
-        dict per recovered :class:`~repro.universe.sharded.WorkerFailure`
-        (``layer``, ``shard``, ``kind``, ``action`` — ``"respawn"`` or
-        ``"fold"``), per checkpoint salvage event (``layer``, ``kind``,
-        ``action`` — ``"salvage-truncate"``, ``"restart"`` or
-        ``"discard-orphan"`` — no ``shard``), and per RSS-watchdog
-        degradation (``kind`` ``"rss_budget"``, ``action`` ``"spill"``
-        or ``"truncate"``)."""
+    def recovery_log(self):
+        """Recovery events survived while building this universe, in
+        order: one :class:`~repro.universe.recovery.RecoveryEvent`
+        (dict-compatible — ``event["kind"]``/``event["action"]`` keep
+        working) per recovered
+        :class:`~repro.universe.sharded.WorkerFailure` (``layer``,
+        ``shard``, ``kind``, rung ``"respawn"`` or ``"fold"``), per
+        checkpoint salvage event (``"salvage-truncate"``, ``"restart"``
+        or ``"discard-orphan"``), per storage retry/degradation rung
+        (``"storage_retry"``/``"retry"``, ``"checkpoint_degraded"``/
+        ``"disable-checkpointing"``, ``"spill_degraded"``/
+        ``"sealed-in-ram"``, ``"orphan_spill"``/``"discard-orphan"``),
+        and per RSS-watchdog rung (``"rss_budget"``/``"spill"`` or
+        ``"truncate"``)."""
         return tuple(getattr(self, "_recovery_log", ()))
+
+    @property
+    def checkpoint_degraded(self) -> bool:
+        """True when a persistent storage failure disabled checkpointing
+        mid-run: exploration completed, the last committed manifest is
+        still valid, but no further saves happened after the failure
+        (the ``checkpoint_degraded`` rung on :attr:`recovery_log` has
+        the detail)."""
+        session = getattr(self, "_checkpoint_session", None)
+        return bool(session is not None and session.degraded)
+
+    def _clean_orphan_spills(self, spill_dir) -> None:
+        """Delete arena spill files a killed predecessor left behind in
+        ``spill_dir`` (their offsets died with its process memory) and
+        log one ``orphan_spill`` recovery event per file."""
+        try:
+            entries = os.listdir(spill_dir)
+        except OSError:
+            return  # nothing spilled yet: the directory may not exist
+        for name in sorted(entries):
+            if not (name.startswith("arena-") and name.endswith(".spill")):
+                continue
+            try:
+                self._fileops.unlink(os.path.join(spill_dir, name))
+            except OSError:
+                continue  # a live sibling may still own it; leave it be
+            self._recovery_log.record(
+                "orphan_spill", "discard-orphan", detail=name
+            )
+
+    def _arm_storage_faults(self, layers_done: int) -> None:
+        """Arm every planned storage fault whose layer the exploration
+        clock has now passed (same ``fault.layer < layers_done``
+        semantics as the checkpoint fault actions): the next matching
+        filesystem operation — this layer boundary's checkpoint save,
+        spill write, or a background-writer append — takes the hit.
+
+        When a background checkpoint writer is active the arming is
+        queued behind its already-enqueued saves, so a fault for layer
+        L can never land retroactively on a still-inflight save of an
+        earlier layer: the manifest through L stays committed and
+        clean, which is what the degradation ladder promises."""
+        pending = getattr(self, "_storage_faults", None)
+        if not pending:
+            return
+        due: list[tuple[str, float]] = []
+        for layer in [layer for layer in pending if layer < layers_done]:
+            due.extend(pending.pop(layer))
+        if not due:
+            return
+        session = self._checkpoint_session
+        if session is not None and session.arm_storage_faults(due):
+            return
+        for kind, seconds in due:
+            self._fileops.arm(kind, seconds)
 
     @property
     def worker_peak_rss_mb(self) -> dict[int, float]:

@@ -49,6 +49,39 @@ too, where there are no workers at all):
     the whole process mid-background-write and assert the orphan-discard
     recovery path.
 
+Six **storage fault kinds** (PR 10) target the filesystem underneath
+checkpoints and the arena spill tier rather than a worker or the save
+protocol.  Like checkpoint kinds they are shard-free (``shard`` is the
+``-1`` sentinel; a shard qualifier in the CLI grammar is rejected) and
+layer-keyed; they are delivered through the fault-injecting file-ops
+shim (:class:`repro.universe.fileops.FaultInjectingFileOps`) that every
+checkpoint and spill filesystem call routes through:
+
+``enospc``
+    The next write-class operation raises ``OSError(ENOSPC)`` — a
+    *permanent* error under the typed retry policy
+    (:mod:`repro.universe.retry`), escalating straight to the
+    degradation ladder (checkpointing disabled loudly, exploration
+    continues).
+``eio_write`` / ``eio_read``
+    The next write/read operation raises ``OSError(EIO)`` — *transient*:
+    the whole durable-write unit re-runs from its buffer, or the read
+    is retried and CRC re-verified.
+``fsync_fail``
+    The next ``fsync`` raises ``OSError(EIO)``; the durable-write unit
+    restarts from scratch (never a bare fsync retry, which could
+    silently drop dirty pages).
+``slow_io``
+    The next write-class operation sleeps ``seconds`` first — latency,
+    not failure.
+``fd_exhaust``
+    The next open-class operation raises ``OSError(EMFILE)`` —
+    transient descriptor pressure, absorbed by the retry.
+
+Write-targeting storage faults arm at the BFS layer boundary covering
+``layer`` (same clock as checkpoint faults); ``eio_read`` arms at
+engine start so it can land on the resume read path.
+
 Faults are delivered to a worker at spawn time as plain tuples (no
 module state crosses the fork), so a plan is reproducible regardless of
 scheduling.  Because shard expansion is a pure function of the merged
@@ -66,7 +99,15 @@ from repro.core.errors import UniverseError
 
 WORKER_FAULT_KINDS = ("kill", "drop_batch", "delay_batch", "corrupt_batch")
 CHECKPOINT_FAULT_KINDS = ("torn_save", "corrupt_segment", "stall_write")
-FAULT_KINDS = WORKER_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
+STORAGE_FAULT_KINDS = (
+    "enospc",
+    "eio_read",
+    "eio_write",
+    "fsync_fail",
+    "slow_io",
+    "fd_exhaust",
+)
+FAULT_KINDS = WORKER_FAULT_KINDS + CHECKPOINT_FAULT_KINDS + STORAGE_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -87,9 +128,10 @@ class Fault:
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{', '.join(FAULT_KINDS)}"
             )
-        if self.is_checkpoint:
-            # Checkpoint faults target the saving process, not a worker;
-            # normalise the shard to the -1 sentinel.
+        if self.is_checkpoint or self.is_storage:
+            # Checkpoint and storage faults target the saving process /
+            # the filesystem, not a worker; normalise the shard to the
+            # -1 sentinel.
             object.__setattr__(self, "shard", -1)
         elif self.shard < 0:
             raise UniverseError(f"fault shard must be >= 0, got {self.shard}")
@@ -106,9 +148,25 @@ class Fault:
         than in a worker."""
         return self.kind in CHECKPOINT_FAULT_KINDS
 
+    @property
+    def is_storage(self) -> bool:
+        """True for faults delivered through the file-ops shim (they
+        fire on the next matching filesystem operation)."""
+        return self.kind in STORAGE_FAULT_KINDS
+
     def as_wire(self) -> tuple:
         """The fault as a plain tuple for the worker spawn arguments."""
         return (self.kind, self.layer, self.seconds)
+
+    def spec(self) -> str:
+        """The canonical CLI spelling, ``kind[:shard]@layer[~seconds]``
+        — the exact inverse of :meth:`FaultPlan.parse` (round-tripped by
+        the hypothesis grammar test)."""
+        head = self.kind if self.shard < 0 else f"{self.kind}:{self.shard}"
+        text = f"{head}@{self.layer}"
+        if self.seconds:
+            text += f"~{self.seconds!r}"
+        return text
 
 
 class FaultPlan:
@@ -174,6 +232,19 @@ class FaultPlan:
         return cls((Fault("stall_write", -1, layer, seconds),))
 
     @classmethod
+    def storage(cls, kind: str, layer: int, seconds: float = 0.0) -> "FaultPlan":
+        """One storage fault (``enospc``/``eio_read``/``eio_write``/
+        ``fsync_fail``/``slow_io``/``fd_exhaust``) armed at the layer
+        boundary covering ``layer`` and delivered through the file-ops
+        shim."""
+        if kind not in STORAGE_FAULT_KINDS:
+            raise UniverseError(
+                f"unknown storage fault kind {kind!r}; expected one of "
+                f"{', '.join(STORAGE_FAULT_KINDS)}"
+            )
+        return cls((Fault(kind, -1, layer, seconds=seconds),))
+
+    @classmethod
     def seeded(
         cls,
         seed: int,
@@ -200,7 +271,7 @@ class FaultPlan:
             shard = rng.randrange(workers)
             layer = rng.randint(0, max_layer)
             seconds = rng.uniform(0.05, 0.2)
-            if kind in CHECKPOINT_FAULT_KINDS:
+            if kind in CHECKPOINT_FAULT_KINDS or kind in STORAGE_FAULT_KINDS:
                 shard = -1
             drawn.append(Fault(kind, shard, layer, seconds=seconds))
         return cls(tuple(drawn))
@@ -234,10 +305,15 @@ class FaultPlan:
                 )
             layer = int(layer_text)
             kind, sep, shard_text = head.partition(":")
-            if kind in CHECKPOINT_FAULT_KINDS:
+            if kind in CHECKPOINT_FAULT_KINDS or kind in STORAGE_FAULT_KINDS:
                 if sep:
+                    category = (
+                        "checkpoint"
+                        if kind in CHECKPOINT_FAULT_KINDS
+                        else "storage"
+                    )
                     raise UniverseError(
-                        f"bad fault spec {spec!r}: {kind} is a checkpoint "
+                        f"bad fault spec {spec!r}: {kind} is a {category} "
                         f"fault and takes no shard"
                     )
                 faults.append(Fault(kind, -1, layer, seconds=seconds))
@@ -258,7 +334,10 @@ class FaultPlan:
     @property
     def has_worker_faults(self) -> bool:
         """True if any fault targets a worker (needs the sharded engine)."""
-        return any(not fault.is_checkpoint for fault in self._faults)
+        return any(
+            not fault.is_checkpoint and not fault.is_storage
+            for fault in self._faults
+        )
 
     @property
     def has_checkpoint_faults(self) -> bool:
@@ -266,13 +345,20 @@ class FaultPlan:
         ``checkpoint`` path)."""
         return any(fault.is_checkpoint for fault in self._faults)
 
+    @property
+    def has_storage_faults(self) -> bool:
+        """True if any fault is delivered through the file-ops shim
+        (needs a ``checkpoint`` path or a ``spill_dir`` to have any
+        filesystem calls to land on)."""
+        return any(fault.is_storage for fault in self._faults)
+
     def take_for_shard(self, shard: int) -> list[tuple]:
         """Wire tuples of the not-yet-delivered worker faults for
         ``shard``, marking them delivered.  Called once per worker
         spawn."""
         taken: list[tuple] = []
         for index, fault in enumerate(self._faults):
-            if fault.is_checkpoint:
+            if fault.is_checkpoint or fault.is_storage:
                 continue
             if fault.shard == shard and index not in self._delivered:
                 self._delivered.add(index)
@@ -291,11 +377,23 @@ class FaultPlan:
                 taken.append((fault.kind, fault.layer, fault.seconds))
         return taken
 
+    def take_storage_faults(self) -> list[tuple]:
+        """``(kind, layer, seconds)`` tuples of the not-yet-delivered
+        storage faults, marking them delivered.  Called once per
+        exploration; the universe arms each on its file-ops shim at the
+        matching layer boundary (``eio_read`` at engine start)."""
+        taken: list[tuple] = []
+        for index, fault in enumerate(self._faults):
+            if fault.is_storage and index not in self._delivered:
+                self._delivered.add(index)
+                taken.append((fault.kind, fault.layer, fault.seconds))
+        return taken
+
     def validate(self, workers: int) -> None:
         """Reject plans naming shards the exploration does not have.
         Checkpoint faults carry no shard and always pass."""
         for fault in self._faults:
-            if fault.is_checkpoint:
+            if fault.is_checkpoint or fault.is_storage:
                 continue
             if fault.shard >= workers:
                 raise UniverseError(
@@ -309,7 +407,7 @@ class FaultPlan:
     def __repr__(self) -> str:
         inner = ", ".join(
             f"{fault.kind}(@L{fault.layer})"
-            if fault.is_checkpoint
+            if fault.shard < 0
             else f"{fault.kind}(w{fault.shard}@L{fault.layer})"
             for fault in self._faults
         )
@@ -319,6 +417,7 @@ class FaultPlan:
 __all__ = [
     "CHECKPOINT_FAULT_KINDS",
     "FAULT_KINDS",
+    "STORAGE_FAULT_KINDS",
     "WORKER_FAULT_KINDS",
     "Fault",
     "FaultPlan",

@@ -105,7 +105,6 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
-import errno
 import time
 import traceback
 import zlib
@@ -124,6 +123,12 @@ from repro.core.configuration import (
 from repro.core.errors import UniverseError
 from repro.core.events import ReceiveEvent, SendEvent
 from repro.universe.arena import ArenaStore, compress_batch, decompress_batch
+from repro.universe.recovery import RecoveryLog
+from repro.universe.retry import (
+    TRANSIENT_SPAWN_ERRNOS,
+    is_storage_error,
+    transient_spawn_error,
+)
 
 _BOUND_MESSAGE = (
     "exploration exceeded %s configurations; raise the bound or shrink "
@@ -155,19 +160,10 @@ def resolve_workers(workers: int | None) -> int:
     return max(workers, 1)
 
 
-_TRANSIENT_SPAWN_ERRNOS = frozenset(
-    {errno.EAGAIN, errno.EWOULDBLOCK, errno.ENOMEM}
-)
-
-
-def _transient_spawn_error(error: OSError) -> bool:
-    """True for ``Process.start``/``os.fork`` failures worth retrying:
-    resource pressure that may clear in milliseconds (EAGAIN — pid or
-    rlimit exhaustion — and transient ENOMEM), as opposed to persistent
-    configuration errors."""
-    if error.errno in _TRANSIENT_SPAWN_ERRNOS:
-        return True
-    return "temporarily unavailable" in str(error).lower()
+# Spawn-transient classification lives in the shared typed-retry module
+# now (PR 10); these aliases keep the original names importable.
+_TRANSIENT_SPAWN_ERRNOS = TRANSIENT_SPAWN_ERRNOS
+_transient_spawn_error = transient_spawn_error
 
 
 @dataclass(frozen=True)
@@ -231,7 +227,7 @@ class WorkerFailure(Exception):
     def __init__(self, shard: int, kind: str, detail: str = "") -> None:
         super().__init__(f"worker {shard} {kind}: {detail}")
         self.shard = shard
-        self.kind = kind  # "exit" | "timeout" | "corrupt"
+        self.kind = kind  # "exit" | "timeout" | "corrupt" | "storage"
         self.detail = detail
 
 
@@ -949,11 +945,19 @@ def discovery_stream(configurations, succ_offsets, succ_ids) -> list:
 # Worker process body
 # ---------------------------------------------------------------------
 def _send_error(connection, error: BaseException | None, message: str) -> None:
-    """Ship a structured error frame; never raise from the shipper."""
+    """Ship a structured error frame; never raise from the shipper.
+
+    ``environmental`` marks storage/resource failures (ENOSPC, EIO,
+    descriptor exhaustion — e.g. a worker-side spill hitting a hostile
+    disk): the coordinator routes those into deterministic failover
+    (respawn or fold re-derives the same batch) instead of re-raising
+    them as the exploration's own deterministic error.
+    """
     payload = {
         "type": type(error).__name__ if error is not None else "UniverseError",
         "message": str(error) if error is not None else message,
         "traceback": traceback.format_exc() if error is not None else "",
+        "environmental": error is not None and is_storage_error(error),
     }
     try:
         connection.send(("error", payload))
@@ -1484,6 +1488,21 @@ class ShardedExplorer:
                 if kind == "heartbeat":
                     continue
                 if kind == "error":
+                    if message[1].get("environmental"):
+                        # Environmental storage/resource failure (not a
+                        # bug): a replacement on a healthier mount or the
+                        # coordinator's fold re-derives the same batch.
+                        self._recover(
+                            universe,
+                            WorkerFailure(
+                                shard, "storage", message[1]["message"]
+                            ),
+                            state,
+                            layer_start,
+                            layer_end,
+                            layer,
+                        )
+                        continue
                     # Deterministic application error: re-raise with the
                     # original traceback; a replacement would fail the
                     # same way, so no retry.
@@ -1556,7 +1575,15 @@ class ShardedExplorer:
         EMPTY_CONFIGURATION.received_messages
         EMPTY_CONFIGURATION.in_flight_messages
         self._token = hash_domain_token()
-        universe._recovery_log = self.recovery_log
+        # Share the universe's structured log so worker-failover rungs,
+        # checkpoint salvage events and storage degradations interleave
+        # on one monotonic sequence; fall back to our own list when
+        # driven outside a Universe.
+        recovery = getattr(universe, "_recovery_log", None)
+        if recovery is None:
+            recovery = RecoveryLog()
+            universe._recovery_log = recovery
+        self.recovery_log = recovery
         watchdog = None
         if rss_budget_mb is not None:
             from repro.universe.checkpoint import RssWatchdog
@@ -1653,6 +1680,9 @@ class ShardedExplorer:
             layer_start = 0
             layer = 0
             replay = []  # previous layer's merged discovery stream
+        arm_storage = getattr(universe, "_arm_storage_faults", None)
+        if arm_storage is not None:
+            arm_storage(layer)
         bound_error: str | None = None
         rss_truncated = False
         gc_was_enabled = gc.isenabled()
@@ -1776,6 +1806,8 @@ class ShardedExplorer:
                 if bound_error is not None:
                     break
                 done = count == layer_end  # no new configurations
+                if arm_storage is not None:
+                    arm_storage(layer + 1)
                 if checkpoint is not None:
                     checkpoint.commit_layer(
                         replay, layer_end, universe, final=done

@@ -21,6 +21,14 @@ watches the filesystem for the uncommitted segment to appear, and
 SIGKILLs the whole process mid-background-write — no cooperation from
 the dying process beyond the stall itself (``--stall-kill``).
 
+Hostile storage is the third axis (``--disk-faults``): every crashed
+attempt additionally carries a seeded *transient* storage fault
+(``eio_write``/``eio_read``/``fsync_fail``/``slow_io``/``fd_exhaust``
+via the fault-injecting file-ops shim), so SIGKILLs land on runs whose
+checkpoint I/O is already retrying; the final completing run carries a
+*permanent* ``enospc``, so it finishes with checkpointing degraded and
+the survivor must resume from the last cleanly committed manifest.
+
 Usable as a library (``tests/test_universe_chaos.py``) and as a CLI for
 the CI smoke::
 
@@ -29,6 +37,7 @@ the CI smoke::
     python tests/chaos.py --size 6 --kills 4 --workers-schedule 1,2,1,3
     python tests/chaos.py --size 6 --kills 3 --store arena --seed 2
     python tests/chaos.py --size 5 --kills 3 --stall-kill --seed 4
+    python tests/chaos.py --size 5 --kills 1 --disk-faults --seed 11
 """
 
 from __future__ import annotations
@@ -55,6 +64,17 @@ TORN_SAVE_EXIT = 23  # os._exit status of the torn_save checkpoint fault
 POLL_INTERVAL = 0.001  # star explorations save layers every few ms
 DEFAULT_TIMEOUT = 180.0
 
+# Storage fault kinds that are absorbed (retried or merely slowed) so a
+# crashed attempt's checkpoint keeps advancing towards its kill target;
+# the permanent enospc is reserved for the final completing run.
+TRANSIENT_STORAGE_KINDS = (
+    "eio_write",
+    "eio_read",
+    "fsync_fail",
+    "slow_io",
+    "fd_exhaust",
+)
+
 
 @dataclass
 class ChaosAttempt:
@@ -66,6 +86,7 @@ class ChaosAttempt:
     target_layer: int | None
     layers_on_disk: int
     returncode: int | None
+    storage_faults: tuple[str, ...] = ()
 
 
 @dataclass
@@ -104,9 +125,15 @@ class ChaosResult:
                 if a.target_layer is not None
                 else "running to completion"
             )
+            storage = (
+                f" storage={','.join(a.storage_faults)}"
+                if a.storage_faults
+                else ""
+            )
             lines.append(
                 f"  attempt {i}: workers={a.workers} "
-                f"PYTHONHASHSEED={a.hash_seed} {where} -> {a.outcome} "
+                f"PYTHONHASHSEED={a.hash_seed} {where}{storage} -> "
+                f"{a.outcome} "
                 f"(rc={a.returncode}, {a.layers_on_disk} layers on disk)"
             )
         lines.append(f"  completed: {self.completed}")
@@ -233,6 +260,7 @@ def run_campaign(
     timeout: float = DEFAULT_TIMEOUT,
     store: str = "objects",
     spill_dir: pathlib.Path | None = None,
+    disk_faults: bool = False,
 ) -> ChaosResult:
     """Crash/resume until the exploration completes.
 
@@ -249,6 +277,14 @@ def run_campaign(
     crashed attempt (the arena with spill enabled must survive SIGKILL
     mid-spill exactly like the object store — spilled chunks are a
     cache, never checkpoint state).
+
+    ``disk_faults`` layers hostile storage on top: every crashed
+    attempt carries one seeded transient storage fault (retried or
+    absorbed, so the checkpoint keeps advancing into the kill window)
+    and the final completing run carries a permanent ``enospc``, which
+    degrades checkpointing loudly but must not stop the run — nor
+    invalidate the last committed manifest the bit-identity check then
+    resumes from.
     """
     rng = random.Random(seed)
     result = ChaosResult(size=size, seed=seed)
@@ -260,8 +296,26 @@ def run_campaign(
         workers = workers_schedule[attempt % len(workers_schedule)]
         hash_seed = rng.randrange(1, 2**31)
         faults: tuple[str, ...] = ()
+        storage_faults: tuple[str, ...] = ()
         target_layer: int | None = None
         kill_on_orphan = False
+        if disk_faults:
+            base = layers_on_disk(path)
+            if deaths < kills:
+                kind = TRANSIENT_STORAGE_KINDS[
+                    rng.randrange(len(TRANSIENT_STORAGE_KINDS))
+                ]
+                layer = base + rng.randint(0, 2)
+                spec = (
+                    f"{kind}@{layer}~0.05"
+                    if kind == "slow_io"
+                    else f"{kind}@{layer}"
+                )
+                storage_faults = (spec,)
+            else:
+                # The completing run finishes on a full disk: one loud
+                # degradation, exploration unharmed, last manifest clean.
+                storage_faults = (f"enospc@{base + rng.randint(1, 2)}",)
         if deaths < kills:
             # Aim a little past whatever is already on disk so every
             # death forfeits real progress.  A star-n broadcast universe
@@ -280,7 +334,12 @@ def run_campaign(
                 target_layer = None  # the fault itself is the killer
         outcome, returncode = _run_and_kill(
             explore_command(
-                path, size, workers, faults, store=store, spill_dir=spill_dir
+                path,
+                size,
+                workers,
+                faults + storage_faults,
+                store=store,
+                spill_dir=spill_dir,
             ),
             path,
             target_layer,
@@ -296,6 +355,7 @@ def run_campaign(
                 target_layer=target_layer,
                 layers_on_disk=layers_on_disk(path),
                 returncode=returncode,
+                storage_faults=storage_faults,
             )
         )
         if outcome in ("sigkill", "stall_kill", "torn_save"):
@@ -378,6 +438,15 @@ def main(argv: list[str] | None = None) -> int:
         "(held open by the stall_write fault)",
     )
     parser.add_argument(
+        "--disk-faults",
+        action="store_true",
+        help="layer seeded storage faults on top of the kills: crashed "
+        "attempts get one transient fault (eio_write/eio_read/"
+        "fsync_fail/slow_io/fd_exhaust), the final completing run gets "
+        "a permanent enospc (checkpointing degrades loudly, the last "
+        "committed manifest must still verify clean)",
+    )
+    parser.add_argument(
         "--keep-checkpoint",
         type=str,
         default=None,
@@ -430,8 +499,18 @@ def main(argv: list[str] | None = None) -> int:
             stall_kill=args.stall_kill,
             store=args.store,
             spill_dir=spill_dir,
+            disk_faults=args.disk_faults,
         )
         print(result.describe())
+        if args.disk_faults:
+            injected = sum(
+                len(a.storage_faults) for a in result.attempts
+            )
+            if not injected:
+                raise RuntimeError(
+                    "no storage fault was injected:\n" + result.describe()
+                )
+            print(f"storage faults injected: {injected}")
         if args.stall_kill and not result.stall_kills:
             raise RuntimeError(
                 "no kill landed inside the background-write window:\n"

@@ -181,7 +181,7 @@ class TestExploreRobustnessFlags:
              "--checkpoint", str(path)]
         ) == 0
         output = capsys.readouterr().out
-        assert "checkpoint corrupt_segment" in output
+        assert "recovery: corrupt_segment" in output
         assert "salvage-truncate" in output
 
     def test_incompatible_checkpoint_exits_two(self, capsys, tmp_path):
@@ -223,3 +223,85 @@ class TestExploreRobustnessFlags:
              "--checkpoint", str(path)]
         ) == 0
         assert "salvage-truncate" in capsys.readouterr().out
+
+
+class TestStorageFaultCli:
+    """Hostile-storage workflows through the operator surface: --fault
+    storage kinds, the loud DEGRADED banner, and --json reports."""
+
+    def test_inspect_json_report(self, capsys, tmp_path):
+        import json
+
+        path = build_checkpoint(tmp_path)
+        capsys.readouterr()
+        assert main(["checkpoint", "inspect", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["valid"] is True
+        assert report["format_version"] == 2
+        assert report["segments"] and all(
+            row["status"] == "ok" for row in report["segments"]
+        )
+
+    def test_verify_json_corrupt_exits_one(self, capsys, tmp_path):
+        import json
+
+        path = build_checkpoint(tmp_path)
+        corrupt_tail(path)
+        capsys.readouterr()
+        assert main(["checkpoint", "verify", str(path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["valid"] is False
+        # inspect keeps the same report but only fails on unreadable.
+        capsys.readouterr()
+        assert main(["checkpoint", "inspect", str(path), "--json"]) == 0
+
+    def test_json_missing_file_exits_two(self, capsys, tmp_path):
+        import json
+
+        assert main(
+            ["checkpoint", "inspect", str(tmp_path / "no.ckpt"), "--json"]
+        ) == 2
+        report = json.loads(capsys.readouterr().out)
+        assert report["exists"] is False
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_enospc_degrades_loudly_and_manifest_survives(
+        self, capsys, tmp_path
+    ):
+        """ENOSPC mid-run: exit 0, one DEGRADED banner on stderr, and
+        the committed prefix still verifies clean."""
+        path = tmp_path / "u.ckpt"
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--checkpoint", str(path), "--fault", "enospc@1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "checkpoint DEGRADED" in captured.err
+        assert "disable-checkpointing" in captured.out
+        assert main(["checkpoint", "verify", str(path)]) == 0
+
+    def test_transient_fault_prints_retry_recovery(self, capsys, tmp_path):
+        path = tmp_path / "u.ckpt"
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--checkpoint", str(path), "--fault", "eio_write@1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "recovery: storage_retry -> retry" in captured.out
+        assert "DEGRADED" not in captured.err
+        capsys.readouterr()
+        assert main(["checkpoint", "verify", str(path)]) == 0
+
+    def test_storage_fault_without_target_exits_two(self, capsys):
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--fault", "enospc@1"]
+        ) == 2
+        assert "checkpoint path or a spill" in capsys.readouterr().err
+
+    def test_shard_qualified_storage_kind_exits_two(self, capsys):
+        assert main(
+            ["explore", "broadcast", "--topology", "star", "--size", "4",
+             "--fault", "enospc:0@1"]
+        ) == 2
+        assert "takes no shard" in capsys.readouterr().err

@@ -116,3 +116,32 @@ class TestEngineSwitchChaos:
         assert count == 634
         seeds = [a.hash_seed for a in result.attempts]
         assert len(set(seeds)) == len(seeds), result.describe()
+
+
+class TestDiskFaultChaos:
+    """Hostile storage layered on top of the crash campaign (PR 10):
+    every crashed attempt carries a seeded transient storage fault, the
+    final run absorbs a permanent ENOSPC by degrading loudly, and the
+    survivor must still be bit-identical."""
+
+    def test_disk_faults_campaign_survives(self, tmp_path):
+        result, count = run_and_check(
+            tmp_path, size=5, kills=1, seed=11, workers_schedule=(1,),
+            disk_faults=True,
+        )
+        assert count == 634
+        injected = sum(len(a.storage_faults) for a in result.attempts)
+        assert injected >= 2, result.describe()
+        # The completing run always carries the permanent fault.
+        final = result.attempts[-1]
+        assert any(
+            spec.startswith("enospc@") for spec in final.storage_faults
+        ), result.describe()
+
+    def test_disk_faults_sharded(self, tmp_path):
+        result, count = run_and_check(
+            tmp_path, size=5, kills=1, seed=3, workers_schedule=(2,),
+            disk_faults=True,
+        )
+        assert count == 634
+        assert sum(len(a.storage_faults) for a in result.attempts) >= 2

@@ -438,6 +438,12 @@ class TestFaultPlanApi:
             "torn_save",
             "corrupt_segment",
             "stall_write",
+            "enospc",
+            "eio_read",
+            "eio_write",
+            "fsync_fail",
+            "slow_io",
+            "fd_exhaust",
         }
 
     def test_repr_names_targets(self):
